@@ -1,0 +1,217 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus the DESIGN.md ablations and bechamel kernel
+   micro-benchmarks.
+
+   Sections (run all by default, or pass section names as arguments):
+     fig3    — propagation-frequency distribution
+     table1  — dataset statistics
+     fig4    — default vs frequency policy scatter
+     table2  — classifier comparison (NeuroSAT / GIN / NS w/o attn / NS)
+     table3  — runtime statistics, Kissat vs NeuroSelect-Kissat
+     fig7    — scatter + inference/improvement box plots (same run as table3)
+     ablation — alpha sweep and deletion-policy zoo
+     kernels — bechamel micro-benchmarks (BCP, reduce, inference)
+
+   Environment: NS_BENCH_FAST=1 shrinks the dataset and epochs ~4x. *)
+
+let fast = Sys.getenv_opt "NS_BENCH_FAST" = Some "1"
+
+(* Dataset settings validated to give a learnable label distribution at
+   this scale (see DESIGN.md on label noise): seed 7 draws a family mix
+   whose positives correlate with family/size structure. *)
+let per_year = if fast then 6 else 12
+let budget = if fast then 400_000 else 800_000
+let epochs = if fast then 10 else 40
+let dataset_seed = 7
+
+let section_header title =
+  Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+let wanted =
+  let args = Array.to_list Sys.argv |> List.tl in
+  fun name -> args = [] || List.mem name args
+
+(* Shared state: dataset preparation and the trained model are reused
+   across sections. *)
+let prepared = ref None
+
+let progress s = Format.printf "%s@." s
+
+let get_data () =
+  match !prepared with
+  | Some d -> d
+  | None ->
+    Format.printf "preparing dataset (seed %d, %d per year, budget %d) ...@."
+      dataset_seed per_year budget;
+    let d = Experiments.Data.prepare ~seed:dataset_seed ~per_year ~budget () in
+    Format.printf "train %d (%d positive), test %d (%d positive)@."
+      (List.length d.Experiments.Data.train)
+      (Experiments.Data.positives d.Experiments.Data.train)
+      (List.length d.Experiments.Data.test)
+      (Experiments.Data.positives d.Experiments.Data.test);
+    prepared := Some d;
+    d
+
+let trained_model = ref None
+
+let get_model () =
+  match !trained_model with
+  | Some m -> m
+  | None ->
+    let data = get_data () in
+    let model = Core.Model.create Core.Model.paper_config in
+    Format.printf "training NeuroSelect (%d params, %d epochs) ...@."
+      (Core.Model.num_parameters model) epochs;
+    let train_progress ~epoch ~loss =
+      if epoch mod 5 = 0 then Format.printf "  epoch %3d  loss %.4f@." epoch loss
+    in
+    let _ =
+      Core.Trainer.train ~epochs ~lr:3e-3 ~progress:train_progress model
+        (Experiments.Data.examples data.Experiments.Data.train)
+    in
+    trained_model := Some model;
+    model
+
+let run_fig3 () =
+  section_header "Figure 3 — propagation frequency distribution";
+  let series =
+    if fast then Experiments.Fig3.run ~vertices:200 ~conflicts:1500 ()
+    else Experiments.Fig3.run ()
+  in
+  Format.printf "%a@." Experiments.Fig3.print series
+
+let run_table1 () =
+  section_header "Table 1 — dataset statistics (synthetic year-structured)";
+  let data = get_data () in
+  let instances =
+    List.map (fun l -> l.Experiments.Data.instance)
+      (data.Experiments.Data.train @ data.Experiments.Data.test)
+  in
+  Format.printf "%a@." Gen.Dataset.pp_stats (Gen.Dataset.stats instances)
+
+let run_fig4 () =
+  section_header "Figure 4 — default vs frequency-guided clause deletion";
+  let data = get_data () in
+  let instances =
+    List.map (fun l -> l.Experiments.Data.instance) data.Experiments.Data.test
+  in
+  let summary =
+    Experiments.Policy_compare.run data.Experiments.Data.simtime instances
+  in
+  Format.printf "%a@." Experiments.Policy_compare.print summary
+
+let run_table2 () =
+  section_header "Table 2 — SAT classification models";
+  let data = get_data () in
+  let t = Experiments.Table2.run ~epochs ~lr:3e-3 ~progress ~seed:5 data in
+  (* Reuse the trained full model for Table 3 / Figure 7. *)
+  if !trained_model = None then trained_model := Some t.Experiments.Table2.full_model;
+  Format.printf "%a@." Experiments.Table2.print t
+
+let adaptive_result = ref None
+
+let get_adaptive () =
+  match !adaptive_result with
+  | Some r -> r
+  | None ->
+    let data = get_data () in
+    let model = get_model () in
+    let instances =
+      List.map (fun l -> l.Experiments.Data.instance) data.Experiments.Data.test
+    in
+    let r =
+      Experiments.Adaptive_eval.run ~progress model data.Experiments.Data.simtime
+        instances
+    in
+    adaptive_result := Some r;
+    r
+
+let run_table3 () =
+  section_header "Table 3 — runtime statistics (Kissat vs NeuroSelect-Kissat)";
+  Format.printf "%a@." Experiments.Adaptive_eval.print_table3 (get_adaptive ())
+
+let run_fig7 () =
+  section_header "Figure 7 — NeuroSelect-Kissat performance";
+  let r = get_adaptive () in
+  Format.printf "%a@.@.%a@." Experiments.Adaptive_eval.print_fig7a r
+    Experiments.Adaptive_eval.print_fig7b r
+
+let run_ablation () =
+  section_header "Ablations — alpha sweep and deletion-policy zoo";
+  let instances =
+    Gen.Dataset.generate_year ~seed:77 ~per_year:(if fast then 4 else 8) 2022
+  in
+  let simtime = Experiments.Simtime.make ~budget:(budget / 2) in
+  let zoo = Experiments.Ablation.policy_zoo ~progress simtime instances in
+  Format.printf "%a@.@." Experiments.Ablation.print_policies zoo;
+  let sweep = Experiments.Ablation.alpha_sweep ~progress simtime instances in
+  Format.printf "%a@.@." Experiments.Ablation.print_alpha sweep;
+  let fractions = Experiments.Ablation.fraction_sweep ~progress simtime instances in
+  Format.printf "%a@.@." Experiments.Ablation.print_fractions fractions;
+  let restarts = Experiments.Ablation.restart_comparison ~progress simtime instances in
+  Format.printf "%a@." Experiments.Ablation.print_restarts restarts
+
+(* --- bechamel kernel micro-benchmarks --- *)
+
+let kernel_tests () =
+  let open Bechamel in
+  let bcp_instance =
+    let rng = Util.Rng.create 1 in
+    Gen.Ksat.generate rng ~num_vars:120 ~num_clauses:500 ~k:3
+  in
+  let bcp =
+    Test.make ~name:"solver: 20k propagations of 3-SAT"
+      (Staged.stage (fun () ->
+           let config =
+             Cdcl.Config.with_budget ~max_propagations:20_000 Cdcl.Config.default
+           in
+           ignore (Cdcl.Solver.solve_formula ~config bcp_instance)))
+  in
+  let reduce_instance = Gen.Pigeonhole.unsat 6 in
+  let reduce =
+    Test.make ~name:"solver: PHP(7,6) full solve (reduces included)"
+      (Staged.stage (fun () -> ignore (Cdcl.Solver.solve_formula reduce_instance)))
+  in
+  let attn_graph =
+    let rng = Util.Rng.create 2 in
+    Satgraph.Bigraph.of_formula (Gen.Ksat.near_threshold rng ~num_vars:300)
+  in
+  let model = Core.Model.create Core.Model.paper_config in
+  let inference =
+    Test.make ~name:"model: NeuroSelect inference, 300-var CNF"
+      (Staged.stage (fun () -> ignore (Core.Model.predict model attn_graph)))
+  in
+  [ bcp; reduce; inference ]
+
+let run_kernels () =
+  section_header "Kernel micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let handle test =
+    let results = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let analysis = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Format.printf "%-48s %12.0f ns/run@." name est
+        | Some _ | None -> Format.printf "%-48s (no estimate)@." name)
+      analysis
+  in
+  List.iter handle (kernel_tests ())
+
+let () =
+  Format.printf "NeuroSelect benchmark harness%s@."
+    (if fast then " (fast mode)" else "");
+  if wanted "fig3" then run_fig3 ();
+  if wanted "table1" then run_table1 ();
+  if wanted "fig4" then run_fig4 ();
+  if wanted "table2" then run_table2 ();
+  if wanted "table3" then run_table3 ();
+  if wanted "fig7" then run_fig7 ();
+  if wanted "ablation" then run_ablation ();
+  if wanted "kernels" then run_kernels ();
+  Format.printf "@.done.@."

@@ -1,0 +1,1 @@
+bin/evaluate.ml: Arg Cmd Cmdliner Core Experiments Format List Term

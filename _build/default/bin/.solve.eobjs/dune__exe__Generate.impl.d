@@ -1,0 +1,1 @@
+bin/generate.ml: Arg Cmd Cmdliner Cnf Filename Format Gen List Printf Sys Term Util

@@ -1,0 +1,1 @@
+bin/solve.ml: Arg Array Buffer Cdcl Cmd Cmdliner Cnf Core Format Option Printf Term

@@ -1,0 +1,1 @@
+bin/train.ml: Arg Cmd Cmdliner Core Experiments Format List Printf Term

@@ -1,0 +1,41 @@
+(* ns-evaluate: load a trained checkpoint and reproduce the paper's
+   evaluation on a freshly generated test year — classification metrics
+   plus the Kissat vs NeuroSelect-Kissat runtime comparison. *)
+
+let run checkpoint seed per_year budget =
+  let model = Core.Model.create Core.Model.paper_config in
+  (match checkpoint with
+  | Some path -> Core.Model.load path model
+  | None -> prerr_endline "warning: evaluating untrained weights");
+  let progress s = print_endline s in
+  let data = Experiments.Data.prepare ~seed ~per_year ~budget ~progress () in
+  let test = data.Experiments.Data.test in
+  let report = Core.Trainer.evaluate model (Experiments.Data.examples test) in
+  Format.printf "classification on test year: %a@." Core.Metrics.pp_report report;
+  let instances =
+    List.map (fun l -> l.Experiments.Data.instance) test
+  in
+  let result =
+    Experiments.Adaptive_eval.run ~progress model data.Experiments.Data.simtime
+      instances
+  in
+  Format.printf "%a@.@.%a@.@.%a@." Experiments.Adaptive_eval.print_table3 result
+    Experiments.Adaptive_eval.print_fig7a result Experiments.Adaptive_eval.print_fig7b
+    result
+
+open Cmdliner
+
+let checkpoint =
+  Arg.(value & opt (some file) None & info [ "checkpoint"; "c" ] ~docv:"FILE")
+
+let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED")
+let per_year = Arg.(value & opt int 16 & info [ "per-year" ] ~docv:"N")
+let budget = Arg.(value & opt int 800_000 & info [ "budget" ] ~docv:"PROPS")
+
+let cmd =
+  let doc = "evaluate a trained NeuroSelect model against Kissat-default" in
+  Cmd.v
+    (Cmd.info "ns-evaluate" ~doc)
+    Term.(const run $ checkpoint $ seed $ per_year $ budget)
+
+let () = exit (Cmd.eval cmd)

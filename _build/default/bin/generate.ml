@@ -1,0 +1,72 @@
+(* ns-generate: emit benchmark CNFs as DIMACS files — a single family
+   instance or the whole year-structured dataset. *)
+
+let write_instance dir (i : Gen.Dataset.instance) =
+  let path = Filename.concat dir (i.name ^ ".cnf") in
+  Cnf.Dimacs.write_file
+    ~comment:(Printf.sprintf "family %s, year %d" i.family i.year)
+    path i.formula;
+  path
+
+let run_dataset dir seed per_year =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let split = Gen.Dataset.generate ~seed ~per_year () in
+  let all = split.Gen.Dataset.train @ split.Gen.Dataset.test in
+  List.iter (fun i -> ignore (write_instance dir i)) all;
+  Format.printf "wrote %d instances to %s@.%a@." (List.length all) dir
+    Gen.Dataset.pp_stats (Gen.Dataset.stats all)
+
+let run_single family size seed out =
+  let rng = Util.Rng.create seed in
+  let formula =
+    match family with
+    | "ksat" -> Gen.Ksat.near_threshold rng ~num_vars:size
+    | "php" -> Gen.Pigeonhole.unsat size
+    | "color" -> Gen.Coloring.hard_3col rng ~vertices:size
+    | "parity" -> Gen.Parity.contradiction rng ~num_vars:size
+    | "adder" -> Gen.Circuits.adder_miter size
+    | "adder-faulty" -> Gen.Circuits.adder_miter ~faulty:true size
+    | "mult" -> Gen.Circuits.multiplier_miter size
+    | "mult-faulty" -> Gen.Circuits.multiplier_miter ~faulty:true size
+    | other ->
+      prerr_endline ("unknown family: " ^ other);
+      exit 2
+  in
+  match out with
+  | Some path ->
+    Cnf.Dimacs.write_file ~comment:(family ^ " instance") path formula;
+    Printf.printf "wrote %s (%d vars, %d clauses)\n" path
+      (Cnf.Formula.num_vars formula)
+      (Cnf.Formula.num_clauses formula)
+  | None -> print_string (Cnf.Dimacs.to_string formula)
+
+let run dataset dir family size seed per_year out =
+  if dataset then run_dataset dir seed per_year else run_single family size seed out
+
+open Cmdliner
+
+let dataset =
+  Arg.(value & flag & info [ "dataset" ] ~doc:"Emit the full year-structured dataset.")
+
+let dir = Arg.(value & opt string "benchmarks" & info [ "dir" ] ~docv:"DIR")
+
+let family =
+  Arg.(value & opt string "ksat"
+       & info [ "family"; "f" ] ~docv:"FAMILY"
+           ~doc:"ksat | php | color | parity | adder[-faulty] | mult[-faulty]")
+
+let size =
+  Arg.(value & opt int 100 & info [ "size"; "n" ] ~docv:"N"
+         ~doc:"Vars / holes / vertices / width, family-dependent.")
+
+let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED")
+let per_year = Arg.(value & opt int 16 & info [ "per-year" ] ~docv:"N")
+let out = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE")
+
+let cmd =
+  let doc = "generate benchmark CNF instances" in
+  Cmd.v
+    (Cmd.info "ns-generate" ~doc)
+    Term.(const run $ dataset $ dir $ family $ size $ seed $ per_year $ out)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,145 @@
+(* ns-solve: DIMACS CLI front-end for the camlsat CDCL solver with
+   selectable clause-deletion policy, including model-guided adaptive
+   selection. Exit codes follow the SAT-competition convention:
+   10 = SAT, 20 = UNSAT, 0 = unknown. *)
+
+let run file policy_str adaptive checkpoint proof simplify max_conflicts
+    max_propagations verbose =
+  let original = Cnf.Dimacs.parse_file file in
+  if verbose then
+    Printf.printf "c parsed %s: %d vars, %d clauses\n" file
+      (Cnf.Formula.num_vars original)
+      (Cnf.Formula.num_clauses original);
+  let formula, preprocessing =
+    if not simplify then (original, None)
+    else begin
+      match Cnf.Simplify.simplify original with
+      | Cnf.Simplify.Proved_unsat ->
+        print_endline "c preprocessing proved unsatisfiability";
+        print_endline "s UNSATISFIABLE";
+        exit 20
+      | Cnf.Simplify.Simplified r ->
+        if verbose then
+          Printf.printf "c simplify: %d clauses left (%d units, %d pure, %d subsumed)\n"
+            (Cnf.Formula.num_clauses r.Cnf.Simplify.formula)
+            r.Cnf.Simplify.stats.Cnf.Simplify.forced_units
+            r.Cnf.Simplify.stats.Cnf.Simplify.pure_literals
+            r.Cnf.Simplify.stats.Cnf.Simplify.subsumed_clauses;
+        (r.Cnf.Simplify.formula, Some r)
+    end
+  in
+  let base =
+    Cdcl.Config.with_budget ?max_conflicts ?max_propagations Cdcl.Config.default
+  in
+  let config =
+    if adaptive then base
+    else begin
+      match Cdcl.Policy.of_string policy_str with
+      | Some p -> Cdcl.Config.with_policy p base
+      | None ->
+        prerr_endline ("unknown policy: " ^ policy_str);
+        exit 2
+    end
+  in
+  let result, stats =
+    if adaptive then begin
+      let model = Core.Model.create Core.Model.paper_config in
+      (match checkpoint with
+      | Some path -> Core.Model.load path model
+      | None ->
+        prerr_endline "c warning: adaptive mode without --checkpoint uses untrained weights");
+      let selection, result, stats = Core.Selector.solve_adaptive ~config model formula in
+      Printf.printf "c adaptive selection: %s (p=%.3f, inference %.3fs)\n"
+        (Cdcl.Policy.name selection.Core.Selector.policy)
+        selection.Core.Selector.probability selection.Core.Selector.inference_seconds;
+      (result, stats)
+    end
+    else begin
+      let solver = Cdcl.Solver.create ~config formula in
+      let log =
+        match proof with
+        | None -> None
+        | Some _ ->
+          let log = Cdcl.Drup.create () in
+          Cdcl.Drup.attach log solver;
+          Some log
+      in
+      let result = Cdcl.Solver.solve solver in
+      (match (log, result) with
+      | Some log, Cdcl.Solver.Unsat ->
+        let path = Option.get proof in
+        Cdcl.Drup.conclude_unsat log;
+        Cdcl.Drup.write_file path log;
+        Printf.printf "c DRUP proof (%d lines) written to %s\n"
+          (Cdcl.Drup.num_lines log) path
+      | Some _, (Cdcl.Solver.Sat _ | Cdcl.Solver.Unknown) ->
+        prerr_endline "c no proof emitted (instance not proved UNSAT)"
+      | None, _ -> ());
+      (result, Cdcl.Solver_stats.copy (Cdcl.Solver.stats solver))
+    end
+  in
+  if verbose then Format.printf "c stats:@.%a@." Cdcl.Solver_stats.pp stats;
+  match result with
+  | Cdcl.Solver.Sat model ->
+    let model =
+      match preprocessing with
+      | None -> model
+      | Some r -> Cnf.Simplify.extend_model r model
+    in
+    assert (Cdcl.Solver.check_model original model);
+    print_endline "s SATISFIABLE";
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "v";
+    for v = 1 to Cnf.Formula.num_vars original do
+      Buffer.add_string buf (Printf.sprintf " %d" (if model.(v) then v else -v))
+    done;
+    Buffer.add_string buf " 0";
+    print_endline (Buffer.contents buf);
+    exit 10
+  | Cdcl.Solver.Unsat ->
+    print_endline "s UNSATISFIABLE";
+    exit 20
+  | Cdcl.Solver.Unknown ->
+    print_endline "s UNKNOWN";
+    exit 0
+
+open Cmdliner
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf")
+
+let policy =
+  Arg.(value & opt string "default" & info [ "policy"; "p" ] ~docv:"POLICY"
+         ~doc:"Deletion policy: default, frequency[:alpha], glue, size, activity, random[:seed].")
+
+let adaptive =
+  Arg.(value & flag & info [ "adaptive" ] ~doc:"Select the policy with the NeuroSelect model.")
+
+let checkpoint =
+  Arg.(value & opt (some file) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Model checkpoint for --adaptive.")
+
+let proof =
+  Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE"
+         ~doc:"Write a DRUP unsatisfiability proof to FILE (non-adaptive runs).")
+
+let simplify_flag =
+  Arg.(value & flag & info [ "simplify" ]
+         ~doc:"Preprocess (unit propagation, pure literals, subsumption) before solving.")
+
+let max_conflicts =
+  Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N")
+
+let max_propagations =
+  Arg.(value & opt (some int) None & info [ "max-propagations" ] ~docv:"N")
+
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ])
+
+let cmd =
+  let doc = "solve a DIMACS CNF with the camlsat CDCL solver" in
+  Cmd.v
+    (Cmd.info "ns-solve" ~doc)
+    Term.(
+      const run $ file $ policy $ adaptive $ checkpoint $ proof $ simplify_flag
+      $ max_conflicts $ max_propagations $ verbose)
+
+let () = exit (Cmd.eval cmd)

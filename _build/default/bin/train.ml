@@ -1,0 +1,54 @@
+(* ns-train: generate the synthetic dataset, label it by dual-policy
+   solving, train the NeuroSelect model, and write a checkpoint. *)
+
+let run seed per_year budget epochs lr out quiet =
+  let log fmt =
+    Printf.ksprintf (fun s -> if not quiet then print_endline s) fmt
+  in
+  log "generating + labelling dataset (seed %d, %d per year) ..." seed per_year;
+  let progress s = if not quiet then print_endline s in
+  let data = Experiments.Data.prepare ~seed ~per_year ~budget ~progress () in
+  log "train %d (%d positive), test %d (%d positive)"
+    (List.length data.Experiments.Data.train)
+    (Experiments.Data.positives data.Experiments.Data.train)
+    (List.length data.Experiments.Data.test)
+    (Experiments.Data.positives data.Experiments.Data.test);
+  let model = Core.Model.create Core.Model.paper_config in
+  log "model parameters: %d" (Core.Model.num_parameters model);
+  let train_progress ~epoch ~loss =
+    if (not quiet) && epoch mod 5 = 0 then
+      Printf.printf "epoch %3d  mean BCE %.4f\n%!" epoch loss
+  in
+  let _history =
+    Core.Trainer.train ~epochs ~lr ~progress:train_progress model
+      (Experiments.Data.examples data.Experiments.Data.train)
+  in
+  let report split name =
+    let r = Core.Trainer.evaluate model (Experiments.Data.examples split) in
+    log "%s: %s" name (Format.asprintf "%a" Core.Metrics.pp_report r)
+  in
+  report data.Experiments.Data.train "train";
+  report data.Experiments.Data.test "test ";
+  Core.Model.save out model;
+  log "checkpoint written to %s" out
+
+open Cmdliner
+
+let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED")
+let per_year = Arg.(value & opt int 16 & info [ "per-year" ] ~docv:"N")
+let budget = Arg.(value & opt int 800_000 & info [ "budget" ] ~docv:"PROPS")
+let epochs = Arg.(value & opt int 60 & info [ "epochs" ] ~docv:"N")
+let lr = Arg.(value & opt float 3e-3 & info [ "lr" ] ~docv:"LR")
+
+let out =
+  Arg.(value & opt string "neuroselect.ckpt" & info [ "out"; "o" ] ~docv:"FILE")
+
+let quiet = Arg.(value & flag & info [ "quiet"; "q" ])
+
+let cmd =
+  let doc = "train the NeuroSelect clause-deletion policy classifier" in
+  Cmd.v
+    (Cmd.info "ns-train" ~doc)
+    Term.(const run $ seed $ per_year $ budget $ epochs $ lr $ out $ quiet)
+
+let () = exit (Cmd.eval cmd)

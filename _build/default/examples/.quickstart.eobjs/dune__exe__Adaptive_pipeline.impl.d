@@ -1,0 +1,1 @@
+examples/adaptive_pipeline.ml: Cdcl Core Experiments Format Gen List

@@ -1,0 +1,1 @@
+examples/circuit_equivalence.ml: Array Cdcl Cnf Format Gen

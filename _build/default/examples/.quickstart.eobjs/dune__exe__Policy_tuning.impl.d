@@ -1,0 +1,1 @@
+examples/policy_tuning.ml: Experiments Format Gen List

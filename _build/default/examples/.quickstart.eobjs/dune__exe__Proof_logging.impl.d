@@ -1,0 +1,1 @@
+examples/proof_logging.ml: Cdcl Cnf Format Gen

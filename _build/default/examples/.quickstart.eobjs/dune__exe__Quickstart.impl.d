@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cdcl Cnf Core Format Gen Util

@@ -1,0 +1,16 @@
+(* Deletion-policy exploration: runs the policy zoo and the Eq. 2
+   alpha sweep over a small mixed instance set — the "empirical
+   studies" behind the paper's fixed alpha = 4/5.
+
+   Run with: dune exec examples/policy_tuning.exe *)
+
+let () =
+  let instances = Gen.Dataset.generate_year ~seed:77 ~per_year:8 2022 in
+  let simtime = Experiments.Simtime.make ~budget:600_000 in
+  Format.printf "instance set: %d CNFs from the 2022 synthetic year@.@."
+    (List.length instances);
+  let progress s = print_endline s in
+  let zoo = Experiments.Ablation.policy_zoo ~progress simtime instances in
+  Format.printf "@.%a@." Experiments.Ablation.print_policies zoo;
+  let sweep = Experiments.Ablation.alpha_sweep ~progress simtime instances in
+  Format.printf "@.%a@." Experiments.Ablation.print_alpha sweep

@@ -1,0 +1,59 @@
+(* Quickstart: build a formula, solve it, inspect the result, and see
+   the clause-deletion policy switch that NeuroSelect automates.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Build a small CNF with the incremental builder:
+     (x1 or x2) and (not x1 or x3) and (not x2 or not x3) and (x2 or x3) *)
+  let builder = Cnf.Formula.Builder.create () in
+  Cnf.Formula.Builder.add_dimacs builder [ 1; 2 ];
+  Cnf.Formula.Builder.add_dimacs builder [ -1; 3 ];
+  Cnf.Formula.Builder.add_dimacs builder [ -2; -3 ];
+  Cnf.Formula.Builder.add_dimacs builder [ 2; 3 ];
+  let formula = Cnf.Formula.Builder.build builder in
+  Format.printf "formula:@.%a@.@." Cnf.Formula.pp formula;
+
+  (* 2. Solve it. *)
+  (match Cdcl.Solver.solve_formula formula with
+  | Cdcl.Solver.Sat model, stats ->
+    Format.printf "SAT, model:";
+    for v = 1 to Cnf.Formula.num_vars formula do
+      Format.printf " x%d=%b" v model.(v)
+    done;
+    assert (Cdcl.Solver.check_model formula model);
+    Format.printf "@.decisions %d, conflicts %d@.@." stats.Cdcl.Solver_stats.decisions
+      stats.Cdcl.Solver_stats.conflicts
+  | Cdcl.Solver.Unsat, _ -> Format.printf "UNSAT@."
+  | Cdcl.Solver.Unknown, _ -> Format.printf "UNKNOWN@.");
+
+  (* 3. Round-trip through DIMACS. *)
+  let text = Cnf.Dimacs.to_string ~comment:"quickstart example" formula in
+  let reparsed = Cnf.Dimacs.parse_string text in
+  assert (Cnf.Formula.num_clauses reparsed = Cnf.Formula.num_clauses formula);
+  Format.printf "DIMACS round-trip ok@.@.";
+
+  (* 4. A harder instance, solved under both clause-deletion policies —
+     the choice NeuroSelect learns to make per instance. *)
+  let rng = Util.Rng.create 42 in
+  let hard = Gen.Parity.contradiction rng ~num_vars:20 in
+  let run policy =
+    let config = Cdcl.Config.with_policy policy Cdcl.Config.default in
+    let result, stats = Cdcl.Solver.solve_formula ~config hard in
+    Format.printf "policy %-14s -> %s in %d propagations@."
+      (Cdcl.Policy.name policy)
+      (match result with
+      | Cdcl.Solver.Sat _ -> "SAT"
+      | Cdcl.Solver.Unsat -> "UNSAT"
+      | Cdcl.Solver.Unknown -> "UNKNOWN")
+      stats.Cdcl.Solver_stats.propagations
+  in
+  run Cdcl.Policy.Default;
+  run Cdcl.Policy.frequency_default;
+
+  (* 5. Ask an (untrained) NeuroSelect model which policy it would pick. *)
+  let model = Core.Model.create Core.Model.small_config in
+  let selection = Core.Selector.select_policy model hard in
+  Format.printf "NeuroSelect picks: %s (p=%.3f, inference %.4fs)@."
+    (Cdcl.Policy.name selection.Core.Selector.policy)
+    selection.Core.Selector.probability selection.Core.Selector.inference_seconds

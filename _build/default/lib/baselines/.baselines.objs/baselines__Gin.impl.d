@@ -1,0 +1,1 @@
+lib/baselines/gin.ml: List Nn Printf Satgraph Tensor Util

@@ -1,0 +1,1 @@
+lib/baselines/gin.mli: Nn Satgraph

@@ -1,0 +1,1 @@
+lib/baselines/logreg.ml: Array Cnf Float List Nn Tensor Util

@@ -1,0 +1,1 @@
+lib/baselines/logreg.mli: Cnf Nn

@@ -1,0 +1,1 @@
+lib/baselines/neurosat.ml: Array List Nn Satgraph Tensor Util

@@ -1,0 +1,1 @@
+lib/baselines/neurosat.mli: Nn Satgraph

@@ -1,0 +1,95 @@
+module Ad = Nn.Ad
+module Mat = Tensor.Mat
+module Mlp = Nn.Layer.Mlp
+module Bigraph = Satgraph.Bigraph
+
+type config = {
+  hidden_dim : int;
+  layers : int;
+  epsilon : float;
+  head_hidden : int;
+  seed : int;
+}
+
+let default_config =
+  { hidden_dim = 32; layers = 2; epsilon = 0.0; head_hidden = 16; seed = 1 }
+
+type layer = {
+  var_mlp : Mlp.t;
+  clause_mlp : Mlp.t;
+}
+
+type t = {
+  cfg : config;
+  embed_var : Nn.Layer.Linear.t;
+  embed_clause : Nn.Layer.Linear.t;
+  layers : layer list;
+  head : Mlp.t;
+}
+
+let create cfg =
+  let rng = Util.Rng.create cfg.seed in
+  let d = cfg.hidden_dim in
+  let layer i =
+    {
+      var_mlp =
+        Mlp.create rng ~dims:[ d; d; d ] ~name:(Printf.sprintf "gin.%d.var" i);
+      clause_mlp =
+        Mlp.create rng ~dims:[ d; d; d ] ~name:(Printf.sprintf "gin.%d.clause" i);
+    }
+  in
+  {
+    cfg;
+    embed_var = Nn.Layer.Linear.create rng ~in_dim:1 ~out_dim:d ~name:"gin.embed_var";
+    embed_clause =
+      Nn.Layer.Linear.create rng ~in_dim:1 ~out_dim:d ~name:"gin.embed_clause";
+    layers = List.init cfg.layers layer;
+    head = Mlp.create rng ~dims:[ d; cfg.head_hidden; 1 ] ~name:"gin.head";
+  }
+
+let params t =
+  Nn.Layer.Linear.params t.embed_var
+  @ Nn.Layer.Linear.params t.embed_clause
+  @ List.concat_map (fun l -> Mlp.params l.var_mlp @ Mlp.params l.clause_mlp) t.layers
+  @ Mlp.params t.head
+
+(* GIN sum aggregation over the bipartite edges (no degree norm). *)
+let aggregate tape feats ~send_idx ~recv_idx ~recv_rows =
+  Ad.scatter_sum tape (Ad.gather_rows tape feats send_idx) recv_idx ~rows:recv_rows
+
+let forward_logit t tape graph =
+  let eps1 = 1.0 +. t.cfg.epsilon in
+  let vf0 = Ad.const tape (Bigraph.initial_var_features graph) in
+  let cf0 = Ad.const tape (Bigraph.initial_clause_features graph) in
+  let vf = ref (Ad.relu tape (Nn.Layer.Linear.forward tape t.embed_var vf0)) in
+  let cf = ref (Ad.relu tape (Nn.Layer.Linear.forward tape t.embed_clause cf0)) in
+  let apply layer =
+    let to_clause =
+      aggregate tape !vf ~send_idx:graph.Bigraph.edge_var
+        ~recv_idx:graph.Bigraph.edge_clause ~recv_rows:graph.Bigraph.num_clauses
+    in
+    let cf' =
+      Ad.relu tape
+        (Mlp.forward tape layer.clause_mlp
+           (Ad.add tape (Ad.scale tape eps1 !cf) to_clause))
+    in
+    let to_var =
+      aggregate tape cf' ~send_idx:graph.Bigraph.edge_clause
+        ~recv_idx:graph.Bigraph.edge_var ~recv_rows:graph.Bigraph.num_vars
+    in
+    let vf' =
+      Ad.relu tape
+        (Mlp.forward tape layer.var_mlp
+           (Ad.add tape (Ad.scale tape eps1 !vf) to_var))
+    in
+    vf := vf';
+    cf := cf'
+  in
+  List.iter apply t.layers;
+  let pooled = Ad.mean_rows tape !vf in
+  Mlp.forward tape t.head pooled
+
+let spec t =
+  { Nn.Train.params = params t; forward = (fun tape g -> forward_logit t tape g) }
+
+let predict t graph = Nn.Train.predict_prob (spec t) graph

@@ -1,0 +1,26 @@
+(** Graph Isomorphism Network classifier (G4SATBench-style), Table 2
+    baseline.
+
+    Operates on the variable–clause graph with sum aggregation and the
+    GIN update [h' = MLP((1 + eps) h + sum of neighbour features)];
+    alternating clause/variable updates per layer, mean readout over
+    variable nodes. *)
+
+type config = {
+  hidden_dim : int;
+  layers : int;
+  epsilon : float;
+  head_hidden : int;
+  seed : int;
+}
+
+val default_config : config
+(** hidden 32, 2 layers, eps 0. *)
+
+type t
+
+val create : config -> t
+val params : t -> Nn.Param.t list
+val forward_logit : t -> Nn.Ad.tape -> Satgraph.Bigraph.t -> Nn.Ad.v
+val predict : t -> Satgraph.Bigraph.t -> float
+val spec : t -> Satgraph.Bigraph.t Nn.Train.spec

@@ -1,0 +1,57 @@
+module Mat = Tensor.Mat
+module Ad = Nn.Ad
+
+type t = {
+  linear : Nn.Layer.Linear.t;
+  mutable mean : float array;
+  mutable std : float array;
+}
+
+let create ?(seed = 1) () =
+  let rng = Util.Rng.create seed in
+  {
+    linear =
+      Nn.Layer.Linear.create rng ~in_dim:Cnf.Features.dimension ~out_dim:1
+        ~name:"logreg";
+    mean = Array.make Cnf.Features.dimension 0.0;
+    std = Array.make Cnf.Features.dimension 1.0;
+  }
+
+let fit_normalisation t corpus =
+  let d = Cnf.Features.dimension in
+  let vectors = List.map Cnf.Features.extract corpus in
+  let n = float_of_int (max 1 (List.length vectors)) in
+  let mean = Array.make d 0.0 in
+  List.iter (fun v -> Array.iteri (fun i x -> mean.(i) <- mean.(i) +. x) v) vectors;
+  Array.iteri (fun i x -> mean.(i) <- x /. n) mean;
+  let std = Array.make d 0.0 in
+  List.iter
+    (fun v -> Array.iteri (fun i x -> std.(i) <- std.(i) +. ((x -. mean.(i)) ** 2.0)) v)
+    vectors;
+  Array.iteri (fun i x -> std.(i) <- Float.max 1e-9 (sqrt (x /. n))) std;
+  t.mean <- mean;
+  t.std <- std
+
+let features t formula =
+  let raw = Cnf.Features.extract formula in
+  Array.mapi (fun i x -> (x -. t.mean.(i)) /. t.std.(i)) raw
+
+let forward t tape formula =
+  let x = Ad.const tape (Mat.row_vector (features t formula)) in
+  Nn.Layer.Linear.forward tape t.linear x
+
+let spec t =
+  {
+    Nn.Train.params = Nn.Layer.Linear.params t.linear;
+    forward = (fun tape f -> forward t tape f);
+  }
+
+let predict t formula = Nn.Train.predict_prob (spec t) formula
+
+let weights t =
+  let params = Nn.Layer.Linear.params t.linear in
+  let w =
+    List.find (fun (p : Nn.Param.t) -> p.Nn.Param.name = "logreg.weight") params
+  in
+  Array.init Cnf.Features.dimension (fun i ->
+      (Cnf.Features.names.(i), Mat.get w.Nn.Param.value i 0))

@@ -1,0 +1,25 @@
+(** Logistic regression on static CNF features.
+
+    The classical non-neural baseline: {!Cnf.Features} vectors,
+    z-scored with statistics fitted on the training set, through a
+    single linear layer and a sigmoid. Fast to train and a useful floor
+    for Table 2 — a GNN that cannot beat summary statistics has not
+    learned structure. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+val fit_normalisation : t -> Cnf.Formula.t list -> unit
+(** Fit per-feature mean/std on a corpus (call before training). *)
+
+val features : t -> Cnf.Formula.t -> float array
+(** Normalised feature vector under the fitted statistics. *)
+
+val spec : t -> Cnf.Formula.t Nn.Train.spec
+(** Trainable spec over raw formulas. *)
+
+val predict : t -> Cnf.Formula.t -> float
+
+val weights : t -> (string * float) array
+(** Feature name paired with its learned weight (interpretability). *)

@@ -1,0 +1,115 @@
+module Ad = Nn.Ad
+module Mat = Tensor.Mat
+module Linear = Nn.Layer.Linear
+module Litgraph = Satgraph.Litgraph
+
+type config = {
+  hidden_dim : int;
+  rounds : int;
+  head_hidden : int;
+  seed : int;
+}
+
+let default_config = { hidden_dim = 32; rounds = 8; head_hidden = 16; seed = 1 }
+
+type t = {
+  cfg : config;
+  embed_lit : Linear.t;  (* 1 -> d initial embedding *)
+  embed_clause : Linear.t;
+  msg_lit : Linear.t;  (* shared across rounds *)
+  msg_clause : Linear.t;
+  self_lit : Linear.t;
+  self_clause : Linear.t;
+  flip : Linear.t;  (* complement-literal coupling *)
+  out_lit : Linear.t;
+  out_clause : Linear.t;
+  head : Nn.Layer.Mlp.t;
+}
+
+let create cfg =
+  let rng = Util.Rng.create cfg.seed in
+  let d = cfg.hidden_dim in
+  let lin ?(in_dim = d) name = Linear.create rng ~in_dim ~out_dim:d ~name in
+  {
+    cfg;
+    embed_lit = lin ~in_dim:1 "ns.embed_lit";
+    embed_clause = lin ~in_dim:1 "ns.embed_clause";
+    msg_lit = lin "ns.msg_lit";
+    msg_clause = lin "ns.msg_clause";
+    self_lit = lin "ns.self_lit";
+    self_clause = lin "ns.self_clause";
+    flip = lin "ns.flip";
+    out_lit = lin "ns.out_lit";
+    out_clause = lin "ns.out_clause";
+    head = Nn.Layer.Mlp.create rng ~dims:[ d; cfg.head_hidden; 1 ] ~name:"ns.head";
+  }
+
+let params t =
+  List.concat_map Linear.params
+    [
+      t.embed_lit;
+      t.embed_clause;
+      t.msg_lit;
+      t.msg_clause;
+      t.self_lit;
+      t.self_clause;
+      t.flip;
+      t.out_lit;
+      t.out_clause;
+    ]
+  @ Nn.Layer.Mlp.params t.head
+
+(* Sum aggregation, as in the original NeuroSAT: with a mean, all-equal
+   initial embeddings on an unweighted bipartite graph stay equal
+   forever (degree information is erased) and the classifier collapses
+   to a constant. Sums keep degrees visible. *)
+let forward_logit t tape graph =
+  let n_lits = Litgraph.num_lit_nodes graph in
+  let n_clauses = graph.Litgraph.num_clauses in
+  let complement_perm = Array.init n_lits Litgraph.complement in
+  (* Normalise by the graph-wide mean degree so 8 rounds of summation
+     stay numerically tame while per-node degree variation survives. *)
+  let n_edges = float_of_int (max 1 (Litgraph.num_edges graph)) in
+  let inv_avg_clause_deg = float_of_int (max 1 n_clauses) /. n_edges in
+  let inv_avg_lit_deg = float_of_int (max 1 n_lits) /. n_edges in
+  let lits0 = Ad.const tape (Mat.create n_lits 1 1.0) in
+  let clauses0 = Ad.const tape (Mat.create n_clauses 1 1.0) in
+  let l = ref (Ad.relu tape (Linear.forward tape t.embed_lit lits0)) in
+  let c = ref (Ad.relu tape (Linear.forward tape t.embed_clause clauses0)) in
+  for _round = 1 to t.cfg.rounds do
+    (* clause update: sum of literal messages *)
+    let lmsg = Linear.forward tape t.msg_lit !l in
+    let to_clause =
+      Ad.scale tape inv_avg_clause_deg
+        (Ad.scatter_sum tape
+           (Ad.gather_rows tape lmsg graph.Litgraph.edge_lit)
+           graph.Litgraph.edge_clause ~rows:n_clauses)
+    in
+    let c' =
+      Ad.relu tape
+        (Linear.forward tape t.out_clause
+           (Ad.add tape to_clause (Linear.forward tape t.self_clause !c)))
+    in
+    (* literal update: sum of clause messages + complement coupling *)
+    let cmsg = Linear.forward tape t.msg_clause c' in
+    let to_lit =
+      Ad.scale tape inv_avg_lit_deg
+        (Ad.scatter_sum tape
+           (Ad.gather_rows tape cmsg graph.Litgraph.edge_clause)
+           graph.Litgraph.edge_lit ~rows:n_lits)
+    in
+    let comp = Linear.forward tape t.flip (Ad.gather_rows tape !l complement_perm) in
+    let combined =
+      Ad.add tape (Ad.add tape to_lit (Linear.forward tape t.self_lit !l)) comp
+    in
+    let l' = Ad.relu tape (Linear.forward tape t.out_lit combined) in
+    l := l';
+    c := c'
+  done;
+  let pooled = Ad.mean_rows tape !l in
+  Nn.Layer.Mlp.forward tape t.head pooled
+
+let spec t =
+  { Nn.Train.params = params t; forward = (fun tape g -> forward_logit t tape g) }
+
+let predict t graph = Nn.Train.predict_prob (spec t) graph

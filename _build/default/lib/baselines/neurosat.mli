@@ -1,0 +1,25 @@
+(** NeuroSAT-style classifier (Selsam et al.), Table 2 baseline.
+
+    Literal–clause graph, recurrent message passing with weight sharing
+    across rounds (a simplification of the original's LSTM updates to
+    MLP updates, as in the G4SATBench re-implementations), complement
+    coupling between paired literals, and a mean readout over literal
+    embeddings. *)
+
+type config = {
+  hidden_dim : int;
+  rounds : int;
+  head_hidden : int;
+  seed : int;
+}
+
+val default_config : config
+(** hidden 32, 8 rounds. *)
+
+type t
+
+val create : config -> t
+val params : t -> Nn.Param.t list
+val forward_logit : t -> Nn.Ad.tape -> Satgraph.Litgraph.t -> Nn.Ad.v
+val predict : t -> Satgraph.Litgraph.t -> float
+val spec : t -> Satgraph.Litgraph.t Nn.Train.spec

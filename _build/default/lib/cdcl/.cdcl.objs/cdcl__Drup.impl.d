@@ -1,0 +1,1 @@
+lib/cdcl/drup.ml: Array Buffer Cnf Fun Solver

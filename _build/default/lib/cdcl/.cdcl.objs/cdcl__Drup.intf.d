@@ -1,0 +1,1 @@
+lib/cdcl/drup.mli: Solver

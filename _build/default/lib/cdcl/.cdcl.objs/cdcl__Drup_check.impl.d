@@ -1,0 +1,1 @@
+lib/cdcl/drup_check.ml: Array Cnf Drup Hashtbl List String

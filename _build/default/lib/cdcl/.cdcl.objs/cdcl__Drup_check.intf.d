@@ -1,0 +1,1 @@
+lib/cdcl/drup_check.mli: Cnf Drup

@@ -1,0 +1,1 @@
+lib/cdcl/policy.ml: Array Float Format Int Int64 Option Printf String

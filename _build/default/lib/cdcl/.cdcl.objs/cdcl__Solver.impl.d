@@ -1,0 +1,1 @@
+lib/cdcl/solver.ml: Array Cnf Config List Option Policy Solver_stats Util Var_heap Vmtf

@@ -1,0 +1,1 @@
+lib/cdcl/solver_stats.ml: Format

@@ -1,0 +1,51 @@
+type restart_mode =
+  | No_restarts
+  | Luby of int
+  | Glucose of { fast_alpha : float; slow_alpha : float; margin : float }
+
+type branching =
+  | Evsids
+  | Vmtf
+
+type t = {
+  policy : Policy.t;
+  branching : branching;
+  restart_mode : restart_mode;
+  var_decay : float;
+  clause_decay : float;
+  reduce_first : int;
+  reduce_inc : int;
+  reduce_fraction : float;
+  tier1_glue : int;
+  phase_saving : bool;
+  minimize : bool;
+  max_conflicts : int option;
+  max_propagations : int option;
+}
+
+let default =
+  {
+    policy = Policy.Default;
+    branching = Evsids;
+    restart_mode = Luby 100;
+    var_decay = 0.95;
+    clause_decay = 0.999;
+    reduce_first = 100;
+    reduce_inc = 50;
+    reduce_fraction = 0.5;
+    tier1_glue = 2;
+    phase_saving = true;
+    minimize = true;
+    max_conflicts = None;
+    max_propagations = None;
+  }
+
+let with_policy policy t = { t with policy }
+
+let with_budget ?max_conflicts ?max_propagations t =
+  let keep_or cur = function None -> cur | Some _ as v -> v in
+  {
+    t with
+    max_conflicts = keep_or t.max_conflicts max_conflicts;
+    max_propagations = keep_or t.max_propagations max_propagations;
+  }

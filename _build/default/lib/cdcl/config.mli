@@ -1,0 +1,38 @@
+(** Solver configuration. *)
+
+type restart_mode =
+  | No_restarts
+  | Luby of int
+      (** Luby sequence scaled by the given conflict unit (Kissat-style
+          stable mode). *)
+  | Glucose of { fast_alpha : float; slow_alpha : float; margin : float }
+      (** Restart when [fast_ema(lbd) > margin * slow_ema(lbd)]. *)
+
+type branching =
+  | Evsids  (** Exponential VSIDS with an activity heap (default). *)
+  | Vmtf  (** Variable-move-to-front queue (Kissat's focused mode). *)
+
+type t = {
+  policy : Policy.t;  (** Clause-deletion policy used at each reduce. *)
+  branching : branching;
+  restart_mode : restart_mode;
+  var_decay : float;  (** EVSIDS decay, e.g. 0.95. *)
+  clause_decay : float;  (** Clause-activity decay, e.g. 0.999. *)
+  reduce_first : int;  (** Conflicts before the first reduce. *)
+  reduce_inc : int;  (** Additional conflicts between successive reduces. *)
+  reduce_fraction : float;  (** Fraction of reducible clauses deleted. *)
+  tier1_glue : int;  (** Clauses with glue <= tier1 are never deleted. *)
+  phase_saving : bool;
+  minimize : bool;  (** Recursive learned-clause minimisation. *)
+  max_conflicts : int option;  (** Budget; [None] = unlimited. *)
+  max_propagations : int option;  (** Budget; [None] = unlimited. *)
+}
+
+val default : t
+(** Kissat-flavoured defaults: [Default] policy, Luby-100 restarts,
+    reduce at 100 conflicts growing by 50 (a schedule scaled to the
+    laptop-size instances this reproduction runs on), delete 50%,
+    tier1 glue 2. *)
+
+val with_policy : Policy.t -> t -> t
+val with_budget : ?max_conflicts:int -> ?max_propagations:int -> t -> t

@@ -1,0 +1,33 @@
+type t = {
+  buffer : Buffer.t;
+  mutable lines : int;
+}
+
+let create () = { buffer = Buffer.create 4096; lines = 0 }
+
+let add_clause_line t ~deleted lits =
+  if deleted then Buffer.add_string t.buffer "d ";
+  Array.iter
+    (fun l -> Buffer.add_string t.buffer (string_of_int (Cnf.Lit.to_dimacs l) ^ " "))
+    lits;
+  Buffer.add_string t.buffer "0\n";
+  t.lines <- t.lines + 1
+
+let event t = function
+  | Solver.Learned lits -> add_clause_line t ~deleted:false lits
+  | Solver.Deleted lits -> add_clause_line t ~deleted:true lits
+
+let attach t solver = Solver.set_trace solver (event t)
+
+let num_lines t = t.lines
+let to_string t = Buffer.contents t.buffer
+
+let conclude_unsat t =
+  Buffer.add_string t.buffer "0\n";
+  t.lines <- t.lines + 1
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))

@@ -1,0 +1,29 @@
+(** DRUP proof logging.
+
+    Serialises the solver's clause-learning/deletion trace in the
+    standard DRUP/DRAT text format (one clause per line, deletions
+    prefixed with [d]), checkable by external tools such as drat-trim.
+    Every learned clause of a CDCL solver is derivable by reverse unit
+    propagation, so the emitted sequence is a valid DRUP proof when the
+    solver answers UNSAT. *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Solver.t -> unit
+(** Start recording the solver's trace into this log. *)
+
+val event : t -> Solver.trace_event -> unit
+(** Record one event directly (used by {!attach}). *)
+
+val num_lines : t -> int
+val to_string : t -> string
+(** The proof text; ends with the empty clause line ["0"] when
+    [conclude_unsat] was called. *)
+
+val conclude_unsat : t -> unit
+(** Append the final empty clause (call after the solver returns
+    [Unsat]). *)
+
+val write_file : string -> t -> unit

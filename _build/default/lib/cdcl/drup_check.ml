@@ -1,0 +1,136 @@
+module Lit = Cnf.Lit
+
+type verdict =
+  | Valid
+  | Invalid of { line : int; reason : string }
+
+type step =
+  | Add of Lit.t array
+  | Delete of Lit.t array
+
+let parse_proof text =
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" then None
+    else begin
+      let deleted = String.length line > 1 && line.[0] = 'd' in
+      let body = if deleted then String.sub line 1 (String.length line - 1) else line in
+      let ints =
+        String.split_on_char ' ' body
+        |> List.filter (fun s -> s <> "")
+        |> List.map int_of_string
+      in
+      match List.rev ints with
+      | 0 :: rev_lits ->
+        let lits = Array.of_list (List.rev_map Lit.of_dimacs rev_lits) in
+        Some (if deleted then Delete lits else Add lits)
+      | _ -> failwith "proof line must end with 0"
+    end
+  in
+  String.split_on_char '\n' text |> List.filter_map parse_line
+
+let clause_key lits =
+  let sorted = List.sort_uniq Lit.compare (Array.to_list lits) in
+  String.concat "," (List.map (fun l -> string_of_int (Lit.to_dimacs l)) sorted)
+
+(* Unit propagation by repeated scanning — O(vars * clauses) per call,
+   fine for test-scale proofs. Returns true when a conflict arises. *)
+let propagates_to_conflict ~num_vars clauses assumed_false =
+  let value = Array.make (num_vars + 1) 0 in
+  let assign l =
+    let v = Lit.var l in
+    let s = if Lit.is_pos l then 1 else -1 in
+    if value.(v) = -s then `Conflict
+    else begin
+      value.(v) <- s;
+      `Ok
+    end
+  in
+  let lit_value l =
+    let s = value.(Lit.var l) in
+    if s = 0 then 0 else if Lit.is_pos l then s else -s
+  in
+  let conflict = ref false in
+  Array.iter
+    (fun l -> if assign (Lit.negate l) = `Conflict then conflict := true)
+    assumed_false;
+  let progress = ref true in
+  while !progress && not !conflict do
+    progress := false;
+    let scan_clause c =
+      if not !conflict then begin
+        let unassigned = ref None in
+        let count = ref 0 in
+        let satisfied = ref false in
+        Array.iter
+          (fun l ->
+            match lit_value l with
+            | 1 -> satisfied := true
+            | 0 ->
+              incr count;
+              unassigned := Some l
+            | _ -> ())
+          c;
+        if not !satisfied then begin
+          if !count = 0 then conflict := true
+          else if !count = 1 then begin
+            match !unassigned with
+            | Some l ->
+              (match assign l with
+              | `Conflict -> conflict := true
+              | `Ok -> progress := true)
+            | None -> assert false
+          end
+        end
+      end
+    in
+    List.iter scan_clause clauses
+  done;
+  !conflict
+
+let check formula proof_text =
+  match parse_proof proof_text with
+  | exception Failure reason -> Invalid { line = 0; reason }
+  | steps ->
+    let num_vars =
+      (* Proof clauses reuse the formula's variables. *)
+      Cnf.Formula.num_vars formula
+    in
+    (* Clause database as a multiset keyed by the normalised literal
+       list, so deletions cancel exactly one live copy. *)
+    let db : (string, Lit.t array * int ref) Hashtbl.t = Hashtbl.create 256 in
+    let add_to_db lits =
+      let key = clause_key lits in
+      match Hashtbl.find_opt db key with
+      | Some (_, count) -> incr count
+      | None -> Hashtbl.add db key (lits, ref 1)
+    in
+    let remove_from_db lits =
+      match Hashtbl.find_opt db (clause_key lits) with
+      | Some (_, count) when !count > 0 -> decr count
+      | Some _ | None -> () (* deleting an absent clause is a no-op *)
+    in
+    let live () =
+      Hashtbl.fold (fun _ (c, count) acc -> if !count > 0 then c :: acc else acc) db []
+    in
+    Cnf.Formula.iter_clauses add_to_db formula;
+    let result = ref Valid in
+    let derived_empty = ref false in
+    List.iteri
+      (fun i step ->
+        if !result = Valid && not !derived_empty then begin
+          match step with
+          | Add lits ->
+            if propagates_to_conflict ~num_vars (live ()) lits then begin
+              if Array.length lits = 0 then derived_empty := true
+              else add_to_db lits
+            end
+            else result := Invalid { line = i + 1; reason = "clause is not RUP" }
+          | Delete lits -> remove_from_db lits
+        end)
+      steps;
+    if !result <> Valid then !result
+    else if !derived_empty then Valid
+    else Invalid { line = List.length steps; reason = "proof does not derive the empty clause" }
+
+let check_solver_proof formula drup = check formula (Drup.to_string drup)

@@ -1,0 +1,23 @@
+(** Reference DRUP proof checker.
+
+    Verifies that every clause a proof adds is derivable from the
+    current clause database by {e reverse unit propagation} (RUP):
+    asserting the clause's negation and unit-propagating must yield a
+    conflict. Deletions remove clauses from the database. A proof is
+    accepted when every step checks and the final step derives the
+    empty clause (or a RUP conflict under no assumptions).
+
+    This is a clarity-first quadratic implementation intended for
+    validating the solver's {!Drup} output on small instances in tests,
+    not a drat-trim replacement. *)
+
+type verdict =
+  | Valid
+  | Invalid of { line : int; reason : string }
+
+val check : Cnf.Formula.t -> string -> verdict
+(** [check formula proof_text] replays a DRUP proof against the
+    formula. *)
+
+val check_solver_proof : Cnf.Formula.t -> Drup.t -> verdict
+(** Convenience wrapper over {!check}. *)

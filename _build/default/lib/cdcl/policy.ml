@@ -1,0 +1,94 @@
+type t =
+  | Default
+  | Frequency of { alpha : float }
+  | Glue_only
+  | Size_only
+  | Activity
+  | Random of int
+
+let default_alpha = 0.8
+let frequency_default = Frequency { alpha = default_alpha }
+
+type clause_info = {
+  id : int;
+  glue : int;
+  size : int;
+  activity : float;
+  frequency : int;
+}
+
+let clause_frequency ~alpha ~f_max ~counts ~vars =
+  if f_max = 0 then 0
+  else begin
+    let threshold = alpha *. float_of_int f_max in
+    Array.fold_left
+      (fun acc v -> if float_of_int counts.(v) > threshold then acc + 1 else acc)
+      0 vars
+  end
+
+(* Field widths for the packed key (Fig. 5). 20+20+20 = 60 bits fits a
+   native OCaml int on 64-bit platforms. *)
+let field_bits = 20
+let field_mask = (1 lsl field_bits) - 1
+
+let saturate x = if x > field_mask then field_mask else if x < 0 then 0 else x
+
+(* [~x] of Fig. 5 within the field width: lower metric -> higher field. *)
+let inverted x = field_mask - saturate x
+
+let pack3 hi mid lo =
+  (saturate hi lsl (2 * field_bits)) lor (saturate mid lsl field_bits) lor saturate lo
+
+(* SplitMix64-style scrambling for the Random ablation policy. *)
+let scramble seed id =
+  let z = Int64.add (Int64.of_int id) (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  Int64.to_int (Int64.shift_right_logical z 4)
+
+let key policy info =
+  match policy with
+  | Default -> pack3 0 (inverted info.glue) (inverted info.size)
+  | Frequency _ -> pack3 (saturate info.frequency) (inverted info.glue) (inverted info.size)
+  | Glue_only -> pack3 0 (inverted info.glue) 0
+  | Size_only -> pack3 0 (inverted info.size) 0
+  | Activity ->
+    (* Monotone map of a non-negative float into an int key. *)
+    let scaled = Float.min info.activity 1e15 in
+    int_of_float (scaled *. 1000.0)
+  | Random seed -> scramble seed info.id land ((1 lsl 60) - 1)
+
+let compare_clauses policy a b =
+  let c = Int.compare (key policy a) (key policy b) in
+  if c <> 0 then c
+  else Int.compare a.id b.id (* older clauses (smaller id) delete first *)
+
+let needs_frequency = function
+  | Frequency _ -> true
+  | Default | Glue_only | Size_only | Activity | Random _ -> false
+
+let alpha_of = function
+  | Frequency { alpha } -> Some alpha
+  | Default | Glue_only | Size_only | Activity | Random _ -> None
+
+let name = function
+  | Default -> "default"
+  | Frequency { alpha } -> Printf.sprintf "frequency:%g" alpha
+  | Glue_only -> "glue"
+  | Size_only -> "size"
+  | Activity -> "activity"
+  | Random seed -> Printf.sprintf "random:%d" seed
+
+let pp ppf p = Format.pp_print_string ppf (name p)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "default" ] -> Some Default
+  | [ "frequency" ] -> Some frequency_default
+  | [ "frequency"; a ] -> Option.map (fun alpha -> Frequency { alpha }) (float_of_string_opt a)
+  | [ "glue" ] -> Some Glue_only
+  | [ "size" ] -> Some Size_only
+  | [ "activity" ] -> Some Activity
+  | [ "random" ] -> Some (Random 0)
+  | [ "random"; seed ] -> Option.map (fun s -> Random s) (int_of_string_opt seed)
+  | _ -> None

@@ -1,0 +1,64 @@
+(** Clause-deletion policies.
+
+    A policy ranks reducible learned clauses at each database reduction;
+    the lowest-ranked fraction is deleted. Ranking follows Figure 5 of
+    the paper: metrics are packed most-significant-first into a single
+    integer key, with [~x] denoting bitwise negation so that {e lower}
+    glue / size yield {e higher} scores.
+
+    - {!Default}: Kissat's scoring — glue first (lower is better), size
+      as tie-break. Key layout [~glue | ~size].
+    - {!Frequency}: the paper's new policy — the propagation-frequency
+      criterion of Eq. 2 dominates, then glue, then size. Key layout
+      [frequency | ~glue | ~size].
+    - The remaining constructors are ablation policies used by the
+      benchmark harness. *)
+
+type t =
+  | Default
+  | Frequency of { alpha : float }
+      (** [alpha] is the threshold factor of Eq. 2 (paper: 4/5). *)
+  | Glue_only
+  | Size_only
+  | Activity  (** MiniSat-style: keep highest-activity clauses. *)
+  | Random of int  (** Deterministic pseudo-random ranking from a seed. *)
+
+val default_alpha : float
+(** 0.8, the paper's empirical setting for Eq. 2. *)
+
+val frequency_default : t
+(** [Frequency {alpha = default_alpha}]. *)
+
+type clause_info = {
+  id : int;           (** Stable clause identifier. *)
+  glue : int;         (** LBD at last update. *)
+  size : int;         (** Literal count. *)
+  activity : float;   (** Conflict-analysis participation score. *)
+  frequency : int;    (** Eq. 2 count: #vars above the alpha threshold. *)
+}
+
+val clause_frequency :
+  alpha:float -> f_max:int -> counts:int array -> vars:int array -> int
+(** [clause_frequency ~alpha ~f_max ~counts ~vars] evaluates Eq. 2:
+    the number of variables [v] in [vars] with [counts.(v) > alpha *
+    f_max]. Returns 0 when [f_max = 0]. *)
+
+val key : t -> clause_info -> int
+(** Packed ranking key; higher means more valuable (kept longer).
+    For [Activity] the float activity is mapped monotonically into the
+    key. Total order within each policy. *)
+
+val compare_clauses : t -> clause_info -> clause_info -> int
+(** [compare_clauses p a b < 0] when [a] ranks below [b] (deleted
+    first). Consistent with {!key}. *)
+
+val needs_frequency : t -> bool
+(** Whether the solver must evaluate Eq. 2 before ranking. *)
+
+val alpha_of : t -> float option
+(** The Eq. 2 threshold for frequency-guided policies. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val of_string : string -> t option
+(** Inverse of {!name} for CLI parsing; accepts ["frequency:<alpha>"]. *)

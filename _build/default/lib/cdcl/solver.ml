@@ -1,0 +1,726 @@
+module Lit = Cnf.Lit
+module Vec = Util.Vec
+
+type clause = {
+  cid : int;
+  lits : Lit.t array;
+  learned : bool;
+  mutable activity : float;
+  mutable glue : int;
+  mutable deleted : bool;
+  mutable used : bool;
+}
+
+let dummy_clause =
+  { cid = -1; lits = [||]; learned = false; activity = 0.0; glue = 0; deleted = true; used = false }
+
+type result =
+  | Sat of bool array
+  | Unsat
+  | Unknown
+
+type restart_state =
+  | R_none
+  | R_luby of Util.Luby.t * int ref (* iterator, current limit *)
+  | R_glucose of Util.Ema.t * Util.Ema.t * float (* fast, slow, margin *)
+
+type t = {
+  cfg : Config.t;
+  n : int;
+  stats : Solver_stats.t;
+  (* assignment state *)
+  assigns : int array; (* var -> 0 / 1 / -1 *)
+  level : int array; (* var -> decision level *)
+  reason : clause option array; (* var -> implying clause *)
+  phase : bool array; (* var -> saved phase *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* clause database *)
+  watches : clause Vec.t array; (* lit index -> watchers *)
+  originals : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable next_cid : int;
+  (* heuristics *)
+  order : Var_heap.t;
+  vmtf : Vmtf.t option;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  restart : restart_state;
+  mutable conflicts_since_restart : int;
+  mutable next_reduce : int;
+  (* propagation-frequency counters (since last reduce), Section 3 *)
+  prop_counts : int array;
+  (* analyze scratch *)
+  seen : int array;
+  analyze_toclear : Lit.t Vec.t;
+  analyze_stack : Lit.t Vec.t;
+  level_stamp : int array;
+  mutable stamp_gen : int;
+  mutable answer : result option;
+  mutable trace : (trace_event -> unit) option;
+  mutable assumptions : Lit.t array;
+  mutable core : Lit.t list option;
+}
+
+and trace_event =
+  | Learned of Cnf.Lit.t array
+  | Deleted of Cnf.Lit.t array
+
+let emit_trace t event =
+  match t.trace with
+  | Some f -> f event
+  | None -> ()
+
+let lit_value t l =
+  let v = t.assigns.(Lit.var l) in
+  if Lit.is_pos l then v else -v
+
+let decision_level t = Vec.length t.trail_lim
+
+let make_restart_state (cfg : Config.t) =
+  match cfg.restart_mode with
+  | Config.No_restarts -> R_none
+  | Config.Luby unit ->
+    let it = Util.Luby.create ~unit in
+    R_luby (it, ref (Util.Luby.next it))
+  | Config.Glucose { fast_alpha; slow_alpha; margin } ->
+    R_glucose (Util.Ema.create ~alpha:fast_alpha, Util.Ema.create ~alpha:slow_alpha, margin)
+
+let watch_list t l = t.watches.(Lit.to_index l)
+
+let attach t c =
+  assert (Array.length c.lits >= 2);
+  Vec.push (watch_list t c.lits.(0)) c;
+  Vec.push (watch_list t c.lits.(1)) c
+
+let enqueue t l reason =
+  let v = Lit.var l in
+  if t.assigns.(v) <> 0 then lit_value t l > 0
+  else begin
+    t.assigns.(v) <- (if Lit.is_pos l then 1 else -1);
+    t.level.(v) <- decision_level t;
+    t.reason.(v) <- reason;
+    Vec.push t.trail l;
+    true
+  end
+
+(* Two-watched-literal Boolean constraint propagation. Returns the
+   conflicting clause, if any. Increments the propagation-trigger
+   counter of the variable whose assignment is being consumed, once per
+   implication it produces (Section 3.1 of the paper). *)
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < Vec.length t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    let p_var = Lit.var p in
+    let false_lit = Lit.negate p in
+    let ws = watch_list t false_lit in
+    let i = ref 0 and j = ref 0 in
+    while !i < Vec.length ws do
+      let c = Vec.get ws !i in
+      incr i;
+      if c.deleted then () (* drop lazily *)
+      else begin
+        (* Ensure the falsified literal sits at position 1. *)
+        if Lit.equal c.lits.(0) false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        let first = c.lits.(0) in
+        if lit_value t first > 0 then begin
+          (* Clause already satisfied: keep the watch. *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* Look for a replacement watch. *)
+          let len = Array.length c.lits in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < len do
+            if lit_value t c.lits.(!k) >= 0 then begin
+              c.lits.(1) <- c.lits.(!k);
+              c.lits.(!k) <- false_lit;
+              Vec.push (watch_list t c.lits.(1)) c;
+              found := true
+            end
+            else incr k
+          done;
+          if not !found then begin
+            (* Unit or conflicting. *)
+            Vec.set ws !j c;
+            incr j;
+            if lit_value t first < 0 then begin
+              conflict := Some c;
+              t.qhead <- Vec.length t.trail;
+              (* Copy back the untouched suffix before bailing out. *)
+              while !i < Vec.length ws do
+                Vec.set ws !j (Vec.get ws !i);
+                incr j;
+                incr i
+              done
+            end
+            else begin
+              ignore (enqueue t first (Some c));
+              t.stats.propagations <- t.stats.propagations + 1;
+              t.prop_counts.(p_var) <- t.prop_counts.(p_var) + 1
+            end
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+(* --- activity management ------------------------------------------- *)
+
+let var_bump t v =
+  (match t.vmtf with
+  | Some q -> Vmtf.bump q v
+  | None -> ());
+  Var_heap.bump t.order v t.var_inc;
+  if Var_heap.decay_check t.order > 1e100 then begin
+    Var_heap.rescale t.order 1e-100;
+    t.var_inc <- t.var_inc *. 1e-100
+  end
+
+let var_decay t = t.var_inc <- t.var_inc /. t.cfg.var_decay
+
+let cla_bump t c =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun c -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let cla_decay t = t.cla_inc <- t.cla_inc /. t.cfg.clause_decay
+
+(* --- LBD ------------------------------------------------------------ *)
+
+let compute_glue t lits =
+  t.stamp_gen <- t.stamp_gen + 1;
+  let g = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = t.level.(Lit.var l) in
+      if lv > 0 && t.level_stamp.(lv) <> t.stamp_gen then begin
+        t.level_stamp.(lv) <- t.stamp_gen;
+        incr g
+      end)
+    lits;
+  !g
+
+(* --- backtracking ---------------------------------------------------- *)
+
+let backtrack t target_level =
+  if decision_level t > target_level then begin
+    let bound = Vec.get t.trail_lim target_level in
+    for i = Vec.length t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      if t.cfg.phase_saving then t.phase.(v) <- t.assigns.(v) > 0;
+      t.assigns.(v) <- 0;
+      t.reason.(v) <- None;
+      Var_heap.insert t.order v;
+      match t.vmtf with
+      | Some q -> Vmtf.on_unassign q v
+      | None -> ()
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim target_level;
+    t.qhead <- bound
+  end
+
+(* --- conflict analysis ----------------------------------------------- *)
+
+let abstract_level t v = 1 lsl (t.level.(v) land 31)
+
+(* MiniSat-style recursive redundancy check for clause minimisation. *)
+let lit_redundant t p abstract_levels =
+  Vec.clear t.analyze_stack;
+  Vec.push t.analyze_stack p;
+  let top = Vec.length t.analyze_toclear in
+  let ok = ref true in
+  while !ok && not (Vec.is_empty t.analyze_stack) do
+    let x = Vec.pop t.analyze_stack in
+    match t.reason.(Lit.var x) with
+    | None -> assert false
+    | Some c ->
+      let len = Array.length c.lits in
+      let k = ref 1 in
+      while !ok && !k < len do
+        let q = c.lits.(!k) in
+        incr k;
+        let v = Lit.var q in
+        if t.seen.(v) = 0 && t.level.(v) > 0 then begin
+          if t.reason.(v) <> None && abstract_level t v land abstract_levels <> 0 then begin
+            t.seen.(v) <- 1;
+            Vec.push t.analyze_stack q;
+            Vec.push t.analyze_toclear q
+          end
+          else begin
+            (* Not redundant: undo the speculative marks. *)
+            for j = Vec.length t.analyze_toclear - 1 downto top do
+              t.seen.(Lit.var (Vec.get t.analyze_toclear j)) <- 0
+            done;
+            Vec.shrink t.analyze_toclear top;
+            ok := false
+          end
+        end
+      done
+  done;
+  !ok
+
+(* First-UIP learning. Returns (learnt literals with the asserting
+   literal at index 0, backjump level, glue). *)
+let analyze t confl =
+  let learnt = Vec.create ~dummy:(Lit.pos 1) () in
+  Vec.push learnt (Lit.pos 1) (* slot 0 reserved for the asserting literal *);
+  let path_count = ref 0 in
+  let p = ref None in
+  let index = ref (Vec.length t.trail - 1) in
+  let c = ref confl in
+  let continue = ref true in
+  while !continue do
+    let clause = !c in
+    if clause.learned then begin
+      cla_bump t clause;
+      clause.used <- true;
+      (* Glucose-style dynamic glue update. *)
+      let g = compute_glue t clause.lits in
+      if g < clause.glue then clause.glue <- g
+    end;
+    let start = match !p with None -> 0 | Some _ -> 1 in
+    for k = start to Array.length clause.lits - 1 do
+      let q = clause.lits.(k) in
+      let v = Lit.var q in
+      if t.seen.(v) = 0 && t.level.(v) > 0 then begin
+        var_bump t v;
+        t.seen.(v) <- 1;
+        if t.level.(v) >= decision_level t then incr path_count
+        else Vec.push learnt q
+      end
+    done;
+    (* Select the next literal to resolve on. *)
+    while t.seen.(Lit.var (Vec.get t.trail !index)) = 0 do
+      decr index
+    done;
+    let pl = Vec.get t.trail !index in
+    decr index;
+    p := Some pl;
+    t.seen.(Lit.var pl) <- 0;
+    decr path_count;
+    if !path_count <= 0 then continue := false
+    else begin
+      match t.reason.(Lit.var pl) with
+      | Some r -> c := r
+      | None -> assert false
+    end
+  done;
+  let asserting =
+    match !p with
+    | Some pl -> Lit.negate pl
+    | None -> assert false
+  in
+  Vec.set learnt 0 asserting;
+  (* Minimisation. *)
+  Vec.clear t.analyze_toclear;
+  Vec.iter (fun l -> Vec.push t.analyze_toclear l) learnt;
+  let before = Vec.length learnt in
+  if t.cfg.minimize then begin
+    let abstract_levels =
+      Vec.fold
+        (fun acc l -> acc lor abstract_level t (Lit.var l))
+        0 learnt
+    in
+    let keep l =
+      Lit.equal l asserting
+      || t.reason.(Lit.var l) = None
+      || not (lit_redundant t l abstract_levels)
+    in
+    Vec.filter_in_place keep learnt
+  end;
+  t.stats.minimized_literals <- t.stats.minimized_literals + (before - Vec.length learnt);
+  (* Clear all seen marks. *)
+  Vec.iter (fun l -> t.seen.(Lit.var l) <- 0) t.analyze_toclear;
+  let lits = Vec.to_array learnt in
+  (* Find the backjump level and place a literal of that level at 1. *)
+  let bt_level =
+    if Array.length lits = 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for k = 2 to Array.length lits - 1 do
+        if t.level.(Lit.var lits.(k)) > t.level.(Lit.var lits.(!max_i)) then max_i := k
+      done;
+      let tmp = lits.(1) in
+      lits.(1) <- lits.(!max_i);
+      lits.(!max_i) <- tmp;
+      t.level.(Lit.var lits.(1))
+    end
+  in
+  let glue = compute_glue t lits in
+  (lits, bt_level, glue)
+
+(* --- reduce ----------------------------------------------------------- *)
+
+let locked t c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  t.assigns.(v) <> 0 && (match t.reason.(v) with Some r -> r == c | None -> false)
+
+let clause_info t f_max c =
+  let frequency =
+    match Policy.alpha_of t.cfg.policy with
+    | Some alpha ->
+      let vars = Array.map Lit.var c.lits in
+      Policy.clause_frequency ~alpha ~f_max ~counts:t.prop_counts ~vars
+    | None -> 0
+  in
+  {
+    Policy.id = c.cid;
+    glue = c.glue;
+    size = Array.length c.lits;
+    activity = c.activity;
+    frequency;
+  }
+
+let rebuild_watches t =
+  Array.iter (fun ws -> Vec.filter_in_place (fun c -> not c.deleted) ws) t.watches
+
+(* Delete the lowest-ranked fraction of reducible learned clauses
+   according to the configured policy, then reset the propagation
+   counters ("since the last clause deletion", Eq. 2). *)
+let reduce t =
+  t.stats.reduces <- t.stats.reduces + 1;
+  let f_max = Array.fold_left max 0 t.prop_counts in
+  let candidates =
+    Vec.fold
+      (fun acc c ->
+        if c.deleted || c.glue <= t.cfg.tier1_glue || locked t c then acc
+        else (c, clause_info t f_max c) :: acc)
+      [] t.learnts
+  in
+  let ranked =
+    List.sort (fun (_, a) (_, b) -> Policy.compare_clauses t.cfg.policy a b) candidates
+  in
+  let to_delete =
+    int_of_float (t.cfg.reduce_fraction *. float_of_int (List.length ranked))
+  in
+  List.iteri
+    (fun i (c, _) ->
+      if i < to_delete then begin
+        c.deleted <- true;
+        t.stats.deleted_total <- t.stats.deleted_total + 1;
+        emit_trace t (Deleted c.lits)
+      end)
+    ranked;
+  Vec.filter_in_place (fun c -> not c.deleted) t.learnts;
+  rebuild_watches t;
+  Array.fill t.prop_counts 0 (Array.length t.prop_counts) 0
+
+(* --- restarts --------------------------------------------------------- *)
+
+let note_conflict_for_restart t glue =
+  t.conflicts_since_restart <- t.conflicts_since_restart + 1;
+  match t.restart with
+  | R_none | R_luby _ -> ()
+  | R_glucose (fast, slow, _) ->
+    let g = float_of_int glue in
+    Util.Ema.update fast g;
+    Util.Ema.update slow g
+
+let should_restart t =
+  match t.restart with
+  | R_none -> false
+  | R_luby (_, limit) -> t.conflicts_since_restart >= !limit
+  | R_glucose (fast, slow, margin) ->
+    t.conflicts_since_restart >= 50
+    && Util.Ema.count slow > 100
+    && Util.Ema.value fast > margin *. Util.Ema.value slow
+
+let do_restart t =
+  t.stats.restarts <- t.stats.restarts + 1;
+  t.conflicts_since_restart <- 0;
+  (match t.restart with
+  | R_luby (it, limit) -> limit := Util.Luby.next it
+  | R_none | R_glucose _ -> ());
+  backtrack t 0
+
+(* --- creation --------------------------------------------------------- *)
+
+exception Trivially_unsat
+
+let new_clause t ~learned ~glue lits =
+  let c =
+    { cid = t.next_cid; lits; learned; activity = 0.0; glue; deleted = false; used = false }
+  in
+  t.next_cid <- t.next_cid + 1;
+  c
+
+(* Sort, deduplicate, and drop tautologies. Returns [None] for a
+   tautological clause. *)
+let simplify_clause lits =
+  let sorted = List.sort_uniq Lit.compare (Array.to_list lits) in
+  let rec tautology = function
+    | a :: (b :: _ as rest) -> Lit.equal (Lit.negate a) b || tautology rest
+    | [ _ ] | [] -> false
+  in
+  if tautology sorted then None else Some (Array.of_list sorted)
+
+let add_original t lits =
+  match simplify_clause lits with
+  | None -> ()
+  | Some [||] -> raise Trivially_unsat
+  | Some [| l |] -> if not (enqueue t l None) then raise Trivially_unsat
+  | Some lits ->
+    let c = new_clause t ~learned:false ~glue:0 lits in
+    Vec.push t.originals c;
+    attach t c
+
+let create ?(config = Config.default) formula =
+  let n = Cnf.Formula.num_vars formula in
+  let t =
+    {
+      cfg = config;
+      n;
+      stats = Solver_stats.create ();
+      assigns = Array.make (n + 1) 0;
+      level = Array.make (n + 1) 0;
+      reason = Array.make (n + 1) None;
+      phase = Array.make (n + 1) false;
+      trail = Vec.create ~dummy:(Lit.pos 1) ();
+      trail_lim = Vec.create ~dummy:0 ();
+      qhead = 0;
+      watches = Array.init ((2 * (n + 1)) + 2) (fun _ -> Vec.create ~dummy:dummy_clause ());
+      originals = Vec.create ~dummy:dummy_clause ();
+      learnts = Vec.create ~dummy:dummy_clause ();
+      next_cid = 0;
+      order = Var_heap.create ~num_vars:n;
+      vmtf =
+        (match config.branching with
+        | Config.Evsids -> None
+        | Config.Vmtf -> Some (Vmtf.create ~num_vars:n));
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      restart = make_restart_state config;
+      conflicts_since_restart = 0;
+      next_reduce = config.reduce_first;
+      prop_counts = Array.make (n + 1) 0;
+      seen = Array.make (n + 1) 0;
+      analyze_toclear = Vec.create ~dummy:(Lit.pos 1) ();
+      analyze_stack = Vec.create ~dummy:(Lit.pos 1) ();
+      level_stamp = Array.make (n + 2) 0;
+      stamp_gen = 0;
+      answer = None;
+      trace = None;
+      assumptions = [||];
+      core = None;
+    }
+  in
+  (try Cnf.Formula.iter_clauses (fun c -> add_original t c) formula
+   with Trivially_unsat -> t.answer <- Some Unsat);
+  t
+
+(* --- learned clause installation -------------------------------------- *)
+
+let install_learnt t lits glue =
+  t.stats.learned_total <- t.stats.learned_total + 1;
+  emit_trace t (Learned lits);
+  if Array.length lits = 1 then begin
+    backtrack t 0;
+    ignore (enqueue t lits.(0) None)
+  end
+  else begin
+    let c = new_clause t ~learned:true ~glue lits in
+    Vec.push t.learnts c;
+    attach t c;
+    ignore (enqueue t lits.(0) (Some c))
+  end
+
+(* --- decisions --------------------------------------------------------- *)
+
+let rec pick_from_heap t =
+  if Var_heap.is_empty t.order then None
+  else begin
+    let v = Var_heap.remove_max t.order in
+    if t.assigns.(v) = 0 then Some v else pick_from_heap t
+  end
+
+let pick_branch_var t =
+  match t.vmtf with
+  | Some q -> Vmtf.pick q ~assigned:(fun v -> t.assigns.(v) <> 0)
+  | None -> pick_from_heap t
+
+let decide t v =
+  t.stats.decisions <- t.stats.decisions + 1;
+  Vec.push t.trail_lim (Vec.length t.trail);
+  let l = Lit.make v t.phase.(v) in
+  ignore (enqueue t l None);
+  let dl = decision_level t in
+  if dl > t.stats.max_decision_level then t.stats.max_decision_level <- dl
+
+(* MiniSat's analyzeFinal: the failed assumption [p] is false under the
+   current (all-assumption) trail; walk implication chains back to the
+   assumption decisions responsible and return them (with [p]) as the
+   unsatisfiable core. *)
+let analyze_final t p =
+  let core = ref [ p ] in
+  if decision_level t > 0 then begin
+    t.seen.(Lit.var p) <- 1;
+    let bound = Vec.get t.trail_lim 0 in
+    for i = Vec.length t.trail - 1 downto bound do
+      let q = Vec.get t.trail i in
+      let v = Lit.var q in
+      if t.seen.(v) = 1 then begin
+        (match t.reason.(v) with
+        | None -> core := q :: !core
+        | Some c ->
+          for k = 1 to Array.length c.lits - 1 do
+            let u = Lit.var c.lits.(k) in
+            if t.level.(u) > 0 then t.seen.(u) <- 1
+          done);
+        t.seen.(v) <- 0
+      end
+    done;
+    t.seen.(Lit.var p) <- 0
+  end;
+  !core
+
+(* --- main search -------------------------------------------------------- *)
+
+let model t =
+  Array.init (t.n + 1) (fun v -> v > 0 && t.assigns.(v) > 0)
+
+let budget_exhausted t ~conflicts0 ~propagations0 =
+  (match t.cfg.max_conflicts with
+  | Some m -> t.stats.conflicts - conflicts0 >= m
+  | None -> false)
+  ||
+  match t.cfg.max_propagations with
+  | Some m -> t.stats.propagations - propagations0 >= m
+  | None -> false
+
+(* Open the next decision: install pending assumption literals first
+   (one decision level each, as in MiniSat), then branch normally. A
+   conflicting assumption terminates with Unsat and a failed-assumption
+   core. *)
+let next_decision t result =
+  let dl = decision_level t in
+  if dl < Array.length t.assumptions then begin
+    let p = t.assumptions.(dl) in
+    if lit_value t p > 0 then
+      (* Already implied: open an empty level for it. *)
+      Vec.push t.trail_lim (Vec.length t.trail)
+    else if lit_value t p < 0 then begin
+      t.core <- Some (analyze_final t p);
+      result := Some Unsat
+    end
+    else begin
+      t.stats.decisions <- t.stats.decisions + 1;
+      Vec.push t.trail_lim (Vec.length t.trail);
+      ignore (enqueue t p None)
+    end
+  end
+  else begin
+    match pick_branch_var t with
+    | Some v -> decide t v
+    | None -> result := Some (Sat (model t))
+  end
+
+let search t =
+  let conflicts0 = t.stats.conflicts and propagations0 = t.stats.propagations in
+  let assumption_depth = Array.length t.assumptions in
+  let result = ref None in
+  while !result = None do
+    match propagate t with
+    | Some confl ->
+      t.stats.conflicts <- t.stats.conflicts + 1;
+      if decision_level t = 0 then result := Some Unsat
+      else begin
+        let lits, bt_level, glue = analyze t confl in
+        backtrack t bt_level;
+        install_learnt t lits glue;
+        var_decay t;
+        cla_decay t;
+        note_conflict_for_restart t glue;
+        if t.stats.conflicts >= t.next_reduce then begin
+          reduce t;
+          t.next_reduce <-
+            t.next_reduce + t.cfg.reduce_first + (t.stats.reduces * t.cfg.reduce_inc)
+        end;
+        if budget_exhausted t ~conflicts0 ~propagations0 then result := Some Unknown
+      end
+    | None ->
+      if budget_exhausted t ~conflicts0 ~propagations0 then result := Some Unknown
+      else if
+        should_restart t && decision_level t > assumption_depth
+      then do_restart t
+      else next_decision t result
+  done;
+  Option.get !result
+
+let solve t =
+  match t.answer with
+  | Some (Sat _ | Unsat) -> Option.get t.answer
+  | Some Unknown | None ->
+    (* Drop any decisions left over from an interrupted assumption run. *)
+    backtrack t 0;
+    t.assumptions <- [||];
+    t.core <- None;
+    let r = search t in
+    t.answer <- Some r;
+    r
+
+let solve_with_assumptions t lits =
+  match t.answer with
+  | Some Unsat ->
+    (* The formula is unsatisfiable outright: empty core. *)
+    t.core <- Some [];
+    Unsat
+  | Some (Sat _ | Unknown) | None ->
+    backtrack t 0;
+    t.assumptions <- Array.of_list lits;
+    t.core <- None;
+    let r = search t in
+    t.assumptions <- [||];
+    (match r with
+    | Unsat when t.core = None ->
+      (* Level-0 conflict: unsat independent of assumptions. *)
+      t.core <- Some [];
+      t.answer <- Some Unsat
+    | Unsat | Unknown -> ()
+    | Sat _ ->
+      (* A model under assumptions is a model of the formula. *)
+      t.answer <- Some r);
+    r
+
+let unsat_core t = t.core
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let config t = t.cfg
+let stats t = t.stats
+let num_vars t = t.n
+let propagation_counts t = Array.copy t.prop_counts
+
+let value t v =
+  if v < 1 || v > t.n then invalid_arg "Solver.value";
+  match t.assigns.(v) with
+  | 0 -> None
+  | x -> Some (x > 0)
+
+let learned_clause_count t = Vec.length t.learnts
+
+let set_trace t f = t.trace <- Some f
+let clear_trace t = t.trace <- None
+
+let check_model formula m = Cnf.Formula.eval formula m
+
+let solve_formula ?config formula =
+  let t = create ?config formula in
+  let r = solve t in
+  (r, Solver_stats.copy (stats t))

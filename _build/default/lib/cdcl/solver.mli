@@ -1,0 +1,83 @@
+(** The CDCL SAT solver ("camlsat").
+
+    A conflict-driven clause-learning solver in the Kissat/MiniSat
+    lineage: two-watched-literal propagation, first-UIP learning with
+    recursive minimisation, EVSIDS branching, phase saving, Luby or
+    LBD-EMA restarts, and a tiered learned-clause database whose reduce
+    step ranks clauses with a pluggable {!Policy.t} — the integration
+    point for the paper's propagation-frequency deletion metric.
+
+    Per-variable propagation-trigger counters are maintained since the
+    last reduce (Section 3 of the paper) and drive the frequency policy;
+    they are also exposed for Figure 3's distribution plot. *)
+
+type t
+
+type result =
+  | Sat of bool array
+      (** Model indexed by variable (index 0 unused). Guaranteed to
+          satisfy the input formula. *)
+  | Unsat
+  | Unknown  (** A conflict or propagation budget was exhausted. *)
+
+val create : ?config:Config.t -> Cnf.Formula.t -> t
+(** Loads the formula (deduplicating literals, dropping tautologies,
+    propagating units at level 0). *)
+
+val solve : t -> result
+(** Runs search to completion or budget exhaustion. Calling [solve]
+    again after [Unknown] continues with a fresh budget window; after
+    [Sat]/[Unsat] it returns the same answer. *)
+
+val solve_with_assumptions : t -> Cnf.Lit.t list -> result
+(** Incremental solving under assumption literals (MiniSat-style): each
+    assumption occupies its own decision level below all search
+    decisions. [Unsat] means the formula is unsatisfiable together with
+    the assumptions; {!unsat_core} then returns a subset of the
+    assumptions sufficient for the conflict (empty when the formula is
+    unsatisfiable on its own). The solver can be reused afterwards with
+    different assumptions. *)
+
+val unsat_core : t -> Cnf.Lit.t list option
+(** Failed-assumption core from the most recent
+    {!solve_with_assumptions} that returned [Unsat]; [None] otherwise. *)
+
+val config : t -> Config.t
+val stats : t -> Solver_stats.t
+(** Live counters (mutated by the solver); copy before storing. *)
+
+val num_vars : t -> int
+
+val propagation_counts : t -> int array
+(** Snapshot of the per-variable propagation-trigger counters
+    accumulated since the last clause-database reduction (index 0
+    unused). *)
+
+val value : t -> int -> bool option
+(** Current assignment of a variable (meaningful after [Sat]). *)
+
+val learned_clause_count : t -> int
+(** Live (non-deleted) learned clauses. *)
+
+val check_model : Cnf.Formula.t -> bool array -> bool
+(** [check_model f model] verifies a {!Sat} witness independently. *)
+
+(** {1 Proof tracing}
+
+    Clause-learning and deletion events, in order — the raw material of
+    a DRUP/DRAT unsatisfiability proof (see {!Drup}). *)
+
+type trace_event =
+  | Learned of Cnf.Lit.t array
+  | Deleted of Cnf.Lit.t array
+
+val set_trace : t -> (trace_event -> unit) -> unit
+(** Install a trace callback (replacing any previous one). Must be set
+    before {!solve} to capture a complete proof. *)
+
+val clear_trace : t -> unit
+
+val solve_formula :
+  ?config:Config.t -> Cnf.Formula.t -> result * Solver_stats.t
+(** One-shot convenience: create, solve, return result and a stats
+    snapshot. *)

@@ -1,0 +1,18 @@
+(** Mutable solver counters, snapshotted by the experiment harness. *)
+
+type t = {
+  mutable decisions : int;
+  mutable conflicts : int;
+  mutable propagations : int;  (** Assignments made by BCP. *)
+  mutable restarts : int;
+  mutable reduces : int;
+  mutable learned_total : int;
+  mutable deleted_total : int;
+  mutable minimized_literals : int;
+      (** Literals removed by learned-clause minimisation. *)
+  mutable max_decision_level : int;
+}
+
+val create : unit -> t
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Indexed max-heap over variables keyed by activity.
+
+    The EVSIDS branching heuristic needs: extract the unassigned
+    variable of maximum activity, reinsert variables on backtrack, and
+    sift a variable up when its activity is bumped. Positions are
+    tracked per variable so all operations are O(log n). *)
+
+type t
+
+val create : num_vars:int -> t
+(** Heap over variables [1..num_vars], initially containing all of them
+    with activity 0. *)
+
+val mem : t -> int -> bool
+(** Is the variable currently in the heap? *)
+
+val insert : t -> int -> unit
+(** No-op if already present. *)
+
+val remove_max : t -> int
+(** @raise Not_found when empty. *)
+
+val is_empty : t -> bool
+val size : t -> int
+
+val activity : t -> int -> float
+
+val bump : t -> int -> float -> unit
+(** [bump h v inc] adds [inc] to [v]'s activity and restores heap order.
+    Returns-less; call {!rescale} when activities overflow. *)
+
+val rescale : t -> float -> unit
+(** Multiply every activity by a factor (used to avoid float overflow). *)
+
+val decay_check : t -> float
+(** Largest activity currently stored (0 when all zero) — callers use it
+    to decide when to rescale. *)

@@ -1,0 +1,59 @@
+type t = {
+  prev : int array; (* var -> predecessor (towards front), 0 = none *)
+  next : int array; (* var -> successor (towards back), 0 = none *)
+  stamp : int array; (* var -> enqueue timestamp *)
+  mutable head : int;
+  mutable counter : int;
+  mutable search : int; (* start point for pick; 0 = use head *)
+}
+
+let create ~num_vars =
+  let prev = Array.make (num_vars + 1) 0 in
+  let next = Array.make (num_vars + 1) 0 in
+  let stamp = Array.make (num_vars + 1) 0 in
+  for v = 1 to num_vars do
+    prev.(v) <- (if v = 1 then 0 else v - 1);
+    next.(v) <- (if v = num_vars then 0 else v + 1);
+    stamp.(v) <- num_vars - v + 1
+  done;
+  { prev; next; stamp; head = (if num_vars >= 1 then 1 else 0); counter = num_vars; search = 0 }
+
+let unlink t v =
+  let p = t.prev.(v) and n = t.next.(v) in
+  if p <> 0 then t.next.(p) <- n else t.head <- n;
+  if n <> 0 then t.prev.(n) <- p
+
+let bump t v =
+  if t.head <> v then begin
+    if t.search = v then t.search <- t.next.(v);
+    unlink t v;
+    t.prev.(v) <- 0;
+    t.next.(v) <- t.head;
+    if t.head <> 0 then t.prev.(t.head) <- v;
+    t.head <- v
+  end;
+  t.counter <- t.counter + 1;
+  t.stamp.(v) <- t.counter;
+  (* A freshly bumped variable is the best pick if unassigned. *)
+  t.search <- 0
+
+let pick t ~assigned =
+  let start = if t.search <> 0 then t.search else t.head in
+  let rec walk v =
+    if v = 0 then None
+    else if not (assigned v) then begin
+      t.search <- v;
+      Some v
+    end
+    else walk t.next.(v)
+  in
+  match walk start with
+  | Some v -> Some v
+  | None -> if start = t.head then None else walk t.head
+
+let on_unassign t v =
+  (* If the unassigned variable sits ahead of the cached pointer (has a
+     newer stamp), restart the search from it. *)
+  if t.search = 0 || t.stamp.(v) > t.stamp.(t.search) then t.search <- v
+
+let front t = t.head

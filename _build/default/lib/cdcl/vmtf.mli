@@ -1,0 +1,26 @@
+(** Variable-move-to-front decision queue.
+
+    Kissat's focused-mode branching heuristic: variables live in a
+    doubly-linked queue; bumping moves a variable to the front with a
+    fresh enqueue timestamp, and decisions pick the unassigned variable
+    closest to the front. A cached search pointer makes consecutive
+    picks amortised O(1). *)
+
+type t
+
+val create : num_vars:int -> t
+(** Queue over [1..num_vars], initially in index order (1 at front). *)
+
+val bump : t -> int -> unit
+(** Move the variable to the front. *)
+
+val pick : t -> assigned:(int -> bool) -> int option
+(** Frontmost variable for which [assigned] is false; [None] when all
+    are assigned. *)
+
+val on_unassign : t -> int -> unit
+(** Tell the queue a variable became unassigned again (refreshes the
+    search pointer). *)
+
+val front : t -> int
+(** Current front variable (most recently bumped). *)

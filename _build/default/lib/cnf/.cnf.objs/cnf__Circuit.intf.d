@@ -1,0 +1,1 @@
+lib/cnf/circuit.mli:

@@ -1,0 +1,1 @@
+lib/cnf/features.ml: Array Float Format Formula Lit

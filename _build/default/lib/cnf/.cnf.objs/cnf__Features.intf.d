@@ -1,0 +1,1 @@
+lib/cnf/features.mli: Format Formula

@@ -1,0 +1,1 @@
+lib/cnf/formula.ml: Array Format List Lit Printf Util

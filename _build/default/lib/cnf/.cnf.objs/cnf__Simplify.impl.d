@@ -1,0 +1,1 @@
+lib/cnf/simplify.ml: Array Formula Fun List Lit

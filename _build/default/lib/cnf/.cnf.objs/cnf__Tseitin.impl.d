@@ -1,0 +1,1 @@
+lib/cnf/tseitin.ml: Array Circuit Formula List Lit

@@ -1,0 +1,168 @@
+type node =
+  | Const
+  | In of int
+  | And of int * int
+
+type wire = int
+
+type t = {
+  nodes : node Util.Vec.t;
+  mutable n_inputs : int;
+  cache : (int * int, int) Hashtbl.t;
+}
+
+let create () =
+  let nodes = Util.Vec.create ~dummy:Const () in
+  Util.Vec.push nodes Const;
+  { nodes; n_inputs = 0; cache = Hashtbl.create 64 }
+
+let false_ = 0
+let true_ = 1
+let not_ w = w lxor 1
+let wire_equal = Int.equal
+let wire_repr w = w
+
+let wire_node w = w lsr 1
+let wire_inverted w = w land 1 = 1
+
+let input c =
+  let id = Util.Vec.length c.nodes in
+  Util.Vec.push c.nodes (In c.n_inputs);
+  c.n_inputs <- c.n_inputs + 1;
+  2 * id
+
+let input_array c n = Array.init n (fun _ -> input c)
+
+let and_ c a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = false_ then false_
+  else if a = true_ then b
+  else if a = b then a
+  else if a = not_ b then false_
+  else
+    match Hashtbl.find_opt c.cache (a, b) with
+    | Some id -> 2 * id
+    | None ->
+      let id = Util.Vec.length c.nodes in
+      Util.Vec.push c.nodes (And (a, b));
+      Hashtbl.add c.cache (a, b) id;
+      2 * id
+
+let or_ c a b = not_ (and_ c (not_ a) (not_ b))
+
+let xor_ c a b =
+  (* a xor b = (a | b) & !(a & b) *)
+  and_ c (or_ c a b) (not_ (and_ c a b))
+
+let mux c ~sel a b = or_ c (and_ c sel a) (and_ c (not_ sel) b)
+
+let full_adder c a b cin =
+  let ab = xor_ c a b in
+  let sum = xor_ c ab cin in
+  let carry = or_ c (and_ c a b) (and_ c ab cin) in
+  (sum, carry)
+
+let ripple_adder c xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Circuit.ripple_adder: width mismatch";
+  let n = Array.length xs in
+  let sum = Array.make n false_ in
+  let carry = ref false_ in
+  for i = 0 to n - 1 do
+    let s, co = full_adder c xs.(i) ys.(i) !carry in
+    sum.(i) <- s;
+    carry := co
+  done;
+  (sum, !carry)
+
+let multiplier c xs ys =
+  let wa = Array.length xs and wb = Array.length ys in
+  let width = wa + wb in
+  let acc = ref (Array.make width false_) in
+  for j = 0 to wb - 1 do
+    let partial =
+      Array.init width (fun i ->
+          if i >= j && i - j < wa then and_ c xs.(i - j) ys.(j) else false_)
+    in
+    let sum, _ = ripple_adder c !acc partial in
+    acc := sum
+  done;
+  !acc
+
+let wallace_multiplier c xs ys =
+  let wa = Array.length xs and wb = Array.length ys in
+  let width = wa + wb in
+  let columns = Array.make width [] in
+  for i = 0 to wa - 1 do
+    for j = 0 to wb - 1 do
+      columns.(i + j) <- and_ c xs.(i) ys.(j) :: columns.(i + j)
+    done
+  done;
+  (* Carry-save reduction: compress every column to at most two wires. *)
+  let busy = ref true in
+  while !busy do
+    busy := false;
+    for k = 0 to width - 1 do
+      match columns.(k) with
+      | a :: b :: cc :: rest ->
+        busy := true;
+        let s, carry = full_adder c a b cc in
+        columns.(k) <- s :: rest;
+        if k + 1 < width then columns.(k + 1) <- carry :: columns.(k + 1)
+      | [] | [ _ ] | [ _; _ ] -> ()
+    done
+  done;
+  let row i =
+    Array.init width (fun k ->
+        match (i, columns.(k)) with
+        | 0, x :: _ -> x
+        | 1, _ :: x :: _ -> x
+        | _, ([] | [ _ ] | _ :: _) -> false_)
+  in
+  let sum, _ = ripple_adder c (row 0) (row 1) in
+  sum
+
+let num_inputs c = c.n_inputs
+let num_gates c =
+  Util.Vec.fold
+    (fun acc n -> match n with And _ -> acc + 1 | Const | In _ -> acc)
+    0 c.nodes
+
+let node_count c = Util.Vec.length c.nodes
+
+let node_fanins c n =
+  match Util.Vec.get c.nodes n with
+  | And (a, b) -> Some (a, b)
+  | Const | In _ -> None
+
+let eval c inputs w =
+  if Array.length inputs < c.n_inputs then
+    invalid_arg "Circuit.eval: not enough input values";
+  let n = node_count c in
+  let value = Array.make n false in
+  let known = Array.make n false in
+  let rec node_value id =
+    if known.(id) then value.(id)
+    else begin
+      let v =
+        match Util.Vec.get c.nodes id with
+        | Const -> false
+        | In i -> inputs.(i)
+        | And (a, b) -> wire_value a && wire_value b
+      in
+      known.(id) <- true;
+      value.(id) <- v;
+      v
+    end
+  and wire_value w =
+    let v = node_value (wire_node w) in
+    if wire_inverted w then not v else v
+  in
+  wire_value w
+
+let miter c outs1 outs2 =
+  if Array.length outs1 <> Array.length outs2 then
+    invalid_arg "Circuit.miter: output width mismatch";
+  let diff = ref false_ in
+  Array.iteri (fun i o1 -> diff := or_ c !diff (xor_ c o1 outs2.(i))) outs1;
+  !diff

@@ -1,0 +1,71 @@
+(** Combinational boolean circuits (AIG-style).
+
+    Circuits are built from inputs and two-input AND gates with free
+    inversion on wires, the classic and-inverter-graph form used by EDA
+    tools. Structural hashing merges identical gates. Together with
+    {!Tseitin} this provides the circuit-verification workloads (adder /
+    multiplier equivalence miters) used by the instance generators. *)
+
+type t
+(** A circuit under construction (grow-only). *)
+
+type wire
+(** A signed reference to a constant, input, or gate output. *)
+
+val create : unit -> t
+
+val false_ : wire
+val true_ : wire
+
+val input : t -> wire
+(** Allocates the next primary input. *)
+
+val input_array : t -> int -> wire array
+(** [input_array c n] allocates [n] fresh inputs. *)
+
+val not_ : wire -> wire
+
+val and_ : t -> wire -> wire -> wire
+(** Structurally hashed; constant and trivial cases are simplified. *)
+
+val or_ : t -> wire -> wire -> wire
+val xor_ : t -> wire -> wire -> wire
+val mux : t -> sel:wire -> wire -> wire -> wire
+(** [mux c ~sel a b] is [a] when [sel] is true, else [b]. *)
+
+val full_adder : t -> wire -> wire -> wire -> wire * wire
+(** [full_adder c a b cin] is [(sum, carry)]. *)
+
+val ripple_adder : t -> wire array -> wire array -> wire array * wire
+(** LSB-first addition of equal-width vectors; returns sum and carry-out. *)
+
+val multiplier : t -> wire array -> wire array -> wire array
+(** Shift-and-add array multiplier; result has [wa + wb] bits. *)
+
+val wallace_multiplier : t -> wire array -> wire array -> wire array
+(** Carry-save (Wallace-tree-style) multiplier: same function as
+    {!multiplier} with a structurally different netlist — equivalence of
+    the two is a natural miter benchmark. *)
+
+val num_inputs : t -> int
+val num_gates : t -> int
+
+val eval : t -> bool array -> wire -> bool
+(** [eval c inputs w] simulates the circuit; [inputs.(i)] is the i-th
+    allocated input. @raise Invalid_argument if too few inputs given. *)
+
+val miter : t -> wire array -> wire array -> wire
+(** [miter c outs1 outs2] is the OR of pairwise XORs: true iff the two
+    output vectors differ. @raise Invalid_argument on length mismatch. *)
+
+val wire_equal : wire -> wire -> bool
+
+(**/**)
+
+val wire_repr : wire -> int
+(** Internal signed-reference encoding, exposed for {!Tseitin}. *)
+
+val node_count : t -> int
+val node_fanins : t -> int -> (int * int) option
+(** [node_fanins c n] is [Some (a, b)] when node [n] is an AND gate with
+    signed fanin refs [a] and [b]; [None] for constants and inputs. *)

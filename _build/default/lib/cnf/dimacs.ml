@@ -1,0 +1,96 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type token = Header of int * int | Int of int
+
+(* Tokenise: strip comments, emit the header and clause integers. *)
+let tokens_of_string text =
+  let out = ref [] in
+  let lines = String.split_on_char '\n' text in
+  let handle_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+    else if line.[0] = 'p' then begin
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ "p"; "cnf"; v; c ] -> begin
+        match (int_of_string_opt v, int_of_string_opt c) with
+        | Some v, Some c when v >= 0 && c >= 0 -> out := Header (v, c) :: !out
+        | _ -> fail "bad p-line: %S" line
+      end
+      | _ -> fail "bad p-line: %S" line
+    end
+    else begin
+      let words = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+      let words = List.concat_map (String.split_on_char '\t') words in
+      let handle_word w =
+        if w = "" then ()
+        else
+          match int_of_string_opt w with
+          | Some i -> out := Int i :: !out
+          | None -> fail "unexpected token %S" w
+      in
+      List.iter handle_word words
+    end
+  in
+  List.iter handle_line lines;
+  List.rev !out
+
+let parse_string text =
+  let toks = tokens_of_string text in
+  let declared_vars, declared_clauses, rest =
+    match toks with
+    | Header (v, c) :: rest -> (v, c, rest)
+    | _ -> fail "missing p cnf header"
+  in
+  let builder = Formula.Builder.create () in
+  Formula.Builder.ensure_vars builder declared_vars;
+  let current = ref [] in
+  let handle_tok = function
+    | Header _ -> fail "duplicate p cnf header"
+    | Int 0 ->
+      Formula.Builder.add_dimacs builder (List.rev !current);
+      current := []
+    | Int i -> current := i :: !current
+  in
+  List.iter handle_tok rest;
+  if !current <> [] then fail "unterminated final clause (missing 0)";
+  let got = Formula.Builder.num_clauses builder in
+  if got <> declared_clauses then
+    fail "clause count mismatch: header says %d, file has %d" declared_clauses got;
+  Formula.Builder.build builder
+
+let parse_channel ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  parse_string (Buffer.contents buf)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_channel ic)
+
+let to_string ?comment f =
+  let buf = Buffer.create 4096 in
+  (match comment with
+  | None -> ()
+  | Some c ->
+    String.split_on_char '\n' c
+    |> List.iter (fun line -> Buffer.add_string buf ("c " ^ line ^ "\n")));
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Formula.num_vars f) (Formula.num_clauses f));
+  let emit_clause c =
+    Array.iter (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " ")) c;
+    Buffer.add_string buf "0\n"
+  in
+  Formula.iter_clauses emit_clause f;
+  Buffer.contents buf
+
+let write_file ?comment path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?comment f))

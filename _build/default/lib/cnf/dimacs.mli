@@ -1,0 +1,24 @@
+(** DIMACS CNF reader and writer.
+
+    Accepts the usual liberal dialect: [c] comment lines anywhere, a
+    single [p cnf <vars> <clauses>] header, clauses terminated by [0]
+    and free to span or share lines. The declared counts are checked
+    loosely: the variable bound is grown if literals exceed it (some
+    generators under-declare), but a clause-count mismatch is an error. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message on malformed input. *)
+
+val parse_string : string -> Formula.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_channel : in_channel -> Formula.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Formula.t
+(** @raise Parse_error on malformed input; @raise Sys_error on IO. *)
+
+val to_string : ?comment:string -> Formula.t -> string
+(** Render with one clause per line; [comment] becomes leading [c] lines. *)
+
+val write_file : ?comment:string -> string -> Formula.t -> unit

@@ -1,0 +1,91 @@
+let names =
+  [|
+    "num_vars";
+    "num_clauses";
+    "clause_var_ratio";
+    "mean_clause_len";
+    "min_clause_len";
+    "max_clause_len";
+    "frac_binary";
+    "frac_ternary";
+    "frac_horn";
+    "mean_var_degree";
+    "cv_var_degree";
+    "max_var_degree";
+    "frac_positive_lits";
+    "mean_polarity_balance";
+  |]
+
+let dimension = Array.length names
+
+let safe_div a b = if b = 0.0 then 0.0 else a /. b
+
+let extract formula =
+  let n = Formula.num_vars formula in
+  let m = Formula.num_clauses formula in
+  let nf = float_of_int n and mf = float_of_int m in
+  let pos_occ = Array.make (n + 1) 0 in
+  let neg_occ = Array.make (n + 1) 0 in
+  let total_lits = ref 0 in
+  let min_len = ref max_int and max_len = ref 0 in
+  let binary = ref 0 and ternary = ref 0 and horn = ref 0 in
+  let positive_lits = ref 0 in
+  let handle_clause c =
+    let len = Array.length c in
+    total_lits := !total_lits + len;
+    if len < !min_len then min_len := len;
+    if len > !max_len then max_len := len;
+    if len = 2 then incr binary;
+    if len = 3 then incr ternary;
+    let pos_in_clause = ref 0 in
+    Array.iter
+      (fun l ->
+        let v = Lit.var l in
+        if Lit.is_pos l then begin
+          pos_occ.(v) <- pos_occ.(v) + 1;
+          incr pos_in_clause;
+          incr positive_lits
+        end
+        else neg_occ.(v) <- neg_occ.(v) + 1)
+      c;
+    if !pos_in_clause <= 1 then incr horn
+  in
+  Formula.iter_clauses handle_clause formula;
+  if m = 0 then min_len := 0;
+  let degrees = Array.init n (fun i -> float_of_int (pos_occ.(i + 1) + neg_occ.(i + 1))) in
+  let mean_degree = safe_div (float_of_int !total_lits) nf in
+  let degree_var =
+    safe_div
+      (Array.fold_left (fun a d -> a +. ((d -. mean_degree) ** 2.0)) 0.0 degrees)
+      nf
+  in
+  let cv_degree = safe_div (sqrt degree_var) mean_degree in
+  let max_degree = Array.fold_left Float.max 0.0 degrees in
+  let balance = ref 0.0 in
+  for v = 1 to n do
+    let p = float_of_int pos_occ.(v) and q = float_of_int neg_occ.(v) in
+    balance := !balance +. safe_div (Float.abs (p -. q)) (p +. q)
+  done;
+  [|
+    nf;
+    mf;
+    safe_div mf nf;
+    safe_div (float_of_int !total_lits) mf;
+    float_of_int !min_len;
+    float_of_int !max_len;
+    safe_div (float_of_int !binary) mf;
+    safe_div (float_of_int !ternary) mf;
+    safe_div (float_of_int !horn) mf;
+    mean_degree;
+    cv_degree;
+    max_degree;
+    safe_div (float_of_int !positive_lits) (float_of_int !total_lits);
+    safe_div !balance nf;
+  |]
+
+let pp ppf feats =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i x -> Format.fprintf ppf "%-22s %.4f@," names.(i) x)
+    feats;
+  Format.fprintf ppf "@]"

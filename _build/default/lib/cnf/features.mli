@@ -1,0 +1,19 @@
+(** Static CNF features (SATzilla-style).
+
+    A fixed-length vector of cheap structural statistics used by the
+    logistic-regression baseline and handy for instance analysis:
+    problem size, clause/variable ratio, clause-length distribution,
+    variable-degree distribution, polarity balance, and Horn fraction. *)
+
+val dimension : int
+(** Length of the feature vector. *)
+
+val names : string array
+(** Human-readable feature names, length {!dimension}. *)
+
+val extract : Formula.t -> float array
+(** Feature vector of length {!dimension}; all entries finite, even on
+    degenerate formulas (no clauses, isolated variables). *)
+
+val pp : Format.formatter -> float array -> unit
+(** Prints name/value pairs. *)

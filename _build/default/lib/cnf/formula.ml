@@ -1,0 +1,102 @@
+type t = {
+  num_vars : int;
+  clauses : Lit.t array array;
+}
+
+let create ~num_vars clauses =
+  if num_vars < 0 then invalid_arg "Formula.create: negative num_vars";
+  let check_clause c =
+    Array.iter
+      (fun l ->
+        let v = Lit.var l in
+        if v < 1 || v > num_vars then
+          invalid_arg
+            (Printf.sprintf "Formula.create: variable %d out of range 1..%d" v num_vars))
+      c
+  in
+  Array.iter check_clause clauses;
+  { num_vars; clauses = Array.map Array.copy clauses }
+
+let of_dimacs_lists ~num_vars lists =
+  let clause_of_list ls = Array.of_list (List.map Lit.of_dimacs ls) in
+  create ~num_vars (Array.of_list (List.map clause_of_list lists))
+
+let num_vars t = t.num_vars
+let num_clauses t = Array.length t.clauses
+
+let num_literals t =
+  Array.fold_left (fun acc c -> acc + Array.length c) 0 t.clauses
+
+let clause t i = Array.copy t.clauses.(i)
+let iter_clauses f t = Array.iter f t.clauses
+
+let eval_clause c assignment =
+  Array.exists
+    (fun l ->
+      let v = assignment.(Lit.var l) in
+      if Lit.is_pos l then v else not v)
+    c
+
+let eval t assignment =
+  if Array.length assignment < t.num_vars + 1 then
+    invalid_arg "Formula.eval: assignment too short";
+  Array.for_all (fun c -> eval_clause c assignment) t.clauses
+
+let relabel t ~perm =
+  if Array.length perm < t.num_vars + 1 then invalid_arg "Formula.relabel: perm too short";
+  let seen = Array.make (t.num_vars + 1) false in
+  for v = 1 to t.num_vars do
+    let p = perm.(v) in
+    if p < 1 || p > t.num_vars || seen.(p) then
+      invalid_arg "Formula.relabel: not a permutation";
+    seen.(p) <- true
+  done;
+  let map_lit l = Lit.make perm.(Lit.var l) (Lit.is_pos l) in
+  { t with clauses = Array.map (Array.map map_lit) t.clauses }
+
+let shuffle rng t =
+  let clauses = Array.map Array.copy t.clauses in
+  Array.iter (Util.Rng.shuffle rng) clauses;
+  Util.Rng.shuffle rng clauses;
+  { t with clauses }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>p cnf %d %d" t.num_vars (num_clauses t);
+  Array.iter
+    (fun c ->
+      Format.fprintf ppf "@,";
+      Array.iter (fun l -> Format.fprintf ppf "%a " Lit.pp l) c;
+      Format.fprintf ppf "0")
+    t.clauses;
+  Format.fprintf ppf "@]"
+
+let make_formula = create
+
+module Builder = struct
+  type nonrec formula = t
+
+  type t = {
+    mutable vars : int;
+    clauses : Lit.t array Util.Vec.t;
+  }
+
+  let create () = { vars = 0; clauses = Util.Vec.create ~dummy:[||] () }
+
+  let fresh_var b =
+    b.vars <- b.vars + 1;
+    b.vars
+
+  let ensure_vars b n = if n > b.vars then b.vars <- n
+
+  let add_clause b lits =
+    let c = Array.of_list lits in
+    Array.iter (fun l -> ensure_vars b (Lit.var l)) c;
+    Util.Vec.push b.clauses c
+
+  let add_dimacs b ds = add_clause b (List.map Lit.of_dimacs ds)
+  let num_vars b = b.vars
+  let num_clauses b = Util.Vec.length b.clauses
+
+  let build b : formula =
+    make_formula ~num_vars:b.vars (Util.Vec.to_array b.clauses)
+end

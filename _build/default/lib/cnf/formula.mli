@@ -1,0 +1,65 @@
+(** CNF formulas.
+
+    A formula is a conjunction of clauses over variables [1..num_vars].
+    Formulas are immutable once built; use {!Builder} to accumulate
+    clauses incrementally (the Tseitin encoder and the generators do). *)
+
+type t = private {
+  num_vars : int;
+  clauses : Lit.t array array;
+}
+
+val create : num_vars:int -> Lit.t array array -> t
+(** Validates that every literal's variable is within [1..num_vars] and
+    that no clause is empty of structure-sharing hazards (clauses are
+    copied). Duplicate literals within a clause are allowed (the solver
+    handles them); tautological clauses are allowed too. *)
+
+val of_dimacs_lists : num_vars:int -> int list list -> t
+(** Convenience: clauses as lists of DIMACS ints. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_literals : t -> int
+(** Total literal occurrences across all clauses. *)
+
+val clause : t -> int -> Lit.t array
+(** [clause f i] is a copy of the i-th clause. *)
+
+val iter_clauses : (Lit.t array -> unit) -> t -> unit
+
+val eval : t -> bool array -> bool
+(** [eval f assignment] with [assignment.(v)] the value of variable [v]
+    (index 0 unused). True iff every clause has a true literal. *)
+
+val eval_clause : Lit.t array -> bool array -> bool
+
+val relabel : t -> perm:int array -> t
+(** [relabel f ~perm] renames variable [v] to [perm.(v)]; [perm] must be
+    a permutation of [1..num_vars] (index 0 ignored). *)
+
+val shuffle : Util.Rng.t -> t -> t
+(** Randomly permutes clause order and literal order within clauses
+    (logically equivalent formula). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Incremental construction. *)
+module Builder : sig
+  type formula := t
+  type t
+
+  val create : unit -> t
+
+  val fresh_var : t -> int
+  (** Allocates the next unused variable. *)
+
+  val ensure_vars : t -> int -> unit
+  (** Raise the variable count to at least the given bound. *)
+
+  val add_clause : t -> Lit.t list -> unit
+  val add_dimacs : t -> int list -> unit
+  val num_vars : t -> int
+  val num_clauses : t -> int
+  val build : t -> formula
+end

@@ -1,0 +1,26 @@
+type t = int
+
+let make var positive =
+  if var < 1 then invalid_arg "Lit.make: variable must be >= 1";
+  (2 * var) + if positive then 0 else 1
+
+let pos var = make var true
+let neg var = make var false
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if d > 0 then pos d else neg (-d)
+
+let var t = t lsr 1
+let is_pos t = t land 1 = 0
+let to_dimacs t = if is_pos t then var t else -(var t)
+let negate t = t lxor 1
+let to_index t = t
+
+let of_index i =
+  if i < 2 then invalid_arg "Lit.of_index";
+  i
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf t = Format.fprintf ppf "%d" (to_dimacs t)

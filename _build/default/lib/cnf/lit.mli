@@ -1,0 +1,38 @@
+(** Propositional literals.
+
+    Variables are positive integers [1..n] as in DIMACS. A literal packs
+    a variable and a polarity into one int using the standard solver
+    encoding [2*var + (if negative then 1 else 0)], so literals index
+    watch lists directly via {!to_index}. *)
+
+type t = private int
+
+val make : int -> bool -> t
+(** [make var positive]. Requires [var >= 1]. *)
+
+val pos : int -> t
+(** Positive literal of a variable. *)
+
+val neg : int -> t
+(** Negative literal of a variable. *)
+
+val of_dimacs : int -> t
+(** [of_dimacs 5 = pos 5], [of_dimacs (-5) = neg 5]. Requires nonzero. *)
+
+val to_dimacs : t -> int
+val var : t -> int
+val is_pos : t -> bool
+
+val negate : t -> t
+(** Complementary literal. *)
+
+val to_index : t -> int
+(** Dense index in [\[2, 2n+1\]]; positive literal of var v is [2v]. *)
+
+val of_index : int -> t
+(** Inverse of {!to_index}. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints DIMACS form, e.g. [-3]. *)

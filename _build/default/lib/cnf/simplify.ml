@@ -1,0 +1,278 @@
+type stats = {
+  forced_units : int;
+  pure_literals : int;
+  subsumed_clauses : int;
+  strengthened_literals : int;
+  rounds : int;
+}
+
+type result = {
+  formula : Formula.t;
+  forced : (int * bool) list;
+  pure : (int * bool) list;
+  stats : stats;
+}
+
+type outcome =
+  | Simplified of result
+  | Proved_unsat
+
+exception Unsat_found
+
+type state = {
+  num_vars : int;
+  mutable clauses : Lit.t array option array;
+  assignment : int array; (* var -> 0 unassigned / 1 / -1 *)
+  mutable forced_rev : (int * bool) list;
+  mutable pure_rev : (int * bool) list;
+  mutable forced_units : int;
+  mutable pure_literals : int;
+  mutable subsumed_clauses : int;
+  mutable strengthened_literals : int;
+}
+
+let lit_value st l =
+  let s = st.assignment.(Lit.var l) in
+  if s = 0 then 0 else if Lit.is_pos l then s else -s
+
+let assign st l ~pure =
+  let v = Lit.var l in
+  let s = if Lit.is_pos l then 1 else -1 in
+  if st.assignment.(v) = -s then raise Unsat_found;
+  if st.assignment.(v) = 0 then begin
+    st.assignment.(v) <- s;
+    if pure then begin
+      st.pure_rev <- (v, s = 1) :: st.pure_rev;
+      st.pure_literals <- st.pure_literals + 1
+    end
+    else begin
+      st.forced_rev <- (v, s = 1) :: st.forced_rev;
+      st.forced_units <- st.forced_units + 1
+    end
+  end
+
+(* Normalise every clause against the current assignment: drop
+   falsified literals, delete satisfied/tautological clauses, collapse
+   duplicates, force units. Returns true when anything changed. *)
+let normalise st =
+  let changed = ref false in
+  let handle i = function
+    | None -> ()
+    | Some clause ->
+      let live = ref [] in
+      let satisfied = ref false in
+      Array.iter
+        (fun l ->
+          match lit_value st l with
+          | 1 -> satisfied := true
+          | -1 -> changed := true
+          | _ -> live := l :: !live)
+        clause;
+      let live = List.sort_uniq Lit.compare !live in
+      let rec tautology = function
+        | a :: (b :: _ as rest) -> Lit.equal (Lit.negate a) b || tautology rest
+        | [ _ ] | [] -> false
+      in
+      if !satisfied || tautology live then begin
+        st.clauses.(i) <- None;
+        changed := true
+      end
+      else begin
+        match live with
+        | [] -> raise Unsat_found
+        | [ unit_lit ] ->
+          assign st unit_lit ~pure:false;
+          st.clauses.(i) <- None;
+          changed := true
+        | lits ->
+          let arr = Array.of_list lits in
+          if Array.length arr <> Array.length clause then changed := true;
+          st.clauses.(i) <- Some arr
+      end
+  in
+  Array.iteri handle st.clauses;
+  !changed
+
+(* Pure-literal elimination: variables with single live polarity are
+   assigned that polarity (clauses containing them will be removed by
+   the next normalise pass). *)
+let pure_literals st =
+  let pos = Array.make (st.num_vars + 1) false in
+  let neg = Array.make (st.num_vars + 1) false in
+  Array.iter
+    (function
+      | None -> ()
+      | Some clause ->
+        Array.iter
+          (fun l -> if Lit.is_pos l then pos.(Lit.var l) <- true else neg.(Lit.var l) <- true)
+          clause)
+    st.clauses;
+  let changed = ref false in
+  for v = 1 to st.num_vars do
+    if st.assignment.(v) = 0 then begin
+      if pos.(v) && not neg.(v) then begin
+        assign st (Lit.pos v) ~pure:true;
+        changed := true
+      end
+      else if neg.(v) && not pos.(v) then begin
+        assign st (Lit.neg v) ~pure:true;
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+let occurrence_lists st =
+  let occurs = Array.make ((2 * (st.num_vars + 1)) + 2) [] in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some clause ->
+        Array.iter (fun l -> occurs.(Lit.to_index l) <- i :: occurs.(Lit.to_index l)) clause)
+    st.clauses;
+  occurs
+
+let subset smaller larger =
+  (* Both sorted by Lit.compare. *)
+  let n = Array.length smaller and m = Array.length larger in
+  let rec go i j =
+    if i >= n then true
+    else if j >= m then false
+    else begin
+      let c = Lit.compare smaller.(i) larger.(j) in
+      if c = 0 then go (i + 1) (j + 1) else if c > 0 then go i (j + 1) else false
+    end
+  in
+  n <= m && go 0 0
+
+(* Subsumption: for each clause, look only at the occurrence list of
+   its least-frequent literal (every superset must contain it). *)
+let subsumption st =
+  let occurs = occurrence_lists st in
+  let changed = ref false in
+  let handle i = function
+    | None -> ()
+    | Some clause ->
+      let best_lit = ref clause.(0) in
+      Array.iter
+        (fun l ->
+          if List.length occurs.(Lit.to_index l)
+             < List.length occurs.(Lit.to_index !best_lit)
+          then best_lit := l)
+        clause;
+      let candidates = occurs.(Lit.to_index !best_lit) in
+      let try_remove j =
+        if j <> i then begin
+          match st.clauses.(j) with
+          | Some other when subset clause other ->
+            st.clauses.(j) <- None;
+            st.subsumed_clauses <- st.subsumed_clauses + 1;
+            changed := true
+          | Some _ | None -> ()
+        end
+      in
+      if st.clauses.(i) <> None then List.iter try_remove candidates
+  in
+  Array.iteri handle st.clauses;
+  !changed
+
+(* Self-subsuming resolution: clause C with l, clause D with ~l and
+   (C \ {l}) subset of (D \ {~l}) lets us delete ~l from D. *)
+let strengthen st =
+  let occurs = occurrence_lists st in
+  let changed = ref false in
+  let handle i = function
+    | None -> ()
+    | Some clause ->
+      let with_negated l =
+        Array.map (fun x -> if Lit.equal x l then Lit.negate l else x) clause
+        |> Array.to_list |> List.sort_uniq Lit.compare |> Array.of_list
+      in
+      let try_literal l =
+        let pivot = with_negated l in
+        let candidates = occurs.(Lit.to_index (Lit.negate l)) in
+        let try_strengthen j =
+          if j <> i then begin
+            match st.clauses.(j) with
+            | Some other when subset pivot other ->
+              let shrunk =
+                Array.of_list
+                  (List.filter
+                     (fun x -> not (Lit.equal x (Lit.negate l)))
+                     (Array.to_list other))
+              in
+              st.strengthened_literals <- st.strengthened_literals + 1;
+              changed := true;
+              if Array.length shrunk = 1 then begin
+                assign st shrunk.(0) ~pure:false;
+                st.clauses.(j) <- None
+              end
+              else st.clauses.(j) <- Some shrunk
+            | Some _ | None -> ()
+          end
+        in
+        List.iter try_strengthen candidates
+      in
+      if st.clauses.(i) <> None then Array.iter try_literal clause
+  in
+  Array.iteri handle st.clauses;
+  !changed
+
+let subsumption_pass st =
+  let c1 = subsumption st in
+  let c2 = strengthen st in
+  c1 || c2
+
+let simplify ?(subsumption = true) ?(max_rounds = 10) formula =
+  let st =
+    {
+      num_vars = Formula.num_vars formula;
+      clauses =
+        Array.init (Formula.num_clauses formula) (fun i ->
+            Some (Formula.clause formula i));
+      assignment = Array.make (Formula.num_vars formula + 1) 0;
+      forced_rev = [];
+      pure_rev = [];
+      forced_units = 0;
+      pure_literals = 0;
+      subsumed_clauses = 0;
+      strengthened_literals = 0;
+    }
+  in
+  let rounds = ref 0 in
+  match
+    let continue_ = ref true in
+    while !continue_ && !rounds < max_rounds do
+      incr rounds;
+      let c1 = normalise st in
+      let c2 = pure_literals st in
+      let c3 = if subsumption then subsumption_pass st else false in
+      continue_ := c1 || c2 || c3
+    done
+  with
+  | exception Unsat_found -> Proved_unsat
+  | () ->
+    let clauses =
+      Array.to_list st.clauses |> List.filter_map Fun.id |> Array.of_list
+    in
+    Simplified
+      {
+        formula = Formula.create ~num_vars:st.num_vars clauses;
+        forced = List.rev st.forced_rev;
+        pure = List.rev st.pure_rev;
+        stats =
+          {
+            forced_units = st.forced_units;
+            pure_literals = st.pure_literals;
+            subsumed_clauses = st.subsumed_clauses;
+            strengthened_literals = st.strengthened_literals;
+            rounds = !rounds;
+          };
+      }
+
+let extend_model r model =
+  let model = Array.copy model in
+  List.iter (fun (v, b) -> model.(v) <- b) r.forced;
+  List.iter (fun (v, b) -> model.(v) <- b) r.pure;
+  model

@@ -1,0 +1,43 @@
+(** CNF preprocessing.
+
+    Satisfiability-preserving simplifications applied before search,
+    in the style of SatELite/Kissat's "probing + subsumption" passes:
+
+    - unit propagation to fixpoint (forced assignments are recorded);
+    - pure-literal elimination (variables occurring with one polarity);
+    - duplicate-literal and tautology removal;
+    - subsumption (a clause implied by a subset clause is dropped);
+    - self-subsuming resolution (strengthening: if [C ∪ {l}] and
+      [D ∪ {¬l}] with [C ⊆ D], remove [¬l] from the second clause).
+
+    Variable numbering is preserved — eliminated variables simply stop
+    occurring — so solver models for the simplified formula extend to
+    models of the original via {!extend_model}. *)
+
+type stats = {
+  forced_units : int;
+  pure_literals : int;
+  subsumed_clauses : int;
+  strengthened_literals : int;
+  rounds : int;
+}
+
+type result = {
+  formula : Formula.t;  (** Simplified formula, same [num_vars]. *)
+  forced : (int * bool) list;  (** Assignments implied at top level. *)
+  pure : (int * bool) list;  (** Pure-literal choices. *)
+  stats : stats;
+}
+
+type outcome =
+  | Simplified of result
+  | Proved_unsat  (** Unit propagation derived the empty clause. *)
+
+val simplify : ?subsumption:bool -> ?max_rounds:int -> Formula.t -> outcome
+(** [subsumption] (default true) enables the quadratic passes;
+    [max_rounds] (default 10) bounds the fixpoint iteration. *)
+
+val extend_model : result -> bool array -> bool array
+(** [extend_model r model] overrides the solver model with the recorded
+    forced and pure assignments, yielding a model of the original
+    formula whenever [model] satisfies [r.formula]. *)

@@ -1,0 +1,49 @@
+type mapping = {
+  input_var : int array;
+  node_var : int array;
+}
+
+let lit_of_node mapping w =
+  let node = w lsr 1 and inverted = w land 1 = 1 in
+  Lit.make mapping.node_var.(node) (not inverted)
+
+let encode circuit ~asserted =
+  let n = Circuit.node_count circuit in
+  let builder = Formula.Builder.create () in
+  let node_var = Array.init n (fun _ -> Formula.Builder.fresh_var builder) in
+  let input_var = Array.make (Circuit.num_inputs circuit) 0 in
+  let mapping = { input_var; node_var } in
+  let lit w = lit_of_node mapping w in
+  (* Node 0 is the constant-false node. *)
+  Formula.Builder.add_clause builder [ Lit.neg node_var.(0) ];
+  for node = 1 to n - 1 do
+    match Circuit.node_fanins circuit node with
+    | Some (a, b) ->
+      (* g <-> a & b *)
+      let g = Lit.pos node_var.(node) in
+      Formula.Builder.add_clause builder [ Lit.negate g; lit a ];
+      Formula.Builder.add_clause builder [ Lit.negate g; lit b ];
+      Formula.Builder.add_clause builder [ g; Lit.negate (lit a); Lit.negate (lit b) ]
+    | None -> ()
+  done;
+  (* Record input variables: walk nodes to find In tags via eval order.
+     Circuit exposes only fanins, so recover inputs by allocation order:
+     inputs were created in increasing node order, and nodes without
+     fanins other than node 0 are inputs. *)
+  let next_input = ref 0 in
+  for node = 1 to n - 1 do
+    if Circuit.node_fanins circuit node = None then begin
+      input_var.(!next_input) <- node_var.(node);
+      incr next_input
+    end
+  done;
+  assert (!next_input = Circuit.num_inputs circuit);
+  List.iter
+    (fun w -> Formula.Builder.add_clause builder [ lit (Circuit.wire_repr w) ])
+    asserted;
+  (Formula.Builder.build builder, mapping)
+
+let lit_of_wire mapping w = lit_of_node mapping (Circuit.wire_repr w)
+
+let decode_inputs mapping model =
+  Array.map (fun v -> model.(v)) mapping.input_var

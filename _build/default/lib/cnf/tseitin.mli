@@ -1,0 +1,25 @@
+(** Tseitin transformation from circuits to CNF.
+
+    Each circuit node gets a CNF variable; AND gates contribute the
+    three standard equivalence clauses, the constant node a unit clause,
+    and asserted wires become unit clauses. The encoding is
+    equisatisfiable: the CNF is satisfiable iff some input assignment
+    makes every asserted wire true. *)
+
+type mapping = {
+  input_var : int array;
+      (** [input_var.(i)] is the CNF variable of the i-th circuit input. *)
+  node_var : int array;
+      (** [node_var.(n)] is the CNF variable of circuit node [n]. *)
+}
+
+val encode : Circuit.t -> asserted:Circuit.wire list -> Formula.t * mapping
+(** [encode c ~asserted] encodes the whole circuit [c] and asserts each
+    wire in [asserted] true. *)
+
+val lit_of_wire : mapping -> Circuit.wire -> Lit.t
+(** CNF literal corresponding to a circuit wire under the mapping. *)
+
+val decode_inputs : mapping -> bool array -> bool array
+(** [decode_inputs m model] extracts circuit-input values from a CNF
+    model indexed by variable ([model.(v)]). *)

@@ -1,0 +1,1 @@
+lib/core/attention.ml: List Nn Tensor

@@ -1,0 +1,1 @@
+lib/core/attention.mli: Nn Util

@@ -1,0 +1,1 @@
+lib/core/hgt.ml: Attention List Mpnn Option Printf

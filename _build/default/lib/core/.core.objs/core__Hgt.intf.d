@@ -1,0 +1,1 @@
+lib/core/hgt.mli: Nn Satgraph Util

@@ -1,0 +1,1 @@
+lib/core/labeler.ml: Cdcl Format

@@ -1,0 +1,1 @@
+lib/core/labeler.mli: Cdcl Cnf Format

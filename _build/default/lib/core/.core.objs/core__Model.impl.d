@@ -1,0 +1,1 @@
+lib/core/model.ml: Hgt List Nn Printf Satgraph Tensor Util

@@ -1,0 +1,1 @@
+lib/core/mpnn.ml: List Nn Satgraph

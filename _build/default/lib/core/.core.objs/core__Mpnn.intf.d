@@ -1,0 +1,1 @@
+lib/core/mpnn.mli: Nn Satgraph Util

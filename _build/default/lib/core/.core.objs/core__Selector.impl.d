@@ -1,0 +1,1 @@
+lib/core/selector.ml: Cdcl Model Sys

@@ -1,0 +1,1 @@
+lib/core/trainer.ml: Array List Metrics Model Nn Satgraph

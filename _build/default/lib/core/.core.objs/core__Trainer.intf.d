@@ -1,0 +1,1 @@
+lib/core/trainer.mli: Cnf Metrics Model Satgraph

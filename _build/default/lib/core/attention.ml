@@ -1,0 +1,36 @@
+module Ad = Nn.Ad
+module Linear = Nn.Layer.Linear
+module Mat = Tensor.Mat
+
+type t = {
+  f_q : Linear.t;
+  f_k : Linear.t;
+  f_v : Linear.t;
+}
+
+let create rng ~dim ~name =
+  let lin suffix =
+    Linear.create ~bias:false rng ~in_dim:dim ~out_dim:dim ~name:(name ^ "." ^ suffix)
+  in
+  { f_q = lin "f_q"; f_k = lin "f_k"; f_v = lin "f_v" }
+
+let forward tape t z =
+  let n = Mat.rows (Ad.value z) in
+  let inv_n = 1.0 /. float_of_int (max n 1) in
+  let q = Linear.forward tape t.f_q z in
+  let k = Linear.forward tape t.f_k z in
+  let v = Linear.forward tape t.f_v z in
+  let q_tilde = Ad.frobenius_normalize tape q in
+  let k_tilde = Ad.frobenius_normalize tape k in
+  (* K~^T V : d x d, then Q~ (K~^T V) : N x d. *)
+  let ktv = Ad.matmul_ta tape k_tilde v in
+  let qktv = Ad.matmul tape q_tilde ktv in
+  (* K~^T 1 : d x 1, then Q~ (K~^T 1) : N x 1. *)
+  let ones = Ad.const tape (Mat.create n 1 1.0) in
+  let kt1 = Ad.matmul_ta tape k_tilde ones in
+  let qkt1 = Ad.matmul tape q_tilde kt1 in
+  let d = Ad.add_scalar tape 1.0 (Ad.scale tape inv_n qkt1) in
+  let numerator = Ad.add tape v (Ad.scale tape inv_n qktv) in
+  Ad.div_rows tape numerator d
+
+let params t = List.concat_map Linear.params [ t.f_q; t.f_k; t.f_v ]

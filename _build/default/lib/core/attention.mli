@@ -1,0 +1,20 @@
+(** Linear (SGFormer-style) global attention over variable nodes
+    (Eqs. 8–9).
+
+    All-pair attention computed in O(N d^2) by associating the product
+    as [Q~ (K~^T V)] after Frobenius-normalising Q and K:
+
+    {v
+      D     = diag(1 + (1/N) Q~ (K~^T 1))
+      Z_out = D^{-1} [ V + (1/N) Q~ (K~^T V) ]
+    v} *)
+
+type t
+
+val create : Util.Rng.t -> dim:int -> name:string -> t
+(** [f_Q], [f_K], [f_V] are bias-free linear maps of width [dim]. *)
+
+val forward : Nn.Ad.tape -> t -> Nn.Ad.v -> Nn.Ad.v
+(** Input and output are [N x dim]. *)
+
+val params : t -> Nn.Param.t list

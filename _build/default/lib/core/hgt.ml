@@ -1,0 +1,38 @@
+type t = {
+  mpnns : Mpnn.t list;
+  attention : Attention.t option;
+}
+
+let create rng ~var_in ~clause_in ~hidden ~mpnn_layers ~use_attention ~name =
+  if mpnn_layers < 1 then invalid_arg "Hgt.create: mpnn_layers >= 1";
+  let rec build i var_in clause_in =
+    if i >= mpnn_layers then []
+    else begin
+      let layer =
+        Mpnn.create rng ~var_in ~clause_in ~out_dim:hidden
+          ~name:(Printf.sprintf "%s.mpnn%d" name i)
+      in
+      layer :: build (i + 1) hidden hidden
+    end
+  in
+  let attention =
+    if use_attention then Some (Attention.create rng ~dim:hidden ~name:(name ^ ".attn"))
+    else None
+  in
+  { mpnns = build 0 var_in clause_in; attention }
+
+let forward tape t graph ~var_feats ~clause_feats =
+  let vf, cf =
+    List.fold_left
+      (fun (vf, cf) layer -> Mpnn.forward tape layer graph ~var_feats:vf ~clause_feats:cf)
+      (var_feats, clause_feats) t.mpnns
+  in
+  match t.attention with
+  | None -> (vf, cf)
+  | Some attn -> (Attention.forward tape attn vf, cf)
+
+let params t =
+  List.concat_map Mpnn.params t.mpnns
+  @ (match t.attention with None -> [] | Some a -> Attention.params a)
+
+let uses_attention t = Option.is_some t.attention

@@ -1,0 +1,32 @@
+(** Hybrid Graph Transformer layer (Eqs. 3–5).
+
+    An HGT layer stacks several {!Mpnn} message-passing layers (the
+    paper uses three) followed by a {!Attention} linear-attention pass
+    applied to variable-node features only; clause features flow
+    through from the MPNN (Eq. 5). The attention pass can be disabled
+    for the "NeuroSelect w/o attention" ablation of Table 2. *)
+
+type t
+
+val create :
+  Util.Rng.t ->
+  var_in:int ->
+  clause_in:int ->
+  hidden:int ->
+  mpnn_layers:int ->
+  use_attention:bool ->
+  name:string ->
+  t
+(** The first MPNN maps [var_in]/[clause_in] to [hidden]; the rest are
+    [hidden -> hidden]. [mpnn_layers >= 1]. *)
+
+val forward :
+  Nn.Ad.tape ->
+  t ->
+  Satgraph.Bigraph.t ->
+  var_feats:Nn.Ad.v ->
+  clause_feats:Nn.Ad.v ->
+  Nn.Ad.v * Nn.Ad.v
+
+val params : t -> Nn.Param.t list
+val uses_attention : t -> bool

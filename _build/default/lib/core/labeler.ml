@@ -1,0 +1,49 @@
+module Solver = Cdcl.Solver
+
+type outcome = {
+  default_propagations : int;
+  frequency_propagations : int;
+  default_result : Solver.result;
+  frequency_result : Solver.result;
+  reduction : float;
+  label : bool;
+}
+
+let run policy budget formula =
+  let config =
+    Cdcl.Config.default
+    |> Cdcl.Config.with_policy policy
+    |> Cdcl.Config.with_budget ~max_propagations:budget
+  in
+  Solver.solve_formula ~config formula
+
+let label_instance ?(threshold = 0.02) ?(alpha = Cdcl.Policy.default_alpha)
+    ?(budget = 3_000_000) formula =
+  let default_result, dstats = run Cdcl.Policy.Default budget formula in
+  let frequency_result, fstats =
+    run (Cdcl.Policy.Frequency { alpha }) budget formula
+  in
+  let dp = dstats.Cdcl.Solver_stats.propagations in
+  let fp = fstats.Cdcl.Solver_stats.propagations in
+  let reduction =
+    if dp = 0 then 0.0 else float_of_int (dp - fp) /. float_of_int dp
+  in
+  {
+    default_propagations = dp;
+    frequency_propagations = fp;
+    default_result;
+    frequency_result;
+    reduction;
+    label = reduction >= threshold;
+  }
+
+let pp_outcome ppf o =
+  let result_name = function
+    | Solver.Sat _ -> "sat"
+    | Solver.Unsat -> "unsat"
+    | Solver.Unknown -> "unknown"
+  in
+  Format.fprintf ppf "default %d (%s), frequency %d (%s), reduction %.2f%% -> label %d"
+    o.default_propagations (result_name o.default_result) o.frequency_propagations
+    (result_name o.frequency_result) (100.0 *. o.reduction)
+    (if o.label then 1 else 0)

@@ -1,0 +1,29 @@
+(** Ground-truth labelling of SAT instances (Sec. 5.1).
+
+    An instance is solved twice — once under Kissat's default deletion
+    policy, once under the propagation-frequency policy — and labelled
+    1 when the new policy reduces the total number of propagations by
+    at least 2% (the paper's deterministic proxy for runtime). *)
+
+type outcome = {
+  default_propagations : int;
+  frequency_propagations : int;
+  default_result : Cdcl.Solver.result;
+  frequency_result : Cdcl.Solver.result;
+  reduction : float;
+      (** Relative reduction, (default - frequency) / default. *)
+  label : bool;  (** [reduction >= threshold]. *)
+}
+
+val label_instance :
+  ?threshold:float ->
+  ?alpha:float ->
+  ?budget:int ->
+  Cnf.Formula.t ->
+  outcome
+(** [threshold] defaults to 0.02 (the paper's 2%), [alpha] to
+    {!Cdcl.Policy.default_alpha}, [budget] to a propagation cap applied
+    to each run (default 3,000,000) standing in for the paper's
+    5000-second timeout. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

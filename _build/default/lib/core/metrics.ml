@@ -1,0 +1,54 @@
+type confusion = {
+  tp : int;
+  fp : int;
+  tn : int;
+  fn : int;
+}
+
+let confusion ~predicted ~actual =
+  if Array.length predicted <> Array.length actual then
+    invalid_arg "Metrics.confusion: length mismatch";
+  let acc = ref { tp = 0; fp = 0; tn = 0; fn = 0 } in
+  Array.iteri
+    (fun i p ->
+      let a = actual.(i) in
+      let c = !acc in
+      acc :=
+        (match (p, a) with
+        | true, true -> { c with tp = c.tp + 1 }
+        | true, false -> { c with fp = c.fp + 1 }
+        | false, false -> { c with tn = c.tn + 1 }
+        | false, true -> { c with fn = c.fn + 1 }))
+    predicted;
+  !acc
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let precision c = ratio c.tp (c.tp + c.fp)
+let recall c = ratio c.tp (c.tp + c.fn)
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+let accuracy c = ratio (c.tp + c.tn) (c.tp + c.fp + c.tn + c.fn)
+
+type report = {
+  precision_pct : float;
+  recall_pct : float;
+  f1_pct : float;
+  accuracy_pct : float;
+}
+
+let report ~predicted ~actual =
+  let c = confusion ~predicted ~actual in
+  {
+    precision_pct = 100.0 *. precision c;
+    recall_pct = 100.0 *. recall c;
+    f1_pct = 100.0 *. f1 c;
+    accuracy_pct = 100.0 *. accuracy c;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "precision %.2f%%  recall %.2f%%  F1 %.2f%%  accuracy %.2f%%"
+    r.precision_pct r.recall_pct r.f1_pct r.accuracy_pct

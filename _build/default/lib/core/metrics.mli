@@ -1,0 +1,30 @@
+(** Binary-classification metrics (Table 2 columns). *)
+
+type confusion = {
+  tp : int;
+  fp : int;
+  tn : int;
+  fn : int;
+}
+
+val confusion : predicted:bool array -> actual:bool array -> confusion
+(** @raise Invalid_argument on length mismatch. *)
+
+val precision : confusion -> float
+(** 0 when undefined (no positive predictions). *)
+
+val recall : confusion -> float
+val f1 : confusion -> float
+val accuracy : confusion -> float
+
+type report = {
+  precision_pct : float;
+  recall_pct : float;
+  f1_pct : float;
+  accuracy_pct : float;
+}
+
+val report : predicted:bool array -> actual:bool array -> report
+(** Percentages, matching the paper's presentation. *)
+
+val pp_report : Format.formatter -> report -> unit

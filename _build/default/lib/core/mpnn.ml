@@ -1,0 +1,78 @@
+module Ad = Nn.Ad
+module Linear = Nn.Layer.Linear
+module Bigraph = Satgraph.Bigraph
+
+type t = {
+  msg_var_to_clause : Linear.t;  (* message MLP on variable features *)
+  msg_clause_to_var : Linear.t;  (* message MLP on clause features *)
+  self_var : Linear.t;
+  self_clause : Linear.t;
+  out_var : Linear.t;
+  out_clause : Linear.t;
+  out_dim : int;
+}
+
+let create rng ~var_in ~clause_in ~out_dim ~name =
+  let lin in_dim suffix =
+    Linear.create rng ~in_dim ~out_dim ~name:(name ^ "." ^ suffix)
+  in
+  {
+    msg_var_to_clause = lin var_in "msg_v2c";
+    msg_clause_to_var = lin clause_in "msg_c2v";
+    self_var = lin var_in "self_var";
+    self_clause = lin clause_in "self_clause";
+    out_var = Linear.create rng ~in_dim:out_dim ~out_dim ~name:(name ^ ".out_var");
+    out_clause = Linear.create rng ~in_dim:out_dim ~out_dim ~name:(name ^ ".out_clause");
+    out_dim;
+  }
+
+(* Eq. 6: m_v = (1/|N(v)|) sum_{u in N(v)} w_uv * MLP(h_u), realised as
+   gather (sender rows) -> per-edge weight scaling -> scatter-sum to
+   receivers -> per-receiver 1/deg scaling. *)
+let aggregate tape graph ~sender_msgs ~send_idx ~recv_idx ~recv_rows ~recv_inv_deg =
+  let gathered = Ad.gather_rows tape sender_msgs send_idx in
+  let weighted = Ad.scale_rows tape gathered graph.Bigraph.edge_weight in
+  let summed = Ad.scatter_sum tape weighted recv_idx ~rows:recv_rows in
+  Ad.scale_rows tape summed recv_inv_deg
+
+(* Eq. 7: h' = relu (W_out (m + W_self h)). *)
+let update tape ~out_layer ~self_layer ~messages ~feats =
+  let self = Linear.forward tape self_layer feats in
+  let combined = Ad.add tape messages self in
+  Ad.relu tape (Linear.forward tape out_layer combined)
+
+let forward tape t graph ~var_feats ~clause_feats =
+  let var_msgs = Linear.forward tape t.msg_var_to_clause var_feats in
+  let clause_msgs = Linear.forward tape t.msg_clause_to_var clause_feats in
+  let to_clauses =
+    aggregate tape graph ~sender_msgs:var_msgs ~send_idx:graph.Bigraph.edge_var
+      ~recv_idx:graph.Bigraph.edge_clause ~recv_rows:graph.Bigraph.num_clauses
+      ~recv_inv_deg:(Bigraph.clause_inv_degree graph)
+  in
+  let to_vars =
+    aggregate tape graph ~sender_msgs:clause_msgs ~send_idx:graph.Bigraph.edge_clause
+      ~recv_idx:graph.Bigraph.edge_var ~recv_rows:graph.Bigraph.num_vars
+      ~recv_inv_deg:(Bigraph.var_inv_degree graph)
+  in
+  let new_vars =
+    update tape ~out_layer:t.out_var ~self_layer:t.self_var ~messages:to_vars
+      ~feats:var_feats
+  in
+  let new_clauses =
+    update tape ~out_layer:t.out_clause ~self_layer:t.self_clause ~messages:to_clauses
+      ~feats:clause_feats
+  in
+  (new_vars, new_clauses)
+
+let params t =
+  List.concat_map Linear.params
+    [
+      t.msg_var_to_clause;
+      t.msg_clause_to_var;
+      t.self_var;
+      t.self_clause;
+      t.out_var;
+      t.out_clause;
+    ]
+
+let out_dim t = t.out_dim

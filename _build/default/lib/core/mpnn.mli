@@ -1,0 +1,30 @@
+(** Bipartite message-passing layer (Eqs. 6–7).
+
+    One layer updates variable and clause features simultaneously:
+    messages flow clause→variable and variable→clause along the signed
+    edges of the {!Satgraph.Bigraph.t}. Aggregation is the
+    degree-normalised weighted mean of Eq. 6 with a single linear layer
+    as the message MLP; the update of Eq. 7 is
+    [h' = relu (W_out (m + W_self h))]. *)
+
+type t
+
+val create :
+  Util.Rng.t ->
+  var_in:int ->
+  clause_in:int ->
+  out_dim:int ->
+  name:string ->
+  t
+
+val forward :
+  Nn.Ad.tape ->
+  t ->
+  Satgraph.Bigraph.t ->
+  var_feats:Nn.Ad.v ->
+  clause_feats:Nn.Ad.v ->
+  Nn.Ad.v * Nn.Ad.v
+(** Returns updated [(var_feats, clause_feats)], both [_ x out_dim]. *)
+
+val params : t -> Nn.Param.t list
+val out_dim : t -> int

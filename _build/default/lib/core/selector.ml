@@ -1,0 +1,20 @@
+type selection = {
+  policy : Cdcl.Policy.t;
+  probability : float;
+  inference_seconds : float;
+}
+
+let select_policy ?(alpha = Cdcl.Policy.default_alpha) model formula =
+  let t0 = Sys.time () in
+  let probability = Model.predict_formula model formula in
+  let inference_seconds = Sys.time () -. t0 in
+  let policy =
+    if probability > 0.5 then Cdcl.Policy.Frequency { alpha } else Cdcl.Policy.Default
+  in
+  { policy; probability; inference_seconds }
+
+let solve_adaptive ?(config = Cdcl.Config.default) ?alpha model formula =
+  let selection = select_policy ?alpha model formula in
+  let config = Cdcl.Config.with_policy selection.policy config in
+  let result, stats = Cdcl.Solver.solve_formula ~config formula in
+  (selection, result, stats)

@@ -1,0 +1,22 @@
+(** Adaptive policy selection — NeuroSelect-Kissat (Sec. 5.4).
+
+    One model inference on the CPU before solving picks the deletion
+    policy; the measured inference wall-clock is part of the adaptive
+    solver's reported runtime, mirroring the paper's accounting. *)
+
+type selection = {
+  policy : Cdcl.Policy.t;
+  probability : float;  (** Model output; > 0.5 selects frequency. *)
+  inference_seconds : float;
+}
+
+val select_policy : ?alpha:float -> Model.t -> Cnf.Formula.t -> selection
+
+val solve_adaptive :
+  ?config:Cdcl.Config.t ->
+  ?alpha:float ->
+  Model.t ->
+  Cnf.Formula.t ->
+  selection * Cdcl.Solver.result * Cdcl.Solver_stats.t
+(** Select, then solve under the chosen policy (overriding the policy
+    in [config] but keeping its budgets and other settings). *)

@@ -1,0 +1,52 @@
+module Ad = Nn.Ad
+
+type example = {
+  name : string;
+  graph : Satgraph.Bigraph.t;
+  label : bool;
+}
+
+let example_of_formula ~name ~label formula =
+  { name; graph = Satgraph.Bigraph.of_formula formula; label }
+
+type history = {
+  epoch_losses : float array;
+  final_train_accuracy : float;
+}
+
+let spec model =
+  {
+    Nn.Train.params = Model.params model;
+    forward = (fun tape graph -> Model.forward_logit model tape graph);
+  }
+
+let loss_of_example model example =
+  Nn.Train.loss (spec model) example.graph example.label
+
+let predictions model examples =
+  let predicted =
+    Array.of_list (List.map (fun e -> Model.classify model e.graph) examples)
+  in
+  let actual = Array.of_list (List.map (fun e -> e.label) examples) in
+  (predicted, actual)
+
+let evaluate model examples =
+  let predicted, actual = predictions model examples in
+  Metrics.report ~predicted ~actual
+
+let train ?(epochs = 40) ?(lr = 1e-3) ?(seed = 7) ?(balance = true) ?progress model
+    examples =
+  if examples = [] then invalid_arg "Trainer.train: empty dataset";
+  let data =
+    Array.of_list (List.map (fun e -> (e.graph, e.label)) examples)
+  in
+  let pos_weight = if balance then Nn.Train.auto_pos_weight data else 1.0 in
+  let history =
+    Nn.Train.fit ~epochs ~lr ~seed ~pos_weight ?progress (spec model) data
+  in
+  let predicted, actual = predictions model examples in
+  let c = Metrics.confusion ~predicted ~actual in
+  {
+    epoch_losses = history.Nn.Train.epoch_losses;
+    final_train_accuracy = Metrics.accuracy c;
+  }

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Cdcl Format Gen List Printf Runner Util

@@ -1,0 +1,1 @@
+lib/experiments/adaptive_eval.ml: Array Cdcl Core Float Format Gen List Printf Runner Simtime Util

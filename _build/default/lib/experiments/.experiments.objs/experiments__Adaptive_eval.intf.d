@@ -1,0 +1,1 @@
+lib/experiments/adaptive_eval.mli: Core Format Gen Simtime

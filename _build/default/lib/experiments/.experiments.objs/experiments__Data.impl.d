@@ -1,0 +1,1 @@
+lib/experiments/data.ml: Core Format Gen List Simtime

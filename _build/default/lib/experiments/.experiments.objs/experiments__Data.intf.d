@@ -1,0 +1,1 @@
+lib/experiments/data.mli: Core Gen Simtime

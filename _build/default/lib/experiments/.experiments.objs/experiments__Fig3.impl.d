@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Cdcl Float Format Gen String Util

@@ -1,0 +1,1 @@
+lib/experiments/policy_compare.ml: Cdcl Float Format Gen List Runner

@@ -1,0 +1,1 @@
+lib/experiments/policy_compare.mli: Format Gen Simtime

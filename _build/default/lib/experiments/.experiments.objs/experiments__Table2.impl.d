@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Baselines Core Data Format Gen List Nn Printf Satgraph

@@ -1,0 +1,167 @@
+type alpha_row = {
+  alpha : float;
+  solved : int;
+  total_propagations : int;
+  mean_seconds : float;
+}
+
+let measure_policy simtime policy instances =
+  let runs =
+    List.map (fun (i : Gen.Dataset.instance) -> Runner.solve simtime policy i.formula) instances
+  in
+  let solved = List.length (List.filter (fun r -> r.Runner.solved) runs) in
+  let total_propagations =
+    List.fold_left (fun acc r -> acc + r.Runner.propagations) 0 runs
+  in
+  let mean_seconds =
+    Util.Stats.mean (Array.of_list (List.map (fun r -> r.Runner.sim_seconds) runs))
+  in
+  (solved, total_propagations, mean_seconds)
+
+let alpha_sweep ?(alphas = [ 0.5; 0.6; 0.7; 0.8; 0.9; 0.95 ]) ?progress simtime
+    instances =
+  let row alpha =
+    (match progress with
+    | Some f -> f (Printf.sprintf "  alpha %.2f ..." alpha)
+    | None -> ());
+    let solved, total_propagations, mean_seconds =
+      measure_policy simtime (Cdcl.Policy.Frequency { alpha }) instances
+    in
+    { alpha; solved; total_propagations; mean_seconds }
+  in
+  List.map row alphas
+
+let print_alpha ppf rows =
+  Format.fprintf ppf
+    "@[<v>Ablation — Eq. 2 threshold factor alpha (frequency policy)@,\
+     %-8s %8s %16s %14s@,"
+    "alpha" "solved" "total props" "mean time (s)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8.2f %8d %16d %14.2f@," r.alpha r.solved
+        r.total_propagations r.mean_seconds)
+    rows;
+  Format.fprintf ppf "@]"
+
+type policy_row = {
+  policy : Cdcl.Policy.t;
+  solved : int;
+  total_propagations : int;
+  mean_seconds : float;
+}
+
+let default_policies =
+  [
+    Cdcl.Policy.Default;
+    Cdcl.Policy.frequency_default;
+    Cdcl.Policy.Glue_only;
+    Cdcl.Policy.Size_only;
+    Cdcl.Policy.Activity;
+    Cdcl.Policy.Random 42;
+  ]
+
+let policy_zoo ?(policies = default_policies) ?progress simtime instances =
+  let row policy =
+    (match progress with
+    | Some f -> f (Printf.sprintf "  policy %s ..." (Cdcl.Policy.name policy))
+    | None -> ());
+    let solved, total_propagations, mean_seconds =
+      measure_policy simtime policy instances
+    in
+    { policy; solved; total_propagations; mean_seconds }
+  in
+  List.map row policies
+
+let measure_config simtime config instances =
+  let runs =
+    List.map
+      (fun (i : Gen.Dataset.instance) -> Runner.solve_with_config simtime config i.formula)
+      instances
+  in
+  let solved = List.length (List.filter (fun r -> r.Runner.solved) runs) in
+  let total = List.fold_left (fun acc r -> acc + r.Runner.propagations) 0 runs in
+  let mean =
+    Util.Stats.mean (Array.of_list (List.map (fun r -> r.Runner.sim_seconds) runs))
+  in
+  (solved, total, mean)
+
+type fraction_row = {
+  fraction : float;
+  f_solved : int;
+  f_total_propagations : int;
+  f_mean_seconds : float;
+}
+
+let fraction_sweep ?(fractions = [ 0.25; 0.5; 0.75; 0.9 ]) ?progress simtime instances =
+  let row fraction =
+    (match progress with
+    | Some f -> f (Printf.sprintf "  reduce fraction %.2f ..." fraction)
+    | None -> ());
+    let config = { Cdcl.Config.default with Cdcl.Config.reduce_fraction = fraction } in
+    let f_solved, f_total_propagations, f_mean_seconds =
+      measure_config simtime config instances
+    in
+    { fraction; f_solved; f_total_propagations; f_mean_seconds }
+  in
+  List.map row fractions
+
+let print_fractions ppf rows =
+  Format.fprintf ppf
+    "@[<v>Ablation — reduce deletion fraction@,%-10s %8s %16s %14s@,"
+    "fraction" "solved" "total props" "mean time (s)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10.2f %8d %16d %14.2f@," r.fraction r.f_solved
+        r.f_total_propagations r.f_mean_seconds)
+    rows;
+  Format.fprintf ppf "@]"
+
+type restart_row = {
+  mode_name : string;
+  r_solved : int;
+  r_total_propagations : int;
+  r_mean_seconds : float;
+}
+
+let restart_comparison ?progress simtime instances =
+  let modes =
+    [
+      ("none", Cdcl.Config.No_restarts);
+      ("luby-100", Cdcl.Config.Luby 100);
+      ( "glucose-ema",
+        Cdcl.Config.Glucose { fast_alpha = 0.03; slow_alpha = 1e-4; margin = 1.25 } );
+    ]
+  in
+  let row (mode_name, mode) =
+    (match progress with
+    | Some f -> f (Printf.sprintf "  restarts %s ..." mode_name)
+    | None -> ());
+    let config = { Cdcl.Config.default with Cdcl.Config.restart_mode = mode } in
+    let r_solved, r_total_propagations, r_mean_seconds =
+      measure_config simtime config instances
+    in
+    { mode_name; r_solved; r_total_propagations; r_mean_seconds }
+  in
+  List.map row modes
+
+let print_restarts ppf rows =
+  Format.fprintf ppf
+    "@[<v>Ablation — restart schedule@,%-14s %8s %16s %14s@,"
+    "schedule" "solved" "total props" "mean time (s)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-14s %8d %16d %14.2f@," r.mode_name r.r_solved
+        r.r_total_propagations r.r_mean_seconds)
+    rows;
+  Format.fprintf ppf "@]"
+
+let print_policies ppf rows =
+  Format.fprintf ppf
+    "@[<v>Ablation — clause-deletion policy zoo@,%-16s %8s %16s %14s@,"
+    "policy" "solved" "total props" "mean time (s)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-16s %8d %16d %14.2f@," (Cdcl.Policy.name r.policy)
+        r.solved r.total_propagations r.mean_seconds)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,142 @@
+type entry = {
+  name : string;
+  family : string;
+  kissat_seconds : float;
+  kissat_solved : bool;
+  adaptive_seconds : float;
+  adaptive_solved : bool;
+  inference_seconds : float;
+  chose_frequency : bool;
+  probability : float;
+}
+
+type summary = {
+  solved : int;
+  median_seconds : float;
+  average_seconds : float;
+}
+
+type t = {
+  entries : entry list;
+  kissat : summary;
+  adaptive : summary;
+  median_improvement_pct : float;
+}
+
+let run ?(alpha = Cdcl.Policy.default_alpha) ?progress model simtime instances =
+  let measure (i : Gen.Dataset.instance) =
+    let kissat = Runner.solve simtime Cdcl.Policy.Default i.formula in
+    let selection = Core.Selector.select_policy ~alpha model i.formula in
+    let adaptive = Runner.solve simtime selection.Core.Selector.policy i.formula in
+    let entry =
+      {
+        name = i.name;
+        family = i.family;
+        kissat_seconds = kissat.Runner.sim_seconds;
+        kissat_solved = kissat.Runner.solved;
+        adaptive_seconds =
+          Float.min Simtime.paper_timeout_seconds
+            (adaptive.Runner.sim_seconds +. selection.Core.Selector.inference_seconds);
+        adaptive_solved = adaptive.Runner.solved;
+        inference_seconds = selection.Core.Selector.inference_seconds;
+        chose_frequency =
+          (match selection.Core.Selector.policy with
+          | Cdcl.Policy.Frequency _ -> true
+          | Cdcl.Policy.Default | Cdcl.Policy.Glue_only | Cdcl.Policy.Size_only
+          | Cdcl.Policy.Activity | Cdcl.Policy.Random _ -> false);
+        probability = selection.Core.Selector.probability;
+      }
+    in
+    (match progress with
+    | Some f ->
+      f
+        (Printf.sprintf "  %-22s kissat %.0fs, adaptive %.0fs (p=%.2f, %s)" entry.name
+           entry.kissat_seconds entry.adaptive_seconds entry.probability
+           (if entry.chose_frequency then "frequency" else "default"))
+    | None -> ());
+    entry
+  in
+  let entries = List.map measure instances in
+  let summarise seconds solved =
+    {
+      solved;
+      median_seconds = Util.Stats.median seconds;
+      average_seconds = Util.Stats.mean seconds;
+    }
+  in
+  let kissat =
+    summarise
+      (Array.of_list (List.map (fun e -> e.kissat_seconds) entries))
+      (List.length (List.filter (fun e -> e.kissat_solved) entries))
+  in
+  let adaptive =
+    summarise
+      (Array.of_list (List.map (fun e -> e.adaptive_seconds) entries))
+      (List.length (List.filter (fun e -> e.adaptive_solved) entries))
+  in
+  let median_improvement_pct =
+    if kissat.median_seconds <= 0.0 then 0.0
+    else
+      100.0 *. (kissat.median_seconds -. adaptive.median_seconds)
+      /. kissat.median_seconds
+  in
+  { entries; kissat; adaptive; median_improvement_pct }
+
+let print_table3 ppf t =
+  Format.fprintf ppf
+    "@[<v>Table 3 — runtime statistics on the test year (sim seconds)@,\
+     %-20s %8s %12s %12s@,%-20s %8d %12.2f %12.2f@,%-20s %8d %12.2f %12.2f@,@,\
+     median improvement: %.1f%% (paper: 5.8%%)@]"
+    "solver" "solved" "median (s)" "average (s)" "Kissat" t.kissat.solved
+    t.kissat.median_seconds t.kissat.average_seconds "NeuroSelect-Kissat"
+    t.adaptive.solved t.adaptive.median_seconds t.adaptive.average_seconds
+    t.median_improvement_pct
+
+let print_fig7a ppf t =
+  Format.fprintf ppf
+    "@[<v>Figure 7a — Kissat vs NeuroSelect-Kissat (sim seconds)@,\
+     %-24s %-8s %10s %10s  side@,"
+    "instance" "family" "kissat" "adaptive";
+  let row e =
+    let side =
+      if e.adaptive_seconds < e.kissat_seconds then "below (adaptive wins)"
+      else if e.adaptive_seconds > e.kissat_seconds then "above"
+      else "diagonal"
+    in
+    Format.fprintf ppf "%-24s %-8s %10.1f %10.1f  %s@," e.name e.family
+      e.kissat_seconds e.adaptive_seconds side
+  in
+  List.iter row t.entries;
+  let below =
+    List.length
+      (List.filter (fun e -> e.adaptive_seconds < e.kissat_seconds) t.entries)
+  in
+  let above =
+    List.length
+      (List.filter (fun e -> e.adaptive_seconds > e.kissat_seconds) t.entries)
+  in
+  Format.fprintf ppf "@,below diagonal %d, above %d, on %d@]" below above
+    (List.length t.entries - below - above)
+
+let print_fig7b ppf t =
+  let inference =
+    Array.of_list (List.map (fun e -> e.inference_seconds) t.entries)
+  in
+  let improvements =
+    Array.of_list
+      (List.filter_map
+         (fun e ->
+           let delta = e.kissat_seconds -. e.adaptive_seconds in
+           if delta > 0.0 then Some delta else None)
+         t.entries)
+  in
+  Format.fprintf ppf
+    "@[<v>Figure 7b — inference time and runtime improvement@,\
+     model inference time (s):    %a@,"
+    Util.Stats.pp_box (Util.Stats.box_summary inference);
+  if Array.length improvements > 0 then
+    Format.fprintf ppf "solver runtime improvement (s): %a@,max improvement %.1f s@]"
+      Util.Stats.pp_box
+      (Util.Stats.box_summary improvements)
+      (snd (Util.Stats.min_max improvements))
+  else Format.fprintf ppf "solver runtime improvement: none observed@]"

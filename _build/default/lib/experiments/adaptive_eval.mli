@@ -1,0 +1,48 @@
+(** Table 3 and Figure 7: Kissat vs NeuroSelect-Kissat.
+
+    Every test instance is solved under the default policy ("Kissat")
+    and under the model-selected policy ("NeuroSelect-Kissat", whose
+    reported time includes the measured model-inference wall clock, as
+    in the paper). *)
+
+type entry = {
+  name : string;
+  family : string;
+  kissat_seconds : float;
+  kissat_solved : bool;
+  adaptive_seconds : float;  (** Simulated solve time + inference time. *)
+  adaptive_solved : bool;
+  inference_seconds : float;
+  chose_frequency : bool;
+  probability : float;
+}
+
+type summary = {
+  solved : int;
+  median_seconds : float;
+  average_seconds : float;
+}
+
+type t = {
+  entries : entry list;
+  kissat : summary;
+  adaptive : summary;
+  median_improvement_pct : float;
+      (** (kissat median - adaptive median) / kissat median * 100 — the
+          paper's headline 5.8%. *)
+}
+
+val run :
+  ?alpha:float ->
+  ?progress:(string -> unit) ->
+  Core.Model.t ->
+  Simtime.t ->
+  Gen.Dataset.instance list ->
+  t
+
+val print_table3 : Format.formatter -> t -> unit
+val print_fig7a : Format.formatter -> t -> unit
+(** Scatter rows: Kissat vs NeuroSelect-Kissat runtimes. *)
+
+val print_fig7b : Format.formatter -> t -> unit
+(** Box-whisker summaries of inference times and runtime improvements. *)

@@ -1,0 +1,39 @@
+type labelled = {
+  instance : Gen.Dataset.instance;
+  outcome : Core.Labeler.outcome;
+  example : Core.Trainer.example;
+}
+
+type prepared = {
+  train : labelled list;
+  test : labelled list;
+  simtime : Simtime.t;
+}
+
+let label_all ?progress budget instances =
+  let handle (i : Gen.Dataset.instance) =
+    let outcome = Core.Labeler.label_instance ~budget i.formula in
+    (match progress with
+    | Some f ->
+      f (Format.asprintf "  %-22s %a" i.name Core.Labeler.pp_outcome outcome)
+    | None -> ());
+    {
+      instance = i;
+      outcome;
+      example =
+        Core.Trainer.example_of_formula ~name:i.name
+          ~label:outcome.Core.Labeler.label i.formula;
+    }
+  in
+  List.map handle instances
+
+let prepare ?(seed = 2024) ?(per_year = 16) ?(budget = 1_500_000) ?progress () =
+  let split = Gen.Dataset.generate ~seed ~per_year () in
+  let train = label_all ?progress budget split.Gen.Dataset.train in
+  let test = label_all ?progress budget split.Gen.Dataset.test in
+  { train; test; simtime = Simtime.make ~budget }
+
+let positives labelled =
+  List.length (List.filter (fun l -> l.outcome.Core.Labeler.label) labelled)
+
+let examples labelled = List.map (fun l -> l.example) labelled

@@ -1,0 +1,28 @@
+(** Shared dataset preparation: generate → dual-policy label → graph
+    examples. Used by the Table 1/2/3 and Figure 4/7 harnesses so the
+    expensive labelling runs once per bench invocation. *)
+
+type labelled = {
+  instance : Gen.Dataset.instance;
+  outcome : Core.Labeler.outcome;
+  example : Core.Trainer.example;
+}
+
+type prepared = {
+  train : labelled list;
+  test : labelled list;
+  simtime : Simtime.t;
+}
+
+val prepare :
+  ?seed:int ->
+  ?per_year:int ->
+  ?budget:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  prepared
+(** Defaults: seed 2024, per_year 16, budget 1,500,000 propagations
+    (the simulated 5000 s timeout). *)
+
+val positives : labelled list -> int
+val examples : labelled list -> Core.Trainer.example list

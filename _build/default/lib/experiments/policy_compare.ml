@@ -1,0 +1,78 @@
+type point = {
+  name : string;
+  family : string;
+  default_seconds : float;
+  frequency_seconds : float;
+  default_solved : bool;
+  frequency_solved : bool;
+}
+
+type summary = {
+  points : point list;
+  excluded_both_timeout : int;
+  wins_frequency : int;
+  wins_default : int;
+  ties : int;
+}
+
+let run ?(alpha = Cdcl.Policy.default_alpha) simtime instances =
+  let excluded = ref 0 in
+  let measure (i : Gen.Dataset.instance) =
+    let d = Runner.solve simtime Cdcl.Policy.Default i.formula in
+    let f = Runner.solve simtime (Cdcl.Policy.Frequency { alpha }) i.formula in
+    if (not d.Runner.solved) && not f.Runner.solved then begin
+      incr excluded;
+      None
+    end
+    else
+      Some
+        {
+          name = i.name;
+          family = i.family;
+          default_seconds = d.Runner.sim_seconds;
+          frequency_seconds = f.Runner.sim_seconds;
+          default_solved = d.Runner.solved;
+          frequency_solved = f.Runner.solved;
+        }
+  in
+  let points = List.filter_map measure instances in
+  let relative_margin p =
+    let base = Float.max p.default_seconds p.frequency_seconds in
+    if base <= 0.0 then 0.0 else (p.default_seconds -. p.frequency_seconds) /. base
+  in
+  let wins_frequency =
+    List.length (List.filter (fun p -> relative_margin p > 0.01) points)
+  in
+  let wins_default =
+    List.length (List.filter (fun p -> relative_margin p < -0.01) points)
+  in
+  {
+    points;
+    excluded_both_timeout = !excluded;
+    wins_frequency;
+    wins_default;
+    ties = List.length points - wins_frequency - wins_default;
+  }
+
+let print ppf s =
+  Format.fprintf ppf
+    "@[<v>Figure 4 — Kissat default vs frequency-guided policy (sim seconds)@,\
+     %-24s %-8s %12s %12s  side@,"
+    "instance" "family" "default" "frequency";
+  let row p =
+    let side =
+      if p.frequency_seconds < p.default_seconds then "below (new wins)"
+      else if p.frequency_seconds > p.default_seconds then "above (default wins)"
+      else "diagonal"
+    in
+    Format.fprintf ppf "%-24s %-8s %12.1f %12.1f  %s@," p.name p.family
+      p.default_seconds p.frequency_seconds side
+  in
+  List.iter row s.points;
+  Format.fprintf ppf
+    "@,points %d (excluded, both timeout: %d)@,\
+     below diagonal (frequency wins): %d@,\
+     above diagonal (default wins):   %d@,\
+     on/near diagonal:                %d@]"
+    (List.length s.points) s.excluded_both_timeout s.wins_frequency s.wins_default
+    s.ties

@@ -1,0 +1,27 @@
+(** Figure 4: default vs frequency-guided deletion policy scatter.
+
+    Every instance is solved under both policies with the same
+    simulated timeout; instances unsolved by both are excluded, as in
+    the paper. Points below the diagonal are wins for the new policy. *)
+
+type point = {
+  name : string;
+  family : string;
+  default_seconds : float;
+  frequency_seconds : float;
+  default_solved : bool;
+  frequency_solved : bool;
+}
+
+type summary = {
+  points : point list;  (** Solved by at least one policy. *)
+  excluded_both_timeout : int;
+  wins_frequency : int;  (** Strictly below the diagonal (>1% faster). *)
+  wins_default : int;
+  ties : int;
+}
+
+val run :
+  ?alpha:float -> Simtime.t -> Gen.Dataset.instance list -> summary
+
+val print : Format.formatter -> summary -> unit

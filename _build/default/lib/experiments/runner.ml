@@ -1,0 +1,25 @@
+type run = {
+  result : Cdcl.Solver.result;
+  stats : Cdcl.Solver_stats.t;
+  propagations : int;
+  sim_seconds : float;
+  solved : bool;
+}
+
+let solve_with_config simtime config formula =
+  let config =
+    { config with Cdcl.Config.max_propagations = Some (Simtime.budget simtime) }
+  in
+  let result, stats = Cdcl.Solver.solve_formula ~config formula in
+  let propagations = stats.Cdcl.Solver_stats.propagations in
+  {
+    result;
+    stats;
+    propagations;
+    sim_seconds = Simtime.seconds simtime propagations;
+    solved = (match result with Cdcl.Solver.Sat _ | Cdcl.Solver.Unsat -> true
+              | Cdcl.Solver.Unknown -> false);
+  }
+
+let solve simtime policy formula =
+  solve_with_config simtime (Cdcl.Config.with_policy policy Cdcl.Config.default) formula

@@ -1,0 +1,17 @@
+(** Single-instance solver runs for the experiment harness. *)
+
+type run = {
+  result : Cdcl.Solver.result;
+  stats : Cdcl.Solver_stats.t;
+  propagations : int;
+  sim_seconds : float;
+  solved : bool;  (** [result] is [Sat] or [Unsat] within budget. *)
+}
+
+val solve : Simtime.t -> Cdcl.Policy.t -> Cnf.Formula.t -> run
+(** Solve under the given deletion policy with the sim-time budget as
+    the propagation cap. *)
+
+val solve_with_config : Simtime.t -> Cdcl.Config.t -> Cnf.Formula.t -> run
+(** Same, but a full config (its budgets are overridden by the
+    sim-time budget). *)

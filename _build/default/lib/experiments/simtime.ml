@@ -1,0 +1,14 @@
+type t = { budget : int; scale : float }
+
+let paper_timeout_seconds = 5000.0
+
+let make ~budget =
+  if budget <= 0 then invalid_arg "Simtime.make: budget must be positive";
+  { budget; scale = paper_timeout_seconds /. float_of_int budget }
+
+let budget t = t.budget
+
+let seconds t propagations =
+  Float.min paper_timeout_seconds (float_of_int propagations *. t.scale)
+
+let timed_out t propagations = propagations >= t.budget

@@ -1,0 +1,23 @@
+(** Simulated solver time.
+
+    The paper reports wall-clock seconds under a 5000 s timeout on the
+    authors' testbed. This reproduction uses the deterministic
+    propagation count (the same proxy the paper itself uses for
+    labelling, Sec. 5.1) and maps it to "simulated seconds" so
+    tables/figures carry paper-like axes: a run that exhausts the
+    propagation budget maps to exactly the 5000 s timeout. *)
+
+type t
+
+val paper_timeout_seconds : float
+(** 5000.0 *)
+
+val make : budget:int -> t
+(** [budget] is the propagation cap corresponding to the timeout. *)
+
+val budget : t -> int
+
+val seconds : t -> int -> float
+(** [seconds t propagations], capped at the timeout. *)
+
+val timed_out : t -> int -> bool

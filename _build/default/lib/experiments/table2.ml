@@ -1,0 +1,100 @@
+type row = {
+  model_name : string;
+  report : Core.Metrics.report;
+}
+
+type t = {
+  rows : row list;
+  train_size : int;
+  test_size : int;
+  test_positives : int;
+  full_model : Core.Model.t;
+}
+
+let eval_spec spec test =
+  let predicted = Array.map (fun (g, _) -> Nn.Train.predict spec g) test in
+  let actual = Array.map snd test in
+  Core.Metrics.report ~predicted ~actual
+
+let run_spec ?progress ~name ~epochs ~lr ~seed spec train test =
+  (match progress with Some f -> f (Printf.sprintf "  training %s ..." name) | None -> ());
+  let pos_weight = Nn.Train.auto_pos_weight train in
+  let _history = Nn.Train.fit ~epochs ~lr ~seed ~pos_weight spec train in
+  { model_name = name; report = eval_spec spec test }
+
+let run ?(epochs = 30) ?(lr = 2e-3) ?(seed = 5) ?progress (data : Data.prepared) =
+  let labels_of l = (l.Data.outcome.Core.Labeler.label : bool) in
+  let formulas split =
+    List.map (fun l -> (l.Data.instance.Gen.Dataset.formula, labels_of l)) split
+  in
+  let train_f = formulas data.Data.train and test_f = formulas data.Data.test in
+  let litgraphs fs =
+    Array.of_list
+      (List.map (fun (f, l) -> (Satgraph.Litgraph.of_formula f, l)) fs)
+  in
+  let bigraphs fs =
+    Array.of_list
+      (List.map (fun (f, l) -> (Satgraph.Bigraph.of_formula f, l)) fs)
+  in
+  let lit_train = litgraphs train_f and lit_test = litgraphs test_f in
+  let bi_train = bigraphs train_f and bi_test = bigraphs test_f in
+  let logreg =
+    let model = Baselines.Logreg.create ~seed () in
+    Baselines.Logreg.fit_normalisation model (List.map fst train_f);
+    run_spec ?progress ~name:"Logistic regression (features)" ~epochs ~lr:0.05 ~seed
+      (Baselines.Logreg.spec model)
+      (Array.of_list train_f) (Array.of_list test_f)
+  in
+  let neurosat =
+    let model =
+      Baselines.Neurosat.create { Baselines.Neurosat.default_config with seed }
+    in
+    run_spec ?progress ~name:"NeuroSAT" ~epochs ~lr ~seed
+      (Baselines.Neurosat.spec model) lit_train lit_test
+  in
+  let gin =
+    let model = Baselines.Gin.create { Baselines.Gin.default_config with seed } in
+    run_spec ?progress ~name:"G4SATBench" ~epochs ~lr ~seed (Baselines.Gin.spec model)
+      bi_train bi_test
+  in
+  let neuroselect_spec model =
+    {
+      Nn.Train.params = Core.Model.params model;
+      forward = (fun tape g -> Core.Model.forward_logit model tape g);
+    }
+  in
+  let no_attention =
+    let model =
+      Core.Model.create
+        { Core.Model.paper_config with use_attention = false; seed }
+    in
+    run_spec ?progress ~name:"NeuroSelect w/o attention" ~epochs ~lr ~seed
+      (neuroselect_spec model) bi_train bi_test
+  in
+  let full_model = Core.Model.create { Core.Model.paper_config with seed } in
+  let full =
+    run_spec ?progress ~name:"NeuroSelect" ~epochs ~lr ~seed
+      (neuroselect_spec full_model) bi_train bi_test
+  in
+  {
+    rows = [ logreg; neurosat; gin; no_attention; full ];
+    full_model;
+    train_size = Array.length bi_train;
+    test_size = Array.length bi_test;
+    test_positives =
+      Array.fold_left (fun n (_, l) -> if l then n + 1 else n) 0 bi_test;
+  }
+
+let print ppf t =
+  Format.fprintf ppf
+    "@[<v>Table 2 — SAT classification models (train %d, test %d, %d positive)@,\
+     %-28s %10s %10s %10s %10s@,"
+    t.train_size t.test_size t.test_positives "model" "precision" "recall" "F1"
+    "accuracy";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-28s %9.2f%% %9.2f%% %9.2f%% %9.2f%%@," r.model_name
+        r.report.Core.Metrics.precision_pct r.report.Core.Metrics.recall_pct
+        r.report.Core.Metrics.f1_pct r.report.Core.Metrics.accuracy_pct)
+    t.rows;
+  Format.fprintf ppf "@]"

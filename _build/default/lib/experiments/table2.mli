@@ -1,0 +1,33 @@
+(** Table 2: SAT-instance classification quality.
+
+    Trains five classifiers on the 2016–2021 split and evaluates on the
+    2022 split: a static-feature logistic regression (extra baseline
+    not in the paper), NeuroSAT, G4SATBench-GIN, NeuroSelect without
+    the attention block, and full NeuroSelect. All share the training
+    regime (BCE, Adam, batch 1, class balancing). *)
+
+type row = {
+  model_name : string;
+  report : Core.Metrics.report;
+}
+
+type t = {
+  rows : row list;
+  train_size : int;
+  test_size : int;
+  test_positives : int;
+  full_model : Core.Model.t;
+      (** The trained full NeuroSelect model (reused by the Table 3 /
+          Figure 7 harness so it is not trained twice). *)
+}
+
+val run :
+  ?epochs:int ->
+  ?lr:float ->
+  ?seed:int ->
+  ?progress:(string -> unit) ->
+  Data.prepared ->
+  t
+(** Defaults: 30 epochs, lr 2e-3. *)
+
+val print : Format.formatter -> t -> unit

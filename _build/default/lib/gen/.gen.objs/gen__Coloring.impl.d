@@ -1,0 +1,1 @@
+lib/gen/coloring.ml: Cnf List Util

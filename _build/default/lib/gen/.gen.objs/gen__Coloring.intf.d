@@ -1,0 +1,1 @@
+lib/gen/coloring.mli: Cnf Util

@@ -1,0 +1,1 @@
+lib/gen/dataset.ml: Array Circuits Cnf Coloring Format Ksat List Parity Pigeonhole Printf Util

@@ -1,0 +1,1 @@
+lib/gen/dataset.mli: Cnf Format

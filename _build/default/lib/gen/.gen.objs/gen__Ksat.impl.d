@@ -1,0 +1,1 @@
+lib/gen/ksat.ml: Array Cnf Util

@@ -1,0 +1,1 @@
+lib/gen/ksat.mli: Cnf Util

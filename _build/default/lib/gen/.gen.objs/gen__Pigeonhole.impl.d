@@ -1,0 +1,1 @@
+lib/gen/pigeonhole.ml: Cnf List

@@ -1,0 +1,1 @@
+lib/gen/pigeonhole.mli: Cnf

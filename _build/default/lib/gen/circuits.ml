@@ -1,0 +1,69 @@
+module Circuit = Cnf.Circuit
+
+(* A structurally different full adder: sum and carry through muxes. *)
+let mux_full_adder c a b cin =
+  let ab = Circuit.xor_ c a b in
+  let sum = Circuit.mux c ~sel:cin (Circuit.not_ ab) ab in
+  let carry = Circuit.mux c ~sel:ab cin a in
+  (sum, carry)
+
+let mux_adder c xs ys =
+  let n = Array.length xs in
+  let sum = Array.make n Circuit.false_ in
+  let carry = ref Circuit.false_ in
+  for i = 0 to n - 1 do
+    let s, co = mux_full_adder c xs.(i) ys.(i) !carry in
+    sum.(i) <- s;
+    carry := co
+  done;
+  sum
+
+let inject_fault outs =
+  let outs = Array.copy outs in
+  let mid = Array.length outs / 2 in
+  outs.(mid) <- Circuit.not_ outs.(mid);
+  outs
+
+let adder_miter ?(faulty = false) width =
+  if width < 1 then invalid_arg "Circuits.adder_miter";
+  let c = Circuit.create () in
+  let xs = Circuit.input_array c width in
+  let ys = Circuit.input_array c width in
+  let sum1, _ = Circuit.ripple_adder c xs ys in
+  let sum2 = mux_adder c xs ys in
+  let sum2 = if faulty then inject_fault sum2 else sum2 in
+  let differ = Circuit.miter c sum1 sum2 in
+  let formula, _mapping = Cnf.Tseitin.encode c ~asserted:[ differ ] in
+  formula
+
+let multiplier_miter ?(faulty = false) width =
+  if width < 1 then invalid_arg "Circuits.multiplier_miter";
+  let c = Circuit.create () in
+  let xs = Circuit.input_array c width in
+  let ys = Circuit.input_array c width in
+  let prod1 = Circuit.multiplier c xs ys in
+  let prod2 = Circuit.wallace_multiplier c xs ys in
+  let prod2 = if faulty then inject_fault prod2 else prod2 in
+  let differ = Circuit.miter c prod1 prod2 in
+  let formula, _mapping = Cnf.Tseitin.encode c ~asserted:[ differ ] in
+  formula
+
+let equivalent_outputs ~width =
+  if width > 10 then invalid_arg "Circuits.equivalent_outputs: width too large";
+  let c = Circuit.create () in
+  let xs = Circuit.input_array c width in
+  let ys = Circuit.input_array c width in
+  let sum1, _ = Circuit.ripple_adder c xs ys in
+  let sum2 = mux_adder c xs ys in
+  let total = 1 lsl (2 * width) in
+  let ok = ref true in
+  for pattern = 0 to total - 1 do
+    let inputs =
+      Array.init (2 * width) (fun i -> (pattern lsr i) land 1 = 1)
+    in
+    Array.iteri
+      (fun i s1 ->
+        if Circuit.eval c inputs s1 <> Circuit.eval c inputs sum2.(i) then ok := false)
+      sum1
+  done;
+  !ok

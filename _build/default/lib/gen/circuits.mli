@@ -1,0 +1,20 @@
+(** Circuit-verification workloads (the EDA family).
+
+    Equivalence miters between structurally different implementations
+    of the same arithmetic function, Tseitin-encoded: the miter output
+    asserts "the two implementations differ", so a correct pair yields
+    an UNSAT CNF (equivalence proof) and a fault-injected pair yields a
+    SAT CNF (counterexample exists). *)
+
+val adder_miter : ?faulty:bool -> int -> Cnf.Formula.t
+(** [adder_miter width]: ripple-carry adder vs a mux-based adder of the
+    same width. [faulty] inverts one sum bit of the second
+    implementation. *)
+
+val multiplier_miter : ?faulty:bool -> int -> Cnf.Formula.t
+(** Shift-and-add vs Wallace-tree multiplier. Difficulty grows steeply
+    with [width]; 3–5 is laptop-scale. *)
+
+val equivalent_outputs : width:int -> bool
+(** Sanity helper: simulate both adder implementations on all inputs
+    (width <= 10) and report functional equality. *)

@@ -1,0 +1,22 @@
+let generate rng ~vertices ~edge_prob ~colors =
+  if vertices < 1 || colors < 1 then invalid_arg "Coloring.generate";
+  let builder = Cnf.Formula.Builder.create () in
+  let var v c = ((v - 1) * colors) + c in
+  Cnf.Formula.Builder.ensure_vars builder (vertices * colors);
+  for v = 1 to vertices do
+    Cnf.Formula.Builder.add_dimacs builder (List.init colors (fun c -> var v (c + 1)))
+  done;
+  for u = 1 to vertices do
+    for v = u + 1 to vertices do
+      if Util.Rng.float rng 1.0 < edge_prob then
+        for c = 1 to colors do
+          Cnf.Formula.Builder.add_dimacs builder [ -(var u c); -(var v c) ]
+        done
+    done
+  done;
+  Cnf.Formula.Builder.build builder
+
+let hard_3col rng ~vertices =
+  (* Average degree ~4.7 is the 3-colourability threshold. *)
+  let edge_prob = 4.7 /. float_of_int (max 1 (vertices - 1)) in
+  generate rng ~vertices ~edge_prob ~colors:3

@@ -1,0 +1,11 @@
+(** Graph k-colouring as CNF.
+
+    Random Erdős–Rényi graphs; variable [(v-1)*colors + c] means
+    "vertex v has colour c". Encodes at-least-one colour per vertex and
+    no monochromatic edge. Density controls the SAT/UNSAT mix. *)
+
+val generate :
+  Util.Rng.t -> vertices:int -> edge_prob:float -> colors:int -> Cnf.Formula.t
+
+val hard_3col : Util.Rng.t -> vertices:int -> Cnf.Formula.t
+(** 3-colouring at the critical average degree (~4.7). *)

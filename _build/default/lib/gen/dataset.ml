@@ -1,0 +1,104 @@
+type instance = {
+  name : string;
+  family : string;
+  year : int;
+  formula : Cnf.Formula.t;
+}
+
+type split = {
+  train : instance list;
+  test : instance list;
+}
+
+let years_train = [ 2016; 2017; 2018; 2019; 2020; 2021 ]
+let year_test = 2022
+
+(* Family mix: weights chosen so structured families (where the
+   frequency policy tends to help) and random ones (where it tends not
+   to) are both well represented, giving a balanced labelling. *)
+let families =
+  [| "ksat"; "php"; "color"; "parity"; "adder"; "mult"; "ksat"; "parity" |]
+
+let make_instance rng year index =
+  let family = families.(index mod Array.length families) in
+  (* Sizes drift upward with the year, like the competition does. *)
+  let growth = (year - 2016) * 2 in
+  let formula =
+    match family with
+    | "ksat" ->
+      let num_vars = Util.Rng.int_in rng (90 + growth) (160 + (2 * growth)) in
+      let ratio = Util.Rng.uniform rng 4.0 4.6 in
+      let num_clauses = int_of_float (ratio *. float_of_int num_vars) in
+      Ksat.generate rng ~num_vars ~num_clauses ~k:3
+    | "php" ->
+      let holes = Util.Rng.int_in rng 6 7 in
+      Pigeonhole.unsat holes
+    | "color" ->
+      let vertices = Util.Rng.int_in rng (35 + growth) (70 + growth) in
+      Coloring.hard_3col rng ~vertices
+    | "parity" ->
+      let num_vars = Util.Rng.int_in rng 14 (26 + (growth / 2)) in
+      Parity.contradiction rng ~num_vars
+    | "adder" ->
+      let width = Util.Rng.int_in rng 8 (16 + growth) in
+      let faulty = Util.Rng.bool rng in
+      Circuits.adder_miter ~faulty width
+    | "mult" ->
+      let width = Util.Rng.int_in rng 4 5 in
+      let faulty = Util.Rng.bool rng in
+      Circuits.multiplier_miter ~faulty width
+    | _ -> assert false
+  in
+  {
+    name = Printf.sprintf "%d-%s-%03d" year family index;
+    family;
+    year;
+    formula;
+  }
+
+let generate_year ~seed ~per_year year =
+  let rng = Util.Rng.create (seed lxor (year * 7919)) in
+  List.init per_year (fun i -> make_instance rng year i)
+
+let generate ?(seed = 2024) ?(per_year = 24) () =
+  let train =
+    List.concat_map (generate_year ~seed ~per_year) years_train
+  in
+  let test = generate_year ~seed ~per_year year_test in
+  { train; test }
+
+type year_stats = {
+  year : int;
+  num_cnfs : int;
+  mean_vars : float;
+  mean_clauses : float;
+}
+
+let stats instances =
+  let years =
+    List.sort_uniq compare (List.map (fun (i : instance) -> i.year) instances)
+  in
+  let year_row year =
+    let group = List.filter (fun (i : instance) -> i.year = year) instances in
+    let n = List.length group in
+    let sum f =
+      List.fold_left (fun acc (i : instance) -> acc + f i.formula) 0 group
+    in
+    {
+      year;
+      num_cnfs = n;
+      mean_vars = float_of_int (sum Cnf.Formula.num_vars) /. float_of_int (max n 1);
+      mean_clauses =
+        float_of_int (sum Cnf.Formula.num_clauses) /. float_of_int (max n 1);
+    }
+  in
+  List.map year_row years
+
+let pp_stats ppf rows =
+  Format.fprintf ppf "@[<v>%-6s %-7s %-12s %-12s@," "Year" "# CNFs" "mean vars" "mean clauses";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-6d %-7d %-12.1f %-12.1f@," r.year r.num_cnfs r.mean_vars
+        r.mean_clauses)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** Year-structured benchmark dataset (the Table 1 substitute).
+
+    The paper trains on SAT-competition main tracks 2016–2021 and tests
+    on 2022. Offline we synthesise the same structure: each "year" is a
+    deterministic mix of six instance families (random 3-SAT near the
+    phase transition, pigeonhole, graph 3-colouring, XOR-chain
+    contradictions, adder-equivalence miters, multiplier miters) whose
+    size ranges drift slightly across years, mirroring the competition's
+    growth. Everything derives from one seed. *)
+
+type instance = {
+  name : string;
+  family : string;
+  year : int;
+  formula : Cnf.Formula.t;
+}
+
+type split = {
+  train : instance list;  (** Years 2016–2021. *)
+  test : instance list;  (** Year 2022. *)
+}
+
+val years_train : int list
+val year_test : int
+
+val generate_year : seed:int -> per_year:int -> int -> instance list
+(** Deterministic in [(seed, year)]. *)
+
+val generate : ?seed:int -> ?per_year:int -> unit -> split
+(** [per_year] defaults to 24. *)
+
+type year_stats = {
+  year : int;
+  num_cnfs : int;
+  mean_vars : float;
+  mean_clauses : float;
+}
+
+val stats : instance list -> year_stats list
+(** Grouped by year, ascending — the rows of Table 1. *)
+
+val pp_stats : Format.formatter -> year_stats list -> unit

@@ -1,0 +1,17 @@
+let generate rng ~num_vars ~num_clauses ~k =
+  if k < 1 || k > num_vars then invalid_arg "Ksat.generate: bad k";
+  let builder = Cnf.Formula.Builder.create () in
+  Cnf.Formula.Builder.ensure_vars builder num_vars;
+  for _ = 1 to num_clauses do
+    let vars = Util.Rng.sample_distinct rng k num_vars in
+    let lits =
+      Array.to_list
+        (Array.map (fun v -> Cnf.Lit.make (v + 1) (Util.Rng.bool rng)) vars)
+    in
+    Cnf.Formula.Builder.add_clause builder lits
+  done;
+  Cnf.Formula.Builder.build builder
+
+let near_threshold rng ~num_vars =
+  let num_clauses = int_of_float (4.27 *. float_of_int num_vars) in
+  generate rng ~num_vars ~num_clauses ~k:3

@@ -1,0 +1,12 @@
+(** Uniform random k-SAT.
+
+    Clauses draw [k] distinct variables and independent random signs.
+    At clause/variable ratio ~4.27 (k=3) instances sit near the
+    SAT/UNSAT phase transition, the classic hard regime. *)
+
+val generate :
+  Util.Rng.t -> num_vars:int -> num_clauses:int -> k:int -> Cnf.Formula.t
+(** @raise Invalid_argument when [k > num_vars] or [k < 1]. *)
+
+val near_threshold : Util.Rng.t -> num_vars:int -> Cnf.Formula.t
+(** 3-SAT at ratio 4.27. *)

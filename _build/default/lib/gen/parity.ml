@@ -1,0 +1,42 @@
+(* xor3 builder: adds clauses for a = b xor c. *)
+let add_xor_def builder a b c =
+  let open Cnf.Formula.Builder in
+  add_dimacs builder [ -a; b; c ];
+  add_dimacs builder [ -a; -b; -c ];
+  add_dimacs builder [ a; -b; c ];
+  add_dimacs builder [ a; b; -c ]
+
+(* Chain x_{order(1)} xor ... xor x_{order(n)} = target using fresh
+   auxiliaries in [builder]; [vars] are existing variable ids. *)
+let add_chain builder rng vars target =
+  let order = Array.copy vars in
+  Util.Rng.shuffle rng order;
+  match Array.to_list order with
+  | [] -> ()
+  | [ x ] ->
+    Cnf.Formula.Builder.add_dimacs builder [ (if target then x else -x) ]
+  | x :: rest ->
+    let acc = ref x in
+    let handle y =
+      let aux = Cnf.Formula.Builder.fresh_var builder in
+      add_xor_def builder aux !acc y;
+      acc := aux
+    in
+    List.iter handle rest;
+    Cnf.Formula.Builder.add_dimacs builder [ (if target then !acc else - !acc) ]
+
+let chain rng ~num_vars ~target =
+  if num_vars < 1 then invalid_arg "Parity.chain";
+  let builder = Cnf.Formula.Builder.create () in
+  Cnf.Formula.Builder.ensure_vars builder num_vars;
+  add_chain builder rng (Array.init num_vars (fun i -> i + 1)) target;
+  Cnf.Formula.Builder.build builder
+
+let contradiction rng ~num_vars =
+  if num_vars < 1 then invalid_arg "Parity.contradiction";
+  let builder = Cnf.Formula.Builder.create () in
+  Cnf.Formula.Builder.ensure_vars builder num_vars;
+  let vars = Array.init num_vars (fun i -> i + 1) in
+  add_chain builder rng vars true;
+  add_chain builder rng vars false;
+  Cnf.Formula.Builder.build builder

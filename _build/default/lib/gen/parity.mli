@@ -1,0 +1,11 @@
+(** XOR/parity chain instances (Tseitin-style).
+
+    [chain] encodes [x1 xor ... xor xn = target] with chained auxiliary
+    variables. [contradiction] asserts opposite parities of the same
+    variables through two independently shuffled chains — unsatisfiable,
+    and hard for resolution-based solvers as n grows. *)
+
+val chain : Util.Rng.t -> num_vars:int -> target:bool -> Cnf.Formula.t
+
+val contradiction : Util.Rng.t -> num_vars:int -> Cnf.Formula.t
+(** UNSAT for every [num_vars >= 1]. *)

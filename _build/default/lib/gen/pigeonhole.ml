@@ -1,0 +1,18 @@
+let generate ~pigeons ~holes =
+  if pigeons < 1 || holes < 1 then invalid_arg "Pigeonhole.generate";
+  let builder = Cnf.Formula.Builder.create () in
+  let var p h = ((p - 1) * holes) + h in
+  Cnf.Formula.Builder.ensure_vars builder (pigeons * holes);
+  for p = 1 to pigeons do
+    Cnf.Formula.Builder.add_dimacs builder (List.init holes (fun h -> var p (h + 1)))
+  done;
+  for h = 1 to holes do
+    for p1 = 1 to pigeons do
+      for p2 = p1 + 1 to pigeons do
+        Cnf.Formula.Builder.add_dimacs builder [ -(var p1 h); -(var p2 h) ]
+      done
+    done
+  done;
+  Cnf.Formula.Builder.build builder
+
+let unsat n = generate ~pigeons:(n + 1) ~holes:n

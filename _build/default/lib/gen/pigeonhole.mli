@@ -1,0 +1,11 @@
+(** Pigeonhole principle instances PHP(p, h).
+
+    [p] pigeons into [h] holes: every pigeon gets a hole, no hole holds
+    two pigeons. Unsatisfiable iff [p > h]; resolution proofs are
+    exponential, so these stress clause learning and deletion. *)
+
+val generate : pigeons:int -> holes:int -> Cnf.Formula.t
+(** Variable [(p-1)*holes + h] means "pigeon p in hole h" (1-based). *)
+
+val unsat : int -> Cnf.Formula.t
+(** [unsat n] = PHP(n+1, n). *)

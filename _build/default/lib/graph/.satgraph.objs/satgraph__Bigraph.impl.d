@@ -1,0 +1,1 @@
+lib/graph/bigraph.ml: Array Cnf Tensor Util

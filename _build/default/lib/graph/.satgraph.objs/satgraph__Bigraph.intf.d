@@ -1,0 +1,1 @@
+lib/graph/bigraph.mli: Cnf Tensor

@@ -1,0 +1,1 @@
+lib/graph/litgraph.ml: Array Cnf Util

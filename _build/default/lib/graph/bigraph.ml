@@ -1,0 +1,55 @@
+module Mat = Tensor.Mat
+
+type t = {
+  num_vars : int;
+  num_clauses : int;
+  edge_var : int array;
+  edge_clause : int array;
+  edge_weight : float array;
+  var_degree : int array;
+  clause_degree : int array;
+}
+
+let of_formula formula =
+  let num_vars = Cnf.Formula.num_vars formula in
+  let num_clauses = Cnf.Formula.num_clauses formula in
+  let ev = Util.Vec.create ~dummy:0 () in
+  let ec = Util.Vec.create ~dummy:0 () in
+  let ew = Util.Vec.create ~dummy:0.0 () in
+  let var_degree = Array.make num_vars 0 in
+  let clause_degree = Array.make num_clauses 0 in
+  let ci = ref 0 in
+  let add_clause c =
+    Array.iter
+      (fun l ->
+        let v = Cnf.Lit.var l - 1 in
+        Util.Vec.push ev v;
+        Util.Vec.push ec !ci;
+        Util.Vec.push ew (if Cnf.Lit.is_pos l then 1.0 else -1.0);
+        var_degree.(v) <- var_degree.(v) + 1;
+        clause_degree.(!ci) <- clause_degree.(!ci) + 1)
+      c;
+    incr ci
+  in
+  Cnf.Formula.iter_clauses add_clause formula;
+  {
+    num_vars;
+    num_clauses;
+    edge_var = Util.Vec.to_array ev;
+    edge_clause = Util.Vec.to_array ec;
+    edge_weight = Util.Vec.to_array ew;
+    var_degree;
+    clause_degree;
+  }
+
+let num_edges t = Array.length t.edge_var
+let num_nodes t = t.num_vars + t.num_clauses
+
+let initial_var_features t = Mat.create t.num_vars 1 1.0
+let initial_clause_features t = Mat.create t.num_clauses 1 0.0
+
+let inv_degrees deg =
+  Array.map (fun d -> if d = 0 then 0.0 else 1.0 /. float_of_int d) deg
+
+let var_inv_degree t = inv_degrees t.var_degree
+let clause_inv_degree t = inv_degrees t.clause_degree

@@ -1,0 +1,35 @@
+(** Bipartite variable–clause graph representation of a CNF (Sec. 4.2).
+
+    Following NeuroComb's compact encoding: one node per variable (V1),
+    one per clause (V2), an edge per literal occurrence with weight +1
+    for a positive and -1 for a negated occurrence. Edges are stored in
+    coordinate form (parallel arrays) because the MPNN consumes them as
+    gather/scatter index streams. *)
+
+type t = private {
+  num_vars : int;
+  num_clauses : int;
+  edge_var : int array;  (** 0-based variable node per edge. *)
+  edge_clause : int array;  (** 0-based clause node per edge. *)
+  edge_weight : float array;  (** +1.0 or -1.0. *)
+  var_degree : int array;
+  clause_degree : int array;
+}
+
+val of_formula : Cnf.Formula.t -> t
+
+val num_edges : t -> int
+val num_nodes : t -> int
+(** [num_vars + num_clauses]. *)
+
+val initial_var_features : t -> Tensor.Mat.t
+(** [num_vars x 1], all ones (the paper's V1 initial embedding). *)
+
+val initial_clause_features : t -> Tensor.Mat.t
+(** [num_clauses x 1], all zeros (the paper's V2 initial embedding). *)
+
+val var_inv_degree : t -> float array
+(** [1 / |N(v)|] per variable node (0 for isolated nodes) — the
+    aggregation normaliser of Eq. 6. *)
+
+val clause_inv_degree : t -> float array

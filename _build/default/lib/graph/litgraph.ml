@@ -1,0 +1,51 @@
+type t = {
+  num_vars : int;
+  num_clauses : int;
+  edge_lit : int array;
+  edge_clause : int array;
+  lit_degree : int array;
+  clause_degree : int array;
+}
+
+let lit_node l =
+  let v = Cnf.Lit.var l - 1 in
+  (2 * v) + if Cnf.Lit.is_pos l then 0 else 1
+
+let of_formula formula =
+  let num_vars = Cnf.Formula.num_vars formula in
+  let num_clauses = Cnf.Formula.num_clauses formula in
+  let el = Util.Vec.create ~dummy:0 () in
+  let ec = Util.Vec.create ~dummy:0 () in
+  let lit_degree = Array.make (2 * num_vars) 0 in
+  let clause_degree = Array.make num_clauses 0 in
+  let ci = ref 0 in
+  let add_clause c =
+    Array.iter
+      (fun l ->
+        let node = lit_node l in
+        Util.Vec.push el node;
+        Util.Vec.push ec !ci;
+        lit_degree.(node) <- lit_degree.(node) + 1;
+        clause_degree.(!ci) <- clause_degree.(!ci) + 1)
+      c;
+    incr ci
+  in
+  Cnf.Formula.iter_clauses add_clause formula;
+  {
+    num_vars;
+    num_clauses;
+    edge_lit = Util.Vec.to_array el;
+    edge_clause = Util.Vec.to_array ec;
+    lit_degree;
+    clause_degree;
+  }
+
+let num_lit_nodes t = 2 * t.num_vars
+let num_edges t = Array.length t.edge_lit
+let complement node = node lxor 1
+
+let inv_degrees deg =
+  Array.map (fun d -> if d = 0 then 0.0 else 1.0 /. float_of_int d) deg
+
+let lit_inv_degree t = inv_degrees t.lit_degree
+let clause_inv_degree t = inv_degrees t.clause_degree

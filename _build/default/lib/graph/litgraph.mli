@@ -1,0 +1,27 @@
+(** Literal–clause graph (NeuroSAT's encoding).
+
+    One node per literal (2 per variable) plus one per clause; an
+    unweighted edge links a literal to each clause containing it, and
+    each literal is paired with its complement. Used by the NeuroSAT
+    baseline of Table 2. *)
+
+type t = private {
+  num_vars : int;
+  num_clauses : int;
+  edge_lit : int array;  (** 0-based literal node per edge; literal node
+                             of var v (1-based) is [2(v-1)] positive,
+                             [2(v-1)+1] negative. *)
+  edge_clause : int array;
+  lit_degree : int array;
+  clause_degree : int array;
+}
+
+val of_formula : Cnf.Formula.t -> t
+val num_lit_nodes : t -> int
+val num_edges : t -> int
+
+val complement : int -> int
+(** Node index of the complementary literal. *)
+
+val lit_inv_degree : t -> float array
+val clause_inv_degree : t -> float array

@@ -1,0 +1,1 @@
+lib/nn/ad.ml: Array Float Lazy Param Tensor Util

@@ -1,0 +1,1 @@
+lib/nn/checkpoint.ml: Array Buffer Fun Hashtbl List Param Printf String Tensor

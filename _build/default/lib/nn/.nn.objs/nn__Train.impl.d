@@ -1,0 +1,1 @@
+lib/nn/train.ml: Ad Array Float Optim Param Tensor Util

@@ -1,0 +1,384 @@
+module Mat = Tensor.Mat
+
+type v = {
+  value : Mat.t;
+  grad : Mat.t;
+  backward : unit -> unit;
+}
+
+type tape = { nodes : v Util.Vec.t }
+
+let dummy_node =
+  { value = Mat.zeros 0 0; grad = Mat.zeros 0 0; backward = (fun () -> ()) }
+
+let tape () = { nodes = Util.Vec.create ~dummy:dummy_node () }
+
+let node tape value backward =
+  let n = { value; grad = Mat.zeros (Mat.rows value) (Mat.cols value); backward } in
+  Util.Vec.push tape.nodes n;
+  n
+
+let value n = n.value
+let grad n = n.grad
+let node_count tape = Util.Vec.length tape.nodes
+
+let of_param tape (p : Param.t) =
+  let rec n =
+    {
+      value = p.Param.value;
+      grad = Mat.zeros (Mat.rows p.Param.value) (Mat.cols p.Param.value);
+      backward = (fun () -> Mat.add_in_place p.Param.grad n.grad);
+    }
+  in
+  Util.Vec.push tape.nodes n;
+  n
+
+let const tape m = node tape m (fun () -> ())
+
+(* Each op allocates its output node, then installs a backward closure
+   that reads the output's gradient and accumulates into the inputs'. *)
+
+let add tape a b =
+  let rec out =
+    lazy
+      (node tape (Mat.add a.value b.value) (fun () ->
+           let g = (Lazy.force out).grad in
+           Mat.add_in_place a.grad g;
+           Mat.add_in_place b.grad g))
+  in
+  Lazy.force out
+
+let sub tape a b =
+  let rec out =
+    lazy
+      (node tape (Mat.sub a.value b.value) (fun () ->
+           let g = (Lazy.force out).grad in
+           Mat.add_in_place a.grad g;
+           Mat.add_in_place b.grad (Mat.scale (-1.0) g)))
+  in
+  Lazy.force out
+
+let mul tape a b =
+  let rec out =
+    lazy
+      (node tape (Mat.mul a.value b.value) (fun () ->
+           let g = (Lazy.force out).grad in
+           Mat.add_in_place a.grad (Mat.mul g b.value);
+           Mat.add_in_place b.grad (Mat.mul g a.value)))
+  in
+  Lazy.force out
+
+let scale tape s a =
+  let rec out =
+    lazy
+      (node tape (Mat.scale s a.value) (fun () ->
+           Mat.add_in_place a.grad (Mat.scale s (Lazy.force out).grad)))
+  in
+  Lazy.force out
+
+let matmul tape a b =
+  let rec out =
+    lazy
+      (node tape (Mat.matmul a.value b.value) (fun () ->
+           let g = (Lazy.force out).grad in
+           Mat.add_in_place a.grad (Mat.matmul_transpose_b g b.value);
+           Mat.add_in_place b.grad (Mat.matmul_transpose_a a.value g)))
+  in
+  Lazy.force out
+
+let matmul_ta tape a b =
+  (* out = a^T b with a : n x m, b : n x p, out : m x p.
+     da = b (dout)^T = matmul_transpose_b b dout ; db = a dout. *)
+  let rec out =
+    lazy
+      (node tape (Mat.matmul_transpose_a a.value b.value) (fun () ->
+           let g = (Lazy.force out).grad in
+           Mat.add_in_place a.grad (Mat.matmul_transpose_b b.value g);
+           Mat.add_in_place b.grad (Mat.matmul a.value g)))
+  in
+  Lazy.force out
+
+let relu tape a =
+  let y = Mat.map (fun x -> if x > 0.0 then x else 0.0) a.value in
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad in
+           Mat.add_in_place a.grad
+             (Mat.map2 (fun gx x -> if x > 0.0 then gx else 0.0) g a.value)))
+  in
+  Lazy.force out
+
+let sigmoid tape a =
+  let y = Mat.map (fun x -> 1.0 /. (1.0 +. exp (-.x))) a.value in
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad in
+           Mat.add_in_place a.grad (Mat.map2 (fun gx s -> gx *. s *. (1.0 -. s)) g y)))
+  in
+  Lazy.force out
+
+let tanh tape a =
+  let y = Mat.map Float.tanh a.value in
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad in
+           Mat.add_in_place a.grad
+             (Mat.map2 (fun gx th -> gx *. (1.0 -. (th *. th))) g y)))
+  in
+  Lazy.force out
+
+let add_row_bias tape x b =
+  if Mat.rows b.value <> 1 || Mat.cols b.value <> Mat.cols x.value then
+    invalid_arg "Ad.add_row_bias: bias must be 1 x cols(x)";
+  let y =
+    Mat.init (Mat.rows x.value) (Mat.cols x.value) (fun i j ->
+        Mat.get x.value i j +. Mat.get b.value 0 j)
+  in
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad in
+           Mat.add_in_place x.grad g;
+           Mat.add_in_place b.grad (Mat.scale (float_of_int (Mat.rows g)) (Mat.col_means g))))
+  in
+  Lazy.force out
+
+let mean_rows tape x =
+  let n = Mat.rows x.value in
+  let y = Mat.col_means x.value in
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad in
+           let inv = 1.0 /. float_of_int (max n 1) in
+           let spread =
+             Mat.init n (Mat.cols x.value) (fun _ j -> inv *. Mat.get g 0 j)
+           in
+           Mat.add_in_place x.grad spread))
+  in
+  Lazy.force out
+
+let max_rows tape x =
+  let n = Mat.rows x.value and m = Mat.cols x.value in
+  if n = 0 then invalid_arg "Ad.max_rows: empty input";
+  let argmax = Array.make m 0 in
+  let y = Mat.zeros 1 m in
+  for j = 0 to m - 1 do
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if Mat.get x.value i j > Mat.get x.value !best j then best := i
+    done;
+    argmax.(j) <- !best;
+    Mat.set y 0 j (Mat.get x.value !best j)
+  done;
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad in
+           for j = 0 to m - 1 do
+             let i = argmax.(j) in
+             Mat.set x.grad i j (Mat.get x.grad i j +. Mat.get g 0 j)
+           done))
+  in
+  Lazy.force out
+
+let concat_cols tape a b =
+  if Mat.rows a.value <> Mat.rows b.value then
+    invalid_arg "Ad.concat_cols: row mismatch";
+  let n = Mat.rows a.value in
+  let ca = Mat.cols a.value and cb = Mat.cols b.value in
+  let y =
+    Mat.init n (ca + cb) (fun i j ->
+        if j < ca then Mat.get a.value i j else Mat.get b.value i (j - ca))
+  in
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad in
+           for i = 0 to n - 1 do
+             for j = 0 to ca - 1 do
+               Mat.set a.grad i j (Mat.get a.grad i j +. Mat.get g i j)
+             done;
+             for j = 0 to cb - 1 do
+               Mat.set b.grad i j (Mat.get b.grad i j +. Mat.get g i (ca + j))
+             done
+           done))
+  in
+  Lazy.force out
+
+let sum_all tape x =
+  let y = Mat.of_array ~rows:1 ~cols:1 [| Mat.sum x.value |] in
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = Mat.get (Lazy.force out).grad 0 0 in
+           Mat.add_in_place x.grad
+             (Mat.create (Mat.rows x.value) (Mat.cols x.value) g)))
+  in
+  Lazy.force out
+
+let frobenius_normalize tape x =
+  let s = Mat.frobenius_norm x.value in
+  if s < 1e-12 then x
+  else begin
+    let y = Mat.scale (1.0 /. s) x.value in
+    let rec out =
+      lazy
+        (node tape y (fun () ->
+             let g = (Lazy.force out).grad in
+             (* d/dx (x/s) = g/s - (sum(g .* x)/s^3) x *)
+             let dot = Mat.sum (Mat.mul g x.value) in
+             let term1 = Mat.scale (1.0 /. s) g in
+             let term2 = Mat.scale (dot /. (s *. s *. s)) x.value in
+             Mat.add_in_place x.grad (Mat.sub term1 term2)))
+    in
+    Lazy.force out
+  end
+
+let div_rows tape x d =
+  if Mat.cols d.value <> 1 || Mat.rows d.value <> Mat.rows x.value then
+    invalid_arg "Ad.div_rows: divisor must be rows(x) x 1";
+  let y =
+    Mat.init (Mat.rows x.value) (Mat.cols x.value) (fun i j ->
+        Mat.get x.value i j /. Mat.get d.value i 0)
+  in
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad in
+           let n = Mat.rows x.value and m = Mat.cols x.value in
+           let gx =
+             Mat.init n m (fun i j -> Mat.get g i j /. Mat.get d.value i 0)
+           in
+           Mat.add_in_place x.grad gx;
+           let gd =
+             Mat.init n 1 (fun i _ ->
+                 let di = Mat.get d.value i 0 in
+                 let acc = ref 0.0 in
+                 for j = 0 to m - 1 do
+                   acc := !acc +. (Mat.get g i j *. Mat.get x.value i j)
+                 done;
+                 -. !acc /. (di *. di))
+           in
+           Mat.add_in_place d.grad gd))
+  in
+  Lazy.force out
+
+let add_scalar tape c x =
+  let rec out =
+    lazy
+      (node tape (Mat.map (fun v -> v +. c) x.value) (fun () ->
+           Mat.add_in_place x.grad (Lazy.force out).grad))
+  in
+  Lazy.force out
+
+let gather_rows tape x idx =
+  let cols = Mat.cols x.value in
+  let xrows = Mat.rows x.value in
+  Array.iter
+    (fun i -> if i < 0 || i >= xrows then invalid_arg "Ad.gather_rows: index")
+    idx;
+  let n = Array.length idx in
+  let y = Mat.zeros n cols in
+  let ydata = y.data and xdata = x.value.data in
+  for k = 0 to n - 1 do
+    Array.blit xdata (idx.(k) * cols) ydata (k * cols) cols
+  done;
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad.data in
+           let xg = x.grad.data in
+           for k = 0 to n - 1 do
+             let src = k * cols and dst = idx.(k) * cols in
+             for j = 0 to cols - 1 do
+               xg.(dst + j) <- xg.(dst + j) +. g.(src + j)
+             done
+           done))
+  in
+  Lazy.force out
+
+let scatter_sum tape x idx ~rows =
+  if Array.length idx <> Mat.rows x.value then
+    invalid_arg "Ad.scatter_sum: index length mismatch";
+  Array.iter
+    (fun i -> if i < 0 || i >= rows then invalid_arg "Ad.scatter_sum: index range")
+    idx;
+  let cols = Mat.cols x.value in
+  let n = Array.length idx in
+  let y = Mat.zeros rows cols in
+  let ydata = y.data and xdata = x.value.data in
+  for k = 0 to n - 1 do
+    let src = k * cols and dst = idx.(k) * cols in
+    for j = 0 to cols - 1 do
+      ydata.(dst + j) <- ydata.(dst + j) +. xdata.(src + j)
+    done
+  done;
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad.data in
+           let xg = x.grad.data in
+           for k = 0 to n - 1 do
+             let dst = k * cols and src = idx.(k) * cols in
+             for j = 0 to cols - 1 do
+               xg.(dst + j) <- xg.(dst + j) +. g.(src + j)
+             done
+           done))
+  in
+  Lazy.force out
+
+let scale_rows tape x coeffs =
+  let rows = Mat.rows x.value and cols = Mat.cols x.value in
+  if Array.length coeffs <> rows then
+    invalid_arg "Ad.scale_rows: coefficient length mismatch";
+  let y = Mat.zeros rows cols in
+  let ydata = y.data and xdata = x.value.data in
+  for i = 0 to rows - 1 do
+    let c = coeffs.(i) and base = i * cols in
+    for j = 0 to cols - 1 do
+      ydata.(base + j) <- c *. xdata.(base + j)
+    done
+  done;
+  let rec out =
+    lazy
+      (node tape y (fun () ->
+           let g = (Lazy.force out).grad.data in
+           let xg = x.grad.data in
+           for i = 0 to rows - 1 do
+             let c = coeffs.(i) and base = i * cols in
+             for j = 0 to cols - 1 do
+               xg.(base + j) <- xg.(base + j) +. (c *. g.(base + j))
+             done
+           done))
+  in
+  Lazy.force out
+
+let bce_with_logits tape z y =
+  if Mat.rows z.value <> 1 || Mat.cols z.value <> 1 then
+    invalid_arg "Ad.bce_with_logits: logit must be 1 x 1";
+  if y <> 0.0 && y <> 1.0 then invalid_arg "Ad.bce_with_logits: label must be 0 or 1";
+  let x = Mat.get z.value 0 0 in
+  (* Stable: max(x,0) - x*y + log(1 + exp(-|x|)) *)
+  let loss = Float.max x 0.0 -. (x *. y) +. log (1.0 +. exp (-.Float.abs x)) in
+  let p = 1.0 /. (1.0 +. exp (-.x)) in
+  let rec out =
+    lazy
+      (node tape
+         (Mat.of_array ~rows:1 ~cols:1 [| loss |])
+         (fun () ->
+           let g = Mat.get (Lazy.force out).grad 0 0 in
+           Mat.set z.grad 0 0 (Mat.get z.grad 0 0 +. (g *. (p -. y)))))
+  in
+  Lazy.force out
+
+let backward tape out =
+  if Mat.rows out.value <> 1 || Mat.cols out.value <> 1 then
+    invalid_arg "Ad.backward: output must be scalar";
+  Mat.set out.grad 0 0 1.0;
+  for i = Util.Vec.length tape.nodes - 1 downto 0 do
+    (Util.Vec.get tape.nodes i).backward ()
+  done

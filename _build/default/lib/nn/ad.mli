@@ -1,0 +1,96 @@
+(** Reverse-mode automatic differentiation over matrices.
+
+    A {!tape} records every operation in execution order; {!backward}
+    seeds the gradient of a scalar output and replays the tape in
+    reverse, accumulating gradients into each node and finally into the
+    {!Param.t} leaves. The op set is exactly what the NeuroSelect model
+    needs, including the sparse gather/scatter pair that lets the MPNN
+    backpropagate through per-edge aggregation without dense adjacency
+    matrices, and the Frobenius row-normalisations of the linear
+    attention layer (Eq. 8). *)
+
+type tape
+type v
+(** A node: a value plus a gradient slot. *)
+
+val tape : unit -> tape
+
+val of_param : tape -> Param.t -> v
+(** Leaf whose backward pass accumulates into [Param.grad]. *)
+
+val const : tape -> Tensor.Mat.t -> v
+(** Leaf with no tracked gradient. *)
+
+val value : v -> Tensor.Mat.t
+val grad : v -> Tensor.Mat.t
+(** Gradient after {!backward} (zeros before). *)
+
+(** {1 Dense operations} *)
+
+val add : tape -> v -> v -> v
+val sub : tape -> v -> v -> v
+val mul : tape -> v -> v -> v
+(** Elementwise. *)
+
+val scale : tape -> float -> v -> v
+val matmul : tape -> v -> v -> v
+val matmul_ta : tape -> v -> v -> v
+(** [matmul_ta a b] is [transpose a * b] (used for K^T V in Eq. 9). *)
+
+val relu : tape -> v -> v
+val sigmoid : tape -> v -> v
+val tanh : tape -> v -> v
+val add_row_bias : tape -> v -> v -> v
+(** [add_row_bias x b] broadcasts the [1 x d] bias over the rows of
+    [x : n x d]. *)
+
+val mean_rows : tape -> v -> v
+(** [n x d -> 1 x d] column means — a READOUT component of Eq. 10. *)
+
+val max_rows : tape -> v -> v
+(** [n x d -> 1 x d] column maxima; gradient flows to the argmax row.
+    @raise Invalid_argument on an empty input. *)
+
+val concat_cols : tape -> v -> v -> v
+(** Horizontal concatenation [n x a ++ n x b -> n x (a+b)]. *)
+
+val sum_all : tape -> v -> v
+(** [n x d -> 1 x 1]. *)
+
+val frobenius_normalize : tape -> v -> v
+(** [x / ||x||_F], the normalisation of Q and K in Eq. 8. Safe at 0
+    (returns x unchanged when the norm underflows). *)
+
+val div_rows : tape -> v -> v -> v
+(** [div_rows x d] divides row i of [x : n x m] by [d : n x 1] — the
+    [D^{-1}] application of Eq. 9. *)
+
+val add_scalar : tape -> float -> v -> v
+
+(** {1 Sparse operations} *)
+
+val gather_rows : tape -> v -> int array -> v
+(** [gather_rows x idx] has row k equal to row [idx.(k)] of [x]. *)
+
+val scatter_sum : tape -> v -> int array -> rows:int -> v
+(** [scatter_sum x idx ~rows] builds an output with [rows] rows where
+    row [idx.(k)] accumulates row k of [x]. Requires indices within
+    range. *)
+
+val scale_rows : tape -> v -> float array -> v
+(** Row k multiplied by a fixed (non-differentiated) coefficient —
+    edge weights [w_uv] and the [1/|N(v)|] normalisation of Eq. 6. *)
+
+(** {1 Losses} *)
+
+val bce_with_logits : tape -> v -> float -> v
+(** [bce_with_logits z y] for a [1 x 1] logit and label [y] in {0,1}:
+    the numerically-stable binary cross-entropy of Eq. 11. *)
+
+(** {1 Backward pass} *)
+
+val backward : tape -> v -> unit
+(** Seeds the [1 x 1] output node with gradient 1 and runs the reverse
+    sweep. @raise Invalid_argument if the output is not scalar. *)
+
+val node_count : tape -> int

@@ -1,0 +1,80 @@
+module Mat = Tensor.Mat
+
+let to_string params =
+  let buf = Buffer.create 4096 in
+  let emit (p : Param.t) =
+    let v = p.Param.value in
+    Buffer.add_string buf
+      (Printf.sprintf "%s %d %d\n" p.Param.name (Mat.rows v) (Mat.cols v));
+    for i = 0 to Mat.rows v - 1 do
+      for j = 0 to Mat.cols v - 1 do
+        Buffer.add_string buf (Printf.sprintf "%.17g " (Mat.get v i j))
+      done;
+      Buffer.add_char buf '\n'
+    done
+  in
+  List.iter emit params;
+  Buffer.contents buf
+
+let of_string text params =
+  let table = Hashtbl.create 16 in
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec consume = function
+    | [] -> ()
+    | name :: r :: c :: rest ->
+      let rows =
+        match int_of_string_opt r with
+        | Some n -> n
+        | None -> failwith ("Checkpoint: bad row count for " ^ name)
+      in
+      let cols =
+        match int_of_string_opt c with
+        | Some n -> n
+        | None -> failwith ("Checkpoint: bad col count for " ^ name)
+      in
+      let n = rows * cols in
+      let data = Array.make n 0.0 in
+      let rec take k rest =
+        if k = n then rest
+        else
+          match rest with
+          | [] -> failwith ("Checkpoint: truncated data for " ^ name)
+          | x :: rest ->
+            (match float_of_string_opt x with
+            | Some f -> data.(k) <- f
+            | None -> failwith ("Checkpoint: bad float for " ^ name));
+            take (k + 1) rest
+      in
+      let rest = take 0 rest in
+      Hashtbl.replace table name (Mat.of_array ~rows ~cols data);
+      consume rest
+    | _ -> failwith "Checkpoint: truncated header"
+  in
+  consume tokens;
+  let restore (p : Param.t) =
+    match Hashtbl.find_opt table p.Param.name with
+    | None -> failwith ("Checkpoint: missing parameter " ^ p.Param.name)
+    | Some m ->
+      if Mat.shape m <> Mat.shape p.Param.value then
+        failwith ("Checkpoint: shape mismatch for " ^ p.Param.name);
+      p.Param.value <- m
+  in
+  List.iter restore params
+
+let save path params =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string params))
+
+let load path params =
+  let ic = open_in path in
+  let read () =
+    let n = in_channel_length ic in
+    really_input_string ic n
+  in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> of_string (read ()) params)

@@ -1,0 +1,16 @@
+(** Parameter (de)serialisation.
+
+    A plain text format: one [name rows cols] header line per parameter
+    followed by its row-major values, so checkpoints diff cleanly and
+    survive compiler upgrades (no Marshal). *)
+
+val save : string -> Param.t list -> unit
+(** Write every parameter's current value to a file. *)
+
+val load : string -> Param.t list -> unit
+(** Restore values into an existing parameter list, matched by name.
+    @raise Failure if a parameter is missing from the file or shapes
+    disagree. *)
+
+val to_string : Param.t list -> string
+val of_string : string -> Param.t list -> unit

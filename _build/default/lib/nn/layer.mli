@@ -1,0 +1,31 @@
+(** Neural-network layers built on {!Ad}. *)
+
+(** Affine map [x W + b]. *)
+module Linear : sig
+  type t
+
+  val create :
+    ?bias:bool -> Util.Rng.t -> in_dim:int -> out_dim:int -> name:string -> t
+  (** Xavier-initialised weights; zero bias (present unless
+      [~bias:false]). *)
+
+  val forward : Ad.tape -> t -> Ad.v -> Ad.v
+  (** Input [n x in_dim], output [n x out_dim]. *)
+
+  val params : t -> Param.t list
+  val in_dim : t -> int
+  val out_dim : t -> int
+end
+
+(** Multi-layer perceptron with ReLU between hidden layers and a linear
+    final layer. *)
+module Mlp : sig
+  type t
+
+  val create : Util.Rng.t -> dims:int list -> name:string -> t
+  (** [dims] lists layer widths, e.g. [[32; 16; 1]] for
+      32 -> 16 -> 1. Needs at least two entries. *)
+
+  val forward : Ad.tape -> t -> Ad.v -> Ad.v
+  val params : t -> Param.t list
+end

@@ -1,0 +1,62 @@
+module Mat = Tensor.Mat
+
+type algo =
+  | Adam of { beta1 : float; beta2 : float; eps : float; mutable t : int }
+  | Sgd of { momentum : float; velocity : (Param.t * Mat.t ref) list }
+
+type t = {
+  lr : float;
+  params : Param.t list;
+  algo : algo;
+}
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr params =
+  { lr; params; algo = Adam { beta1; beta2; eps; t = 0 } }
+
+let sgd ?(momentum = 0.0) ~lr params =
+  let velocity =
+    List.map
+      (fun (p : Param.t) ->
+        (p, ref (Mat.zeros (Mat.rows p.Param.value) (Mat.cols p.Param.value))))
+      params
+  in
+  { lr; params; algo = Sgd { momentum; velocity } }
+
+let zero_grads t = List.iter Param.zero_grad t.params
+let params t = t.params
+
+let grad_norm t =
+  let acc =
+    List.fold_left
+      (fun acc (p : Param.t) ->
+        let n = Mat.frobenius_norm p.Param.grad in
+        acc +. (n *. n))
+      0.0 t.params
+  in
+  sqrt acc
+
+let step t =
+  (match t.algo with
+  | Adam a ->
+    a.t <- a.t + 1;
+    let bc1 = 1.0 -. (a.beta1 ** float_of_int a.t) in
+    let bc2 = 1.0 -. (a.beta2 ** float_of_int a.t) in
+    let update (p : Param.t) =
+      p.Param.adam_m <-
+        Mat.add (Mat.scale a.beta1 p.Param.adam_m) (Mat.scale (1.0 -. a.beta1) p.Param.grad);
+      p.Param.adam_v <-
+        Mat.add (Mat.scale a.beta2 p.Param.adam_v)
+          (Mat.scale (1.0 -. a.beta2) (Mat.mul p.Param.grad p.Param.grad));
+      let m_hat = Mat.scale (1.0 /. bc1) p.Param.adam_m in
+      let v_hat = Mat.scale (1.0 /. bc2) p.Param.adam_v in
+      let delta = Mat.map2 (fun m v -> t.lr *. m /. (sqrt v +. a.eps)) m_hat v_hat in
+      p.Param.value <- Mat.sub p.Param.value delta
+    in
+    List.iter update t.params
+  | Sgd s ->
+    let update ((p : Param.t), vel) =
+      vel := Mat.add (Mat.scale s.momentum !vel) (Mat.scale t.lr p.Param.grad);
+      p.Param.value <- Mat.sub p.Param.value !vel
+    in
+    List.iter update s.velocity);
+  zero_grads t

@@ -1,0 +1,21 @@
+(** Gradient-descent optimisers.
+
+    Both consume the gradients accumulated in {!Param.t} by
+    {!Ad.backward} and zero them after the update, so one optimiser
+    [step] corresponds to one (mini-)batch. *)
+
+type t
+
+val adam :
+  ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float -> Param.t list -> t
+(** The paper trains with Adam at lr 1e-4. *)
+
+val sgd : ?momentum:float -> lr:float -> Param.t list -> t
+
+val step : t -> unit
+(** Apply one update from the accumulated gradients, then zero them. *)
+
+val zero_grads : t -> unit
+val params : t -> Param.t list
+val grad_norm : t -> float
+(** L2 norm of all accumulated gradients (diagnostics). *)

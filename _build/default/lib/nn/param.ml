@@ -1,0 +1,26 @@
+module Mat = Tensor.Mat
+
+type t = {
+  name : string;
+  mutable value : Mat.t;
+  mutable grad : Mat.t;
+  mutable adam_m : Mat.t;
+  mutable adam_v : Mat.t;
+}
+
+let create name value =
+  let r = Mat.rows value and c = Mat.cols value in
+  {
+    name;
+    value = Mat.copy value;
+    grad = Mat.zeros r c;
+    adam_m = Mat.zeros r c;
+    adam_v = Mat.zeros r c;
+  }
+
+let zero_grad t = Mat.fill t.grad 0.0
+
+let num_elements t = Mat.rows t.value * Mat.cols t.value
+
+let pp ppf t =
+  Format.fprintf ppf "%s : %dx%d" t.name (Mat.rows t.value) (Mat.cols t.value)

@@ -1,0 +1,18 @@
+(** Trainable parameters.
+
+    A parameter owns its current value, an accumulated gradient, and
+    Adam moment buffers. The autodiff tape writes into [grad]; an
+    optimiser consumes it and zeroes it. *)
+
+type t = {
+  name : string;
+  mutable value : Tensor.Mat.t;
+  mutable grad : Tensor.Mat.t;
+  mutable adam_m : Tensor.Mat.t;
+  mutable adam_v : Tensor.Mat.t;
+}
+
+val create : string -> Tensor.Mat.t -> t
+val zero_grad : t -> unit
+val num_elements : t -> int
+val pp : Format.formatter -> t -> unit

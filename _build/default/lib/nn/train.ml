@@ -1,0 +1,56 @@
+module Mat = Tensor.Mat
+
+type 'g spec = {
+  params : Param.t list;
+  forward : Ad.tape -> 'g -> Ad.v;
+}
+
+type history = { epoch_losses : float array }
+
+let loss_node ?(pos_weight = 1.0) spec tape input label =
+  let logit = spec.forward tape input in
+  let bce = Ad.bce_with_logits tape logit (if label then 1.0 else 0.0) in
+  if label && pos_weight <> 1.0 then Ad.scale tape pos_weight bce else bce
+
+let auto_pos_weight examples =
+  let pos = Array.fold_left (fun n (_, l) -> if l then n + 1 else n) 0 examples in
+  let neg = Array.length examples - pos in
+  if pos = 0 || neg = 0 then 1.0
+  else Float.min 10.0 (Float.max 1.0 (float_of_int neg /. float_of_int pos))
+
+let loss spec input label =
+  let tape = Ad.tape () in
+  Mat.get (Ad.value (loss_node spec tape input label)) 0 0
+
+let predict_prob spec input =
+  let tape = Ad.tape () in
+  let z = Mat.get (Ad.value (spec.forward tape input)) 0 0 in
+  1.0 /. (1.0 +. exp (-.z))
+
+let predict spec input = predict_prob spec input > 0.5
+
+let fit ?(epochs = 40) ?(lr = 1e-3) ?(seed = 7) ?(pos_weight = 1.0) ?progress spec
+    examples =
+  if Array.length examples = 0 then invalid_arg "Train.fit: empty dataset";
+  let optimiser = Optim.adam ~lr spec.params in
+  let rng = Util.Rng.create seed in
+  let order = Array.copy examples in
+  let losses = Array.make epochs 0.0 in
+  for epoch = 0 to epochs - 1 do
+    Util.Rng.shuffle rng order;
+    let total = ref 0.0 in
+    Array.iter
+      (fun (input, label) ->
+        let tape = Ad.tape () in
+        let l = loss_node ~pos_weight spec tape input label in
+        total := !total +. Mat.get (Ad.value l) 0 0;
+        Ad.backward tape l;
+        Optim.step optimiser)
+      order;
+    let mean = !total /. float_of_int (Array.length order) in
+    losses.(epoch) <- mean;
+    match progress with
+    | Some f -> f ~epoch ~loss:mean
+    | None -> ()
+  done;
+  { epoch_losses = losses }

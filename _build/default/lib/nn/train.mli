@@ -1,0 +1,33 @@
+(** Generic single-output binary-classifier training.
+
+    Polymorphic in the input representation ['g] so the NeuroSelect
+    model (bipartite graphs) and the baselines (literal–clause graphs)
+    share one loop: BCE loss, Adam, batch size 1, shuffled epochs. *)
+
+type 'g spec = {
+  params : Param.t list;
+  forward : Ad.tape -> 'g -> Ad.v;  (** Must return a [1 x 1] logit. *)
+}
+
+type history = { epoch_losses : float array }
+
+val fit :
+  ?epochs:int ->
+  ?lr:float ->
+  ?seed:int ->
+  ?pos_weight:float ->
+  ?progress:(epoch:int -> loss:float -> unit) ->
+  'g spec ->
+  ('g * bool) array ->
+  history
+(** [pos_weight] scales the loss of positive examples (class-imbalance
+    correction); pass [auto_pos_weight examples] to balance. @raise
+    Invalid_argument on an empty dataset. *)
+
+val auto_pos_weight : ('g * bool) array -> float
+(** [#negatives / #positives], clamped to [\[1, 10\]]; 1 when a class is
+    empty. *)
+
+val loss : 'g spec -> 'g -> bool -> float
+val predict_prob : 'g spec -> 'g -> float
+val predict : 'g spec -> 'g -> bool

@@ -1,0 +1,183 @@
+type t = {
+  rows : int;
+  cols : int;
+  data : float array;
+}
+
+let check_shape rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat: negative dimension"
+
+let create rows cols x =
+  check_shape rows cols;
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros rows cols = create rows cols 0.0
+
+let init rows cols f =
+  check_shape rows cols;
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let of_arrays arrays =
+  let rows = Array.length arrays in
+  if rows = 0 then invalid_arg "Mat.of_arrays: zero rows";
+  let cols = Array.length arrays.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_arrays: ragged")
+    arrays;
+  init rows cols (fun i j -> arrays.(i).(j))
+
+let of_array ~rows ~cols data =
+  if Array.length data <> rows * cols then invalid_arg "Mat.of_array: length mismatch";
+  { rows; cols; data = Array.copy data }
+
+let row_vector a = of_array ~rows:1 ~cols:(Array.length a) a
+
+let copy m = { m with data = Array.copy m.data }
+let rows m = m.rows
+let cols m = m.cols
+let shape m = (m.rows, m.cols)
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.get";
+  m.data.((i * m.cols) + j)
+
+let set m i j x =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.set";
+  m.data.((i * m.cols) + j) <- x
+
+let random_uniform rng rows cols scale =
+  init rows cols (fun _ _ -> Util.Rng.uniform rng (-.scale) scale)
+
+let xavier rng fan_in fan_out =
+  let scale = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+  random_uniform rng fan_in fan_out scale
+
+let same_shape a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat: shape mismatch %dx%d vs %dx%d" a.rows a.cols b.rows b.cols)
+
+let map2 f a b =
+  same_shape a b;
+  { a with data = Array.map2 f a.data b.data }
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+let map f m = { m with data = Array.map f m.data }
+
+let add_in_place acc x =
+  same_shape acc x;
+  for k = 0 to Array.length acc.data - 1 do
+    acc.data.(k) <- acc.data.(k) +. x.data.(k)
+  done
+
+let fill m x = Array.fill m.data 0 (Array.length m.data) x
+
+let matmul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul: %dx%d * %dx%d" a.rows a.cols b.rows b.cols);
+  let out = zeros a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0.0 then begin
+        let arow = i * b.cols and brow = k * b.cols in
+        for j = 0 to b.cols - 1 do
+          out.data.(arow + j) <- out.data.(arow + j) +. (aik *. b.data.(brow + j))
+        done
+      end
+    done
+  done;
+  out
+
+let matmul_transpose_a a b =
+  (* (a^T b) : (a.cols x a.rows) * (b.rows x b.cols) *)
+  if a.rows <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul_transpose_a: %dx%d^T * %dx%d" a.rows a.cols b.rows b.cols);
+  let out = zeros a.cols b.cols in
+  for k = 0 to a.rows - 1 do
+    for i = 0 to a.cols - 1 do
+      let aki = a.data.((k * a.cols) + i) in
+      if aki <> 0.0 then begin
+        let orow = i * b.cols and brow = k * b.cols in
+        for j = 0 to b.cols - 1 do
+          out.data.(orow + j) <- out.data.(orow + j) +. (aki *. b.data.(brow + j))
+        done
+      end
+    done
+  done;
+  out
+
+let matmul_transpose_b a b =
+  if a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul_transpose_b: %dx%d * %dx%d^T" a.rows a.cols b.rows b.cols);
+  let out = zeros a.rows b.rows in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to b.rows - 1 do
+      let acc = ref 0.0 in
+      let arow = i * a.cols and brow = j * b.cols in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.(arow + k) *. b.data.(brow + k))
+      done;
+      out.data.((i * b.rows) + j) <- !acc
+    done
+  done;
+  out
+
+let transpose m = init m.cols m.rows (fun i j -> m.data.((j * m.cols) + i))
+
+let sum m = Array.fold_left ( +. ) 0.0 m.data
+
+let mean m =
+  let n = Array.length m.data in
+  if n = 0 then 0.0 else sum m /. float_of_int n
+
+let frobenius_norm m = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 m.data)
+
+let row m i =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.row";
+  Array.sub m.data (i * m.cols) m.cols
+
+let col_means m =
+  let out = zeros 1 m.cols in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      out.data.(j) <- out.data.(j) +. m.data.((i * m.cols) + j)
+    done
+  done;
+  let n = float_of_int (max m.rows 1) in
+  for j = 0 to m.cols - 1 do
+    out.data.(j) <- out.data.(j) /. n
+  done;
+  out
+
+let row_sums m =
+  let out = zeros m.rows 1 in
+  for i = 0 to m.rows - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. m.data.((i * m.cols) + j)
+    done;
+    out.data.(i) <- !acc
+  done;
+  out
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf ppf "%8.4f " m.data.((i * m.cols) + j)
+    done;
+    Format.fprintf ppf "@]@,"
+  done;
+  Format.fprintf ppf "@]"

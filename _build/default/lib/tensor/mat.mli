@@ -1,0 +1,73 @@
+(** Dense row-major float matrices.
+
+    The numeric substrate for the neural-network stack: plain
+    [float array] storage, explicit shapes, and the handful of BLAS-like
+    kernels the HGT model needs (matmul, transpose, elementwise ops,
+    Frobenius norm, row reductions). Vectors are [1 x n] or [n x 1]
+    matrices. All binary operations check shapes and raise
+    [Invalid_argument] on mismatch. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  data : float array;  (** Row-major, length [rows * cols]. *)
+}
+
+val create : int -> int -> float -> t
+val zeros : int -> int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val of_arrays : float array array -> t
+(** @raise Invalid_argument on ragged input or zero rows. *)
+
+val of_array : rows:int -> cols:int -> float array -> t
+(** Adopts a copy of the flat array. *)
+
+val row_vector : float array -> t
+val copy : t -> t
+val rows : t -> int
+val cols : t -> int
+val shape : t -> int * int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val random_uniform : Util.Rng.t -> int -> int -> float -> t
+(** Entries uniform in [\[-scale, scale\]]. *)
+
+val xavier : Util.Rng.t -> int -> int -> t
+(** Glorot-uniform initialisation for a [fan_in x fan_out] weight. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Hadamard (elementwise) product. *)
+
+val scale : float -> t -> t
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val add_in_place : t -> t -> unit
+(** [add_in_place acc x] accumulates [x] into [acc]. *)
+
+val fill : t -> float -> unit
+
+val matmul : t -> t -> t
+(** [matmul a b] for [a : m x k], [b : k x n]. *)
+
+val matmul_transpose_a : t -> t -> t
+(** [matmul_transpose_a a b = matmul (transpose a) b] without the copy. *)
+
+val matmul_transpose_b : t -> t -> t
+(** [matmul_transpose_b a b = matmul a (transpose b)] without the copy. *)
+
+val transpose : t -> t
+val sum : t -> float
+val mean : t -> float
+val frobenius_norm : t -> float
+val row : t -> int -> float array
+val col_means : t -> t
+(** [1 x cols] matrix of per-column means (the mean readout). *)
+
+val row_sums : t -> t
+(** [rows x 1] matrix of per-row sums. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

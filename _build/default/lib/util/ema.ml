@@ -1,0 +1,19 @@
+type t = {
+  alpha : float;
+  mutable biased : float;
+  mutable correction : float;
+  mutable n : int;
+}
+
+let create ~alpha =
+  assert (alpha > 0.0 && alpha <= 1.0);
+  { alpha; biased = 0.0; correction = 0.0; n = 0 }
+
+let update t x =
+  t.biased <- t.biased +. (t.alpha *. (x -. t.biased));
+  t.correction <- t.correction +. (t.alpha *. (1.0 -. t.correction));
+  t.n <- t.n + 1
+
+let value t = if t.n = 0 then 0.0 else t.biased /. t.correction
+
+let count t = t.n

@@ -1,0 +1,19 @@
+(** Exponential moving averages with bias-corrected warm-up.
+
+    Glucose-style restart policies compare a fast and a slow EMA of
+    learned-clause LBD values; the warm-up correction (as in Kissat/
+    CaDiCaL) avoids the early bias of initialising at zero. *)
+
+type t
+
+val create : alpha:float -> t
+(** [alpha] is the smoothing factor in (0, 1]; smaller = slower. *)
+
+val update : t -> float -> unit
+(** Feed one observation. *)
+
+val value : t -> float
+(** Current bias-corrected average (0 before any observation). *)
+
+val count : t -> int
+(** Number of observations so far. *)

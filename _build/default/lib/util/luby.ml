@@ -1,0 +1,16 @@
+(* term i: if i = 2^k - 1 then 2^(k-1) else term (i - 2^(k-1) + 1)
+   where 2^(k-1) <= i < 2^k - 1. *)
+let rec term i =
+  if i < 1 then invalid_arg "Luby.term";
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do incr k done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else term (i - (1 lsl (!k - 1)) + 1)
+
+type t = { unit : int; mutable index : int }
+
+let create ~unit = { unit; index = 0 }
+
+let next t =
+  t.index <- t.index + 1;
+  t.unit * term t.index

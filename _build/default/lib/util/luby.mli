@@ -1,0 +1,17 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    Classic universal restart schedule (Luby, Sinclair, Zuckerman 1993)
+    used by the CDCL solver's stable mode. *)
+
+val term : int -> int
+(** [term i] is the i-th element of the Luby sequence, 1-indexed.
+    @raise Invalid_argument when [i < 1]. *)
+
+type t
+(** Stateful iterator over [unit * term i] restart limits. *)
+
+val create : unit:int -> t
+(** [create ~unit] scales every term by [unit] conflicts. *)
+
+val next : t -> int
+(** Next restart interval (in conflicts); advances the iterator. *)

@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation.
+
+    A small SplitMix64 generator: every stochastic component of the
+    library (instance generators, weight initialisation, shuffles) takes
+    an explicit [Rng.t] so runs are reproducible from a single seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from [seed]. Equal seeds
+    produce equal streams. *)
+
+val split : t -> t
+(** [split rng] derives an independent generator; advances [rng]. *)
+
+val copy : t -> t
+(** [copy rng] duplicates the current state without advancing it. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in rng lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float rng x] is uniform in [\[0, x)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform rng lo hi] is uniform in [\[lo, hi)]. *)
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_distinct : t -> int -> int -> int array
+(** [sample_distinct rng k bound] draws [k] distinct values from
+    [\[0, bound)]. Requires [k <= bound]. *)

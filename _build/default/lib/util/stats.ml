@@ -1,0 +1,87 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs in
+    acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then ys.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (ys.(lo) *. (1.0 -. frac)) +. (ys.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.0
+
+type box = {
+  low_whisker : float;
+  q1 : float;
+  med : float;
+  q3 : float;
+  high_whisker : float;
+  outliers : float array;
+}
+
+let box_summary xs =
+  if Array.length xs = 0 then invalid_arg "Stats.box_summary: empty";
+  let q1 = percentile xs 25.0 and q3 = percentile xs 75.0 in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
+  let inside = Array.to_list xs |> List.filter (fun x -> x >= lo_fence && x <= hi_fence) in
+  let outliers =
+    Array.of_list
+      (Array.to_list xs |> List.filter (fun x -> x < lo_fence || x > hi_fence))
+  in
+  let low_whisker, high_whisker =
+    match inside with
+    | [] -> (q1, q3)
+    | x :: rest ->
+      List.fold_left (fun (lo, hi) y -> (Float.min lo y, Float.max hi y)) (x, x) rest
+  in
+  { low_whisker; q1; med = median xs; q3; high_whisker; outliers }
+
+let histogram ~bins xs =
+  if Array.length xs = 0 then invalid_arg "Stats.histogram: empty";
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  let lo, hi = min_max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  let place x =
+    let i = int_of_float ((x -. lo) /. width) in
+    let i = if i >= bins then bins - 1 else if i < 0 then 0 else i in
+    counts.(i) <- counts.(i) + 1
+  in
+  Array.iter place xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+
+let pp_box ppf b =
+  Format.fprintf ppf "[%.3g | %.3g %.3g %.3g | %.3g] (%d outliers)"
+    b.low_whisker b.q1 b.med b.q3 b.high_whisker (Array.length b.outliers)

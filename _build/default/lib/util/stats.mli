@@ -1,0 +1,42 @@
+(** Summary statistics for experiment reporting.
+
+    Used by the experiment harness to print the paper's tables (median
+    and average runtimes, Table 3) and box-and-whisker summaries
+    (Figure 7b). All functions copy their input before sorting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 when fewer than two samples. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** @raise Invalid_argument on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation
+    between order statistics. @raise Invalid_argument on empty input. *)
+
+val median : float array -> float
+
+type box = {
+  low_whisker : float;
+  q1 : float;
+  med : float;
+  q3 : float;
+  high_whisker : float;
+  outliers : float array;
+}
+(** Five-number summary with 1.5*IQR whisker convention. *)
+
+val box_summary : float array -> box
+(** @raise Invalid_argument on empty input. *)
+
+val histogram : bins:int -> float array -> (float * int) array
+(** [histogram ~bins xs] is an array of [(bin_left_edge, count)] covering
+    [min, max] of the data. @raise Invalid_argument on empty input or
+    [bins <= 0]. *)
+
+val pp_box : Format.formatter -> box -> unit

@@ -1,0 +1,101 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 8) ~dummy () =
+  { data = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+let make n x = { data = Array.make (max n 1) x; len = n; dummy = x }
+
+let of_array ~dummy arr =
+  let n = Array.length arr in
+  let data = Array.make (max n 1) dummy in
+  Array.blit arr 0 data 0 n;
+  { data; len = n; dummy }
+
+let length v = v.len
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i = check v i; v.data.(i)
+let set v i x = check v i; v.data.(i) <- x
+
+let grow v =
+  let cap = Array.length v.data in
+  let data = Array.make (2 * cap) v.dummy in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  let x = v.data.(v.len) in
+  v.data.(v.len) <- v.dummy;
+  x
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.len - 1)
+
+let clear v =
+  Array.fill v.data 0 v.len v.dummy;
+  v.len <- 0
+
+let shrink v n =
+  if n > v.len || n < 0 then invalid_arg "Vec.shrink";
+  Array.fill v.data n (v.len - n) v.dummy;
+  v.len <- n
+
+let swap_remove v i =
+  check v i;
+  v.data.(i) <- v.data.(v.len - 1);
+  v.len <- v.len - 1;
+  v.data.(v.len) <- v.dummy
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let to_array v = Array.sub v.data 0 v.len
+let to_list v = Array.to_list (to_array v)
+
+let sort cmp v =
+  let live = to_array v in
+  Array.sort cmp live;
+  Array.blit live 0 v.data 0 v.len
+
+let filter_in_place p v =
+  let keep = ref 0 in
+  for i = 0 to v.len - 1 do
+    if p v.data.(i) then begin
+      v.data.(!keep) <- v.data.(i);
+      incr keep
+    end
+  done;
+  shrink v !keep

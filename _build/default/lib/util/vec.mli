@@ -1,0 +1,54 @@
+(** Growable arrays.
+
+    The CDCL solver's hot structures (trail, watch lists, clause
+    arena) need amortised O(1) push and cheap truncation; [Vec] wraps a
+    plain array with a fill pointer. A dummy element supplied at creation
+    fills unused slots so no [Obj.magic] is needed. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** Fresh empty vector. [dummy] populates unused capacity. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of [n] copies of [x] ([x] is also the dummy). *)
+
+val of_array : dummy:'a -> 'a array -> 'a t
+(** Copies the array contents. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Bounds-checked read of element [i < length]. *)
+
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element. @raise Invalid_argument if empty. *)
+
+val last : 'a t -> 'a
+(** @raise Invalid_argument if empty. *)
+
+val clear : 'a t -> unit
+(** Logical reset to length 0 (keeps capacity, overwrites with dummy). *)
+
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates to the first [n] elements. Requires
+    [n <= length v]. *)
+
+val swap_remove : 'a t -> int -> unit
+(** O(1) removal: overwrite index [i] with the last element and pop. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** Sorts the live prefix in place. *)
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keeps only elements satisfying the predicate, preserving order. *)

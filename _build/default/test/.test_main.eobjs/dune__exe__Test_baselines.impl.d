@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Cnf Float Gen List Nn Satgraph Tensor Util

@@ -1,0 +1,1 @@
+test/test_cdcl.ml: Alcotest Array Cdcl Cnf Format Gen List QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_cnf.ml: Alcotest Array Cdcl Cnf Filename Fun Gen List Printf QCheck QCheck_alcotest Sys Util

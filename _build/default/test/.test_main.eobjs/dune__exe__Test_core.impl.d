@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cdcl Cnf Core Filename Float Fun Gen List Nn Printf Satgraph Sys Tensor Util

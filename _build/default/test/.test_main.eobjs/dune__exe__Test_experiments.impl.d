@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Cdcl Core Experiments Format Gen List

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Cdcl Cnf Gen List Printf Util

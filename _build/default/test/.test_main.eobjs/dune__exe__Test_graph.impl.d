@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cnf Gen List Option QCheck QCheck_alcotest Satgraph Tensor Util

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_baselines Test_cdcl Test_cnf Test_core Test_experiments Test_gen Test_graph Test_nn Test_simplify Test_tensor Test_util

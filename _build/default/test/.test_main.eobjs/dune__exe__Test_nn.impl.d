@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Filename Float Fun List Nn Sys Tensor Util

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Cdcl Cnf Gen List QCheck QCheck_alcotest Util

@@ -1,0 +1,180 @@
+(* Tests for the Table 2 baseline classifiers. *)
+
+module Mat = Tensor.Mat
+
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let formula =
+  Cnf.Formula.of_dimacs_lists ~num_vars:4
+    [ [ 1; -2 ]; [ 2; 3 ]; [ -1; -3; 4 ]; [ -4; 1 ] ]
+
+let litgraph = Satgraph.Litgraph.of_formula formula
+let bigraph = Satgraph.Bigraph.of_formula formula
+
+let test_neurosat_predict_range () =
+  let model = Baselines.Neurosat.create Baselines.Neurosat.default_config in
+  let p = Baselines.Neurosat.predict model litgraph in
+  checkb "probability" true (p > 0.0 && p < 1.0)
+
+let test_neurosat_deterministic () =
+  let m1 = Baselines.Neurosat.create Baselines.Neurosat.default_config in
+  let m2 = Baselines.Neurosat.create Baselines.Neurosat.default_config in
+  checkf "same seed" (Baselines.Neurosat.predict m1 litgraph)
+    (Baselines.Neurosat.predict m2 litgraph)
+
+let test_neurosat_rounds_affect_output () =
+  let m1 =
+    Baselines.Neurosat.create { Baselines.Neurosat.default_config with rounds = 1 }
+  in
+  let m2 =
+    Baselines.Neurosat.create { Baselines.Neurosat.default_config with rounds = 4 }
+  in
+  checkb "more rounds change the output" true
+    (Baselines.Neurosat.predict m1 litgraph <> Baselines.Neurosat.predict m2 litgraph)
+
+let test_gin_predict_range () =
+  let model = Baselines.Gin.create Baselines.Gin.default_config in
+  let p = Baselines.Gin.predict model bigraph in
+  checkb "probability" true (p > 0.0 && p < 1.0)
+
+let test_gin_deterministic () =
+  let m1 = Baselines.Gin.create Baselines.Gin.default_config in
+  let m2 = Baselines.Gin.create Baselines.Gin.default_config in
+  checkf "same seed" (Baselines.Gin.predict m1 bigraph) (Baselines.Gin.predict m2 bigraph)
+
+let test_gin_epsilon_affects_output () =
+  let m1 = Baselines.Gin.create { Baselines.Gin.default_config with epsilon = 0.0 } in
+  let m2 = Baselines.Gin.create { Baselines.Gin.default_config with epsilon = 0.7 } in
+  checkb "epsilon matters" true
+    (Baselines.Gin.predict m1 bigraph <> Baselines.Gin.predict m2 bigraph)
+
+let small_neurosat () =
+  Baselines.Neurosat.create
+    { Baselines.Neurosat.default_config with hidden_dim = 8; rounds = 3; head_hidden = 4 }
+
+let small_gin () =
+  Baselines.Gin.create
+    { Baselines.Gin.default_config with hidden_dim = 8; layers = 1; head_hidden = 4 }
+
+let separable_data to_graph =
+  let rng = Util.Rng.create 71 in
+  Array.init 8 (fun i ->
+      if i < 4 then (to_graph (Gen.Parity.contradiction rng ~num_vars:(10 + i)), true)
+      else (to_graph (Gen.Ksat.near_threshold rng ~num_vars:(50 + (4 * i))), false))
+
+let test_neurosat_trains () =
+  let model = small_neurosat () in
+  let spec = Baselines.Neurosat.spec model in
+  let data = separable_data Satgraph.Litgraph.of_formula in
+  let history = Nn.Train.fit ~epochs:120 ~lr:5e-3 spec data in
+  let losses = history.Nn.Train.epoch_losses in
+  checkb "loss decreased" true
+    (losses.(Array.length losses - 1) < losses.(0));
+  let correct =
+    Array.fold_left
+      (fun acc (g, l) -> if Nn.Train.predict spec g = l then acc + 1 else acc)
+      0 data
+  in
+  checkb "fits separable set" true (correct >= 7)
+
+let test_gin_trains () =
+  let model = small_gin () in
+  let spec = Baselines.Gin.spec model in
+  let data = separable_data Satgraph.Bigraph.of_formula in
+  let history = Nn.Train.fit ~epochs:50 ~lr:5e-3 spec data in
+  let losses = history.Nn.Train.epoch_losses in
+  checkb "loss decreased" true (losses.(49) < losses.(0));
+  let correct =
+    Array.fold_left
+      (fun acc (g, l) -> if Nn.Train.predict spec g = l then acc + 1 else acc)
+      0 data
+  in
+  checkb "fits separable set" true (correct >= 7)
+
+let suite =
+  [
+    Alcotest.test_case "neurosat predict range" `Quick test_neurosat_predict_range;
+    Alcotest.test_case "neurosat deterministic" `Quick test_neurosat_deterministic;
+    Alcotest.test_case "neurosat rounds matter" `Quick test_neurosat_rounds_affect_output;
+    Alcotest.test_case "gin predict range" `Quick test_gin_predict_range;
+    Alcotest.test_case "gin deterministic" `Quick test_gin_deterministic;
+    Alcotest.test_case "gin epsilon matters" `Quick test_gin_epsilon_affects_output;
+    Alcotest.test_case "neurosat trains" `Slow test_neurosat_trains;
+    Alcotest.test_case "gin trains" `Slow test_gin_trains;
+  ]
+
+(* --- static features + logistic regression --- *)
+
+let checki = Alcotest.(check int)
+
+let test_features_dimension () =
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:3 [ [ 1; -2 ]; [ 2; 3 ] ] in
+  let v = Cnf.Features.extract f in
+  checki "dimension" Cnf.Features.dimension (Array.length v);
+  checki "names match" Cnf.Features.dimension (Array.length Cnf.Features.names);
+  checkb "all finite" true (Array.for_all Float.is_finite v)
+
+let test_features_values () =
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:4 [ [ 1; -2 ]; [ 2; 3; -4 ] ] in
+  let v = Cnf.Features.extract f in
+  let get name =
+    let i = ref (-1) in
+    Array.iteri (fun k n -> if n = name then i := k) Cnf.Features.names;
+    v.(!i)
+  in
+  checkf "num_vars" 4.0 (get "num_vars");
+  checkf "num_clauses" 2.0 (get "num_clauses");
+  checkf "ratio" 0.5 (get "clause_var_ratio");
+  checkf "mean len" 2.5 (get "mean_clause_len");
+  checkf "min len" 2.0 (get "min_clause_len");
+  checkf "max len" 3.0 (get "max_clause_len");
+  checkf "frac binary" 0.5 (get "frac_binary");
+  checkf "frac positive" 0.6 (get "frac_positive_lits")
+
+let test_features_degenerate () =
+  let empty = Cnf.Formula.of_dimacs_lists ~num_vars:0 [] in
+  checkb "no NaNs on empty" true
+    (Array.for_all Float.is_finite (Cnf.Features.extract empty))
+
+let test_logreg_learns_separable () =
+  (* php (many clauses/var) vs sparse ksat: trivially separable on
+     static features. *)
+  let rng = Util.Rng.create 8 in
+  let data =
+    Array.init 10 (fun i ->
+        if i < 5 then (Gen.Pigeonhole.unsat (3 + (i mod 3)), true)
+        else (Gen.Ksat.generate rng ~num_vars:40 ~num_clauses:60 ~k:3, false))
+  in
+  let model = Baselines.Logreg.create () in
+  Baselines.Logreg.fit_normalisation model
+    (Array.to_list (Array.map fst data));
+  let spec = Baselines.Logreg.spec model in
+  let _ = Nn.Train.fit ~epochs:100 ~lr:0.1 spec data in
+  let correct =
+    Array.fold_left
+      (fun acc (f, l) -> if Nn.Train.predict spec f = l then acc + 1 else acc)
+      0 data
+  in
+  checkb "separates php from sparse ksat" true (correct >= 9);
+  checki "weights exposed" Cnf.Features.dimension
+    (Array.length (Baselines.Logreg.weights model))
+
+let test_logreg_normalisation () =
+  let rng = Util.Rng.create 9 in
+  let fs = List.init 5 (fun i -> Gen.Ksat.generate rng ~num_vars:(20 + i) ~num_clauses:50 ~k:3) in
+  let model = Baselines.Logreg.create () in
+  Baselines.Logreg.fit_normalisation model fs;
+  let v = Baselines.Logreg.features model (List.nth fs 0) in
+  checkb "normalised features bounded" true
+    (Array.for_all (fun x -> Float.abs x < 100.0) v)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "features dimension" `Quick test_features_dimension;
+      Alcotest.test_case "features values" `Quick test_features_values;
+      Alcotest.test_case "features degenerate" `Quick test_features_degenerate;
+      Alcotest.test_case "logreg learns separable" `Quick test_logreg_learns_separable;
+      Alcotest.test_case "logreg normalisation" `Quick test_logreg_normalisation;
+    ]

@@ -1,0 +1,378 @@
+(* Tests for the cnf library: literals, formulas, DIMACS, circuits,
+   Tseitin encoding. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- Lit --- *)
+
+let test_lit_roundtrip () =
+  List.iter
+    (fun d ->
+      checki "dimacs roundtrip" d (Cnf.Lit.to_dimacs (Cnf.Lit.of_dimacs d)))
+    [ 1; -1; 5; -5; 1000; -1000 ]
+
+let test_lit_accessors () =
+  let l = Cnf.Lit.of_dimacs (-7) in
+  checki "var" 7 (Cnf.Lit.var l);
+  checkb "is_pos" false (Cnf.Lit.is_pos l);
+  checkb "negate flips" true (Cnf.Lit.is_pos (Cnf.Lit.negate l));
+  checki "negate keeps var" 7 (Cnf.Lit.var (Cnf.Lit.negate l));
+  checkb "double negate" true (Cnf.Lit.equal l (Cnf.Lit.negate (Cnf.Lit.negate l)))
+
+let test_lit_index () =
+  let l = Cnf.Lit.pos 3 in
+  checki "pos index" 6 (Cnf.Lit.to_index l);
+  checki "neg index" 7 (Cnf.Lit.to_index (Cnf.Lit.neg 3));
+  checkb "of_index inverse" true
+    (Cnf.Lit.equal l (Cnf.Lit.of_index (Cnf.Lit.to_index l)))
+
+let test_lit_invalid () =
+  Alcotest.check_raises "zero var" (Invalid_argument "Lit.of_dimacs: zero")
+    (fun () -> ignore (Cnf.Lit.of_dimacs 0));
+  Alcotest.check_raises "var 0" (Invalid_argument "Lit.make: variable must be >= 1")
+    (fun () -> ignore (Cnf.Lit.make 0 true))
+
+(* --- Formula --- *)
+
+let simple = Cnf.Formula.of_dimacs_lists ~num_vars:3 [ [ 1; 2 ]; [ -2; 3 ]; [ -1 ] ]
+
+let test_formula_counts () =
+  checki "vars" 3 (Cnf.Formula.num_vars simple);
+  checki "clauses" 3 (Cnf.Formula.num_clauses simple);
+  checki "literals" 5 (Cnf.Formula.num_literals simple)
+
+let test_formula_eval () =
+  (* x1=F, x2=T, x3=T satisfies. *)
+  checkb "satisfying" true (Cnf.Formula.eval simple [| false; false; true; true |]);
+  checkb "falsifying" false (Cnf.Formula.eval simple [| false; true; false; false |])
+
+let test_formula_out_of_range () =
+  Alcotest.check_raises "var out of range"
+    (Invalid_argument "Formula.create: variable 5 out of range 1..3") (fun () ->
+      ignore (Cnf.Formula.of_dimacs_lists ~num_vars:3 [ [ 5 ] ]))
+
+let test_formula_relabel () =
+  let perm = [| 0; 3; 1; 2 |] in
+  let relabelled = Cnf.Formula.relabel simple ~perm in
+  (* Satisfiability is invariant under relabelling: remap the model. *)
+  let model = [| false; false; true; true |] in
+  let remapped = Array.make 4 false in
+  for v = 1 to 3 do
+    remapped.(perm.(v)) <- model.(v)
+  done;
+  checkb "relabelled eval" true (Cnf.Formula.eval relabelled remapped)
+
+let test_formula_relabel_invalid () =
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Formula.relabel: not a permutation") (fun () ->
+      ignore (Cnf.Formula.relabel simple ~perm:[| 0; 1; 1; 2 |]))
+
+let test_formula_shuffle_equisat () =
+  let rng = Util.Rng.create 4 in
+  let shuffled = Cnf.Formula.shuffle rng simple in
+  checki "same clause count" (Cnf.Formula.num_clauses simple)
+    (Cnf.Formula.num_clauses shuffled);
+  checkb "same satisfying assignment" true
+    (Cnf.Formula.eval shuffled [| false; false; true; true |])
+
+let test_builder () =
+  let b = Cnf.Formula.Builder.create () in
+  let v1 = Cnf.Formula.Builder.fresh_var b in
+  let v2 = Cnf.Formula.Builder.fresh_var b in
+  checki "fresh vars sequential" 1 v1;
+  checki "fresh vars sequential" 2 v2;
+  Cnf.Formula.Builder.add_clause b [ Cnf.Lit.pos v1; Cnf.Lit.neg v2 ];
+  Cnf.Formula.Builder.add_dimacs b [ -1; 5 ];
+  checki "ensure grows vars" 5 (Cnf.Formula.Builder.num_vars b);
+  let f = Cnf.Formula.Builder.build b in
+  checki "built clauses" 2 (Cnf.Formula.num_clauses f);
+  checki "built vars" 5 (Cnf.Formula.num_vars f)
+
+(* --- Dimacs --- *)
+
+let test_dimacs_parse_basic () =
+  let f = Cnf.Dimacs.parse_string "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  checki "vars" 3 (Cnf.Formula.num_vars f);
+  checki "clauses" 2 (Cnf.Formula.num_clauses f)
+
+let test_dimacs_multiline_clause () =
+  let f = Cnf.Dimacs.parse_string "p cnf 3 1\n1\n-2\n3 0\n" in
+  checki "one clause across lines" 1 (Cnf.Formula.num_clauses f);
+  checki "three literals" 3 (Cnf.Formula.num_literals f)
+
+let test_dimacs_roundtrip () =
+  let text = Cnf.Dimacs.to_string ~comment:"round\ntrip" simple in
+  let f = Cnf.Dimacs.parse_string text in
+  checki "vars" 3 (Cnf.Formula.num_vars f);
+  checki "clauses" 3 (Cnf.Formula.num_clauses f);
+  checkb "same eval" true (Cnf.Formula.eval f [| false; false; true; true |])
+
+let expect_parse_error text () =
+  match Cnf.Dimacs.parse_string text with
+  | exception Cnf.Dimacs.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_dimacs_errors () =
+  expect_parse_error "1 2 0\n" ();
+  expect_parse_error "p cnf 3 2\n1 0\n" () (* count mismatch *);
+  expect_parse_error "p cnf 3 1\n1 2\n" () (* missing terminator *);
+  expect_parse_error "p cnf 3 1\n1 foo 0\n" ();
+  expect_parse_error "p cnf 3 1\np cnf 3 1\n1 0\n" ()
+
+let test_dimacs_grows_vars () =
+  (* Literals beyond the declared bound grow the formula. *)
+  let f = Cnf.Dimacs.parse_string "p cnf 2 1\n1 7 0\n" in
+  checki "vars grown" 7 (Cnf.Formula.num_vars f)
+
+let test_dimacs_file_io () =
+  let path = Filename.temp_file "neuroselect" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cnf.Dimacs.write_file ~comment:"test" path simple;
+      let f = Cnf.Dimacs.parse_file path in
+      checki "file roundtrip clauses" 3 (Cnf.Formula.num_clauses f))
+
+(* --- Circuit --- *)
+
+let test_circuit_gates () =
+  let c = Cnf.Circuit.create () in
+  let a = Cnf.Circuit.input c and b = Cnf.Circuit.input c in
+  let and_ = Cnf.Circuit.and_ c a b in
+  let or_ = Cnf.Circuit.or_ c a b in
+  let xor_ = Cnf.Circuit.xor_ c a b in
+  let cases = [ (false, false); (false, true); (true, false); (true, true) ] in
+  let handle (x, y) =
+    let inputs = [| x; y |] in
+    checkb "and" (x && y) (Cnf.Circuit.eval c inputs and_);
+    checkb "or" (x || y) (Cnf.Circuit.eval c inputs or_);
+    checkb "xor" (x <> y) (Cnf.Circuit.eval c inputs xor_)
+  in
+  List.iter handle cases
+
+let test_circuit_constant_folding () =
+  let c = Cnf.Circuit.create () in
+  let a = Cnf.Circuit.input c in
+  checkb "a & false = false" true
+    (Cnf.Circuit.wire_equal (Cnf.Circuit.and_ c a Cnf.Circuit.false_) Cnf.Circuit.false_);
+  checkb "a & true = a" true
+    (Cnf.Circuit.wire_equal (Cnf.Circuit.and_ c a Cnf.Circuit.true_) a);
+  checkb "a & a = a" true (Cnf.Circuit.wire_equal (Cnf.Circuit.and_ c a a) a);
+  checkb "a & ~a = false" true
+    (Cnf.Circuit.wire_equal (Cnf.Circuit.and_ c a (Cnf.Circuit.not_ a)) Cnf.Circuit.false_)
+
+let test_circuit_hash_consing () =
+  let c = Cnf.Circuit.create () in
+  let a = Cnf.Circuit.input c and b = Cnf.Circuit.input c in
+  let g1 = Cnf.Circuit.and_ c a b in
+  let g2 = Cnf.Circuit.and_ c b a in
+  checkb "structural hashing merges commuted gates" true (Cnf.Circuit.wire_equal g1 g2);
+  checki "single gate created" 1 (Cnf.Circuit.num_gates c)
+
+let test_circuit_adder_exhaustive () =
+  let c = Cnf.Circuit.create () in
+  let width = 3 in
+  let xs = Cnf.Circuit.input_array c width in
+  let ys = Cnf.Circuit.input_array c width in
+  let sum, carry = Cnf.Circuit.ripple_adder c xs ys in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let inputs =
+        Array.init 6 (fun i -> if i < 3 then (a lsr i) land 1 = 1 else (b lsr (i - 3)) land 1 = 1)
+      in
+      let got = ref 0 in
+      Array.iteri
+        (fun i s -> if Cnf.Circuit.eval c inputs s then got := !got lor (1 lsl i))
+        sum;
+      if Cnf.Circuit.eval c inputs carry then got := !got lor 8;
+      checki (Printf.sprintf "%d+%d" a b) (a + b) !got
+    done
+  done
+
+let test_circuit_multipliers_agree () =
+  let c = Cnf.Circuit.create () in
+  let width = 3 in
+  let xs = Cnf.Circuit.input_array c width in
+  let ys = Cnf.Circuit.input_array c width in
+  let p1 = Cnf.Circuit.multiplier c xs ys in
+  let p2 = Cnf.Circuit.wallace_multiplier c xs ys in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let inputs =
+        Array.init 6 (fun i -> if i < 3 then (a lsr i) land 1 = 1 else (b lsr (i - 3)) land 1 = 1)
+      in
+      let value prod =
+        let acc = ref 0 in
+        Array.iteri
+          (fun i w -> if Cnf.Circuit.eval c inputs w then acc := !acc lor (1 lsl i))
+          prod;
+        !acc
+      in
+      checki (Printf.sprintf "%d*%d shift-add" a b) (a * b) (value p1);
+      checki (Printf.sprintf "%d*%d wallace" a b) (a * b) (value p2)
+    done
+  done
+
+let test_circuit_mux () =
+  let c = Cnf.Circuit.create () in
+  let s = Cnf.Circuit.input c in
+  let a = Cnf.Circuit.input c in
+  let b = Cnf.Circuit.input c in
+  let m = Cnf.Circuit.mux c ~sel:s a b in
+  checkb "sel=1 -> a" true (Cnf.Circuit.eval c [| true; true; false |] m);
+  checkb "sel=0 -> b" false (Cnf.Circuit.eval c [| false; true; false |] m)
+
+let test_circuit_adders_equivalent () =
+  checkb "ripple vs mux adders equal (width 4)" true
+    (Gen.Circuits.equivalent_outputs ~width:4)
+
+(* --- Tseitin --- *)
+
+let solve f = fst (Cdcl.Solver.solve_formula f)
+
+let test_tseitin_equivalence_unsat () =
+  (match solve (Gen.Circuits.adder_miter 5) with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "adder miter must be UNSAT");
+  match solve (Gen.Circuits.multiplier_miter 3) with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "multiplier miter must be UNSAT"
+
+let test_tseitin_fault_sat_with_witness () =
+  let c = Cnf.Circuit.create () in
+  let xs = Cnf.Circuit.input_array c 3 in
+  let ys = Cnf.Circuit.input_array c 3 in
+  let s1, _ = Cnf.Circuit.ripple_adder c xs ys in
+  let s2 = Array.copy s1 in
+  s2.(1) <- Cnf.Circuit.not_ s2.(1);
+  let differ = Cnf.Circuit.miter c s1 s2 in
+  let formula, mapping = Cnf.Tseitin.encode c ~asserted:[ differ ] in
+  match Cdcl.Solver.solve_formula formula with
+  | Cdcl.Solver.Sat model, _ ->
+    (* The decoded inputs must really exhibit the difference. *)
+    let inputs = Cnf.Tseitin.decode_inputs mapping model in
+    checkb "witness drives miter true" true (Cnf.Circuit.eval c inputs differ)
+  | _ -> Alcotest.fail "faulty miter must be SAT"
+
+let test_tseitin_no_assertion_sat () =
+  let c = Cnf.Circuit.create () in
+  let a = Cnf.Circuit.input c in
+  let b = Cnf.Circuit.input c in
+  ignore (Cnf.Circuit.and_ c a b);
+  let formula, _ = Cnf.Tseitin.encode c ~asserted:[] in
+  match solve formula with
+  | Cdcl.Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "unconstrained circuit must be SAT"
+
+let test_tseitin_contradiction_unsat () =
+  let c = Cnf.Circuit.create () in
+  let a = Cnf.Circuit.input c in
+  let formula, _ =
+    Cnf.Tseitin.encode c ~asserted:[ a; Cnf.Circuit.not_ a ]
+  in
+  match solve formula with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "a and not a must be UNSAT"
+
+(* --- properties --- *)
+
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"dimacs roundtrip preserves clause count" ~count:100
+    QCheck.(pair (int_range 1 12) (int_range 1 30))
+    (fun (n, m) ->
+      let rng = Util.Rng.create (n + (1000 * m)) in
+      let f = Gen.Ksat.generate rng ~num_vars:n ~num_clauses:m ~k:(min 3 n) in
+      let f' = Cnf.Dimacs.parse_string (Cnf.Dimacs.to_string f) in
+      Cnf.Formula.num_clauses f' = m && Cnf.Formula.num_vars f' = n)
+
+let prop_eval_invariant_under_shuffle =
+  QCheck.Test.make ~name:"shuffle preserves evaluation" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (seed1, seed2) ->
+      let rng = Util.Rng.create seed1 in
+      let f = Gen.Ksat.generate rng ~num_vars:8 ~num_clauses:20 ~k:3 in
+      let shuffled = Cnf.Formula.shuffle (Util.Rng.create seed2) f in
+      let assignment = Array.init 9 (fun _ -> Util.Rng.bool rng) in
+      Cnf.Formula.eval f assignment = Cnf.Formula.eval shuffled assignment)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dimacs_roundtrip; prop_eval_invariant_under_shuffle ]
+
+let suite =
+  [
+    Alcotest.test_case "lit roundtrip" `Quick test_lit_roundtrip;
+    Alcotest.test_case "lit accessors" `Quick test_lit_accessors;
+    Alcotest.test_case "lit index" `Quick test_lit_index;
+    Alcotest.test_case "lit invalid" `Quick test_lit_invalid;
+    Alcotest.test_case "formula counts" `Quick test_formula_counts;
+    Alcotest.test_case "formula eval" `Quick test_formula_eval;
+    Alcotest.test_case "formula out of range" `Quick test_formula_out_of_range;
+    Alcotest.test_case "formula relabel" `Quick test_formula_relabel;
+    Alcotest.test_case "formula relabel invalid" `Quick test_formula_relabel_invalid;
+    Alcotest.test_case "formula shuffle" `Quick test_formula_shuffle_equisat;
+    Alcotest.test_case "builder" `Quick test_builder;
+    Alcotest.test_case "dimacs parse basic" `Quick test_dimacs_parse_basic;
+    Alcotest.test_case "dimacs multiline clause" `Quick test_dimacs_multiline_clause;
+    Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+    Alcotest.test_case "dimacs grows vars" `Quick test_dimacs_grows_vars;
+    Alcotest.test_case "dimacs file io" `Quick test_dimacs_file_io;
+    Alcotest.test_case "circuit gates" `Quick test_circuit_gates;
+    Alcotest.test_case "circuit constant folding" `Quick test_circuit_constant_folding;
+    Alcotest.test_case "circuit hash consing" `Quick test_circuit_hash_consing;
+    Alcotest.test_case "circuit adder exhaustive" `Quick test_circuit_adder_exhaustive;
+    Alcotest.test_case "circuit multipliers agree" `Quick test_circuit_multipliers_agree;
+    Alcotest.test_case "circuit mux" `Quick test_circuit_mux;
+    Alcotest.test_case "circuit adders equivalent" `Quick test_circuit_adders_equivalent;
+    Alcotest.test_case "tseitin equivalence unsat" `Quick test_tseitin_equivalence_unsat;
+    Alcotest.test_case "tseitin fault witness" `Quick test_tseitin_fault_sat_with_witness;
+    Alcotest.test_case "tseitin unconstrained sat" `Quick test_tseitin_no_assertion_sat;
+    Alcotest.test_case "tseitin contradiction unsat" `Quick test_tseitin_contradiction_unsat;
+  ]
+  @ qcheck_tests
+
+(* Random-circuit Tseitin soundness: the encoding is satisfiable iff
+   some input assignment drives the asserted wire true (checked by
+   exhaustive simulation). *)
+let random_circuit rng ~inputs ~gates =
+  let c = Cnf.Circuit.create () in
+  let wires = ref (Array.to_list (Cnf.Circuit.input_array c inputs)) in
+  for _ = 1 to gates do
+    let arr = Array.of_list !wires in
+    let a = Util.Rng.choose rng arr in
+    let b = Util.Rng.choose rng arr in
+    let a = if Util.Rng.bool rng then Cnf.Circuit.not_ a else a in
+    let b = if Util.Rng.bool rng then Cnf.Circuit.not_ b else b in
+    let g =
+      match Util.Rng.int rng 3 with
+      | 0 -> Cnf.Circuit.and_ c a b
+      | 1 -> Cnf.Circuit.or_ c a b
+      | _ -> Cnf.Circuit.xor_ c a b
+    in
+    wires := g :: !wires
+  done;
+  (c, List.hd !wires)
+
+let prop_tseitin_equisatisfiable =
+  QCheck.Test.make ~name:"tseitin encoding matches circuit simulation" ~count:80
+    QCheck.(pair small_int (pair (int_range 2 6) (int_range 1 15)))
+    (fun (seed, (inputs, gates)) ->
+      let rng = Util.Rng.create (seed + 90210) in
+      let c, out = random_circuit rng ~inputs ~gates in
+      let formula, mapping = Cnf.Tseitin.encode c ~asserted:[ out ] in
+      let reachable = ref false in
+      for pattern = 0 to (1 lsl inputs) - 1 do
+        let ins = Array.init inputs (fun i -> (pattern lsr i) land 1 = 1) in
+        if Cnf.Circuit.eval c ins out then reachable := true
+      done;
+      match Cdcl.Solver.solve_formula formula with
+      | Cdcl.Solver.Sat model, _ ->
+        (* Witness must actually drive the output. *)
+        !reachable
+        && Cnf.Circuit.eval c (Cnf.Tseitin.decode_inputs mapping model) out
+      | Cdcl.Solver.Unsat, _ -> not !reachable
+      | Cdcl.Solver.Unknown, _ -> false)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_tseitin_equisatisfiable ]

@@ -1,0 +1,202 @@
+(* Tests for the instance generators and the year-structured dataset. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let solve f = fst (Cdcl.Solver.solve_formula f)
+
+let is_unsat f = solve f = Cdcl.Solver.Unsat
+
+let is_sat f =
+  match solve f with
+  | Cdcl.Solver.Sat m -> Cdcl.Solver.check_model f m
+  | Cdcl.Solver.Unsat | Cdcl.Solver.Unknown -> false
+
+(* --- ksat --- *)
+
+let test_ksat_shape () =
+  let rng = Util.Rng.create 1 in
+  let f = Gen.Ksat.generate rng ~num_vars:20 ~num_clauses:50 ~k:3 in
+  checki "vars" 20 (Cnf.Formula.num_vars f);
+  checki "clauses" 50 (Cnf.Formula.num_clauses f);
+  checki "literals" 150 (Cnf.Formula.num_literals f);
+  (* every clause has 3 distinct variables *)
+  Cnf.Formula.iter_clauses
+    (fun c ->
+      let vars = List.sort_uniq compare (Array.to_list (Array.map Cnf.Lit.var c)) in
+      checki "distinct vars per clause" 3 (List.length vars))
+    f
+
+let test_ksat_determinism () =
+  let f1 = Gen.Ksat.generate (Util.Rng.create 9) ~num_vars:10 ~num_clauses:20 ~k:3 in
+  let f2 = Gen.Ksat.generate (Util.Rng.create 9) ~num_vars:10 ~num_clauses:20 ~k:3 in
+  checkb "same seed same formula" true
+    (Cnf.Dimacs.to_string f1 = Cnf.Dimacs.to_string f2)
+
+let test_ksat_invalid () =
+  Alcotest.check_raises "k > n" (Invalid_argument "Ksat.generate: bad k") (fun () ->
+      ignore (Gen.Ksat.generate (Util.Rng.create 1) ~num_vars:2 ~num_clauses:1 ~k:3))
+
+let test_ksat_underconstrained_sat () =
+  (* ratio 1.0 is essentially always SAT *)
+  let rng = Util.Rng.create 2 in
+  checkb "sparse 3sat sat" true
+    (is_sat (Gen.Ksat.generate rng ~num_vars:40 ~num_clauses:40 ~k:3))
+
+let test_ksat_overconstrained_unsat () =
+  (* ratio 10 is essentially always UNSAT *)
+  let rng = Util.Rng.create 3 in
+  checkb "dense 3sat unsat" true
+    (is_unsat (Gen.Ksat.generate rng ~num_vars:20 ~num_clauses:200 ~k:3))
+
+(* --- pigeonhole --- *)
+
+let test_php_unsat_when_overfull () = checkb "PHP(5,4)" true (is_unsat (Gen.Pigeonhole.unsat 4))
+
+let test_php_sat_when_fits () =
+  checkb "PHP(4,5)" true (is_sat (Gen.Pigeonhole.generate ~pigeons:4 ~holes:5))
+
+let test_php_clause_counts () =
+  let f = Gen.Pigeonhole.generate ~pigeons:3 ~holes:2 in
+  (* 3 at-least-one clauses + 2 holes * C(3,2) pair clauses = 3 + 6. *)
+  checki "clauses" 9 (Cnf.Formula.num_clauses f);
+  checki "vars" 6 (Cnf.Formula.num_vars f)
+
+(* --- coloring --- *)
+
+let test_coloring_triangle_2colors_unsat () =
+  (* A triangle cannot be 2-coloured: use edge_prob 1 on 3 vertices. *)
+  let rng = Util.Rng.create 4 in
+  checkb "triangle 2-col unsat" true
+    (is_unsat (Gen.Coloring.generate rng ~vertices:3 ~edge_prob:1.1 ~colors:2))
+
+let test_coloring_triangle_3colors_sat () =
+  let rng = Util.Rng.create 4 in
+  checkb "triangle 3-col sat" true
+    (is_sat (Gen.Coloring.generate rng ~vertices:3 ~edge_prob:1.1 ~colors:3))
+
+let test_coloring_empty_graph_sat () =
+  let rng = Util.Rng.create 5 in
+  checkb "no edges always colourable" true
+    (is_sat (Gen.Coloring.generate rng ~vertices:10 ~edge_prob:0.0 ~colors:1))
+
+(* --- parity --- *)
+
+let test_parity_contradiction_unsat () =
+  List.iter
+    (fun n ->
+      let rng = Util.Rng.create (100 + n) in
+      checkb
+        (Printf.sprintf "parity contradiction n=%d" n)
+        true
+        (is_unsat (Gen.Parity.contradiction rng ~num_vars:n)))
+    [ 1; 2; 5; 10 ]
+
+let test_parity_chain_sat_and_correct () =
+  let rng = Util.Rng.create 6 in
+  let f = Gen.Parity.chain rng ~num_vars:7 ~target:true in
+  match Cdcl.Solver.solve_formula f with
+  | Cdcl.Solver.Sat m, _ ->
+    (* The model's parity over the original 7 variables must be odd. *)
+    let parity = ref false in
+    for v = 1 to 7 do
+      if m.(v) then parity := not !parity
+    done;
+    checkb "parity odd" true !parity
+  | _ -> Alcotest.fail "parity chain target=true is SAT"
+
+let test_parity_chain_false_target () =
+  let rng = Util.Rng.create 7 in
+  let f = Gen.Parity.chain rng ~num_vars:6 ~target:false in
+  match Cdcl.Solver.solve_formula f with
+  | Cdcl.Solver.Sat m, _ ->
+    let parity = ref false in
+    for v = 1 to 6 do
+      if m.(v) then parity := not !parity
+    done;
+    checkb "parity even" false !parity
+  | _ -> Alcotest.fail "parity chain target=false is SAT"
+
+(* --- circuits --- *)
+
+let test_adder_miter_unsat () =
+  checkb "adder equivalence" true (is_unsat (Gen.Circuits.adder_miter 6))
+
+let test_adder_miter_faulty_sat () =
+  checkb "faulty adder differs" true (is_sat (Gen.Circuits.adder_miter ~faulty:true 6))
+
+let test_multiplier_miter_unsat () =
+  checkb "multiplier equivalence" true (is_unsat (Gen.Circuits.multiplier_miter 3))
+
+let test_multiplier_miter_faulty_sat () =
+  checkb "faulty multiplier differs" true
+    (is_sat (Gen.Circuits.multiplier_miter ~faulty:true 3))
+
+(* --- dataset --- *)
+
+let test_dataset_split_structure () =
+  let split = Gen.Dataset.generate ~seed:1 ~per_year:8 () in
+  checki "train years x per_year" 48 (List.length split.Gen.Dataset.train);
+  checki "test size" 8 (List.length split.Gen.Dataset.test);
+  List.iter
+    (fun (i : Gen.Dataset.instance) ->
+      checkb "train years" true (List.mem i.year Gen.Dataset.years_train))
+    split.Gen.Dataset.train;
+  List.iter
+    (fun (i : Gen.Dataset.instance) -> checki "test year" Gen.Dataset.year_test i.year)
+    split.Gen.Dataset.test
+
+let test_dataset_deterministic () =
+  let s1 = Gen.Dataset.generate ~seed:5 ~per_year:4 () in
+  let s2 = Gen.Dataset.generate ~seed:5 ~per_year:4 () in
+  List.iter2
+    (fun (a : Gen.Dataset.instance) (b : Gen.Dataset.instance) ->
+      checkb "same name" true (a.name = b.name);
+      checkb "same formula" true
+        (Cnf.Dimacs.to_string a.formula = Cnf.Dimacs.to_string b.formula))
+    s1.Gen.Dataset.train s2.Gen.Dataset.train
+
+let test_dataset_family_mix () =
+  let instances = Gen.Dataset.generate_year ~seed:3 ~per_year:16 2020 in
+  let families =
+    List.sort_uniq compare (List.map (fun (i : Gen.Dataset.instance) -> i.family) instances)
+  in
+  checkb "all six families present" true
+    (List.for_all (fun f -> List.mem f families)
+       [ "ksat"; "php"; "color"; "parity"; "adder"; "mult" ])
+
+let test_dataset_stats () =
+  let split = Gen.Dataset.generate ~seed:2 ~per_year:4 () in
+  let rows = Gen.Dataset.stats (split.Gen.Dataset.train @ split.Gen.Dataset.test) in
+  checki "seven year rows" 7 (List.length rows);
+  List.iter
+    (fun (r : Gen.Dataset.year_stats) ->
+      checki "count per year" 4 r.Gen.Dataset.num_cnfs;
+      checkb "positive sizes" true (r.Gen.Dataset.mean_vars > 0.0))
+    rows
+
+let suite =
+  [
+    Alcotest.test_case "ksat shape" `Quick test_ksat_shape;
+    Alcotest.test_case "ksat determinism" `Quick test_ksat_determinism;
+    Alcotest.test_case "ksat invalid" `Quick test_ksat_invalid;
+    Alcotest.test_case "ksat underconstrained sat" `Quick test_ksat_underconstrained_sat;
+    Alcotest.test_case "ksat overconstrained unsat" `Quick test_ksat_overconstrained_unsat;
+    Alcotest.test_case "php unsat" `Quick test_php_unsat_when_overfull;
+    Alcotest.test_case "php sat" `Quick test_php_sat_when_fits;
+    Alcotest.test_case "php clause counts" `Quick test_php_clause_counts;
+    Alcotest.test_case "coloring triangle 2col" `Quick test_coloring_triangle_2colors_unsat;
+    Alcotest.test_case "coloring triangle 3col" `Quick test_coloring_triangle_3colors_sat;
+    Alcotest.test_case "coloring empty graph" `Quick test_coloring_empty_graph_sat;
+    Alcotest.test_case "parity contradiction unsat" `Quick test_parity_contradiction_unsat;
+    Alcotest.test_case "parity chain sat" `Quick test_parity_chain_sat_and_correct;
+    Alcotest.test_case "parity chain false target" `Quick test_parity_chain_false_target;
+    Alcotest.test_case "adder miter unsat" `Quick test_adder_miter_unsat;
+    Alcotest.test_case "adder miter faulty sat" `Quick test_adder_miter_faulty_sat;
+    Alcotest.test_case "multiplier miter unsat" `Quick test_multiplier_miter_unsat;
+    Alcotest.test_case "multiplier miter faulty sat" `Quick test_multiplier_miter_faulty_sat;
+    Alcotest.test_case "dataset split structure" `Quick test_dataset_split_structure;
+    Alcotest.test_case "dataset deterministic" `Quick test_dataset_deterministic;
+    Alcotest.test_case "dataset family mix" `Quick test_dataset_family_mix;
+    Alcotest.test_case "dataset stats" `Quick test_dataset_stats;
+  ]

@@ -1,0 +1,105 @@
+(* Tests for the graph encodings of CNFs. *)
+
+module Bigraph = Satgraph.Bigraph
+module Litgraph = Satgraph.Litgraph
+module Mat = Tensor.Mat
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let f = Cnf.Formula.of_dimacs_lists ~num_vars:3 [ [ 1; -2 ]; [ 2; 3 ]; [ -1; -3 ] ]
+
+let test_bigraph_structure () =
+  let g = Bigraph.of_formula f in
+  checki "vars" 3 g.Bigraph.num_vars;
+  checki "clauses" 3 g.Bigraph.num_clauses;
+  checki "edges = literal occurrences" 6 (Bigraph.num_edges g);
+  checki "nodes" 6 (Bigraph.num_nodes g)
+
+let test_bigraph_edge_weights () =
+  let g = Bigraph.of_formula f in
+  (* Clause 0 = (x1 or not x2): weights +1 for var 0, -1 for var 1. *)
+  let weight_of var clause =
+    let found = ref None in
+    Array.iteri
+      (fun e v ->
+        if v = var && g.Bigraph.edge_clause.(e) = clause then
+          found := Some g.Bigraph.edge_weight.(e))
+      g.Bigraph.edge_var;
+    Option.get !found
+  in
+  checkf "x1 in c0 positive" 1.0 (weight_of 0 0);
+  checkf "x2 in c0 negative" (-1.0) (weight_of 1 0);
+  checkf "x2 in c1 positive" 1.0 (weight_of 1 1);
+  checkf "x3 in c2 negative" (-1.0) (weight_of 2 2)
+
+let test_bigraph_degrees () =
+  let g = Bigraph.of_formula f in
+  Alcotest.(check (array int)) "var degrees" [| 2; 2; 2 |] g.Bigraph.var_degree;
+  Alcotest.(check (array int)) "clause degrees" [| 2; 2; 2 |] g.Bigraph.clause_degree;
+  let inv = Bigraph.var_inv_degree g in
+  checkf "inverse degree" 0.5 inv.(0)
+
+let test_bigraph_isolated_var () =
+  (* Variable 4 appears in no clause: degree 0, inv degree 0. *)
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:4 [ [ 1; 2 ] ] in
+  let g = Bigraph.of_formula f in
+  checki "deg 0" 0 g.Bigraph.var_degree.(3);
+  checkf "inv deg 0" 0.0 (Bigraph.var_inv_degree g).(3)
+
+let test_bigraph_initial_features () =
+  let g = Bigraph.of_formula f in
+  let vf = Bigraph.initial_var_features g in
+  let cf = Bigraph.initial_clause_features g in
+  checkb "vars all ones" true (Mat.approx_equal vf (Mat.create 3 1 1.0));
+  checkb "clauses all zeros" true (Mat.approx_equal cf (Mat.zeros 3 1))
+
+let test_litgraph_structure () =
+  let g = Litgraph.of_formula f in
+  checki "lit nodes" 6 (Litgraph.num_lit_nodes g);
+  checki "edges" 6 (Litgraph.num_edges g);
+  (* Lit node of x1 positive is 0, of not x1 is 1. *)
+  checki "complement pairing" 1 (Litgraph.complement 0);
+  checki "complement involution" 0 (Litgraph.complement (Litgraph.complement 0))
+
+let test_litgraph_degrees () =
+  let g = Litgraph.of_formula f in
+  (* x1 occurs positively once (node 0) and negatively once (node 1). *)
+  checki "pos x1 degree" 1 g.Litgraph.lit_degree.(0);
+  checki "neg x1 degree" 1 g.Litgraph.lit_degree.(1);
+  Alcotest.(check (array int)) "clause degrees" [| 2; 2; 2 |] g.Litgraph.clause_degree
+
+let prop_bigraph_edge_count =
+  QCheck.Test.make ~name:"bigraph edges = num_literals" ~count:100
+    QCheck.(pair small_int (int_range 1 40))
+    (fun (seed, m) ->
+      let rng = Util.Rng.create seed in
+      let f = Gen.Ksat.generate rng ~num_vars:12 ~num_clauses:m ~k:3 in
+      Bigraph.num_edges (Bigraph.of_formula f) = Cnf.Formula.num_literals f)
+
+let prop_degrees_sum_to_edges =
+  QCheck.Test.make ~name:"degree sums equal edge count" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let f = Gen.Ksat.generate rng ~num_vars:10 ~num_clauses:25 ~k:3 in
+      let g = Bigraph.of_formula f in
+      let sum = Array.fold_left ( + ) 0 in
+      sum g.Bigraph.var_degree = Bigraph.num_edges g
+      && sum g.Bigraph.clause_degree = Bigraph.num_edges g)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_bigraph_edge_count; prop_degrees_sum_to_edges ]
+
+let suite =
+  [
+    Alcotest.test_case "bigraph structure" `Quick test_bigraph_structure;
+    Alcotest.test_case "bigraph edge weights" `Quick test_bigraph_edge_weights;
+    Alcotest.test_case "bigraph degrees" `Quick test_bigraph_degrees;
+    Alcotest.test_case "bigraph isolated var" `Quick test_bigraph_isolated_var;
+    Alcotest.test_case "bigraph initial features" `Quick test_bigraph_initial_features;
+    Alcotest.test_case "litgraph structure" `Quick test_litgraph_structure;
+    Alcotest.test_case "litgraph degrees" `Quick test_litgraph_degrees;
+  ]
+  @ qcheck_tests

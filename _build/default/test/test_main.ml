@@ -1,0 +1,17 @@
+(* Test entry point: one alcotest run aggregating every suite. *)
+
+let () =
+  Alcotest.run "neuroselect"
+    [
+      ("util", Test_util.suite);
+      ("cnf", Test_cnf.suite);
+      ("simplify", Test_simplify.suite);
+      ("cdcl", Test_cdcl.suite);
+      ("tensor", Test_tensor.suite);
+      ("nn", Test_nn.suite);
+      ("graph", Test_graph.suite);
+      ("core", Test_core.suite);
+      ("gen", Test_gen.suite);
+      ("baselines", Test_baselines.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,155 @@
+(* Tests for CNF preprocessing: unit propagation, pure literals,
+   subsumption, strengthening, and model extension. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let brute_force_sat f =
+  let n = Cnf.Formula.num_vars f in
+  assert (n <= 16);
+  let assignment = Array.make (n + 1) false in
+  let rec go v =
+    if v > n then Cnf.Formula.eval f assignment
+    else begin
+      assignment.(v) <- false;
+      go (v + 1)
+      ||
+      (assignment.(v) <- true;
+       go (v + 1))
+    end
+  in
+  go 1
+
+let simplified f =
+  match Cnf.Simplify.simplify f with
+  | Cnf.Simplify.Simplified r -> r
+  | Cnf.Simplify.Proved_unsat -> Alcotest.fail "unexpected UNSAT"
+
+let test_unit_propagation_chain () =
+  let f =
+    Cnf.Formula.of_dimacs_lists ~num_vars:4 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ]; [ -3; 4 ] ]
+  in
+  let r = simplified f in
+  checki "all clauses consumed" 0 (Cnf.Formula.num_clauses r.Cnf.Simplify.formula);
+  checki "four forced" 4 r.Cnf.Simplify.stats.Cnf.Simplify.forced_units;
+  let model = Cnf.Simplify.extend_model r (Array.make 5 false) in
+  checkb "original satisfied" true (Cnf.Formula.eval f model)
+
+let test_unit_conflict_unsat () =
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:2 [ [ 1 ]; [ -1; 2 ]; [ -2 ] ] in
+  checkb "proved unsat" true (Cnf.Simplify.simplify f = Cnf.Simplify.Proved_unsat)
+
+let test_pure_literal () =
+  (* x3 occurs only positively: eliminated, its clauses removed. *)
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:3 [ [ 1; 3 ]; [ -1; 3 ]; [ 1; -2 ] ] in
+  let r = simplified f in
+  checkb "pure literal recorded" true
+    (List.exists (fun (v, b) -> v = 3 && b) r.Cnf.Simplify.pure);
+  checkb "pure clauses removed" true
+    (Cnf.Formula.num_clauses r.Cnf.Simplify.formula <= 1)
+
+let test_subsumption () =
+  (* [1] cannot appear (unit would be forced); use [1;2] subsuming [1;2;3]. *)
+  let f =
+    Cnf.Formula.of_dimacs_lists ~num_vars:4 [ [ 1; 2 ]; [ 1; 2; 3 ]; [ 1; 2; 3; 4 ]; [ -1; -2 ] ]
+  in
+  let r = simplified f in
+  checkb "subsumed clauses dropped" true
+    (r.Cnf.Simplify.stats.Cnf.Simplify.subsumed_clauses >= 2)
+
+let test_strengthening () =
+  (* (1 2) and (-1 2 3): self-subsuming resolution on 1 strengthens the
+     second clause to (2 3). *)
+  let f =
+    Cnf.Formula.of_dimacs_lists ~num_vars:4 [ [ 1; 2 ]; [ -1; 2; 3 ]; [ -2; 4 ]; [ -4; -2; 1 ] ]
+  in
+  let r = simplified f in
+  checkb "strengthened" true (r.Cnf.Simplify.stats.Cnf.Simplify.strengthened_literals >= 1)
+
+let test_tautology_removed () =
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:2 [ [ 1; -1 ]; [ 2; 2; -1 ] ] in
+  let r = simplified f in
+  (* Tautology dropped; the deduped (2 -1) clause is then consumed by
+     pure-literal elimination, leaving nothing. *)
+  checki "everything consumed" 0 (Cnf.Formula.num_clauses r.Cnf.Simplify.formula);
+  checkb "pure literals recorded" true (r.Cnf.Simplify.pure <> []);
+  let model = Cnf.Simplify.extend_model r (Array.make 3 false) in
+  checkb "extended model satisfies original" true (Cnf.Formula.eval f model)
+
+let test_idempotent () =
+  let rng = Util.Rng.create 5 in
+  let f = Gen.Ksat.generate rng ~num_vars:12 ~num_clauses:40 ~k:3 in
+  let r1 = simplified f in
+  let r2 = simplified r1.Cnf.Simplify.formula in
+  checki "second pass finds nothing new" 0
+    (r2.Cnf.Simplify.stats.Cnf.Simplify.forced_units
+    + r2.Cnf.Simplify.stats.Cnf.Simplify.pure_literals
+    + r2.Cnf.Simplify.stats.Cnf.Simplify.subsumed_clauses
+    + r2.Cnf.Simplify.stats.Cnf.Simplify.strengthened_literals)
+
+let prop_equisatisfiable =
+  QCheck.Test.make ~name:"simplify preserves satisfiability" ~count:150
+    QCheck.(pair small_int (int_range 5 50))
+    (fun (seed, m) ->
+      let rng = Util.Rng.create seed in
+      let f = Gen.Ksat.generate rng ~num_vars:10 ~num_clauses:m ~k:3 in
+      let before = brute_force_sat f in
+      match Cnf.Simplify.simplify f with
+      | Cnf.Simplify.Proved_unsat -> not before
+      | Cnf.Simplify.Simplified r -> brute_force_sat r.Cnf.Simplify.formula = before)
+
+let prop_extended_model_satisfies_original =
+  QCheck.Test.make ~name:"extended solver model satisfies the original" ~count:100
+    QCheck.(pair small_int (int_range 5 40))
+    (fun (seed, m) ->
+      let rng = Util.Rng.create (seed + 7777) in
+      let f = Gen.Ksat.generate rng ~num_vars:10 ~num_clauses:m ~k:3 in
+      match Cnf.Simplify.simplify f with
+      | Cnf.Simplify.Proved_unsat -> fst (Cdcl.Solver.solve_formula f) = Cdcl.Solver.Unsat
+      | Cnf.Simplify.Simplified r -> begin
+        match Cdcl.Solver.solve_formula r.Cnf.Simplify.formula with
+        | Cdcl.Solver.Sat model, _ ->
+          Cnf.Formula.eval f (Cnf.Simplify.extend_model r model)
+        | Cdcl.Solver.Unsat, _ -> fst (Cdcl.Solver.solve_formula f) = Cdcl.Solver.Unsat
+        | Cdcl.Solver.Unknown, _ -> false
+      end)
+
+let prop_mixed_lengths_equisatisfiable =
+  QCheck.Test.make ~name:"simplify on mixed clause lengths" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Util.Rng.create (seed + 31) in
+      let b = Cnf.Formula.Builder.create () in
+      Cnf.Formula.Builder.ensure_vars b 9;
+      for _ = 1 to 30 do
+        let k = Util.Rng.int_in rng 1 4 in
+        let vars = Util.Rng.sample_distinct rng k 9 in
+        Cnf.Formula.Builder.add_clause b
+          (Array.to_list
+             (Array.map (fun v -> Cnf.Lit.make (v + 1) (Util.Rng.bool rng)) vars))
+      done;
+      let f = Cnf.Formula.Builder.build b in
+      let before = brute_force_sat f in
+      match Cnf.Simplify.simplify f with
+      | Cnf.Simplify.Proved_unsat -> not before
+      | Cnf.Simplify.Simplified r -> brute_force_sat r.Cnf.Simplify.formula = before)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_equisatisfiable;
+      prop_extended_model_satisfies_original;
+      prop_mixed_lengths_equisatisfiable;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "unit propagation chain" `Quick test_unit_propagation_chain;
+    Alcotest.test_case "unit conflict unsat" `Quick test_unit_conflict_unsat;
+    Alcotest.test_case "pure literal" `Quick test_pure_literal;
+    Alcotest.test_case "subsumption" `Quick test_subsumption;
+    Alcotest.test_case "strengthening" `Quick test_strengthening;
+    Alcotest.test_case "tautology removed" `Quick test_tautology_removed;
+    Alcotest.test_case "idempotent" `Quick test_idempotent;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,137 @@
+(* Tests for the dense matrix library. *)
+
+module Mat = Tensor.Mat
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let m23 = Mat.of_arrays [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |]
+let m32 = Mat.of_arrays [| [| 7.0; 8.0 |]; [| 9.0; 10.0 |]; [| 11.0; 12.0 |] |]
+
+let test_shapes () =
+  checki "rows" 2 (Mat.rows m23);
+  checki "cols" 3 (Mat.cols m23);
+  checkb "shape" true (Mat.shape m23 = (2, 3))
+
+let test_get_set_bounds () =
+  let m = Mat.copy m23 in
+  Mat.set m 1 2 99.0;
+  checkf "set/get" 99.0 (Mat.get m 1 2);
+  Alcotest.check_raises "oob" (Invalid_argument "Mat.get") (fun () ->
+      ignore (Mat.get m 2 0))
+
+let test_of_arrays_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_arrays: ragged")
+    (fun () -> ignore (Mat.of_arrays [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_matmul_known () =
+  let p = Mat.matmul m23 m32 in
+  (* [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154] *)
+  checkf "p00" 58.0 (Mat.get p 0 0);
+  checkf "p01" 64.0 (Mat.get p 0 1);
+  checkf "p10" 139.0 (Mat.get p 1 0);
+  checkf "p11" 154.0 (Mat.get p 1 1)
+
+let test_matmul_shape_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Mat.matmul: 2x3 * 2x3")
+    (fun () -> ignore (Mat.matmul m23 m23))
+
+let test_matmul_transpose_variants () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  let b = Mat.of_arrays [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let expected_ta = Mat.matmul (Mat.transpose a) b in
+  checkb "matmul_ta" true (Mat.approx_equal (Mat.matmul_transpose_a a b) expected_ta);
+  let c = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let d = Mat.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let expected_tb = Mat.matmul c (Mat.transpose d) in
+  checkb "matmul_tb" true (Mat.approx_equal (Mat.matmul_transpose_b c d) expected_tb)
+
+let test_transpose_involution () =
+  checkb "transpose twice" true (Mat.approx_equal m23 (Mat.transpose (Mat.transpose m23)))
+
+let test_elementwise () =
+  let s = Mat.add m23 m23 in
+  checkf "add" 2.0 (Mat.get s 0 0);
+  let d = Mat.sub s m23 in
+  checkb "sub identity" true (Mat.approx_equal d m23);
+  let h = Mat.mul m23 m23 in
+  checkf "hadamard" 36.0 (Mat.get h 1 2);
+  let sc = Mat.scale 2.0 m23 in
+  checkf "scale" 12.0 (Mat.get sc 1 2);
+  let mp = Mat.map (fun x -> -.x) m23 in
+  checkf "map" (-3.0) (Mat.get mp 0 2)
+
+let test_add_in_place () =
+  let acc = Mat.zeros 2 3 in
+  Mat.add_in_place acc m23;
+  Mat.add_in_place acc m23;
+  checkb "accumulated twice" true (Mat.approx_equal acc (Mat.scale 2.0 m23))
+
+let test_reductions () =
+  checkf "sum" 21.0 (Mat.sum m23);
+  checkf "mean" 3.5 (Mat.mean m23);
+  checkf "frobenius" (sqrt 91.0) (Mat.frobenius_norm m23);
+  let cm = Mat.col_means m23 in
+  checkf "col mean 0" 2.5 (Mat.get cm 0 0);
+  checkf "col mean 2" 4.5 (Mat.get cm 0 2);
+  let rs = Mat.row_sums m23 in
+  checkf "row sum 0" 6.0 (Mat.get rs 0 0);
+  checkf "row sum 1" 15.0 (Mat.get rs 1 0)
+
+let test_row_extraction () =
+  Alcotest.(check (array (float 1e-9))) "row 1" [| 4.0; 5.0; 6.0 |] (Mat.row m23 1)
+
+let test_xavier_range () =
+  let rng = Util.Rng.create 5 in
+  let w = Mat.xavier rng 10 20 in
+  let bound = sqrt (6.0 /. 30.0) in
+  checkb "entries within glorot bound" true
+    (Array.for_all (fun x -> Float.abs x <= bound) (Mat.row w 0))
+
+let test_row_vector () =
+  let v = Mat.row_vector [| 1.0; 2.0 |] in
+  checki "1 row" 1 (Mat.rows v);
+  checki "2 cols" 2 (Mat.cols v)
+
+let prop_matmul_assoc_with_vector =
+  QCheck.Test.make ~name:"(AB)x = A(Bx)" ~count:50 QCheck.small_int (fun seed ->
+      let rng = Util.Rng.create seed in
+      let a = Mat.random_uniform rng 4 3 1.0 in
+      let b = Mat.random_uniform rng 3 5 1.0 in
+      let x = Mat.random_uniform rng 5 1 1.0 in
+      Mat.approx_equal ~eps:1e-6
+        (Mat.matmul (Mat.matmul a b) x)
+        (Mat.matmul a (Mat.matmul b x)))
+
+let prop_frobenius_scale =
+  QCheck.Test.make ~name:"||cX|| = |c| ||X||" ~count:50
+    QCheck.(pair small_int (float_range (-3.0) 3.0))
+    (fun (seed, c) ->
+      let rng = Util.Rng.create seed in
+      let x = Mat.random_uniform rng 3 4 1.0 in
+      Float.abs
+        (Mat.frobenius_norm (Mat.scale c x) -. (Float.abs c *. Mat.frobenius_norm x))
+      < 1e-6)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_matmul_assoc_with_vector; prop_frobenius_scale ]
+
+let suite =
+  [
+    Alcotest.test_case "shapes" `Quick test_shapes;
+    Alcotest.test_case "get/set bounds" `Quick test_get_set_bounds;
+    Alcotest.test_case "ragged input" `Quick test_of_arrays_ragged;
+    Alcotest.test_case "matmul known" `Quick test_matmul_known;
+    Alcotest.test_case "matmul mismatch" `Quick test_matmul_shape_mismatch;
+    Alcotest.test_case "matmul transpose variants" `Quick test_matmul_transpose_variants;
+    Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+    Alcotest.test_case "elementwise ops" `Quick test_elementwise;
+    Alcotest.test_case "add in place" `Quick test_add_in_place;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+    Alcotest.test_case "row extraction" `Quick test_row_extraction;
+    Alcotest.test_case "xavier range" `Quick test_xavier_range;
+    Alcotest.test_case "row vector" `Quick test_row_vector;
+  ]
+  @ qcheck_tests

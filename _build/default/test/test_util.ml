@@ -1,0 +1,296 @@
+(* Tests for the util library: RNG, vectors, stats, Luby, EMA. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    checkb "same stream" true (Util.Rng.bits64 a = Util.Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+  checkb "different seeds differ" false (Util.Rng.bits64 a = Util.Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Util.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Util.Rng.int rng 10 in
+    checkb "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_rng_int_in_bounds () =
+  let rng = Util.Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Util.Rng.int_in rng (-5) 5 in
+    checkb "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Util.Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Util.Rng.float rng 2.5 in
+    checkb "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_int_coverage () =
+  (* Every residue of a small modulus is hit. *)
+  let rng = Util.Rng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Util.Rng.int rng 5) <- true
+  done;
+  checkb "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_gaussian_moments () =
+  let rng = Util.Rng.create 12 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Util.Rng.gaussian rng in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  checkb "mean near 0" true (Float.abs mean < 0.05);
+  checkb "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_rng_split_independent () =
+  let a = Util.Rng.create 5 in
+  let b = Util.Rng.split a in
+  checkb "split streams differ" false (Util.Rng.bits64 a = Util.Rng.bits64 b)
+
+let test_rng_copy () =
+  let a = Util.Rng.create 5 in
+  ignore (Util.Rng.bits64 a);
+  let b = Util.Rng.copy a in
+  checkb "copy continues identically" true (Util.Rng.bits64 a = Util.Rng.bits64 b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Util.Rng.create 6 in
+  let arr = Array.init 50 Fun.id in
+  Util.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_distinct () =
+  let rng = Util.Rng.create 10 in
+  let s = Util.Rng.sample_distinct rng 10 20 in
+  checki "size" 10 (Array.length s);
+  let uniq = List.sort_uniq compare (Array.to_list s) in
+  checki "distinct" 10 (List.length uniq);
+  List.iter (fun x -> checkb "in range" true (x >= 0 && x < 20)) uniq;
+  (* Dense case path: k close to bound. *)
+  let d = Util.Rng.sample_distinct rng 19 20 in
+  checki "dense distinct" 19 (List.length (List.sort_uniq compare (Array.to_list d)))
+
+(* --- Vec --- *)
+
+let test_vec_push_pop () =
+  let v = Util.Vec.create ~dummy:0 () in
+  checkb "empty" true (Util.Vec.is_empty v);
+  for i = 1 to 100 do
+    Util.Vec.push v i
+  done;
+  checki "length" 100 (Util.Vec.length v);
+  checki "last" 100 (Util.Vec.last v);
+  checki "pop" 100 (Util.Vec.pop v);
+  checki "length after pop" 99 (Util.Vec.length v)
+
+let test_vec_get_set () =
+  let v = Util.Vec.make 5 "x" in
+  Util.Vec.set v 2 "y";
+  check Alcotest.string "set/get" "y" (Util.Vec.get v 2);
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Util.Vec.get v 5))
+
+let test_vec_shrink_clear () =
+  let v = Util.Vec.of_array ~dummy:0 [| 1; 2; 3; 4; 5 |] in
+  Util.Vec.shrink v 3;
+  checki "shrunk" 3 (Util.Vec.length v);
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3 ] (Util.Vec.to_list v);
+  Util.Vec.clear v;
+  checki "cleared" 0 (Util.Vec.length v)
+
+let test_vec_swap_remove () =
+  let v = Util.Vec.of_array ~dummy:0 [| 1; 2; 3; 4 |] in
+  Util.Vec.swap_remove v 1;
+  Alcotest.(check (list int)) "swap removed" [ 1; 4; 3 ] (Util.Vec.to_list v)
+
+let test_vec_filter_in_place () =
+  let v = Util.Vec.of_array ~dummy:0 [| 1; 2; 3; 4; 5; 6 |] in
+  Util.Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "evens kept in order" [ 2; 4; 6 ] (Util.Vec.to_list v)
+
+let test_vec_sort_fold () =
+  let v = Util.Vec.of_array ~dummy:0 [| 3; 1; 2 |] in
+  Util.Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Util.Vec.to_list v);
+  checki "fold sum" 6 (Util.Vec.fold ( + ) 0 v);
+  checkb "exists" true (Util.Vec.exists (fun x -> x = 2) v);
+  checkb "not exists" false (Util.Vec.exists (fun x -> x = 9) v)
+
+let test_vec_pop_empty () =
+  let v = Util.Vec.create ~dummy:0 () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Util.Vec.pop v))
+
+let test_vec_growth () =
+  let v = Util.Vec.create ~capacity:1 ~dummy:(-1) () in
+  for i = 0 to 999 do
+    Util.Vec.push v i
+  done;
+  checki "grows" 1000 (Util.Vec.length v);
+  checki "element survives growth" 123 (Util.Vec.get v 123)
+
+(* --- Stats --- *)
+
+let test_stats_mean_var () =
+  checkf "mean" 2.5 (Util.Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  checkf "mean empty" 0.0 (Util.Stats.mean [||]);
+  checkf "variance" 1.25 (Util.Stats.variance [| 1.0; 2.0; 3.0; 4.0 |]);
+  checkf "stddev" (sqrt 1.25) (Util.Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_stats_median_percentile () =
+  checkf "median odd" 2.0 (Util.Stats.median [| 3.0; 1.0; 2.0 |]);
+  checkf "median even" 2.5 (Util.Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  checkf "p0" 1.0 (Util.Stats.percentile [| 1.0; 2.0; 3.0 |] 0.0);
+  checkf "p100" 3.0 (Util.Stats.percentile [| 1.0; 2.0; 3.0 |] 100.0);
+  checkf "p25 interp" 1.75 (Util.Stats.percentile [| 1.0; 2.0; 3.0; 4.0 |] 25.0)
+
+let test_stats_min_max () =
+  let lo, hi = Util.Stats.min_max [| 3.0; -1.0; 2.0 |] in
+  checkf "min" (-1.0) lo;
+  checkf "max" 3.0 hi
+
+let test_stats_box () =
+  let b = Util.Stats.box_summary [| 1.0; 2.0; 3.0; 4.0; 5.0; 100.0 |] in
+  checkb "outlier detected" true (Array.length b.Util.Stats.outliers = 1);
+  checkf "outlier value" 100.0 b.Util.Stats.outliers.(0);
+  checkb "whisker below fence" true (b.Util.Stats.high_whisker <= 5.0)
+
+let test_stats_histogram () =
+  let h = Util.Stats.histogram ~bins:2 [| 0.0; 0.1; 0.9; 1.0 |] in
+  checki "bins" 2 (Array.length h);
+  checki "total count" 4 (Array.fold_left (fun a (_, c) -> a + c) 0 h)
+
+(* --- Luby --- *)
+
+let test_luby_sequence () =
+  let expected = [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ] in
+  List.iteri
+    (fun i e -> checki (Printf.sprintf "term %d" (i + 1)) e (Util.Luby.term (i + 1)))
+    expected
+
+let test_luby_iterator () =
+  let it = Util.Luby.create ~unit:100 in
+  checki "1st" 100 (Util.Luby.next it);
+  checki "2nd" 100 (Util.Luby.next it);
+  checki "3rd" 200 (Util.Luby.next it)
+
+(* --- Ema --- *)
+
+let test_ema_constant_stream () =
+  let e = Util.Ema.create ~alpha:0.1 in
+  for _ = 1 to 50 do
+    Util.Ema.update e 3.0
+  done;
+  checkf "converges to constant" 3.0 (Util.Ema.value e)
+
+let test_ema_warmup_unbiased () =
+  let e = Util.Ema.create ~alpha:0.01 in
+  Util.Ema.update e 10.0;
+  (* A plain EMA initialised at 0 would report 0.1 here. *)
+  checkf "bias-corrected first value" 10.0 (Util.Ema.value e)
+
+let test_ema_empty () =
+  let e = Util.Ema.create ~alpha:0.5 in
+  checkf "zero before updates" 0.0 (Util.Ema.value e);
+  checki "count" 0 (Util.Ema.count e)
+
+(* --- qcheck properties --- *)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 20) (float_range (-100.) 100.))
+              (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      QCheck.assume (xs <> []);
+      let arr = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Util.Stats.percentile arr lo <= Util.Stats.percentile arr hi +. 1e-9)
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let rng = Util.Rng.create seed in
+      let arr = Array.of_list xs in
+      let before = List.sort compare (Array.to_list arr) in
+      Util.Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = before)
+
+let prop_luby_power_of_two =
+  QCheck.Test.make ~name:"luby terms are powers of two" ~count:100
+    QCheck.(int_range 1 500)
+    (fun i ->
+      let t = Util.Luby.term i in
+      t > 0 && t land (t - 1) = 0)
+
+let prop_vec_push_then_to_list =
+  QCheck.Test.make ~name:"vec push order preserved" ~count:200
+    QCheck.(small_list int)
+    (fun xs ->
+      let v = Util.Vec.create ~dummy:0 () in
+      List.iter (Util.Vec.push v) xs;
+      Util.Vec.to_list v = xs)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_percentile_monotone;
+      prop_shuffle_preserves_multiset;
+      prop_luby_power_of_two;
+      prop_vec_push_then_to_list;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng int_in bounds" `Quick test_rng_int_in_bounds;
+    Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "rng int coverage" `Quick test_rng_int_coverage;
+    Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    Alcotest.test_case "rng shuffle permutation" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "rng sample distinct" `Quick test_rng_sample_distinct;
+    Alcotest.test_case "vec push/pop" `Quick test_vec_push_pop;
+    Alcotest.test_case "vec get/set" `Quick test_vec_get_set;
+    Alcotest.test_case "vec shrink/clear" `Quick test_vec_shrink_clear;
+    Alcotest.test_case "vec swap_remove" `Quick test_vec_swap_remove;
+    Alcotest.test_case "vec filter_in_place" `Quick test_vec_filter_in_place;
+    Alcotest.test_case "vec sort/fold/exists" `Quick test_vec_sort_fold;
+    Alcotest.test_case "vec pop empty" `Quick test_vec_pop_empty;
+    Alcotest.test_case "vec growth" `Quick test_vec_growth;
+    Alcotest.test_case "stats mean/var" `Quick test_stats_mean_var;
+    Alcotest.test_case "stats median/percentile" `Quick test_stats_median_percentile;
+    Alcotest.test_case "stats min/max" `Quick test_stats_min_max;
+    Alcotest.test_case "stats box summary" `Quick test_stats_box;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    Alcotest.test_case "luby sequence" `Quick test_luby_sequence;
+    Alcotest.test_case "luby iterator" `Quick test_luby_iterator;
+    Alcotest.test_case "ema constant" `Quick test_ema_constant_stream;
+    Alcotest.test_case "ema warmup" `Quick test_ema_warmup_unbiased;
+    Alcotest.test_case "ema empty" `Quick test_ema_empty;
+  ]
+  @ qcheck_tests
