@@ -1,0 +1,75 @@
+(* ns-fuzz: differential + metamorphic fuzzing CLI for the camlsat CDCL
+   solver. Cross-checks every clause-deletion policy against a DPLL
+   oracle, validates SAT models and DRUP proofs, and asserts verdict
+   stability under satisfiability-preserving transforms. Failures are
+   shrunk to minimal DIMACS and reported with a replay command.
+
+   Exit codes: 0 = clean, 1 = discrepancies found. *)
+
+let run seed cases case gradcheck no_metamorphic no_proofs buggy verbose =
+  if gradcheck then begin
+    let reports = Verify.Gradcheck.run_all ~seed () in
+    List.iter
+      (fun r -> Format.printf "%a@." Verify.Gradcheck.pp_report r)
+      reports;
+    let ok = Verify.Gradcheck.passed ~tol:1e-4 reports in
+    Format.printf "gradcheck: max rel err %.3e — %s@."
+      (Verify.Gradcheck.max_error reports)
+      (if ok then "OK" else "FAIL");
+    exit (if ok then 0 else 1)
+  end;
+  let solve =
+    if buggy then begin
+      print_endline "c running with the deliberately broken solver (--buggy)";
+      Verify.Fuzz.break_lost_clause
+    end
+    else Verify.Fuzz.default_solve
+  in
+  let on_case i family =
+    if verbose then Printf.printf "c case %d: %s\n%!" i family
+  in
+  let report =
+    Verify.Fuzz.run ~solve ~metamorphic:(not no_metamorphic)
+      ~check_proofs:(not no_proofs) ?only_case:case ~on_case ~seed ~cases ()
+  in
+  Format.printf "%a" Verify.Fuzz.pp_report report;
+  exit (if report.Verify.Fuzz.discrepancies = [] then 0 else 1)
+
+open Cmdliner
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Fuzzing seed.")
+
+let cases =
+  Arg.(value & opt int 100 & info [ "cases" ] ~docv:"K" ~doc:"Number of cases to run.")
+
+let case =
+  Arg.(value & opt (some int) None & info [ "case" ] ~docv:"K"
+         ~doc:"Replay a single case index (as printed by a failure report).")
+
+let gradcheck =
+  Arg.(value & flag & info [ "gradcheck" ]
+         ~doc:"Run the finite-difference gradient check instead of fuzzing.")
+
+let no_metamorphic =
+  Arg.(value & flag & info [ "no-metamorphic" ] ~doc:"Skip metamorphic transforms.")
+
+let no_proofs =
+  Arg.(value & flag & info [ "no-proofs" ] ~doc:"Skip DRUP proof checking.")
+
+let buggy =
+  Arg.(value & flag & info [ "buggy" ]
+         ~doc:"Fuzz a deliberately unsound solver (drops one clause) to \
+               demonstrate that the harness detects soundness bugs.")
+
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ])
+
+let cmd =
+  let doc = "differential fuzzing of the camlsat CDCL solver" in
+  Cmd.v
+    (Cmd.info "ns-fuzz" ~doc)
+    Term.(
+      const run $ seed $ cases $ case $ gradcheck $ no_metamorphic $ no_proofs
+      $ buggy $ verbose)
+
+let () = exit (Cmd.eval cmd)

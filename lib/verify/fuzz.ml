@@ -1,0 +1,288 @@
+(* Differential + metamorphic fuzzing of Cdcl.Solver against the DPLL
+   oracle, with shrinking to minimal DIMACS reproducers. *)
+
+type solve_fn =
+  Cdcl.Config.t -> Cnf.Formula.t -> Cdcl.Solver.result * Cdcl.Drup.t option
+
+let default_solve config f =
+  let solver = Cdcl.Solver.create ~config f in
+  let log = Cdcl.Drup.create () in
+  Cdcl.Drup.attach log solver;
+  (Cdcl.Solver.solve solver, Some log)
+
+(* Unsound on purpose: losing a clause is what a broken watch-list
+   update looks like from the outside. *)
+let break_lost_clause config f =
+  let m = Cnf.Formula.num_clauses f in
+  if m = 0 then default_solve config f
+  else begin
+    let kept = Array.init (m - 1) (Cnf.Formula.clause f) in
+    default_solve config (Cnf.Formula.create ~num_vars:(Cnf.Formula.num_vars f) kept)
+  end
+
+let all_policies =
+  [
+    Cdcl.Policy.Default;
+    Cdcl.Policy.frequency_default;
+    Cdcl.Policy.Glue_only;
+    Cdcl.Policy.Size_only;
+    Cdcl.Policy.Activity;
+    Cdcl.Policy.Random 1;
+  ]
+
+type discrepancy = {
+  case_index : int;
+  family : string;
+  detail : string;
+  dimacs : string;
+  replay : string;
+}
+
+type report = {
+  seed : int;
+  cases_run : int;
+  checks_run : int;
+  discrepancies : discrepancy list;
+}
+
+(* --- case generation --- *)
+
+let case_rng ~seed i = Util.Rng.create ((seed * 1_000_003) + i)
+
+let generate_case ~seed i =
+  let rng = case_rng ~seed i in
+  match i mod 5 with
+  | 0 ->
+    let n = Util.Rng.int_in rng 5 12 in
+    let m = int_of_float (float_of_int n *. Util.Rng.uniform rng 2.0 5.5) in
+    ("ksat", Gen.Ksat.generate rng ~num_vars:n ~num_clauses:(max 1 m) ~k:(min 3 n))
+  | 1 ->
+    let pigeons = Util.Rng.int_in rng 3 5 in
+    let holes = if Util.Rng.bool rng then pigeons - 1 else pigeons in
+    ("pigeonhole", Gen.Pigeonhole.generate ~pigeons ~holes)
+  | 2 ->
+    let vertices = Util.Rng.int_in rng 4 7 in
+    let colors = Util.Rng.int_in rng 2 3 in
+    let edge_prob = Util.Rng.uniform rng 0.25 0.6 in
+    ("coloring", Gen.Coloring.generate rng ~vertices ~edge_prob ~colors)
+  | 3 ->
+    let n = Util.Rng.int_in rng 3 8 in
+    if Util.Rng.bool rng then
+      ("parity", Gen.Parity.chain rng ~num_vars:n ~target:(Util.Rng.bool rng))
+    else ("parity", Gen.Parity.contradiction rng ~num_vars:n)
+  | _ ->
+    let width = Util.Rng.int_in rng 1 2 in
+    let faulty = Util.Rng.bool rng in
+    ("circuit", Gen.Circuits.adder_miter ~faulty width)
+
+(* --- per-formula checking --- *)
+
+type opts = {
+  solve : solve_fn;
+  policies : Cdcl.Policy.t list;
+  metamorphic : bool;
+  check_proofs : bool;
+  oracle_budget : int;
+}
+
+let verdict_name = function
+  | Cdcl.Solver.Sat _ -> "SAT"
+  | Cdcl.Solver.Unsat -> "UNSAT"
+  | Cdcl.Solver.Unknown -> "UNKNOWN"
+
+let same_verdict a b =
+  match (a, b) with
+  | Cdcl.Solver.Sat _, Cdcl.Solver.Sat _ -> true
+  | Cdcl.Solver.Unsat, Cdcl.Solver.Unsat -> true
+  | Cdcl.Solver.Unknown, Cdcl.Solver.Unknown -> true
+  | _ -> false
+
+(* Runs every check on one formula. Returns the number of assertions
+   evaluated and the first failure, if any. [meta_seed] fixes the
+   randomness of the metamorphic transforms. *)
+let check_formula opts ~meta_seed f =
+  let checks = ref 0 in
+  let failure = ref None in
+  let fail msg = if !failure = None then failure := Some msg in
+  (* [msg] is a thunk so passing assertions never build the string. *)
+  let assert_ cond msg =
+    incr checks;
+    if not cond then fail (msg ())
+  in
+  let oracle = Oracle.solve ~max_nodes:opts.oracle_budget f in
+  let baseline = ref None in
+  List.iter
+    (fun policy ->
+      if !failure = None then begin
+        let config = Cdcl.Config.with_policy policy Cdcl.Config.default in
+        let result, log = opts.solve config f in
+        let pname = Cdcl.Policy.name policy in
+        (match result with
+        | Cdcl.Solver.Unknown ->
+          incr checks;
+          fail
+            (Printf.sprintf "policy %s: Unknown verdict with no budget configured"
+               pname)
+        | Cdcl.Solver.Sat model ->
+          assert_
+            (Cdcl.Solver.check_model f model)
+            (fun () ->
+              Printf.sprintf "policy %s: SAT model does not satisfy the formula"
+                pname)
+        | Cdcl.Solver.Unsat ->
+          if opts.check_proofs then begin
+            incr checks;
+            match log with
+            | None ->
+              fail (Printf.sprintf "policy %s: UNSAT without a proof log" pname)
+            | Some log -> (
+              Cdcl.Drup.conclude_unsat log;
+              match Cdcl.Drup_check.check_solver_proof f log with
+              | Cdcl.Drup_check.Valid -> ()
+              | Cdcl.Drup_check.Invalid { line; reason } ->
+                fail
+                  (Printf.sprintf "policy %s: DRUP proof invalid at line %d: %s"
+                     pname line reason))
+          end);
+        (match oracle with
+        | None -> ()
+        | Some o ->
+          let agrees =
+            match (o, result) with
+            | Oracle.Sat _, Cdcl.Solver.Sat _ -> true
+            | Oracle.Unsat, Cdcl.Solver.Unsat -> true
+            | _ -> false
+          in
+          assert_ agrees (fun () ->
+              Printf.sprintf "policy %s: verdict %s but oracle says %s" pname
+                (verdict_name result) (Oracle.verdict_name o)));
+        match !baseline with
+        | None -> baseline := Some (pname, result)
+        | Some (bname, bresult) ->
+          assert_
+            (same_verdict bresult result)
+            (fun () ->
+              Printf.sprintf "policy %s: verdict %s disagrees with policy %s: %s"
+                pname (verdict_name result) bname (verdict_name bresult))
+      end)
+    opts.policies;
+  (match (!failure, !baseline) with
+  | None, Some (_, base_result) when opts.metamorphic ->
+    let rng = Util.Rng.create meta_seed in
+    List.iter
+      (fun transform ->
+        if !failure = None then begin
+          let g = Metamorphic.apply rng transform f in
+          let result, _ = opts.solve Cdcl.Config.default g in
+          assert_
+            (same_verdict base_result result)
+            (fun () ->
+              Printf.sprintf "metamorphic %s: verdict %s but original was %s"
+                (Metamorphic.name transform) (verdict_name result)
+                (verdict_name base_result))
+        end)
+      Metamorphic.all
+  | _ -> ());
+  (!checks, !failure)
+
+(* --- shrinking --- *)
+
+let clauses_of f = Array.init (Cnf.Formula.num_clauses f) (Cnf.Formula.clause f)
+
+let shrink still_fails f =
+  let num_vars = Cnf.Formula.num_vars f in
+  let budget = ref 1000 in
+  let fails clauses =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      match still_fails (Cnf.Formula.create ~num_vars clauses) with
+      | ok -> ok
+      | exception _ -> false
+    end
+  in
+  let current = ref (clauses_of f) in
+  let remove_range arr start len =
+    let n = Array.length arr in
+    Array.append (Array.sub arr 0 start) (Array.sub arr (start + len) (n - start - len))
+  in
+  (* Clause removal: chunks of halving size, then singletons. *)
+  let chunk = ref (max 1 (Array.length !current / 2)) in
+  while !chunk >= 1 do
+    let i = ref 0 in
+    while !i + !chunk <= Array.length !current do
+      let candidate = remove_range !current !i !chunk in
+      if fails candidate then current := candidate else i := !i + !chunk
+    done;
+    chunk := if !chunk = 1 then 0 else !chunk / 2
+  done;
+  (* Literal removal within the surviving clauses (never emptying one). *)
+  let ci = ref 0 in
+  while !ci < Array.length !current do
+    let li = ref 0 in
+    while !li < Array.length !current.(!ci) && Array.length !current.(!ci) > 1 do
+      let candidate = Array.copy !current in
+      candidate.(!ci) <- remove_range !current.(!ci) !li 1;
+      if fails candidate then current := candidate else incr li
+    done;
+    incr ci
+  done;
+  Cnf.Formula.create ~num_vars !current
+
+(* --- the driver --- *)
+
+let replay_command ~seed ~case_index =
+  Printf.sprintf "dune exec bin/fuzz.exe -- --seed %d --case %d" seed case_index
+
+let run ?(solve = default_solve) ?(policies = all_policies) ?(metamorphic = true)
+    ?(check_proofs = true) ?(oracle_budget = 500_000) ?only_case
+    ?(on_case = fun _ _ -> ()) ~seed ~cases () =
+  let opts = { solve; policies; metamorphic; check_proofs; oracle_budget } in
+  let total_checks = ref 0 in
+  let discrepancies = ref [] in
+  let cases_run = ref 0 in
+  let indices =
+    match only_case with
+    | Some i -> [ i ]
+    | None -> List.init (max 0 cases) (fun i -> i)
+  in
+  List.iter
+    (fun i ->
+      let family, f = generate_case ~seed i in
+      on_case i family;
+      incr cases_run;
+      let meta_seed = (seed * 7_368_787) + i in
+      let checks, failure = check_formula opts ~meta_seed f in
+      total_checks := !total_checks + checks;
+      match failure with
+      | None -> ()
+      | Some detail ->
+        let still_fails g = snd (check_formula opts ~meta_seed g) <> None in
+        let minimal = shrink still_fails f in
+        discrepancies :=
+          {
+            case_index = i;
+            family;
+            detail;
+            dimacs = Cnf.Dimacs.to_string minimal;
+            replay = replay_command ~seed ~case_index:i;
+          }
+          :: !discrepancies)
+    indices;
+  {
+    seed;
+    cases_run = !cases_run;
+    checks_run = !total_checks;
+    discrepancies = List.rev !discrepancies;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "fuzz: seed %d, %d cases, %d checks, %d discrepancies@."
+    r.seed r.cases_run r.checks_run
+    (List.length r.discrepancies);
+  List.iter
+    (fun d ->
+      Format.fprintf ppf
+        "@.FAIL case %d (%s): %s@.replay: %s@.shrunk reproducer:@.%s@."
+        d.case_index d.family d.detail d.replay d.dimacs)
+    r.discrepancies

@@ -1,0 +1,79 @@
+(** Seeded differential fuzzing of the CDCL solver.
+
+    Each case draws a small instance from one of the five generator
+    families in {!Gen} (round-robin), then checks, for every
+    clause-deletion policy:
+
+    - the verdict matches the {!Oracle} DPLL reference (when the oracle
+      finishes within budget);
+    - all policies agree with each other;
+    - SAT models satisfy the original formula;
+    - UNSAT runs emit a DRUP proof accepted by {!Cdcl.Drup_check};
+    - the verdict is stable under every {!Metamorphic} transform.
+
+    A failing case is shrunk by greedy clause- then literal-deletion to
+    a minimal DIMACS reproducer, and the report carries a replay
+    command ([fuzz --seed N --case K]) that regenerates exactly that
+    case: per-case RNGs are derived from [seed] and the case index, so
+    cases are independent and individually replayable. *)
+
+type solve_fn =
+  Cdcl.Config.t -> Cnf.Formula.t -> Cdcl.Solver.result * Cdcl.Drup.t option
+(** The system under test: must return the verdict and, for UNSAT runs,
+    the DRUP proof log. *)
+
+val default_solve : solve_fn
+(** The real {!Cdcl.Solver} with a proof log attached. *)
+
+val break_lost_clause : solve_fn
+(** A deliberately unsound wrapper that silently drops the last clause
+    of the input (the observable effect of e.g. a skipped watch
+    update). Exists so tests can demonstrate that the harness catches
+    soundness bugs; never use it for real verification. *)
+
+val all_policies : Cdcl.Policy.t list
+(** Every {!Cdcl.Policy.t} variant exercised by default. *)
+
+type discrepancy = {
+  case_index : int;
+  family : string;
+  detail : string;  (** Which check failed and how. *)
+  dimacs : string;  (** Shrunk reproducer in DIMACS format. *)
+  replay : string;  (** CLI invocation that replays the original case. *)
+}
+
+type report = {
+  seed : int;
+  cases_run : int;
+  checks_run : int;  (** Total individual assertions evaluated. *)
+  discrepancies : discrepancy list;
+}
+
+val generate_case : seed:int -> int -> string * Cnf.Formula.t
+(** [generate_case ~seed i] is case [i]'s (family name, formula) —
+    deterministic in [(seed, i)]. *)
+
+val shrink : (Cnf.Formula.t -> bool) -> Cnf.Formula.t -> Cnf.Formula.t
+(** [shrink still_fails f] greedily removes clauses (chunks, then
+    singles) and literals while [still_fails] holds. Exceptions in the
+    predicate count as "no longer fails". *)
+
+val run :
+  ?solve:solve_fn ->
+  ?policies:Cdcl.Policy.t list ->
+  ?metamorphic:bool ->
+  ?check_proofs:bool ->
+  ?oracle_budget:int ->
+  ?only_case:int ->
+  ?on_case:(int -> string -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+(** Runs cases [0 .. cases-1] (or only [only_case]). [on_case] is a
+    progress callback invoked before each case with its index and
+    family. *)
+
+val replay_command : seed:int -> case_index:int -> string
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,52 @@
+(** Finite-difference validation of the autodiff stack.
+
+    Rebuilds each {!Core} layer's forward pass as a scalar loss and
+    compares every parameter's backpropagated gradient against central
+    finite differences, element by element. The relative error uses the
+    symmetric denominator [max floor (|numeric| + |analytic|)] so that
+    near-zero gradients are judged absolutely.
+
+    This complements the op-level checks in [test/test_nn.ml]: those
+    validate individual tape operations, these validate whole layers —
+    composition, parameter routing, and the sparse gather/scatter paths
+    the MPNN takes through real graph data. *)
+
+type report = {
+  layer : string;
+  param : string;
+  elements : int;  (** Parameter entries checked. *)
+  max_rel_err : float;
+}
+
+val check_params :
+  ?eps:float ->
+  layer:string ->
+  params:Nn.Param.t list ->
+  loss:(unit -> Nn.Ad.tape * Nn.Ad.v) ->
+  unit ->
+  report list
+(** Generic checker: [loss] must rebuild the full forward pass from the
+    current parameter values on every call and return a [1 x 1] node.
+    One report per parameter. [eps] defaults to [1e-4]. *)
+
+val check_mpnn : ?seed:int -> unit -> report list
+(** Message-passing layer (Eqs. 6–7) over a random bipartite graph. *)
+
+val check_attention : ?seed:int -> unit -> report list
+(** Linear-attention layer (Eqs. 8–9). *)
+
+val check_hgt : ?seed:int -> unit -> report list
+(** Stacked HGT layer (MPNNs + attention, Eqs. 3–5). *)
+
+val check_model : ?seed:int -> unit -> report list
+(** Full classifier including readout MLP and BCE loss (Eqs. 10–11). *)
+
+val run_all : ?seed:int -> unit -> report list
+(** All four layer checks. *)
+
+val max_error : report list -> float
+
+val passed : ?tol:float -> report list -> bool
+(** Every report under [tol] (default [1e-4]). *)
+
+val pp_report : Format.formatter -> report -> unit

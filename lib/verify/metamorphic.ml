@@ -1,0 +1,68 @@
+(* Satisfiability-preserving transforms used by the fuzz harness. *)
+
+type transform =
+  | Permute_vars
+  | Shuffle_clauses
+  | Flip_polarity
+  | Duplicate_clauses
+  | Inject_tautologies
+
+let all =
+  [ Permute_vars; Shuffle_clauses; Flip_polarity; Duplicate_clauses; Inject_tautologies ]
+
+let name = function
+  | Permute_vars -> "permute-vars"
+  | Shuffle_clauses -> "shuffle-clauses"
+  | Flip_polarity -> "flip-polarity"
+  | Duplicate_clauses -> "duplicate-clauses"
+  | Inject_tautologies -> "inject-tautologies"
+
+let clauses_of f =
+  Array.init (Cnf.Formula.num_clauses f) (Cnf.Formula.clause f)
+
+let rebuild ~num_vars clauses = Cnf.Formula.create ~num_vars clauses
+
+let permute_vars rng f =
+  let n = Cnf.Formula.num_vars f in
+  let order = Array.init n (fun i -> i + 1) in
+  Util.Rng.shuffle rng order;
+  let perm = Array.make (n + 1) 0 in
+  Array.iteri (fun i v -> perm.(i + 1) <- v) order;
+  Cnf.Formula.relabel f ~perm
+
+let flip_polarity rng f =
+  let n = Cnf.Formula.num_vars f in
+  let flip = Array.init (n + 1) (fun v -> v >= 1 && Util.Rng.bool rng) in
+  let map_lit lit = if flip.(Cnf.Lit.var lit) then Cnf.Lit.negate lit else lit in
+  rebuild ~num_vars:n (Array.map (Array.map map_lit) (clauses_of f))
+
+let duplicate_clauses rng f =
+  let clauses = clauses_of f in
+  let m = Array.length clauses in
+  if m = 0 then f
+  else begin
+    let extra = 1 + Util.Rng.int rng (max 1 (m / 2)) in
+    let dups = Array.init extra (fun _ -> clauses.(Util.Rng.int rng m)) in
+    rebuild ~num_vars:(Cnf.Formula.num_vars f) (Array.append clauses dups)
+  end
+
+let inject_tautologies rng f =
+  let n = Cnf.Formula.num_vars f in
+  if n = 0 then f
+  else begin
+    let taut () =
+      let v = Util.Rng.int_in rng 1 n in
+      let filler = Cnf.Lit.make (Util.Rng.int_in rng 1 n) (Util.Rng.bool rng) in
+      [| Cnf.Lit.pos v; Cnf.Lit.neg v; filler |]
+    in
+    let extra = Array.init (1 + Util.Rng.int rng 3) (fun _ -> taut ()) in
+    rebuild ~num_vars:n (Array.append (clauses_of f) extra)
+  end
+
+let apply rng t f =
+  match t with
+  | Permute_vars -> permute_vars rng f
+  | Shuffle_clauses -> Cnf.Formula.shuffle rng f
+  | Flip_polarity -> flip_polarity rng f
+  | Duplicate_clauses -> duplicate_clauses rng f
+  | Inject_tautologies -> inject_tautologies rng f

@@ -1,0 +1,26 @@
+(** Satisfiability-preserving formula transforms.
+
+    Metamorphic testing for SAT solvers: each transform maps a formula
+    to one with the {e same} SAT/UNSAT verdict (though not necessarily
+    the same models), so a solver whose answer changes under any of
+    them is unsound. The transforms below cover renaming, syntactic
+    reordering, polarity symmetry, and redundant-clause robustness. *)
+
+type transform =
+  | Permute_vars  (** Rename variables by a random permutation. *)
+  | Shuffle_clauses  (** Permute clause order and literal order. *)
+  | Flip_polarity
+      (** Negate every occurrence of a random subset of variables (a
+          bijection on assignments). *)
+  | Duplicate_clauses  (** Append copies of randomly chosen clauses. *)
+  | Inject_tautologies
+      (** Append clauses containing a complementary literal pair. *)
+
+val all : transform list
+
+val name : transform -> string
+
+val apply : Util.Rng.t -> transform -> Cnf.Formula.t -> Cnf.Formula.t
+(** [apply rng t f] draws the transform's randomness from [rng]. The
+    result is equisatisfiable with [f] and uses the same variable
+    count. *)

@@ -1,0 +1,100 @@
+(* Reference DPLL solver. Correctness over speed: assignments live in a
+   plain array, propagation rescans every clause until fixpoint, and
+   branching picks the first unassigned variable. *)
+
+type verdict =
+  | Sat of bool array
+  | Unsat
+
+exception Out_of_budget
+
+let solve ?(max_nodes = 500_000) f =
+  let n = Cnf.Formula.num_vars f in
+  let clauses = Array.init (Cnf.Formula.num_clauses f) (Cnf.Formula.clause f) in
+  (* assign.(v): 0 unassigned, 1 true, -1 false. *)
+  let assign = Array.make (n + 1) 0 in
+  let nodes = ref 0 in
+  let lit_value lit =
+    match assign.(Cnf.Lit.var lit) with
+    | 0 -> 0
+    | v -> if v > 0 = Cnf.Lit.is_pos lit then 1 else -1
+  in
+  let undo trail = List.iter (fun v -> assign.(v) <- 0) trail in
+  (* Scan all clauses to fixpoint. [Some trail] lists the variables this
+     call assigned; on conflict those assignments are rolled back and
+     the result is [None]. *)
+  let propagate () =
+    let trail = ref [] in
+    let conflict = ref false in
+    let changed = ref true in
+    while !changed && not !conflict do
+      changed := false;
+      Array.iter
+        (fun clause ->
+          if not !conflict then begin
+            let satisfied = ref false in
+            let unassigned = ref 0 in
+            let last_free = ref clause.(0) in
+            Array.iter
+              (fun lit ->
+                match lit_value lit with
+                | 1 -> satisfied := true
+                | 0 ->
+                  incr unassigned;
+                  last_free := lit
+                | _ -> ())
+              clause;
+            if not !satisfied then
+              match !unassigned with
+              | 0 -> conflict := true
+              | 1 ->
+                let lit = !last_free in
+                let v = Cnf.Lit.var lit in
+                assign.(v) <- (if Cnf.Lit.is_pos lit then 1 else -1);
+                trail := v :: !trail;
+                changed := true
+              | _ -> ()
+          end)
+        clauses
+    done;
+    if !conflict then begin
+      undo !trail;
+      None
+    end
+    else Some !trail
+  in
+  let rec first_unassigned v =
+    if v > n then None
+    else if assign.(v) = 0 then Some v
+    else first_unassigned (v + 1)
+  in
+  let rec search () =
+    incr nodes;
+    if !nodes > max_nodes then raise Out_of_budget;
+    match propagate () with
+    | None -> false
+    | Some trail -> (
+      match first_unassigned 1 with
+      | None -> true (* Every clause checked non-conflicting: SAT. *)
+      | Some v ->
+        let try_value value =
+          assign.(v) <- value;
+          let ok = search () in
+          if not ok then assign.(v) <- 0;
+          ok
+        in
+        if try_value 1 then true
+        else if try_value (-1) then true
+        else begin
+          undo trail;
+          false
+        end)
+  in
+  match search () with
+  | true -> Some (Sat (Array.init (n + 1) (fun v -> assign.(v) > 0)))
+  | false -> Some Unsat
+  | exception Out_of_budget -> None
+
+let verdict_name = function
+  | Sat _ -> "SAT"
+  | Unsat -> "UNSAT"

@@ -1,0 +1,23 @@
+(** Reference DPLL oracle.
+
+    A deliberately simple solver used as ground truth when
+    differential-testing {!Cdcl.Solver}: chronological backtracking,
+    fixpoint unit propagation by whole-database scanning, first
+    unassigned variable branching. No learning, no heuristics, no
+    clause deletion — nothing that could share a bug with the solver
+    under test. Quadratic propagation keeps it honest and keeps it
+    slow, so use it on the small instances the fuzzer generates. *)
+
+type verdict =
+  | Sat of bool array
+      (** Model indexed by variable, index 0 unused — the same
+          convention as {!Cdcl.Solver.check_model}. *)
+  | Unsat
+
+val solve : ?max_nodes:int -> Cnf.Formula.t -> verdict option
+(** [solve f] decides [f] by exhaustive DPLL search. [None] when the
+    search tree exceeds [max_nodes] (default 500_000) — the caller
+    should then skip the oracle comparison rather than trust a partial
+    answer. *)
+
+val verdict_name : verdict -> string

@@ -1,0 +1,56 @@
+(* Shared random-instance helpers for the test suites.
+
+   Every suite that property-tests against random CNFs used to inline
+   the same seed-to-formula plumbing; it lives here once instead. All
+   helpers are deterministic in their [seed] so failures replay. *)
+
+(* Uniform k-SAT from a single integer seed. [k] is clamped to the
+   variable count. *)
+let ksat ?(k = 3) ~seed ~num_vars ~num_clauses () =
+  let rng = Util.Rng.create seed in
+  Gen.Ksat.generate rng ~num_vars ~num_clauses ~k:(min k num_vars)
+
+(* Same, but also returns the generator (advanced past the formula) so
+   callers can draw further correlated data — assignments, assumption
+   literals — reproducibly. *)
+let ksat_with_rng ?(k = 3) ~seed ~num_vars ~num_clauses () =
+  let rng = Util.Rng.create seed in
+  let f = Gen.Ksat.generate rng ~num_vars ~num_clauses ~k:(min k num_vars) in
+  (f, rng)
+
+(* Random CNF with clause lengths mixed in [1, 4] — exercises unit
+   clauses and binary-clause special cases that uniform k-SAT never
+   produces. *)
+let mixed_lengths ~seed ~num_vars ~num_clauses () =
+  let rng = Util.Rng.create seed in
+  let b = Cnf.Formula.Builder.create () in
+  Cnf.Formula.Builder.ensure_vars b num_vars;
+  for _ = 1 to num_clauses do
+    let k = Util.Rng.int_in rng 1 (min 4 num_vars) in
+    let vars = Util.Rng.sample_distinct rng k num_vars in
+    Cnf.Formula.Builder.add_clause b
+      (Array.to_list
+         (Array.map (fun v -> Cnf.Lit.make (v + 1) (Util.Rng.bool rng)) vars))
+  done;
+  Cnf.Formula.Builder.build b
+
+(* Exhaustive satisfiability ground truth; only for tiny instances. *)
+let brute_force_sat f =
+  let n = Cnf.Formula.num_vars f in
+  assert (n <= 20);
+  let assignment = Array.make (n + 1) false in
+  let rec go v =
+    if v > n then Cnf.Formula.eval f assignment
+    else begin
+      assignment.(v) <- false;
+      go (v + 1)
+      ||
+      (assignment.(v) <- true;
+       go (v + 1))
+    end
+  in
+  go 1
+
+(* QCheck input shapes shared by the solver cross-check properties: a
+   seed paired with a clause count in the given range. *)
+let seed_and_clauses lo hi = QCheck.(pair small_int (int_range lo hi))

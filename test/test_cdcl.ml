@@ -153,21 +153,7 @@ let test_policy_needs_frequency () =
 
 (* --- Solver correctness --- *)
 
-let brute_force_sat f =
-  let n = Cnf.Formula.num_vars f in
-  assert (n <= 20);
-  let assignment = Array.make (n + 1) false in
-  let rec go v =
-    if v > n then Cnf.Formula.eval f assignment
-    else begin
-      assignment.(v) <- false;
-      go (v + 1)
-      ||
-      (assignment.(v) <- true;
-       go (v + 1))
-    end
-  in
-  go 1
+let brute_force_sat = Generators.brute_force_sat
 
 let solve ?config f = Cdcl.Solver.solve_formula ?config f
 
@@ -310,8 +296,7 @@ let all_policies =
 
 let test_solver_policies_agree_on_answer () =
   (* Deletion policy changes performance, never the verdict. *)
-  let rng = Util.Rng.create 77 in
-  let sat_f = Gen.Ksat.generate rng ~num_vars:15 ~num_clauses:50 ~k:3 in
+  let sat_f = Generators.ksat ~seed:77 ~num_vars:15 ~num_clauses:50 () in
   let unsat_f = Gen.Pigeonhole.unsat 5 in
   let expected_sat = brute_force_sat sat_f in
   List.iter
@@ -420,10 +405,9 @@ let test_drup_trace_format () =
 (* Cross-check against brute force on random instances, every policy. *)
 let prop_solver_matches_brute_force =
   QCheck.Test.make ~name:"solver matches brute force on random 3-SAT" ~count:60
-    QCheck.(pair small_int (int_range 10 45))
+    (Generators.seed_and_clauses 10 45)
     (fun (seed, m) ->
-      let rng = Util.Rng.create seed in
-      let f = Gen.Ksat.generate rng ~num_vars:10 ~num_clauses:m ~k:3 in
+      let f = Generators.ksat ~seed ~num_vars:10 ~num_clauses:m () in
       let expected = brute_force_sat f in
       match solve f with
       | Cdcl.Solver.Sat model, _ -> expected && Cdcl.Solver.check_model f model
@@ -432,10 +416,9 @@ let prop_solver_matches_brute_force =
 
 let prop_solver_frequency_matches_brute_force =
   QCheck.Test.make ~name:"frequency policy matches brute force" ~count:40
-    QCheck.(pair small_int (int_range 10 45))
+    (Generators.seed_and_clauses 10 45)
     (fun (seed, m) ->
-      let rng = Util.Rng.create (seed + 1000) in
-      let f = Gen.Ksat.generate rng ~num_vars:10 ~num_clauses:m ~k:3 in
+      let f = Generators.ksat ~seed:(seed + 1000) ~num_vars:10 ~num_clauses:m () in
       let expected = brute_force_sat f in
       let config =
         Cdcl.Config.with_policy Cdcl.Policy.frequency_default Cdcl.Config.default
@@ -449,17 +432,7 @@ let prop_solver_mixed_clause_lengths =
   QCheck.Test.make ~name:"solver handles mixed clause lengths" ~count:40
     QCheck.small_int
     (fun seed ->
-      let rng = Util.Rng.create seed in
-      let b = Cnf.Formula.Builder.create () in
-      Cnf.Formula.Builder.ensure_vars b 8;
-      for _ = 1 to 25 do
-        let k = Util.Rng.int_in rng 1 4 in
-        let vars = Util.Rng.sample_distinct rng k 8 in
-        Cnf.Formula.Builder.add_clause b
-          (Array.to_list
-             (Array.map (fun v -> Cnf.Lit.make (v + 1) (Util.Rng.bool rng)) vars))
-      done;
-      let f = Cnf.Formula.Builder.build b in
+      let f = Generators.mixed_lengths ~seed ~num_vars:8 ~num_clauses:25 () in
       let expected = brute_force_sat f in
       match solve f with
       | Cdcl.Solver.Sat model, _ -> expected && Cdcl.Solver.check_model f model
@@ -554,8 +527,7 @@ let test_solver_vmtf_agrees () =
   (match solve ~config (Gen.Pigeonhole.unsat 5) with
   | Cdcl.Solver.Unsat, _ -> ()
   | _ -> Alcotest.fail "PHP unsat under VMTF");
-  let rng = Util.Rng.create 99 in
-  let f = Gen.Ksat.generate rng ~num_vars:12 ~num_clauses:30 ~k:3 in
+  let f = Generators.ksat ~seed:99 ~num_vars:12 ~num_clauses:30 () in
   match solve ~config f with
   | Cdcl.Solver.Sat m, _ -> checkb "model valid" true (Cdcl.Solver.check_model f m)
   | Cdcl.Solver.Unsat, _ -> checkb "brute force agrees" false (brute_force_sat f)
@@ -563,10 +535,9 @@ let test_solver_vmtf_agrees () =
 
 let prop_vmtf_solver_matches_brute_force =
   QCheck.Test.make ~name:"vmtf solver matches brute force" ~count:40
-    QCheck.(pair small_int (int_range 10 45))
+    (Generators.seed_and_clauses 10 45)
     (fun (seed, m) ->
-      let rng = Util.Rng.create (seed + 555) in
-      let f = Gen.Ksat.generate rng ~num_vars:10 ~num_clauses:m ~k:3 in
+      let f = Generators.ksat ~seed:(seed + 555) ~num_vars:10 ~num_clauses:m () in
       let expected = brute_force_sat f in
       let config =
         { Cdcl.Config.default with Cdcl.Config.branching = Cdcl.Config.Vmtf }
@@ -658,10 +629,11 @@ let test_assumptions_conflicting_pair () =
 (* Assumptions agree with adding unit clauses. *)
 let prop_assumptions_equal_units =
   QCheck.Test.make ~name:"assumptions behave like unit clauses" ~count:60
-    QCheck.(pair small_int (int_range 15 40))
+    (Generators.seed_and_clauses 15 40)
     (fun (seed, m) ->
-      let rng = Util.Rng.create (seed + 4242) in
-      let f = Gen.Ksat.generate rng ~num_vars:10 ~num_clauses:m ~k:3 in
+      let f, rng =
+        Generators.ksat_with_rng ~seed:(seed + 4242) ~num_vars:10 ~num_clauses:m ()
+      in
       let k = Util.Rng.int_in rng 1 3 in
       let vars = Util.Rng.sample_distinct rng k 10 in
       let assumptions =

@@ -281,8 +281,7 @@ let prop_dimacs_roundtrip =
   QCheck.Test.make ~name:"dimacs roundtrip preserves clause count" ~count:100
     QCheck.(pair (int_range 1 12) (int_range 1 30))
     (fun (n, m) ->
-      let rng = Util.Rng.create (n + (1000 * m)) in
-      let f = Gen.Ksat.generate rng ~num_vars:n ~num_clauses:m ~k:(min 3 n) in
+      let f = Generators.ksat ~seed:(n + (1000 * m)) ~num_vars:n ~num_clauses:m () in
       let f' = Cnf.Dimacs.parse_string (Cnf.Dimacs.to_string f) in
       Cnf.Formula.num_clauses f' = m && Cnf.Formula.num_vars f' = n)
 
@@ -290,8 +289,7 @@ let prop_eval_invariant_under_shuffle =
   QCheck.Test.make ~name:"shuffle preserves evaluation" ~count:100
     QCheck.(pair small_int small_int)
     (fun (seed1, seed2) ->
-      let rng = Util.Rng.create seed1 in
-      let f = Gen.Ksat.generate rng ~num_vars:8 ~num_clauses:20 ~k:3 in
+      let f, rng = Generators.ksat_with_rng ~seed:seed1 ~num_vars:8 ~num_clauses:20 () in
       let shuffled = Cnf.Formula.shuffle (Util.Rng.create seed2) f in
       let assignment = Array.init 9 (fun _ -> Util.Rng.bool rng) in
       Cnf.Formula.eval f assignment = Cnf.Formula.eval shuffled assignment)

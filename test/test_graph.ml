@@ -72,17 +72,15 @@ let test_litgraph_degrees () =
 
 let prop_bigraph_edge_count =
   QCheck.Test.make ~name:"bigraph edges = num_literals" ~count:100
-    QCheck.(pair small_int (int_range 1 40))
+    (Generators.seed_and_clauses 1 40)
     (fun (seed, m) ->
-      let rng = Util.Rng.create seed in
-      let f = Gen.Ksat.generate rng ~num_vars:12 ~num_clauses:m ~k:3 in
+      let f = Generators.ksat ~seed ~num_vars:12 ~num_clauses:m () in
       Bigraph.num_edges (Bigraph.of_formula f) = Cnf.Formula.num_literals f)
 
 let prop_degrees_sum_to_edges =
   QCheck.Test.make ~name:"degree sums equal edge count" ~count:100 QCheck.small_int
     (fun seed ->
-      let rng = Util.Rng.create seed in
-      let f = Gen.Ksat.generate rng ~num_vars:10 ~num_clauses:25 ~k:3 in
+      let f = Generators.ksat ~seed ~num_vars:10 ~num_clauses:25 () in
       let g = Bigraph.of_formula f in
       let sum = Array.fold_left ( + ) 0 in
       sum g.Bigraph.var_degree = Bigraph.num_edges g

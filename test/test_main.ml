@@ -14,4 +14,5 @@ let () =
       ("gen", Test_gen.suite);
       ("baselines", Test_baselines.suite);
       ("experiments", Test_experiments.suite);
+      ("verify", Test_verify.suite);
     ]
