@@ -1,11 +1,25 @@
 (* ns-evaluate: load a trained checkpoint and reproduce the paper's
    evaluation on a freshly generated test year — classification metrics
-   plus the Kissat vs NeuroSelect-Kissat runtime comparison. *)
+   plus the Kissat vs NeuroSelect-Kissat runtime comparison.
 
-let run checkpoint seed per_year budget =
+   With --journal FILE each measured instance is persisted as one JSONL
+   line; re-running the same command after an interruption skips the
+   instances already measured. Per-instance crashes are isolated and
+   retried once instead of aborting the campaign. *)
+
+let run checkpoint seed per_year budget journal deadline =
   let model = Core.Model.create Core.Model.paper_config in
   (match checkpoint with
-  | Some path -> Core.Model.load path model
+  | Some path -> (
+    match Core.Model.load_result path model with
+    | Ok Nn.Checkpoint.Primary -> ()
+    | Ok Nn.Checkpoint.Backup ->
+      Printf.eprintf "warning: %s corrupt, using %s\n%!" path
+        (Nn.Checkpoint.backup_path path)
+    | Error e ->
+      Printf.eprintf
+        "warning: cannot load %s (%s); evaluating untrained weights\n%!" path
+        (Runtime.Error.to_string e))
   | None -> prerr_endline "warning: evaluating untrained weights");
   let progress s = print_endline s in
   let data = Experiments.Data.prepare ~seed ~per_year ~budget ~progress () in
@@ -16,12 +30,13 @@ let run checkpoint seed per_year budget =
     List.map (fun l -> l.Experiments.Data.instance) test
   in
   let result =
-    Experiments.Adaptive_eval.run ~progress model data.Experiments.Data.simtime
-      instances
+    Experiments.Adaptive_eval.run ~progress ?journal ?deadline_seconds:deadline
+      model data.Experiments.Data.simtime instances
   in
   Format.printf "%a@.@.%a@.@.%a@." Experiments.Adaptive_eval.print_table3 result
     Experiments.Adaptive_eval.print_fig7a result Experiments.Adaptive_eval.print_fig7b
-    result
+    result;
+  if result.Experiments.Adaptive_eval.failures <> [] then exit 2
 
 open Cmdliner
 
@@ -32,10 +47,26 @@ let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED")
 let per_year = Arg.(value & opt int 16 & info [ "per-year" ] ~docv:"N")
 let budget = Arg.(value & opt int 800_000 & info [ "budget" ] ~docv:"PROPS")
 
+let journal =
+  Arg.(
+    value & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Persist each measured instance to FILE (JSONL) and resume an \
+           interrupted campaign by skipping instances already present.")
+
+let deadline =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per solver call, alongside the propagation \
+           budget; expired solves count as unsolved.")
+
 let cmd =
   let doc = "evaluate a trained NeuroSelect model against Kissat-default" in
   Cmd.v
     (Cmd.info "ns-evaluate" ~doc)
-    Term.(const run $ checkpoint $ seed $ per_year $ budget)
+    Term.(const run $ checkpoint $ seed $ per_year $ budget $ journal $ deadline)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,28 @@
 
    Exit codes: 0 = clean, 1 = discrepancies found. *)
 
-let run seed cases case gradcheck no_metamorphic no_proofs buggy verbose =
+let run seed cases case gradcheck faults check_checkpoint no_metamorphic
+    no_proofs buggy verbose =
+  (match check_checkpoint with
+  | None -> ()
+  | Some path ->
+    let model = Core.Model.create Core.Model.paper_config in
+    (match Core.Model.load_result path model with
+    | Ok Nn.Checkpoint.Primary ->
+      Printf.printf "checkpoint %s: OK (primary)\n" path;
+      exit 0
+    | Ok Nn.Checkpoint.Backup ->
+      Printf.printf "checkpoint %s: primary corrupt, backup %s OK\n" path
+        (Nn.Checkpoint.backup_path path);
+      exit 0
+    | Error e ->
+      Printf.printf "checkpoint %s: FAIL (%s)\n" path (Runtime.Error.to_string e);
+      exit 1));
+  if faults then begin
+    let report = Verify.Faultcheck.run_all ~seed () in
+    Format.printf "%a@." Verify.Faultcheck.pp_report report;
+    exit (if Verify.Faultcheck.passed report then 0 else 1)
+  end;
   if gradcheck then begin
     let reports = Verify.Gradcheck.run_all ~seed () in
     List.iter
@@ -51,6 +72,18 @@ let gradcheck =
   Arg.(value & flag & info [ "gradcheck" ]
          ~doc:"Run the finite-difference gradient check instead of fuzzing.")
 
+let faults =
+  Arg.(value & flag & info [ "faults" ]
+         ~doc:"Run the seeded fault-injection suite instead of fuzzing: torn \
+               and bit-flipped checkpoint writes, poisoned gradients, failing \
+               inference, crashing instances, and journal-based campaign \
+               resume — each must recover via its documented path.")
+
+let check_checkpoint =
+  Arg.(value & opt (some string) None & info [ "check-checkpoint" ] ~docv:"FILE"
+         ~doc:"Validate FILE as a NeuroSelect checkpoint (header, CRC, \
+               shapes), falling back to FILE.bak; exit 0 iff loadable.")
+
 let no_metamorphic =
   Arg.(value & flag & info [ "no-metamorphic" ] ~doc:"Skip metamorphic transforms.")
 
@@ -69,7 +102,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ns-fuzz" ~doc)
     Term.(
-      const run $ seed $ cases $ case $ gradcheck $ no_metamorphic $ no_proofs
-      $ buggy $ verbose)
+      const run $ seed $ cases $ case $ gradcheck $ faults $ check_checkpoint
+      $ no_metamorphic $ no_proofs $ buggy $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -1,10 +1,49 @@
 (* ns-train: generate the synthetic dataset, label it by dual-policy
-   solving, train the NeuroSelect model, and write a checkpoint. *)
+   solving, train the NeuroSelect model, and write a checkpoint.
 
-let run seed per_year budget epochs lr out quiet =
+   Fault-tolerant: every epoch ends with an atomic checkpoint write
+   plus a progress-journal line, so a killed run restarts from the
+   last completed epoch with --resume (the dataset and shuffles are
+   deterministic in the seed, so the resumed run retraces the
+   interrupted one). *)
+
+let progress_path out = out ^ ".progress"
+
+(* Highest completed epoch recorded in the progress journal, if any. *)
+let last_completed_epoch out =
+  match Runtime.Journal.load (progress_path out) with
+  | Error _ -> None
+  | Ok (records, _dropped) ->
+    List.fold_left
+      (fun acc r ->
+        match Runtime.Journal.find_int r "epoch" with
+        | Some e -> Some (match acc with None -> e | Some a -> max a e)
+        | None -> acc)
+      None records
+
+let run seed per_year budget epochs lr out resume checkpoint_every quiet =
   let log fmt =
     Printf.ksprintf (fun s -> if not quiet then print_endline s) fmt
   in
+  let start_epoch =
+    if resume && Sys.file_exists out then (
+      match last_completed_epoch out with
+      | Some e -> e + 1
+      | None -> 0)
+    else 0
+  in
+  if (not resume) || start_epoch = 0 then begin
+    (* Fresh run: stale progress or backup files must not leak into
+       this run's resume state. *)
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ progress_path out ]
+  end;
+  if start_epoch >= epochs then begin
+    log "training already complete (%d epochs recorded in %s)" epochs
+      (progress_path out);
+    exit 0
+  end;
   log "generating + labelling dataset (seed %d, %d per year) ..." seed per_year;
   let progress s = if not quiet then print_endline s in
   let data = Experiments.Data.prepare ~seed ~per_year ~budget ~progress () in
@@ -14,15 +53,45 @@ let run seed per_year budget epochs lr out quiet =
     (List.length data.Experiments.Data.test)
     (Experiments.Data.positives data.Experiments.Data.test);
   let model = Core.Model.create Core.Model.paper_config in
+  let start_epoch =
+    if start_epoch = 0 then 0
+    else
+      match Core.Model.load_result out model with
+      | Ok Nn.Checkpoint.Primary ->
+        log "resuming from %s at epoch %d" out start_epoch;
+        start_epoch
+      | Ok Nn.Checkpoint.Backup ->
+        log "primary checkpoint corrupt; resuming from %s at epoch %d"
+          (Nn.Checkpoint.backup_path out)
+          start_epoch;
+        start_epoch
+      | Error e ->
+        log "cannot resume (%s); restarting from epoch 0"
+          (Runtime.Error.to_string e);
+        0
+  in
   log "model parameters: %d" (Core.Model.num_parameters model);
   let train_progress ~epoch ~loss =
     if (not quiet) && epoch mod 5 = 0 then
       Printf.printf "epoch %3d  mean BCE %.4f\n%!" epoch loss
   in
-  let _history =
-    Core.Trainer.train ~epochs ~lr ~progress:train_progress model
+  let on_epoch ~epoch ~loss =
+    if (epoch + 1) mod checkpoint_every = 0 || epoch = epochs - 1 then begin
+      Core.Model.save out model;
+      ignore
+        (Runtime.Journal.append (progress_path out)
+           [ ("epoch", Runtime.Journal.Int epoch);
+             ("loss", Runtime.Journal.Float loss) ])
+    end
+  in
+  let history =
+    Core.Trainer.train ~epochs ~lr ~start_epoch ~on_epoch ~progress:train_progress
+      model
       (Experiments.Data.examples data.Experiments.Data.train)
   in
+  if history.Core.Trainer.skipped_steps > 0 then
+    log "divergence guard: skipped %d step(s), %d learning-rate backoff(s)"
+      history.Core.Trainer.skipped_steps history.Core.Trainer.lr_backoffs;
   let report split name =
     let r = Core.Trainer.evaluate model (Experiments.Data.examples split) in
     log "%s: %s" name (Format.asprintf "%a" Core.Metrics.pp_report r)
@@ -43,12 +112,28 @@ let lr = Arg.(value & opt float 3e-3 & info [ "lr" ] ~docv:"LR")
 let out =
   Arg.(value & opt string "neuroselect.ckpt" & info [ "out"; "o" ] ~docv:"FILE")
 
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Restart from the last completed epoch recorded in FILE.progress, \
+           loading FILE (or its .bak last-good copy when FILE is corrupt).")
+
+let checkpoint_every =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Write the checkpoint and progress journal every N epochs.")
+
 let quiet = Arg.(value & flag & info [ "quiet"; "q" ])
 
 let cmd =
   let doc = "train the NeuroSelect clause-deletion policy classifier" in
   Cmd.v
     (Cmd.info "ns-train" ~doc)
-    Term.(const run $ seed $ per_year $ budget $ epochs $ lr $ out $ quiet)
+    Term.(
+      const run $ seed $ per_year $ budget $ epochs $ lr $ out $ resume
+      $ checkpoint_every $ quiet)
 
 let () = exit (Cmd.eval cmd)

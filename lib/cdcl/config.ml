@@ -21,6 +21,7 @@ type t = {
   minimize : bool;
   max_conflicts : int option;
   max_propagations : int option;
+  max_wall_seconds : float option;
 }
 
 let default =
@@ -38,14 +39,16 @@ let default =
     minimize = true;
     max_conflicts = None;
     max_propagations = None;
+    max_wall_seconds = None;
   }
 
 let with_policy policy t = { t with policy }
 
-let with_budget ?max_conflicts ?max_propagations t =
+let with_budget ?max_conflicts ?max_propagations ?max_wall_seconds t =
   let keep_or cur = function None -> cur | Some _ as v -> v in
   {
     t with
     max_conflicts = keep_or t.max_conflicts max_conflicts;
     max_propagations = keep_or t.max_propagations max_propagations;
+    max_wall_seconds = keep_or t.max_wall_seconds max_wall_seconds;
   }

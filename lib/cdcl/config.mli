@@ -26,6 +26,10 @@ type t = {
   minimize : bool;  (** Recursive learned-clause minimisation. *)
   max_conflicts : int option;  (** Budget; [None] = unlimited. *)
   max_propagations : int option;  (** Budget; [None] = unlimited. *)
+  max_wall_seconds : float option;
+      (** Wall-clock deadline per [solve] call, checked alongside the
+          other budgets; [None] = unlimited. The solver answers
+          [Unknown] when it expires. *)
 }
 
 val default : t
@@ -35,4 +39,6 @@ val default : t
     tier1 glue 2. *)
 
 val with_policy : Policy.t -> t -> t
-val with_budget : ?max_conflicts:int -> ?max_propagations:int -> t -> t
+
+val with_budget :
+  ?max_conflicts:int -> ?max_propagations:int -> ?max_wall_seconds:float -> t -> t

@@ -595,13 +595,16 @@ let analyze_final t p =
 let model t =
   Array.init (t.n + 1) (fun v -> v > 0 && t.assigns.(v) > 0)
 
-let budget_exhausted t ~conflicts0 ~propagations0 =
+let budget_exhausted t ~conflicts0 ~propagations0 ~deadline =
   (match t.cfg.max_conflicts with
   | Some m -> t.stats.conflicts - conflicts0 >= m
   | None -> false)
+  || (match t.cfg.max_propagations with
+     | Some m -> t.stats.propagations - propagations0 >= m
+     | None -> false)
   ||
-  match t.cfg.max_propagations with
-  | Some m -> t.stats.propagations - propagations0 >= m
+  match deadline with
+  | Some d -> Runtime.Clock.now () >= d
   | None -> false
 
 (* Open the next decision: install pending assumption literals first
@@ -633,6 +636,9 @@ let next_decision t result =
 
 let search t =
   let conflicts0 = t.stats.conflicts and propagations0 = t.stats.propagations in
+  let deadline =
+    Option.map (fun s -> Runtime.Clock.now () +. s) t.cfg.max_wall_seconds
+  in
   let assumption_depth = Array.length t.assumptions in
   let result = ref None in
   while !result = None do
@@ -652,10 +658,12 @@ let search t =
           t.next_reduce <-
             t.next_reduce + t.cfg.reduce_first + (t.stats.reduces * t.cfg.reduce_inc)
         end;
-        if budget_exhausted t ~conflicts0 ~propagations0 then result := Some Unknown
+        if budget_exhausted t ~conflicts0 ~propagations0 ~deadline then
+          result := Some Unknown
       end
     | None ->
-      if budget_exhausted t ~conflicts0 ~propagations0 then result := Some Unknown
+      if budget_exhausted t ~conflicts0 ~propagations0 ~deadline then
+        result := Some Unknown
       else if
         should_restart t && decision_level t > assumption_depth
       then do_restart t

@@ -104,3 +104,4 @@ let classify t graph = predict t graph > 0.5
 
 let save path t = Nn.Checkpoint.save path (params t)
 let load path t = Nn.Checkpoint.load path (params t)
+let load_result path t = Nn.Checkpoint.load_result path (params t)

@@ -41,4 +41,10 @@ val classify : t -> Satgraph.Bigraph.t -> bool
 
 val save : string -> t -> unit
 val load : string -> t -> unit
-(** Restores parameters into an existing model of identical config. *)
+(** Restores parameters into an existing model of identical config.
+    @raise Runtime.Error.Runtime_error when neither the checkpoint nor
+    its [.bak] copy is usable. *)
+
+val load_result : string -> t -> (Nn.Checkpoint.source, Runtime.Error.t) result
+(** Like [load]; reports whether the primary or the [.bak] last-good
+    copy was restored instead of raising. *)

@@ -1,17 +1,54 @@
+type degradation =
+  | Model_failure of string
+  | Non_finite_probability of float
+
+let pp_degradation ppf = function
+  | Model_failure msg -> Format.fprintf ppf "model failure: %s" msg
+  | Non_finite_probability p ->
+    Format.fprintf ppf "non-finite probability %h" p
+
+let degradation_to_string d = Format.asprintf "%a" pp_degradation d
+
 type selection = {
   policy : Cdcl.Policy.t;
   probability : float;
   inference_seconds : float;
+  degraded : degradation option;
 }
 
 let select_policy ?(alpha = Cdcl.Policy.default_alpha) model formula =
-  let t0 = Sys.time () in
-  let probability = Model.predict_formula model formula in
-  let inference_seconds = Sys.time () -. t0 in
-  let policy =
-    if probability > 0.5 then Cdcl.Policy.Frequency { alpha } else Cdcl.Policy.Default
+  let t0 = Runtime.Clock.now () in
+  let outcome =
+    (* Any failure of the learned component — a model that did not
+       load, an overflow in the forward pass, an injected fault —
+       degrades to the default deletion policy rather than aborting
+       the sweep; the paper's baseline Kissat behaviour is always
+       available. *)
+    match
+      if Runtime.Fault.fires Runtime.Fault.Inference_failure then
+        Runtime.Error.raise_ (Runtime.Error.Injected_fault { point = "inference" });
+      Model.predict_formula model formula
+    with
+    | p when Float.is_finite p -> Ok p
+    | p -> Error (Non_finite_probability p)
+    | exception e -> Error (Model_failure (Printexc.to_string e))
   in
-  { policy; probability; inference_seconds }
+  let inference_seconds = Runtime.Clock.elapsed_since t0 in
+  match outcome with
+  | Ok probability ->
+    let policy =
+      if probability > 0.5 then Cdcl.Policy.Frequency { alpha }
+      else Cdcl.Policy.Default
+    in
+    { policy; probability; inference_seconds; degraded = None }
+  | Error d ->
+    {
+      policy = Cdcl.Policy.Default;
+      probability =
+        (match d with Non_finite_probability p -> p | Model_failure _ -> Float.nan);
+      inference_seconds;
+      degraded = Some d;
+    }
 
 let solve_adaptive ?(config = Cdcl.Config.default) ?alpha model formula =
   let selection = select_policy ?alpha model formula in

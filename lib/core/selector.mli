@@ -1,16 +1,36 @@
 (** Adaptive policy selection — NeuroSelect-Kissat (Sec. 5.4).
 
     One model inference on the CPU before solving picks the deletion
-    policy; the measured inference wall-clock is part of the adaptive
-    solver's reported runtime, mirroring the paper's accounting. *)
+    policy; the measured inference wall-clock (monotonized
+    [gettimeofday], matching the paper's wall-clock accounting — not
+    CPU time) is part of the adaptive solver's reported runtime.
+
+    Inference is fallible in production: the checkpoint may be
+    corrupt, the forward pass may overflow. [select_policy] never lets
+    that abort a sweep — it degrades to the default deletion policy
+    and records why in [degraded]. *)
+
+type degradation =
+  | Model_failure of string
+      (** The model raised (bad checkpoint, forward-pass failure). *)
+  | Non_finite_probability of float
+      (** The model returned NaN/Inf. *)
+
+val pp_degradation : Format.formatter -> degradation -> unit
+val degradation_to_string : degradation -> string
 
 type selection = {
   policy : Cdcl.Policy.t;
-  probability : float;  (** Model output; > 0.5 selects frequency. *)
-  inference_seconds : float;
+  probability : float;
+      (** Model output; > 0.5 selects frequency. NaN when degraded. *)
+  inference_seconds : float;  (** Wall-clock, includes failed attempts. *)
+  degraded : degradation option;
+      (** [Some _] when the model was unusable and the default policy
+          was substituted. *)
 }
 
 val select_policy : ?alpha:float -> Model.t -> Cnf.Formula.t -> selection
+(** Never raises on model failure; see [degraded]. *)
 
 val solve_adaptive :
   ?config:Cdcl.Config.t ->

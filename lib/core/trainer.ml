@@ -12,6 +12,8 @@ let example_of_formula ~name ~label formula =
 type history = {
   epoch_losses : float array;
   final_train_accuracy : float;
+  skipped_steps : int;
+  lr_backoffs : int;
 }
 
 let spec model =
@@ -34,19 +36,22 @@ let evaluate model examples =
   let predicted, actual = predictions model examples in
   Metrics.report ~predicted ~actual
 
-let train ?(epochs = 40) ?(lr = 1e-3) ?(seed = 7) ?(balance = true) ?progress model
-    examples =
+let train ?(epochs = 40) ?(lr = 1e-3) ?(seed = 7) ?(balance = true) ?clip_norm
+    ?start_epoch ?on_epoch ?progress model examples =
   if examples = [] then invalid_arg "Trainer.train: empty dataset";
   let data =
     Array.of_list (List.map (fun e -> (e.graph, e.label)) examples)
   in
   let pos_weight = if balance then Nn.Train.auto_pos_weight data else 1.0 in
   let history =
-    Nn.Train.fit ~epochs ~lr ~seed ~pos_weight ?progress (spec model) data
+    Nn.Train.fit ~epochs ~lr ~seed ~pos_weight ?clip_norm ?start_epoch ?on_epoch
+      ?progress (spec model) data
   in
   let predicted, actual = predictions model examples in
   let c = Metrics.confusion ~predicted ~actual in
   {
     epoch_losses = history.Nn.Train.epoch_losses;
     final_train_accuracy = Metrics.accuracy c;
+    skipped_steps = history.Nn.Train.skipped_steps;
+    lr_backoffs = history.Nn.Train.lr_backoffs;
   }

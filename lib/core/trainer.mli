@@ -15,6 +15,9 @@ val example_of_formula : name:string -> label:bool -> Cnf.Formula.t -> example
 type history = {
   epoch_losses : float array;  (** Mean BCE per epoch. *)
   final_train_accuracy : float;
+  skipped_steps : int;
+      (** Steps dropped by the divergence guard (see {!Nn.Train}). *)
+  lr_backoffs : int;  (** Learning-rate backoffs applied. *)
 }
 
 val train :
@@ -22,6 +25,9 @@ val train :
   ?lr:float ->
   ?seed:int ->
   ?balance:bool ->
+  ?clip_norm:float ->
+  ?start_epoch:int ->
+  ?on_epoch:(epoch:int -> loss:float -> unit) ->
   ?progress:(epoch:int -> loss:float -> unit) ->
   Model.t ->
   example list ->
@@ -30,7 +36,11 @@ val train :
     1e-4 at full scale; defaults here are scaled to the synthetic
     dataset — override to match the paper exactly). [balance]
     (default true) weights positive examples by the negative/positive
-    ratio to counter label skew. *)
+    ratio to counter label skew.
+
+    [start_epoch] resumes training from that epoch (replaying earlier
+    shuffles for determinism); [on_epoch] fires after each executed
+    epoch, e.g. to write a periodic checkpoint. *)
 
 val loss_of_example : Model.t -> example -> float
 (** BCE of a single example under the current weights. *)

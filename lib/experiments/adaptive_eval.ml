@@ -1,3 +1,5 @@
+module Journal = Runtime.Journal
+
 type entry = {
   name : string;
   family : string;
@@ -8,6 +10,12 @@ type entry = {
   inference_seconds : float;
   chose_frequency : bool;
   probability : float;
+  degraded : string option;
+}
+
+type failure = {
+  instance : string;
+  error : string;
 }
 
 type summary = {
@@ -21,14 +29,96 @@ type t = {
   kissat : summary;
   adaptive : summary;
   median_improvement_pct : float;
+  failures : failure list;
+  resumed : int;
 }
 
-let run ?(alpha = Cdcl.Policy.default_alpha) ?progress model simtime instances =
+(* --- JSONL (de)serialisation for campaign resume --- *)
+
+let record_of_entry (e : entry) : Journal.record =
+  [
+    ("name", Journal.String e.name);
+    ("family", Journal.String e.family);
+    ("kissat_seconds", Journal.Float e.kissat_seconds);
+    ("kissat_solved", Journal.Bool e.kissat_solved);
+    ("adaptive_seconds", Journal.Float e.adaptive_seconds);
+    ("adaptive_solved", Journal.Bool e.adaptive_solved);
+    ("inference_seconds", Journal.Float e.inference_seconds);
+    ("chose_frequency", Journal.Bool e.chose_frequency);
+    ("probability", Journal.Float e.probability);
+    ( "degraded",
+      match e.degraded with
+      | None -> Journal.Null
+      | Some d -> Journal.String d );
+  ]
+
+let entry_of_record r =
+  let ( let* ) = Option.bind in
+  let* name = Journal.find_string r "name" in
+  let* family = Journal.find_string r "family" in
+  let* kissat_seconds = Journal.find_float r "kissat_seconds" in
+  let* kissat_solved = Journal.find_bool r "kissat_solved" in
+  let* adaptive_seconds = Journal.find_float r "adaptive_seconds" in
+  let* adaptive_solved = Journal.find_bool r "adaptive_solved" in
+  let* inference_seconds = Journal.find_float r "inference_seconds" in
+  let* chose_frequency = Journal.find_bool r "chose_frequency" in
+  let* probability = Journal.find_float r "probability" in
+  Some
+    {
+      name;
+      family;
+      kissat_seconds;
+      kissat_solved;
+      adaptive_seconds;
+      adaptive_solved;
+      inference_seconds;
+      chose_frequency;
+      probability;
+      degraded = Journal.find_string r "degraded";
+    }
+
+(* Completed entries keyed by instance name; failures are not loaded
+   so a resumed campaign retries them. *)
+let load_completed = function
+  | None -> Hashtbl.create 0
+  | Some path -> (
+    let table = Hashtbl.create 64 in
+    match Journal.load path with
+    | Error _ -> table
+    | Ok (records, _dropped) ->
+      List.iter
+        (fun r ->
+          match entry_of_record r with
+          | Some e -> Hashtbl.replace table e.name e
+          | None -> ())
+        records;
+      table)
+
+let run ?(alpha = Cdcl.Policy.default_alpha) ?progress ?journal ?deadline_seconds
+    ?(retries = 1) model simtime instances =
+  let completed = load_completed journal in
+  let resumed = ref 0 in
+  let failures = ref [] in
+  let persist entry =
+    match journal with
+    | None -> ()
+    | Some path -> ignore (Journal.append path (record_of_entry entry))
+  in
+  let say fmt = Printf.ksprintf (fun s ->
+      match progress with Some f -> f s | None -> ()) fmt
+  in
   let measure (i : Gen.Dataset.instance) =
-    let kissat = Runner.solve simtime Cdcl.Policy.Default i.formula in
+    let ( let* ) = Result.bind in
+    let* kissat =
+      Runner.solve_protected ~retries ?deadline_seconds simtime
+        Cdcl.Policy.Default i.formula
+    in
     let selection = Core.Selector.select_policy ~alpha model i.formula in
-    let adaptive = Runner.solve simtime selection.Core.Selector.policy i.formula in
-    let entry =
+    let* adaptive =
+      Runner.solve_protected ~retries ?deadline_seconds simtime
+        selection.Core.Selector.policy i.formula
+    in
+    Ok
       {
         name = i.name;
         family = i.family;
@@ -36,7 +126,8 @@ let run ?(alpha = Cdcl.Policy.default_alpha) ?progress model simtime instances =
         kissat_solved = kissat.Runner.solved;
         adaptive_seconds =
           Float.min Simtime.paper_timeout_seconds
-            (adaptive.Runner.sim_seconds +. selection.Core.Selector.inference_seconds);
+            (adaptive.Runner.sim_seconds
+            +. selection.Core.Selector.inference_seconds);
         adaptive_solved = adaptive.Runner.solved;
         inference_seconds = selection.Core.Selector.inference_seconds;
         chose_frequency =
@@ -45,18 +136,33 @@ let run ?(alpha = Cdcl.Policy.default_alpha) ?progress model simtime instances =
           | Cdcl.Policy.Default | Cdcl.Policy.Glue_only | Cdcl.Policy.Size_only
           | Cdcl.Policy.Activity | Cdcl.Policy.Random _ -> false);
         probability = selection.Core.Selector.probability;
+        degraded =
+          Option.map Core.Selector.degradation_to_string
+            selection.Core.Selector.degraded;
       }
-    in
-    (match progress with
-    | Some f ->
-      f
-        (Printf.sprintf "  %-22s kissat %.0fs, adaptive %.0fs (p=%.2f, %s)" entry.name
-           entry.kissat_seconds entry.adaptive_seconds entry.probability
-           (if entry.chose_frequency then "frequency" else "default"))
-    | None -> ());
-    entry
   in
-  let entries = List.map measure instances in
+  let handle (i : Gen.Dataset.instance) =
+    match Hashtbl.find_opt completed i.name with
+    | Some entry ->
+      incr resumed;
+      say "  %-22s resumed from journal" entry.name;
+      Some entry
+    | None -> (
+      match measure i with
+      | Ok entry ->
+        persist entry;
+        say "  %-22s kissat %.0fs, adaptive %.0fs (p=%.2f, %s%s)" entry.name
+          entry.kissat_seconds entry.adaptive_seconds entry.probability
+          (if entry.chose_frequency then "frequency" else "default")
+          (match entry.degraded with None -> "" | Some d -> ", DEGRADED: " ^ d);
+        Some entry
+      | Error e ->
+        let error = Runtime.Error.to_string e in
+        say "  %-22s FAILED: %s" i.name error;
+        failures := { instance = i.name; error } :: !failures;
+        None)
+  in
+  let entries = List.filter_map handle instances in
   let summarise seconds solved =
     {
       solved;
@@ -80,7 +186,14 @@ let run ?(alpha = Cdcl.Policy.default_alpha) ?progress model simtime instances =
       100.0 *. (kissat.median_seconds -. adaptive.median_seconds)
       /. kissat.median_seconds
   in
-  { entries; kissat; adaptive; median_improvement_pct }
+  {
+    entries;
+    kissat;
+    adaptive;
+    median_improvement_pct;
+    failures = List.rev !failures;
+    resumed = !resumed;
+  }
 
 let print_table3 ppf t =
   Format.fprintf ppf
@@ -90,7 +203,22 @@ let print_table3 ppf t =
     "solver" "solved" "median (s)" "average (s)" "Kissat" t.kissat.solved
     t.kissat.median_seconds t.kissat.average_seconds "NeuroSelect-Kissat"
     t.adaptive.solved t.adaptive.median_seconds t.adaptive.average_seconds
-    t.median_improvement_pct
+    t.median_improvement_pct;
+  let degraded =
+    List.length (List.filter (fun e -> e.degraded <> None) t.entries)
+  in
+  if degraded > 0 then
+    Format.fprintf ppf "@.%d instance(s) ran with a degraded (default) policy"
+      degraded;
+  if t.resumed > 0 then
+    Format.fprintf ppf "@.%d instance(s) resumed from the journal" t.resumed;
+  if t.failures <> [] then begin
+    Format.fprintf ppf "@.%d instance(s) failed and were excluded:"
+      (List.length t.failures);
+    List.iter
+      (fun f -> Format.fprintf ppf "@.  %s: %s" f.instance f.error)
+      t.failures
+  end
 
 let print_fig7a ppf t =
   Format.fprintf ppf

@@ -3,7 +3,14 @@
     Every test instance is solved under the default policy ("Kissat")
     and under the model-selected policy ("NeuroSelect-Kissat", whose
     reported time includes the measured model-inference wall clock, as
-    in the paper). *)
+    in the paper).
+
+    The campaign is fault-tolerant: per-instance failures are isolated
+    (with one retry) and recorded instead of aborting the sweep, a
+    degraded model selection falls back to the default policy, and —
+    when a [journal] path is given — each completed entry is persisted
+    as one JSONL line so an interrupted campaign resumes by skipping
+    instances already measured. *)
 
 type entry = {
   name : string;
@@ -15,6 +22,13 @@ type entry = {
   inference_seconds : float;
   chose_frequency : bool;
   probability : float;
+  degraded : string option;
+      (** Why the selector fell back to the default policy, if it did. *)
+}
+
+type failure = {
+  instance : string;
+  error : string;
 }
 
 type summary = {
@@ -30,15 +44,29 @@ type t = {
   median_improvement_pct : float;
       (** (kissat median - adaptive median) / kissat median * 100 — the
           paper's headline 5.8%. *)
+  failures : failure list;
+      (** Instances that crashed even after retry; excluded from the
+          summaries. *)
+  resumed : int;  (** Entries restored from the journal, not re-run. *)
 }
 
 val run :
   ?alpha:float ->
   ?progress:(string -> unit) ->
+  ?journal:string ->
+  ?deadline_seconds:float ->
+  ?retries:int ->
   Core.Model.t ->
   Simtime.t ->
   Gen.Dataset.instance list ->
   t
+(** [journal] enables JSONL partial-result persistence and resume.
+    [deadline_seconds] adds a per-solve wall-clock budget alongside
+    the propagation budget. [retries] (default 1) bounds per-instance
+    retry on crash. *)
+
+val record_of_entry : entry -> Runtime.Journal.record
+val entry_of_record : Runtime.Journal.record -> entry option
 
 val print_table3 : Format.formatter -> t -> unit
 val print_fig7a : Format.formatter -> t -> unit

@@ -8,10 +8,24 @@ type run = {
   solved : bool;  (** [result] is [Sat] or [Unsat] within budget. *)
 }
 
-val solve : Simtime.t -> Cdcl.Policy.t -> Cnf.Formula.t -> run
+val solve : ?deadline_seconds:float -> Simtime.t -> Cdcl.Policy.t -> Cnf.Formula.t -> run
 (** Solve under the given deletion policy with the sim-time budget as
-    the propagation cap. *)
+    the propagation cap. [deadline_seconds], when given, adds a
+    wall-clock budget on top: the solver answers [Unknown] (counted
+    as unsolved) when it expires. *)
 
-val solve_with_config : Simtime.t -> Cdcl.Config.t -> Cnf.Formula.t -> run
-(** Same, but a full config (its budgets are overridden by the
-    sim-time budget). *)
+val solve_with_config :
+  ?deadline_seconds:float -> Simtime.t -> Cdcl.Config.t -> Cnf.Formula.t -> run
+(** Same, but a full config (its propagation budget is overridden by
+    the sim-time budget). *)
+
+val solve_protected :
+  ?retries:int ->
+  ?deadline_seconds:float ->
+  Simtime.t ->
+  Cdcl.Policy.t ->
+  Cnf.Formula.t ->
+  (run, Runtime.Error.t) result
+(** Exception-isolated solve for campaigns: any exception is caught
+    and retried [retries] times (default 1) before being returned as
+    a typed error, so one crashing instance cannot abort a sweep. *)

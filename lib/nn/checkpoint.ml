@@ -1,4 +1,14 @@
 module Mat = Tensor.Mat
+module Error = Runtime.Error
+
+let magic = "NSCKPT"
+let version = 2
+
+type source = Primary | Backup
+
+let backup_path path = path ^ ".bak"
+
+(* --- payload (v1 text format) --- *)
 
 let to_string params =
   let buf = Buffer.create 4096 in
@@ -16,65 +26,190 @@ let to_string params =
   List.iter emit params;
   Buffer.contents buf
 
-let of_string text params =
+(* Parse the payload into a name -> matrix table without touching any
+   parameter, so a defect found halfway leaves the model untouched.
+   Declared shapes are validated against the remaining token count
+   before any allocation, so a corrupted header cannot trigger a huge
+   or negative [Array.make]. *)
+let parse_payload ~source text =
+  let corrupt detail = Error (Error.Corrupt { path = source; detail }) in
   let table = Hashtbl.create 16 in
   let tokens =
     String.split_on_char '\n' text
     |> List.concat_map (String.split_on_char ' ')
     |> List.filter (fun s -> s <> "")
+    |> Array.of_list
   in
-  let rec consume = function
-    | [] -> ()
-    | name :: r :: c :: rest ->
-      let rows =
-        match int_of_string_opt r with
-        | Some n -> n
-        | None -> failwith ("Checkpoint: bad row count for " ^ name)
-      in
-      let cols =
-        match int_of_string_opt c with
-        | Some n -> n
-        | None -> failwith ("Checkpoint: bad col count for " ^ name)
-      in
-      let n = rows * cols in
-      let data = Array.make n 0.0 in
-      let rec take k rest =
-        if k = n then rest
-        else
-          match rest with
-          | [] -> failwith ("Checkpoint: truncated data for " ^ name)
-          | x :: rest ->
-            (match float_of_string_opt x with
+  let ntok = Array.length tokens in
+  let rec consume i =
+    if i >= ntok then Ok table
+    else if i + 3 > ntok then corrupt "truncated parameter header"
+    else
+      let name = tokens.(i) in
+      match (int_of_string_opt tokens.(i + 1), int_of_string_opt tokens.(i + 2)) with
+      | Some rows, Some cols when rows >= 0 && cols >= 0 ->
+        let n = rows * cols in
+        if n < 0 || (rows > 0 && n / rows <> cols) then
+          corrupt ("overflowing shape for parameter " ^ name)
+        else if i + 3 + n > ntok then
+          corrupt ("truncated data for parameter " ^ name)
+        else begin
+          let data = Array.make n 0.0 in
+          let bad = ref None in
+          for k = 0 to n - 1 do
+            match float_of_string_opt tokens.(i + 3 + k) with
             | Some f -> data.(k) <- f
-            | None -> failwith ("Checkpoint: bad float for " ^ name));
-            take (k + 1) rest
-      in
-      let rest = take 0 rest in
-      Hashtbl.replace table name (Mat.of_array ~rows ~cols data);
-      consume rest
-    | _ -> failwith "Checkpoint: truncated header"
+            | None -> if !bad = None then bad := Some tokens.(i + 3 + k)
+          done;
+          match !bad with
+          | Some tok ->
+            corrupt (Printf.sprintf "bad float %S for parameter %s" tok name)
+          | None ->
+            if Hashtbl.mem table name then
+              corrupt ("duplicate parameter block " ^ name)
+            else begin
+              Hashtbl.add table name (Mat.of_array ~rows ~cols data);
+              consume (i + 3 + n)
+            end
+        end
+      | _ -> corrupt ("bad shape header for parameter " ^ name)
   in
-  consume tokens;
-  let restore (p : Param.t) =
-    match Hashtbl.find_opt table p.Param.name with
-    | None -> failwith ("Checkpoint: missing parameter " ^ p.Param.name)
-    | Some m ->
-      if Mat.shape m <> Mat.shape p.Param.value then
-        failwith ("Checkpoint: shape mismatch for " ^ p.Param.name);
-      p.Param.value <- m
+  consume 0
+
+(* Validate every parameter against the table before committing any
+   value. *)
+let apply ~source table params =
+  let rec validate = function
+    | [] -> Ok ()
+    | (p : Param.t) :: rest -> (
+      match Hashtbl.find_opt table p.Param.name with
+      | None ->
+        Error
+          (Error.Corrupt
+             { path = source; detail = "missing parameter " ^ p.Param.name })
+      | Some m ->
+        if Mat.shape m <> Mat.shape p.Param.value then
+          Error
+            (Error.Corrupt
+               { path = source; detail = "shape mismatch for " ^ p.Param.name })
+        else validate rest)
   in
-  List.iter restore params
+  match validate params with
+  | Error _ as e -> e
+  | Ok () ->
+    List.iter
+      (fun (p : Param.t) -> p.Param.value <- Hashtbl.find table p.Param.name)
+      params;
+    Ok ()
+
+(* --- envelope --- *)
+
+let encode params =
+  let payload = to_string params in
+  Printf.sprintf "%s %d %s %d\n%s" magic version
+    (Runtime.Crc32.to_hex (Runtime.Crc32.string payload))
+    (String.length payload) payload
+
+(* Returns the verified payload. Headerless text is accepted as a
+   legacy v1 checkpoint (no CRC protection). *)
+let decode ~source text =
+  let corrupt detail = Error (Error.Corrupt { path = source; detail }) in
+  if not (String.length text >= String.length magic
+          && String.sub text 0 (String.length magic) = magic)
+  then Ok text
+  else
+    match String.index_opt text '\n' with
+    | None -> corrupt "envelope missing payload"
+    | Some nl -> (
+      let header = String.sub text 0 nl in
+      let payload = String.sub text (nl + 1) (String.length text - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ _magic; v; crc_hex; len ] -> (
+        match (int_of_string_opt v, int_of_string_opt len) with
+        | Some v, _ when v <> version ->
+          corrupt (Printf.sprintf "unsupported checkpoint version %d" v)
+        | Some _, Some len ->
+          if String.length payload <> len then
+            corrupt
+              (Printf.sprintf "payload length %d does not match header %d"
+                 (String.length payload) len)
+          else if
+            Runtime.Crc32.to_hex (Runtime.Crc32.string payload) <> crc_hex
+          then corrupt "CRC mismatch (bit flip or torn write)"
+          else Ok payload
+        | _ -> corrupt "malformed envelope header")
+      | _ -> corrupt "malformed envelope header")
+
+let of_string_result ?(source = "<string>") text params =
+  match decode ~source text with
+  | Error _ as e -> e
+  | Ok payload -> (
+    match parse_payload ~source payload with
+    | Error _ as e -> e
+    | Ok table -> apply ~source table params)
+
+let of_string text params =
+  match of_string_result text params with
+  | Ok () -> ()
+  | Error e -> Error.raise_ e
+
+(* --- file IO --- *)
+
+(* Cheap integrity probe used before promoting the current file to
+   [.bak]: never let a corrupt file clobber the last-good copy. *)
+let intact path =
+  match Runtime.Atomic_file.read path with
+  | Error _ -> false
+  | Ok text -> (
+    match decode ~source:path text with
+    | Error _ -> false
+    | Ok payload -> Result.is_ok (parse_payload ~source:path payload))
+
+let save_result path params =
+  let data = encode params in
+  (* Promote the current file to [.bak] before any byte of the new
+     write lands, and only when it validates — so neither a torn write
+     below nor a corrupt current file can clobber the last-good copy. *)
+  if Sys.file_exists path && intact path then
+    (try Sys.rename path (backup_path path) with Sys_error _ -> ());
+  if Runtime.Fault.fires Runtime.Fault.Torn_checkpoint_write then
+    (* Simulate power loss mid-write on a non-atomic writer: the
+       destination ends up with half the bytes and nobody is told.
+       Recovery must come from the CRC check + [.bak] fallback. *)
+    Runtime.Atomic_file.write_raw path
+      (String.sub data 0 (String.length data / 2))
+  else
+    let data =
+      if Runtime.Fault.fires Runtime.Fault.Checkpoint_bit_flip then begin
+        let b = Bytes.of_string data in
+        let i = String.length data - 2 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+        Bytes.to_string b
+      end
+      else data
+    in
+    Runtime.Atomic_file.write path data
 
 let save path params =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string params))
+  match save_result path params with Ok () -> () | Error e -> Error.raise_ e
+
+let load_result path params =
+  let try_copy p =
+    match Runtime.Atomic_file.read p with
+    | Error _ as e -> e
+    | Ok text -> of_string_result ~source:p text params
+  in
+  match try_copy path with
+  | Ok () -> Ok Primary
+  | Error primary_error -> (
+    let bak = backup_path path in
+    if not (Sys.file_exists bak) then Error primary_error
+    else
+      match try_copy bak with
+      | Ok () -> Ok Backup
+      | Error _ -> Error primary_error)
 
 let load path params =
-  let ic = open_in path in
-  let read () =
-    let n = in_channel_length ic in
-    really_input_string ic n
-  in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> of_string (read ()) params)
+  match load_result path params with
+  | Ok _ -> ()
+  | Error e -> Error.raise_ e

@@ -1,16 +1,54 @@
-(** Parameter (de)serialisation.
+(** Parameter (de)serialisation, hardened against corruption.
 
-    A plain text format: one [name rows cols] header line per parameter
-    followed by its row-major values, so checkpoints diff cleanly and
-    survive compiler upgrades (no Marshal). *)
+    The payload is a plain text format — one [name rows cols] header
+    line per parameter followed by its row-major values — so
+    checkpoints diff cleanly and survive compiler upgrades (no
+    Marshal). On disk the payload is wrapped in a versioned envelope
+
+    {v NSCKPT <version> <crc32-hex> <payload-bytes> v}
+
+    whose CRC-32 is verified before any parameter is mutated, so bit
+    flips and truncation surface as typed errors rather than silently
+    corrupted weights. Writes are atomic (temp file + rename) and
+    promote the previous intact checkpoint to a [.bak] sibling;
+    [load_result] falls back to the [.bak] automatically when the
+    primary is damaged. Headerless legacy (v1) files still load. *)
+
+type source =
+  | Primary  (** The requested path itself. *)
+  | Backup  (** The [.bak] last-good copy; the primary was damaged. *)
+
+val backup_path : string -> string
+(** [path ^ ".bak"]. *)
 
 val save : string -> Param.t list -> unit
-(** Write every parameter's current value to a file. *)
+(** Atomic versioned write; promotes an intact existing file to
+    [.bak]. @raise Runtime.Error.Runtime_error on IO failure. *)
+
+val save_result : string -> Param.t list -> (unit, Runtime.Error.t) result
 
 val load : string -> Param.t list -> unit
-(** Restore values into an existing parameter list, matched by name.
-    @raise Failure if a parameter is missing from the file or shapes
-    disagree. *)
+(** Restore values into an existing parameter list, matched by name,
+    falling back to the [.bak] copy if the primary is corrupt.
+    @raise Runtime.Error.Runtime_error when neither copy is usable
+    (IO failure, corruption, missing parameter, shape mismatch,
+    duplicate parameter block). *)
+
+val load_result : string -> Param.t list -> (source, Runtime.Error.t) result
+(** Like [load] but reports which copy was used instead of raising.
+    Parameters are only mutated after the chosen copy fully
+    validates. *)
 
 val to_string : Param.t list -> string
+(** Bare payload (no envelope). *)
+
+val encode : Param.t list -> string
+(** Payload wrapped in the versioned CRC envelope, exactly as written
+    to disk. *)
+
 val of_string : string -> Param.t list -> unit
+(** Parse a bare payload or an enveloped checkpoint.
+    @raise Runtime.Error.Runtime_error on any defect. *)
+
+val of_string_result :
+  ?source:string -> string -> Param.t list -> (unit, Runtime.Error.t) result

@@ -5,7 +5,7 @@ type algo =
   | Sgd of { momentum : float; velocity : (Param.t * Mat.t ref) list }
 
 type t = {
-  lr : float;
+  mutable lr : float;
   params : Param.t list;
   algo : algo;
 }
@@ -24,6 +24,8 @@ let sgd ?(momentum = 0.0) ~lr params =
 
 let zero_grads t = List.iter Param.zero_grad t.params
 let params t = t.params
+let lr t = t.lr
+let set_lr t lr = t.lr <- lr
 
 let grad_norm t =
   let acc =
@@ -34,6 +36,16 @@ let grad_norm t =
       0.0 t.params
   in
   sqrt acc
+
+let clip_grad_norm t max_norm =
+  let n = grad_norm t in
+  if Float.is_finite n && n > max_norm && max_norm > 0.0 then begin
+    let s = max_norm /. n in
+    List.iter
+      (fun (p : Param.t) -> p.Param.grad <- Mat.scale s p.Param.grad)
+      t.params
+  end;
+  n
 
 let step t =
   (match t.algo with

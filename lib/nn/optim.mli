@@ -19,3 +19,13 @@ val zero_grads : t -> unit
 val params : t -> Param.t list
 val grad_norm : t -> float
 (** L2 norm of all accumulated gradients (diagnostics). *)
+
+val lr : t -> float
+val set_lr : t -> float -> unit
+(** Adjust the learning rate in place (used by the divergence-guarded
+    trainer's backoff). *)
+
+val clip_grad_norm : t -> float -> float
+(** Scale all gradients so their global L2 norm is at most the given
+    bound; returns the pre-clip norm. Non-finite norms are left
+    untouched (the caller's sentinel handles them). *)

@@ -5,7 +5,12 @@ type 'g spec = {
   forward : Ad.tape -> 'g -> Ad.v;
 }
 
-type history = { epoch_losses : float array }
+type history = {
+  epoch_losses : float array;
+  skipped_steps : int;
+  lr_backoffs : int;
+  final_lr : float;
+}
 
 let loss_node ?(pos_weight = 1.0) spec tape input label =
   let logit = spec.forward tape input in
@@ -29,28 +34,71 @@ let predict_prob spec input =
 
 let predict spec input = predict_prob spec input > 0.5
 
-let fit ?(epochs = 40) ?(lr = 1e-3) ?(seed = 7) ?(pos_weight = 1.0) ?progress spec
-    examples =
+(* Poison injection point: a NaN planted in a gradient is what an
+   exploding intermediate looks like to the optimiser. *)
+let maybe_poison_gradients params =
+  if Runtime.Fault.fires Runtime.Fault.Poisoned_gradient then
+    match params with
+    | [] -> ()
+    | (p : Param.t) :: _ -> Mat.set p.Param.grad 0 0 Float.nan
+
+let fit ?(epochs = 40) ?(lr = 1e-3) ?(seed = 7) ?(pos_weight = 1.0)
+    ?(clip_norm = 10.0) ?(lr_backoff = 0.5) ?(min_lr = 1e-6) ?(start_epoch = 0)
+    ?on_epoch ?progress spec examples =
   if Array.length examples = 0 then invalid_arg "Train.fit: empty dataset";
   let optimiser = Optim.adam ~lr spec.params in
   let rng = Util.Rng.create seed in
   let order = Array.copy examples in
   let losses = Array.make epochs 0.0 in
+  let skipped = ref 0 in
+  let backoffs = ref 0 in
+  (* Skip the diverged step entirely and make the next ones smaller:
+     zero the poisoned gradients so they cannot leak into Adam's
+     moments, then back the learning rate off. *)
+  let diverge () =
+    incr skipped;
+    Optim.zero_grads optimiser;
+    let current = Optim.lr optimiser in
+    let next = Float.max min_lr (current *. lr_backoff) in
+    if next < current then begin
+      incr backoffs;
+      Optim.set_lr optimiser next
+    end
+  in
   for epoch = 0 to epochs - 1 do
+    (* Shuffle every epoch, even skipped ones, so a resumed run visits
+       examples in exactly the order the interrupted run would have. *)
     Util.Rng.shuffle rng order;
-    let total = ref 0.0 in
-    Array.iter
-      (fun (input, label) ->
-        let tape = Ad.tape () in
-        let l = loss_node ~pos_weight spec tape input label in
-        total := !total +. Mat.get (Ad.value l) 0 0;
-        Ad.backward tape l;
-        Optim.step optimiser)
-      order;
-    let mean = !total /. float_of_int (Array.length order) in
-    losses.(epoch) <- mean;
-    match progress with
-    | Some f -> f ~epoch ~loss:mean
-    | None -> ()
+    if epoch >= start_epoch then begin
+      let total = ref 0.0 in
+      let counted = ref 0 in
+      Array.iter
+        (fun (input, label) ->
+          let tape = Ad.tape () in
+          let l = loss_node ~pos_weight spec tape input label in
+          let lv = Mat.get (Ad.value l) 0 0 in
+          if not (Float.is_finite lv) then diverge ()
+          else begin
+            Ad.backward tape l;
+            maybe_poison_gradients spec.params;
+            let gn = Optim.clip_grad_norm optimiser clip_norm in
+            if not (Float.is_finite gn) then diverge ()
+            else begin
+              total := !total +. lv;
+              incr counted;
+              Optim.step optimiser
+            end
+          end)
+        order;
+      let mean = !total /. float_of_int (max 1 !counted) in
+      losses.(epoch) <- mean;
+      (match progress with Some f -> f ~epoch ~loss:mean | None -> ());
+      match on_epoch with Some f -> f ~epoch ~loss:mean | None -> ()
+    end
   done;
-  { epoch_losses = losses }
+  {
+    epoch_losses = losses;
+    skipped_steps = !skipped;
+    lr_backoffs = !backoffs;
+    final_lr = Optim.lr optimiser;
+  }

@@ -2,27 +2,50 @@
 
     Polymorphic in the input representation ['g] so the NeuroSelect
     model (bipartite graphs) and the baselines (literal–clause graphs)
-    share one loop: BCE loss, Adam, batch size 1, shuffled epochs. *)
+    share one loop: BCE loss, Adam, batch size 1, shuffled epochs.
+
+    The loop is divergence-guarded: a non-finite loss or gradient norm
+    skips the step (zeroing the gradients so Adam's moments stay
+    clean) and backs the learning rate off by [lr_backoff]; finite
+    gradients are clipped to [clip_norm]. Training therefore never
+    aborts on a numeric blow-up — the damage is contained to the
+    offending step and recorded in the returned {!history}. *)
 
 type 'g spec = {
   params : Param.t list;
   forward : Ad.tape -> 'g -> Ad.v;  (** Must return a [1 x 1] logit. *)
 }
 
-type history = { epoch_losses : float array }
+type history = {
+  epoch_losses : float array;
+      (** Mean loss per epoch (over non-skipped steps). *)
+  skipped_steps : int;  (** Steps dropped by the divergence guard. *)
+  lr_backoffs : int;  (** Learning-rate halvings applied. *)
+  final_lr : float;
+}
 
 val fit :
   ?epochs:int ->
   ?lr:float ->
   ?seed:int ->
   ?pos_weight:float ->
+  ?clip_norm:float ->
+  ?lr_backoff:float ->
+  ?min_lr:float ->
+  ?start_epoch:int ->
+  ?on_epoch:(epoch:int -> loss:float -> unit) ->
   ?progress:(epoch:int -> loss:float -> unit) ->
   'g spec ->
   ('g * bool) array ->
   history
 (** [pos_weight] scales the loss of positive examples (class-imbalance
-    correction); pass [auto_pos_weight examples] to balance. @raise
-    Invalid_argument on an empty dataset. *)
+    correction); pass [auto_pos_weight examples] to balance.
+
+    [start_epoch] skips the first epochs while still replaying their
+    shuffles, so resuming a run from a checkpoint visits examples in
+    the same order as an uninterrupted run. [on_epoch] fires after
+    each executed epoch (checkpointing hook). @raise Invalid_argument
+    on an empty dataset. *)
 
 val auto_pos_weight : ('g * bool) array -> float
 (** [#negatives / #positives], clamped to [\[1, 10\]]; 1 when a class is

@@ -1,0 +1,43 @@
+let read path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> Ok s
+  | exception e -> Error (Error.Io { path; op = "read"; message = Printexc.to_string e })
+
+let write_fd fd content =
+  let n = String.length content in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd content !written (n - !written)
+  done
+
+let write ?(fsync = true) path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  match
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_fd fd content;
+        if fsync then Unix.fsync fd);
+    Unix.rename tmp path
+  with
+  | () -> Ok ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Error.Io { path; op = "atomic-write"; message = Printexc.to_string e })
+
+let write_raw path content =
+  match
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content)
+  with
+  | () -> Ok ()
+  | exception e ->
+    Error (Error.Io { path; op = "raw-write"; message = Printexc.to_string e })

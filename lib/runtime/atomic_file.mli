@@ -1,0 +1,17 @@
+(** Crash-safe whole-file IO.
+
+    [write] lands the full content or leaves the destination untouched:
+    bytes go to a process-unique temp file in the same directory, are
+    fsynced, and are renamed over the destination (atomic on POSIX). *)
+
+val read : string -> (string, Error.t) result
+(** Whole file contents, or a typed [Io] error. *)
+
+val write : ?fsync:bool -> string -> string -> (unit, Error.t) result
+(** Atomic replace. [fsync] (default true) forces the data to disk
+    before the rename so a crash cannot leave a renamed-but-empty
+    file. *)
+
+val write_raw : string -> string -> (unit, Error.t) result
+(** Non-atomic direct write, used only by fault injection to simulate
+    a torn (power-loss) write. *)

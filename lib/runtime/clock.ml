@@ -1,0 +1,15 @@
+let wall () = Unix.gettimeofday ()
+
+let last = ref neg_infinity
+
+let now () =
+  let t = wall () in
+  if t > !last then last := t;
+  !last
+
+let elapsed_since t0 = Float.max 0.0 (now () -. t0)
+
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, elapsed_since t0)

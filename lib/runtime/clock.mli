@@ -1,0 +1,19 @@
+(** Wall-clock timing for runtime accounting.
+
+    The paper's Sec. 5.4 charges model inference at wall-clock time;
+    [Sys.time] (CPU time) under-reports whenever the process sleeps or
+    shares the core. [now] reads the system wall clock and is
+    monotonized: a backwards NTP step never makes an elapsed interval
+    negative. *)
+
+val wall : unit -> float
+(** Raw wall-clock seconds since the epoch. *)
+
+val now : unit -> float
+(** Monotonized wall clock: never decreases within the process. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [max 0 (now () - t0)]. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Run a thunk and return its result with its wall-clock duration. *)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over strings.
+
+    Used to checksum checkpoint payloads so bit flips and truncation
+    are detected before any parameter is mutated. *)
+
+val string : string -> int
+(** Checksum of a whole string, in [0, 2^32). *)
+
+val update : int -> string -> int
+(** Incrementally extend a checksum ([update 0 s = string s] holds
+    only for the empty prefix; use [string] for one-shot use). *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase 8-digit hex. *)

@@ -1,0 +1,34 @@
+type t =
+  | Io of { path : string; op : string; message : string }
+  | Parse of { source : string; message : string }
+  | Corrupt of { path : string; detail : string }
+  | Numeric_divergence of { context : string; detail : string }
+  | Budget_exhausted of { context : string; detail : string }
+  | Injected_fault of { point : string }
+
+exception Runtime_error of t
+
+let raise_ e = raise (Runtime_error e)
+
+let to_string = function
+  | Io { path; op; message } -> Printf.sprintf "io error: %s %S: %s" op path message
+  | Parse { source; message } -> Printf.sprintf "parse error in %s: %s" source message
+  | Corrupt { path; detail } -> Printf.sprintf "corrupt data in %S: %s" path detail
+  | Numeric_divergence { context; detail } ->
+    Printf.sprintf "numeric divergence in %s: %s" context detail
+  | Budget_exhausted { context; detail } ->
+    Printf.sprintf "budget exhausted in %s: %s" context detail
+  | Injected_fault { point } -> Printf.sprintf "injected fault at %s" point
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let of_exn ~context = function
+  | Runtime_error e -> e
+  | Sys_error msg -> Io { path = context; op = "sys"; message = msg }
+  | Failure msg -> Io { path = context; op = "fail"; message = msg }
+  | e -> Io { path = context; op = "exn"; message = Printexc.to_string e }
+
+let protect ~context f =
+  match f () with
+  | v -> Ok v
+  | exception e -> Error (of_exn ~context e)

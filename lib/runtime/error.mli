@@ -1,0 +1,41 @@
+(** Structured error taxonomy for the fault-tolerance layer.
+
+    Every recoverable failure in the runtime — checkpoint IO, parse
+    corruption, numeric divergence during training, budget exhaustion,
+    and deliberately injected faults — is classified here so callers can
+    match on the kind instead of scraping [Failure] strings. *)
+
+type t =
+  | Io of { path : string; op : string; message : string }
+      (** A system-level IO failure while performing [op] on [path]. *)
+  | Parse of { source : string; message : string }
+      (** Syntactically malformed input ([source] names the file or
+          producer). *)
+  | Corrupt of { path : string; detail : string }
+      (** Well-formed enough to read but semantically damaged: CRC
+          mismatch, truncated payload, duplicate or missing blocks. *)
+  | Numeric_divergence of { context : string; detail : string }
+      (** A NaN/Inf sentinel tripped (loss, gradient norm, model
+          output). *)
+  | Budget_exhausted of { context : string; detail : string }
+      (** A propagation, conflict, or wall-clock budget ran out. *)
+  | Injected_fault of { point : string }
+      (** A seeded {!Fault} fired; only seen under fault injection. *)
+
+exception Runtime_error of t
+(** The one exception the runtime layer raises. *)
+
+val raise_ : t -> 'a
+(** Raise [Runtime_error]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_exn : context:string -> exn -> t
+(** Classify an arbitrary exception: [Runtime_error] unwraps,
+    [Sys_error] becomes [Io], everything else an [Io] with the printed
+    exception as message. Never call on asynchronous exceptions you
+    intend to re-raise. *)
+
+val protect : context:string -> (unit -> 'a) -> ('a, t) result
+(** Run a thunk, converting any raised exception via {!of_exn}. *)

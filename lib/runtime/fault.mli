@@ -1,0 +1,47 @@
+(** Deterministic, seeded fault injection.
+
+    Recovery code that is never executed is recovery code that does not
+    work. Each fragile site in the runtime asks [fires point] at the
+    moment it could fail; when the process-wide injector is armed for
+    that point the site misbehaves in a controlled way (tears a write,
+    poisons a gradient, raises from inference, crashes an instance).
+    Disarmed — the default — every query is false and costs one branch.
+
+    Firing is deterministic in the arming seed, so every fault scenario
+    replays exactly. *)
+
+type point =
+  | Torn_checkpoint_write
+      (** Checkpoint.save writes a truncated file directly to the
+          destination, simulating power loss without atomic rename. *)
+  | Checkpoint_bit_flip
+      (** Checkpoint.save flips one payload byte after checksumming. *)
+  | Poisoned_gradient
+      (** Train.fit receives a NaN gradient after backward. *)
+  | Inference_failure
+      (** Selector's model call raises. *)
+  | Instance_crash
+      (** Runner's protected solve raises before solving. *)
+
+val all : point list
+val name : point -> string
+val of_name : string -> point option
+
+val arm : seed:int -> ?rate:float -> ?limit:int -> point list -> unit
+(** Arm the injector for the given points. [rate] (default 1.0) is the
+    per-query firing probability; [limit] (default unlimited) caps the
+    number of fires per point. Re-arming replaces the previous state. *)
+
+val disarm : unit -> unit
+(** Return to the fault-free default. *)
+
+val armed : point -> bool
+(** Whether the injector is armed for this point (regardless of rate
+    or remaining budget). *)
+
+val fires : point -> bool
+(** Ask whether the fault fires now; advances the point's deterministic
+    stream and consumes one unit of its limit when it does. *)
+
+val fired_count : point -> int
+(** How many times the point has fired since arming. *)

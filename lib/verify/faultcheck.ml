@@ -1,0 +1,303 @@
+(* Fault-injection scenarios: arm Runtime.Fault (or corrupt files by
+   hand), drive the real recovery code, assert the documented outcome. *)
+
+module Fault = Runtime.Fault
+module Error = Runtime.Error
+module Mat = Tensor.Mat
+
+type outcome = {
+  scenario : string;
+  passed : bool;
+  detail : string;
+}
+
+type report = {
+  seed : int;
+  outcomes : outcome list;
+}
+
+let passed r = List.for_all (fun o -> o.passed) r.outcomes
+
+let pp_report ppf r =
+  Format.fprintf ppf "faultcheck: seed %d, %d scenarios, %d failed@." r.seed
+    (List.length r.outcomes)
+    (List.length (List.filter (fun o -> not o.passed) r.outcomes));
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  [%s] %-32s %s@."
+        (if o.passed then "OK" else "FAIL")
+        o.scenario o.detail)
+    r.outcomes
+
+(* --- scaffolding --- *)
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go i =
+    let d = Filename.concat base (Printf.sprintf "nsfault-%d-%d" (Unix.getpid ()) i) in
+    if Sys.file_exists d then go (i + 1)
+    else begin
+      Sys.mkdir d 0o755;
+      d
+    end
+  in
+  go 0
+
+let scenario name f =
+  let passed, detail =
+    match f () with
+    | detail -> (true, detail)
+    | exception e -> (false, "raised " ^ Printexc.to_string e)
+  in
+  Fault.disarm ();
+  { scenario = name; passed; detail }
+
+let check cond msg = if not cond then failwith msg
+
+let params_of_floats name values =
+  [ Nn.Param.create name (Mat.row_vector (Array.of_list values)) ]
+
+let param_values (ps : Nn.Param.t list) =
+  List.concat_map
+    (fun (p : Nn.Param.t) ->
+      let v = p.Nn.Param.value in
+      List.init (Mat.rows v * Mat.cols v) (fun k ->
+          Mat.get v (k / Mat.cols v) (k mod Mat.cols v)))
+    ps
+
+(* --- checkpoint scenarios --- *)
+
+let torn_write_falls_back ~seed ~dir () =
+  let path = Filename.concat dir "torn.ckpt" in
+  let good = params_of_floats "w" [ 1.0; 2.0; 3.0 ] in
+  Nn.Checkpoint.save path good;
+  (* Second save is torn mid-write: the intact first save was promoted
+     to .bak, the primary holds half a file. *)
+  Fault.arm ~seed ~limit:1 [ Fault.Torn_checkpoint_write ];
+  let updated = params_of_floats "w" [ 9.0; 9.0; 9.0 ] in
+  Nn.Checkpoint.save path updated;
+  Fault.disarm ();
+  check (Fault.fired_count Fault.Torn_checkpoint_write <= 1) "fault fired twice";
+  let restored = params_of_floats "w" [ 0.0; 0.0; 0.0 ] in
+  match Nn.Checkpoint.load_result path restored with
+  | Ok Nn.Checkpoint.Backup ->
+    check (param_values restored = [ 1.0; 2.0; 3.0 ]) "backup values wrong";
+    "torn primary detected; .bak restored the last-good weights"
+  | Ok Nn.Checkpoint.Primary -> failwith "torn primary loaded as intact"
+  | Error e -> failwith ("no fallback: " ^ Error.to_string e)
+
+let bit_flip_falls_back ~seed ~dir () =
+  let path = Filename.concat dir "flip.ckpt" in
+  let good = params_of_floats "w" [ 4.0; 5.0 ] in
+  Nn.Checkpoint.save path good;
+  Fault.arm ~seed ~limit:1 [ Fault.Checkpoint_bit_flip ];
+  Nn.Checkpoint.save path (params_of_floats "w" [ 7.0; 7.0 ]);
+  Fault.disarm ();
+  let restored = params_of_floats "w" [ 0.0; 0.0 ] in
+  match Nn.Checkpoint.load_result path restored with
+  | Ok Nn.Checkpoint.Backup ->
+    check (param_values restored = [ 4.0; 5.0 ]) "backup values wrong";
+    "CRC caught the bit flip; .bak restored the last-good weights"
+  | Ok Nn.Checkpoint.Primary -> failwith "bit-flipped checkpoint passed CRC"
+  | Error e -> failwith ("no fallback: " ^ Error.to_string e)
+
+let corruption_without_backup ~seed:_ ~dir () =
+  let path = Filename.concat dir "orphan.ckpt" in
+  let good = params_of_floats "w" [ 1.0 ] in
+  Nn.Checkpoint.save path good;
+  (* Flip one payload byte by hand; no .bak exists for this path. *)
+  let text =
+    match Runtime.Atomic_file.read path with Ok t -> t | Error _ -> failwith "read"
+  in
+  let b = Bytes.of_string text in
+  Bytes.set b (Bytes.length b - 2) 'X';
+  (match Runtime.Atomic_file.write_raw path (Bytes.to_string b) with
+  | Ok () -> ()
+  | Error e -> failwith (Error.to_string e));
+  let restored = params_of_floats "w" [ 0.0 ] in
+  match Nn.Checkpoint.load_result path restored with
+  | Error (Error.Corrupt _) ->
+    check (param_values restored = [ 0.0 ]) "params mutated despite corruption";
+    "typed Corrupt error; parameters left untouched"
+  | Error e -> failwith ("wrong error class: " ^ Error.to_string e)
+  | Ok _ -> failwith "corrupt checkpoint accepted"
+
+let duplicate_parameter_rejected ~seed:_ ~dir:_ () =
+  let p = params_of_floats "w" [ 1.0; 2.0 ] in
+  let doubled = Nn.Checkpoint.to_string p ^ Nn.Checkpoint.to_string p in
+  let target = params_of_floats "w" [ 0.0; 0.0 ] in
+  match Nn.Checkpoint.of_string_result doubled target with
+  | Error (Error.Corrupt { detail; _ }) ->
+    check
+      (String.length detail >= 9 && String.sub detail 0 9 = "duplicate")
+      ("wrong detail: " ^ detail);
+    "duplicate parameter block raised a typed error"
+  | Error e -> failwith ("wrong error class: " ^ Error.to_string e)
+  | Ok () -> failwith "duplicate parameter block accepted"
+
+(* --- training scenario --- *)
+
+let poisoned_gradient_recovers ~seed ~dir:_ () =
+  let rng = Util.Rng.create seed in
+  let mlp = Nn.Layer.Mlp.create rng ~dims:[ 2; 4; 1 ] ~name:"fault" in
+  let spec =
+    {
+      Nn.Train.params = Nn.Layer.Mlp.params mlp;
+      forward = (fun tape m -> Nn.Layer.Mlp.forward tape mlp (Nn.Ad.const tape m));
+    }
+  in
+  let examples =
+    Array.init 16 (fun _ ->
+        let v = Array.init 2 (fun _ -> Util.Rng.uniform rng (-1.0) 1.0) in
+        (Mat.row_vector v, v.(0) +. v.(1) > 0.0))
+  in
+  let lr = 0.05 in
+  Fault.arm ~seed ~limit:2 [ Fault.Poisoned_gradient ];
+  let history = Nn.Train.fit ~epochs:4 ~lr ~seed spec examples in
+  Fault.disarm ();
+  check (Fault.fired_count Fault.Poisoned_gradient = 0) "fault state leaked";
+  check (history.Nn.Train.skipped_steps >= 1) "no step was skipped";
+  check (history.Nn.Train.lr_backoffs >= 1) "learning rate never backed off";
+  check (history.Nn.Train.final_lr < lr) "learning rate did not shrink";
+  Array.iter
+    (fun l -> check (Float.is_finite l) "non-finite epoch loss leaked")
+    history.Nn.Train.epoch_losses;
+  List.iter
+    (fun (p : Nn.Param.t) ->
+      for i = 0 to Mat.rows p.Nn.Param.value - 1 do
+        for j = 0 to Mat.cols p.Nn.Param.value - 1 do
+          check
+            (Float.is_finite (Mat.get p.Nn.Param.value i j))
+            "NaN leaked into the weights"
+        done
+      done)
+    spec.Nn.Train.params;
+  Printf.sprintf "skipped %d step(s), %d backoff(s), final lr %.2e, weights finite"
+    history.Nn.Train.skipped_steps history.Nn.Train.lr_backoffs
+    history.Nn.Train.final_lr
+
+(* --- inference scenarios --- *)
+
+let small_formula =
+  Cnf.Formula.of_dimacs_lists ~num_vars:3 [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ] ]
+
+let inference_failure_degrades ~seed ~dir:_ () =
+  let model = Core.Model.create Core.Model.small_config in
+  Fault.arm ~seed ~limit:1 [ Fault.Inference_failure ];
+  let s = Core.Selector.select_policy model small_formula in
+  (match s.Core.Selector.degraded with
+  | Some (Core.Selector.Model_failure _) -> ()
+  | Some (Core.Selector.Non_finite_probability _) | None ->
+    failwith "degradation not recorded");
+  check (s.Core.Selector.policy = Cdcl.Policy.Default) "did not fall back to default";
+  (* The fault is exhausted: the next selection works normally. *)
+  let s2 = Core.Selector.select_policy model small_formula in
+  Fault.disarm ();
+  check (s2.Core.Selector.degraded = None) "degradation persisted after recovery";
+  check (Float.is_finite s2.Core.Selector.probability) "recovered probability not finite";
+  "failed inference fell back to the default policy and recovered on the next call"
+
+let non_finite_probability_degrades ~seed:_ ~dir:_ () =
+  let model = Core.Model.create Core.Model.small_config in
+  (* A NaN in the output layer is what loading a silently corrupted
+     checkpoint used to produce; it propagates straight to the
+     predicted probability. (Hidden-layer NaNs can be masked by relu,
+     whose [x > 0] test is false for NaN.) *)
+  (match List.rev (Core.Model.params model) with
+  | [] -> failwith "model has no parameters"
+  | p :: _ -> Mat.set p.Nn.Param.value 0 0 Float.nan);
+  let s = Core.Selector.select_policy model small_formula in
+  (match s.Core.Selector.degraded with
+  | Some (Core.Selector.Non_finite_probability _) -> ()
+  | Some (Core.Selector.Model_failure _) | None ->
+    failwith "non-finite output not detected");
+  check (s.Core.Selector.policy = Cdcl.Policy.Default) "did not fall back to default";
+  "NaN probability detected; default policy substituted"
+
+(* --- campaign scenarios --- *)
+
+let tiny_instances ~seed n =
+  List.init n (fun i ->
+      let rng = Util.Rng.create ((seed * 613) + i) in
+      let num_vars = 6 + i in
+      {
+        Gen.Dataset.name = Printf.sprintf "fault-%02d" i;
+        family = "ksat";
+        year = 2022;
+        formula =
+          Gen.Ksat.generate rng ~num_vars ~num_clauses:(3 * num_vars) ~k:3;
+      })
+
+let instance_crash_retried ~seed ~dir:_ () =
+  let model = Core.Model.create Core.Model.small_config in
+  let simtime = Experiments.Simtime.make ~budget:50_000 in
+  let instances = tiny_instances ~seed 3 in
+  Fault.arm ~seed ~limit:1 [ Fault.Instance_crash ];
+  let result = Experiments.Adaptive_eval.run model simtime instances in
+  let fired = Fault.fired_count Fault.Instance_crash in
+  Fault.disarm ();
+  check (fired = 1) "crash fault never fired";
+  check (result.Experiments.Adaptive_eval.failures = []) "retry did not absorb the crash";
+  check
+    (List.length result.Experiments.Adaptive_eval.entries = 3)
+    "an instance went missing";
+  "one injected crash, absorbed by the per-instance retry; all entries present"
+
+let campaign_resumes_from_journal ~seed ~dir () =
+  let model = Core.Model.create Core.Model.small_config in
+  let simtime = Experiments.Simtime.make ~budget:50_000 in
+  let instances = tiny_instances ~seed 4 in
+  let journal = Filename.concat dir "campaign.jsonl" in
+  (* Reference: the uninterrupted campaign. *)
+  let full = Experiments.Adaptive_eval.run model simtime instances in
+  (* "Kill" the campaign after two instances by only running a prefix,
+     then tear the journal's final line as a SIGKILL would. *)
+  let prefix = [ List.nth instances 0; List.nth instances 1 ] in
+  let interrupted =
+    Experiments.Adaptive_eval.run ~journal model simtime prefix
+  in
+  check (List.length interrupted.Experiments.Adaptive_eval.entries = 2) "prefix run broken";
+  (match Runtime.Atomic_file.read journal with
+  | Ok text ->
+    let torn = String.sub text 0 (String.length text - 7) ^ "{\"name\":\"half" in
+    (match Runtime.Atomic_file.write_raw journal torn with
+    | Ok () -> ()
+    | Error e -> failwith (Error.to_string e))
+  | Error e -> failwith (Error.to_string e));
+  let resumed = Experiments.Adaptive_eval.run ~journal model simtime instances in
+  check
+    (resumed.Experiments.Adaptive_eval.resumed >= 1)
+    "nothing was resumed from the journal";
+  check
+    (List.length resumed.Experiments.Adaptive_eval.entries = 4)
+    "resumed campaign lost instances";
+  let names r =
+    List.map (fun (e : Experiments.Adaptive_eval.entry) -> e.name)
+      r.Experiments.Adaptive_eval.entries
+  in
+  check (names resumed = names full) "entry order diverged from the full run";
+  Printf.sprintf "resumed %d/4 instances from a torn journal; campaign completed"
+    resumed.Experiments.Adaptive_eval.resumed
+
+(* --- driver --- *)
+
+let all_scenarios =
+  [
+    ("torn-checkpoint-write", torn_write_falls_back);
+    ("checkpoint-bit-flip", bit_flip_falls_back);
+    ("corruption-without-backup", corruption_without_backup);
+    ("duplicate-parameter", duplicate_parameter_rejected);
+    ("poisoned-gradient", poisoned_gradient_recovers);
+    ("inference-failure", inference_failure_degrades);
+    ("non-finite-probability", non_finite_probability_degrades);
+    ("instance-crash-retry", instance_crash_retried);
+    ("campaign-journal-resume", campaign_resumes_from_journal);
+  ]
+
+let run_all ?dir ~seed () =
+  let dir = match dir with Some d -> d | None -> fresh_dir () in
+  let outcomes =
+    List.map (fun (name, f) -> scenario name (f ~seed ~dir)) all_scenarios
+  in
+  Fault.disarm ();
+  { seed; outcomes }

@@ -294,9 +294,45 @@ let prop_eval_invariant_under_shuffle =
       let assignment = Array.init 9 (fun _ -> Util.Rng.bool rng) in
       Cnf.Formula.eval f assignment = Cnf.Formula.eval shuffled assignment)
 
+(* Malformed input must surface as the typed [Parse_error] — never as
+   an uncaught [Invalid_argument], [Out_of_memory], or array access
+   failure — so callers can isolate a bad instance and keep going. *)
+let parses_or_typed_error text =
+  match Cnf.Dimacs.parse_string text with
+  | (_ : Cnf.Formula.t) -> true
+  | exception Cnf.Dimacs.Parse_error _ -> true
+
+let prop_dimacs_truncation_typed =
+  QCheck.Test.make ~name:"truncated dimacs raises only Parse_error" ~count:200
+    QCheck.(pair (int_range 1 9999) small_int)
+    (fun (seed, cut) ->
+      let f = Generators.ksat ~seed ~num_vars:6 ~num_clauses:14 () in
+      let text = Cnf.Dimacs.to_string f in
+      parses_or_typed_error (String.sub text 0 (cut mod String.length text)))
+
+let prop_dimacs_garbage_typed =
+  QCheck.Test.make ~name:"garbage dimacs raises only Parse_error" ~count:200
+    QCheck.(small_list printable_string)
+    (fun lines -> parses_or_typed_error (String.concat "\n" lines))
+
+let prop_dimacs_mutated_typed =
+  QCheck.Test.make ~name:"mutated dimacs raises only Parse_error" ~count:200
+    QCheck.(triple (int_range 1 9999) small_nat printable_char)
+    (fun (seed, pos, c) ->
+      let f = Generators.ksat ~seed ~num_vars:6 ~num_clauses:14 () in
+      let b = Bytes.of_string (Cnf.Dimacs.to_string f) in
+      Bytes.set b (pos mod Bytes.length b) c;
+      parses_or_typed_error (Bytes.to_string b))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_dimacs_roundtrip; prop_eval_invariant_under_shuffle ]
+    [
+      prop_dimacs_roundtrip;
+      prop_eval_invariant_under_shuffle;
+      prop_dimacs_truncation_typed;
+      prop_dimacs_garbage_typed;
+      prop_dimacs_mutated_typed;
+    ]
 
 let suite =
   [

@@ -286,6 +286,45 @@ let test_selector_custom_alpha () =
   | Cdcl.Policy.Default -> () (* model said no; nothing to check *)
   | _ -> Alcotest.fail "unexpected policy"
 
+let test_selector_healthy_not_degraded () =
+  let model = Core.Model.create Core.Model.small_config in
+  let s = Core.Selector.select_policy model small_formula in
+  checkb "healthy inference records no degradation" true
+    (s.Core.Selector.degraded = None)
+
+let test_selector_degrades_on_nan_weights () =
+  let model = Core.Model.create Core.Model.small_config in
+  (* Poison the output layer (the last parameter): relu layers can mask
+     hidden NaNs, the head cannot. *)
+  (match List.rev (Core.Model.params model) with
+  | [] -> Alcotest.fail "model has no parameters"
+  | p :: _ -> Tensor.Mat.set p.Nn.Param.value 0 0 Float.nan);
+  let s = Core.Selector.select_policy model small_formula in
+  (match s.Core.Selector.degraded with
+  | Some (Core.Selector.Non_finite_probability p) ->
+    checkb "offending probability is non-finite" true (not (Float.is_finite p))
+  | Some (Core.Selector.Model_failure m) ->
+    Alcotest.failf "classified as model failure: %s" m
+  | None -> Alcotest.fail "NaN output not detected");
+  checkb "falls back to the default policy" true
+    (s.Core.Selector.policy = Cdcl.Policy.Default)
+
+let test_selector_degrades_on_injected_failure () =
+  let model = Core.Model.create Core.Model.small_config in
+  Fun.protect ~finally:Runtime.Fault.disarm (fun () ->
+      Runtime.Fault.arm ~seed:3 ~limit:1 [ Runtime.Fault.Inference_failure ];
+      let s = Core.Selector.select_policy model small_formula in
+      (match s.Core.Selector.degraded with
+      | Some (Core.Selector.Model_failure _) -> ()
+      | _ -> Alcotest.fail "injected failure not recorded");
+      checkb "falls back to the default policy" true
+        (s.Core.Selector.policy = Cdcl.Policy.Default);
+      (* solve_adaptive still solves under degradation. *)
+      Runtime.Fault.arm ~seed:3 ~limit:1 [ Runtime.Fault.Inference_failure ];
+      let sel, result, _ = Core.Selector.solve_adaptive model (Gen.Pigeonhole.unsat 3) in
+      checkb "degradation surfaced to caller" true (sel.Core.Selector.degraded <> None);
+      checkb "still solves" true (result = Cdcl.Solver.Unsat))
+
 (* --- Trainer --- *)
 
 let test_trainer_overfits_separable () =
@@ -355,6 +394,12 @@ let suite =
     Alcotest.test_case "selector policy/probability" `Quick test_selector_policy_matches_probability;
     Alcotest.test_case "selector solve adaptive" `Quick test_selector_solve_adaptive;
     Alcotest.test_case "selector custom alpha" `Quick test_selector_custom_alpha;
+    Alcotest.test_case "selector healthy not degraded" `Quick
+      test_selector_healthy_not_degraded;
+    Alcotest.test_case "selector degrades on nan" `Quick
+      test_selector_degrades_on_nan_weights;
+    Alcotest.test_case "selector degrades on injected failure" `Quick
+      test_selector_degrades_on_injected_failure;
     Alcotest.test_case "trainer overfits separable" `Slow test_trainer_overfits_separable;
     Alcotest.test_case "trainer empty" `Quick test_trainer_empty;
     Alcotest.test_case "trainer predictions aligned" `Quick test_trainer_predictions_aligned;

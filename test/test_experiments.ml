@@ -108,6 +108,77 @@ let test_adaptive_eval_runs () =
   ignore (Format.asprintf "%a" Experiments.Adaptive_eval.print_fig7a result);
   ignore (Format.asprintf "%a" Experiments.Adaptive_eval.print_fig7b result)
 
+(* --- fault tolerance --- *)
+
+let test_solve_protected_retries () =
+  let t = Experiments.Simtime.make ~budget:100_000 in
+  let f = (List.hd (mini_instances 1)).Gen.Dataset.formula in
+  Fun.protect ~finally:Runtime.Fault.disarm (fun () ->
+      (* One injected crash: the single retry absorbs it. *)
+      Runtime.Fault.arm ~seed:9 ~limit:1 [ Runtime.Fault.Instance_crash ];
+      (match Experiments.Runner.solve_protected t Cdcl.Policy.Default f with
+      | Ok run -> checkb "retried run solved" true run.Experiments.Runner.solved
+      | Error e -> Alcotest.failf "retry did not absorb crash: %s" (Runtime.Error.to_string e));
+      checki "fault fired exactly once" 1
+        (Runtime.Fault.fired_count Runtime.Fault.Instance_crash);
+      (* Crashes beyond the retry budget become a typed error. *)
+      Runtime.Fault.arm ~seed:9 [ Runtime.Fault.Instance_crash ];
+      match Experiments.Runner.solve_protected ~retries:2 t Cdcl.Policy.Default f with
+      | Error (Runtime.Error.Injected_fault _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Runtime.Error.to_string e)
+      | Ok _ -> Alcotest.fail "persistent crash must surface as an error")
+
+let test_entry_record_roundtrip () =
+  let entry =
+    {
+      Experiments.Adaptive_eval.name = "inst-01";
+      family = "ksat";
+      kissat_seconds = 12.5;
+      kissat_solved = true;
+      adaptive_seconds = 11.25;
+      adaptive_solved = true;
+      inference_seconds = 0.004;
+      chose_frequency = true;
+      probability = 0.75;
+      degraded = Some "model failure: boom";
+    }
+  in
+  match
+    Experiments.Adaptive_eval.entry_of_record
+      (Experiments.Adaptive_eval.record_of_entry entry)
+  with
+  | None -> Alcotest.fail "journal record did not parse back"
+  | Some e -> checkb "roundtrip preserves the entry" true (e = entry)
+
+let test_adaptive_eval_journal_resume () =
+  let model = Core.Model.create Core.Model.small_config in
+  let t = Experiments.Simtime.make ~budget:150_000 in
+  let instances = mini_instances 4 in
+  let journal = Filename.temp_file "nscampaign" ".jsonl" in
+  Sys.remove journal;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists journal then Sys.remove journal)
+    (fun () ->
+      let reference = Experiments.Adaptive_eval.run model t instances in
+      (* First pass measures only a prefix (simulating an interrupt). *)
+      let prefix = [ List.nth instances 0; List.nth instances 1 ] in
+      let partial = Experiments.Adaptive_eval.run ~journal model t prefix in
+      checki "nothing resumed on first pass" 0
+        partial.Experiments.Adaptive_eval.resumed;
+      (* Second pass over the full list resumes the measured prefix. *)
+      let resumed = Experiments.Adaptive_eval.run ~journal model t instances in
+      checki "prefix restored from journal" 2
+        resumed.Experiments.Adaptive_eval.resumed;
+      checki "all instances present" 4
+        (List.length resumed.Experiments.Adaptive_eval.entries);
+      List.iter2
+        (fun (a : Experiments.Adaptive_eval.entry)
+             (b : Experiments.Adaptive_eval.entry) ->
+          checkb "same instance order as an uninterrupted run" true
+            (a.Experiments.Adaptive_eval.name = b.Experiments.Adaptive_eval.name))
+        reference.Experiments.Adaptive_eval.entries
+        resumed.Experiments.Adaptive_eval.entries)
+
 (* --- Ablation --- *)
 
 let test_alpha_sweep () =
@@ -150,6 +221,9 @@ let suite =
     Alcotest.test_case "policy compare" `Slow test_policy_compare_runs;
     Alcotest.test_case "data prepare" `Slow test_data_prepare;
     Alcotest.test_case "adaptive eval" `Slow test_adaptive_eval_runs;
+    Alcotest.test_case "solve protected retries" `Quick test_solve_protected_retries;
+    Alcotest.test_case "entry record roundtrip" `Quick test_entry_record_roundtrip;
+    Alcotest.test_case "journal resume" `Slow test_adaptive_eval_journal_resume;
     Alcotest.test_case "alpha sweep" `Slow test_alpha_sweep;
     Alcotest.test_case "policy zoo" `Slow test_policy_zoo;
     Alcotest.test_case "table2 miniature" `Slow test_table2_runs;

@@ -230,12 +230,110 @@ let test_checkpoint_errors () =
   let text = Nn.Checkpoint.to_string [ p ] in
   let missing = Nn.Param.create "b" (Mat.zeros 2 2) in
   (match Nn.Checkpoint.of_string text [ missing ] with
-  | exception Failure _ -> ()
+  | exception Runtime.Error.Runtime_error (Runtime.Error.Corrupt _) -> ()
   | () -> Alcotest.fail "missing param must fail");
   let wrong_shape = Nn.Param.create "a" (Mat.zeros 3 3) in
   match Nn.Checkpoint.of_string text [ wrong_shape ] with
-  | exception Failure _ -> ()
+  | exception Runtime.Error.Runtime_error (Runtime.Error.Corrupt _) -> ()
   | () -> Alcotest.fail "shape mismatch must fail"
+
+(* Regression: a payload with the same parameter block twice used to
+   silently keep the last occurrence; it must be a typed error. *)
+let test_checkpoint_duplicate_param () =
+  let p = Nn.Param.create "a" (Mat.zeros 1 2) in
+  let text = Nn.Checkpoint.to_string [ p; p ] in
+  let q = Nn.Param.create "a" (Mat.zeros 1 2) in
+  match Nn.Checkpoint.of_string_result text [ q ] with
+  | Error (Runtime.Error.Corrupt { detail; _ }) ->
+    checkb "detail names the duplicate" true
+      (String.length detail >= 9 && String.sub detail 0 9 = "duplicate")
+  | Ok () -> Alcotest.fail "duplicate parameter block must fail"
+  | Error e -> Alcotest.failf "wrong error: %s" (Runtime.Error.to_string e)
+
+(* A headerless (pre-envelope) checkpoint still loads. *)
+let test_checkpoint_legacy_payload () =
+  let rng = Util.Rng.create 23 in
+  let p = Nn.Param.create "w" (Mat.random_uniform rng 2 3 1.0) in
+  let legacy = Nn.Checkpoint.to_string [ p ] in
+  let q = Nn.Param.create "w" (Mat.zeros 2 3) in
+  Nn.Checkpoint.of_string legacy [ q ];
+  checkb "legacy payload restored" true
+    (Mat.approx_equal p.Nn.Param.value q.Nn.Param.value)
+
+let with_ckpt_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nsckpt-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f (Filename.concat dir "model.ckpt"))
+
+let test_checkpoint_backup_fallback () =
+  with_ckpt_dir (fun path ->
+      let rng = Util.Rng.create 24 in
+      let p = Nn.Param.create "w" (Mat.random_uniform rng 2 2 1.0) in
+      Nn.Checkpoint.save path [ p ];
+      let good = Mat.copy p.Nn.Param.value in
+      (* Second save promotes the first file to .bak ... *)
+      Mat.set p.Nn.Param.value 0 0 99.0;
+      Nn.Checkpoint.save path [ p ];
+      checkb ".bak exists" true (Sys.file_exists (Nn.Checkpoint.backup_path path));
+      (* ... then corrupt the primary in place: load must fall back. *)
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      let b = Bytes.of_string text in
+      Bytes.set b (Bytes.length b - 2)
+        (Char.chr (Char.code (Bytes.get b (Bytes.length b - 2)) lxor 0x40));
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+      let q = Nn.Param.create "w" (Mat.zeros 2 2) in
+      match Nn.Checkpoint.load_result path [ q ] with
+      | Ok Nn.Checkpoint.Backup ->
+        checkb "backup holds the previous weights" true
+          (Mat.approx_equal good q.Nn.Param.value)
+      | Ok Nn.Checkpoint.Primary -> Alcotest.fail "corrupt primary accepted"
+      | Error e -> Alcotest.failf "no fallback: %s" (Runtime.Error.to_string e))
+
+let test_checkpoint_corruption_detected () =
+  with_ckpt_dir (fun path ->
+      let rng = Util.Rng.create 25 in
+      let p = Nn.Param.create "w" (Mat.random_uniform rng 2 2 1.0) in
+      Nn.Checkpoint.save path [ p ];
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      (* Truncation and bit flips must both be typed errors (no .bak here). *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub text 0 (String.length text / 2)));
+      let q = Nn.Param.create "w" (Mat.zeros 2 2) in
+      (match Nn.Checkpoint.load_result path [ q ] with
+      | Error (Runtime.Error.Corrupt _) -> ()
+      | Ok _ -> Alcotest.fail "truncated checkpoint accepted"
+      | Error e -> Alcotest.failf "wrong error: %s" (Runtime.Error.to_string e));
+      checkb "params untouched" true (Mat.approx_equal (Mat.zeros 2 2) q.Nn.Param.value))
+
+(* Property: no corruption of the serialized envelope may escape as
+   anything but a typed result — never an uncaught exception. *)
+let prop_checkpoint_corruption_typed =
+  let rng = Util.Rng.create 26 in
+  let p = Nn.Param.create "w" (Mat.random_uniform rng 3 3 1.0) in
+  let text = Nn.Checkpoint.encode [ p ] in
+  let n = String.length text in
+  QCheck.Test.make ~name:"corrupted checkpoints yield typed results" ~count:300
+    QCheck.(triple bool (int_range 0 (n - 1)) (int_range 0 7))
+    (fun (truncate, i, bit) ->
+      let mutated =
+        if truncate then String.sub text 0 i
+        else begin
+          let b = Bytes.of_string text in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+          Bytes.to_string b
+        end
+      in
+      let q = Nn.Param.create "w" (Mat.zeros 3 3) in
+      match Nn.Checkpoint.of_string_result mutated [ q ] with
+      | Ok () | Error _ -> true)
 
 let test_checkpoint_file_io () =
   let rng = Util.Rng.create 22 in
@@ -316,6 +414,15 @@ let suite =
     Alcotest.test_case "grad norm" `Quick test_grad_norm;
     Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
     Alcotest.test_case "checkpoint errors" `Quick test_checkpoint_errors;
+    Alcotest.test_case "checkpoint duplicate param" `Quick
+      test_checkpoint_duplicate_param;
+    Alcotest.test_case "checkpoint legacy payload" `Quick
+      test_checkpoint_legacy_payload;
+    Alcotest.test_case "checkpoint backup fallback" `Quick
+      test_checkpoint_backup_fallback;
+    Alcotest.test_case "checkpoint corruption detected" `Quick
+      test_checkpoint_corruption_detected;
+    QCheck_alcotest.to_alcotest prop_checkpoint_corruption_typed;
     Alcotest.test_case "checkpoint file io" `Quick test_checkpoint_file_io;
     Alcotest.test_case "train learns toy problem" `Quick test_train_learns_toy_problem;
     Alcotest.test_case "train empty dataset" `Quick test_train_empty_dataset;

@@ -1,0 +1,222 @@
+(* Tests for the fault-tolerance runtime: CRC-32, the JSONL journal,
+   atomic file IO, seeded fault injection, and the monotonized wall
+   clock. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- CRC-32 --- *)
+
+let test_crc32_vectors () =
+  (* Standard IEEE 802.3 check values. *)
+  checki "empty" 0 (Runtime.Crc32.string "");
+  checki "123456789" 0xcbf43926 (Runtime.Crc32.string "123456789");
+  checks "hex formatting" "cbf43926"
+    (Runtime.Crc32.to_hex (Runtime.Crc32.string "123456789"));
+  checks "hex pads to 8 digits" "00000000" (Runtime.Crc32.to_hex 0)
+
+let test_crc32_incremental () =
+  let whole = Runtime.Crc32.string "hello, world" in
+  let split = Runtime.Crc32.update (Runtime.Crc32.string "hello,") " world" in
+  checki "incremental matches one-shot" whole split
+
+let test_crc32_sensitivity () =
+  checkb "single bit flip changes checksum" true
+    (Runtime.Crc32.string "checkpoint" <> Runtime.Crc32.string "checkpoins")
+
+(* --- journal --- *)
+
+let test_journal_encode_roundtrip () =
+  let record =
+    [
+      ("name", Runtime.Journal.String "inst \"quoted\"\nline");
+      ("solved", Runtime.Journal.Bool true);
+      ("epoch", Runtime.Journal.Int 17);
+      ("loss", Runtime.Journal.Float 0.125);
+      ("missing", Runtime.Journal.Null);
+    ]
+  in
+  match Runtime.Journal.parse_line (Runtime.Journal.encode record) with
+  | None -> Alcotest.fail "encoded record did not parse"
+  | Some r ->
+    checks "string field (with escapes)" "inst \"quoted\"\nline"
+      (Option.get (Runtime.Journal.find_string r "name"));
+    checkb "bool field" true (Option.get (Runtime.Journal.find_bool r "solved"));
+    checki "int field" 17 (Option.get (Runtime.Journal.find_int r "epoch"));
+    Alcotest.(check (float 1e-12))
+      "float field" 0.125
+      (Option.get (Runtime.Journal.find_float r "loss"));
+    checkb "null reads as nan via find_float" true
+      (Float.is_nan (Option.get (Runtime.Journal.find_float r "missing")))
+
+let test_journal_nonfinite_floats () =
+  let r =
+    Option.get
+      (Runtime.Journal.parse_line
+         (Runtime.Journal.encode [ ("p", Runtime.Journal.Float Float.nan) ]))
+  in
+  checkb "nan encodes as null, reads back as nan" true
+    (Float.is_nan (Option.get (Runtime.Journal.find_float r "p")))
+
+let with_temp_path f =
+  let path = Filename.temp_file "nsjournal" ".jsonl" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_journal_append_load () =
+  with_temp_path (fun path ->
+      (match Runtime.Journal.load path with
+      | Ok ([], 0) -> ()
+      | Ok _ -> Alcotest.fail "missing file must be an empty journal"
+      | Error e -> Alcotest.failf "missing file errored: %s" (Runtime.Error.to_string e));
+      List.iter
+        (fun i ->
+          match
+            Runtime.Journal.append path [ ("epoch", Runtime.Journal.Int i) ]
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "append failed: %s" (Runtime.Error.to_string e))
+        [ 0; 1; 2 ];
+      match Runtime.Journal.load path with
+      | Error e -> Alcotest.failf "load failed: %s" (Runtime.Error.to_string e)
+      | Ok (records, dropped) ->
+        checki "three records" 3 (List.length records);
+        checki "nothing dropped" 0 dropped;
+        checki "last epoch" 2
+          (Option.get (Runtime.Journal.find_int (List.nth records 2) "epoch")))
+
+let test_journal_torn_tail () =
+  with_temp_path (fun path ->
+      ignore (Runtime.Journal.append path [ ("epoch", Runtime.Journal.Int 0) ]);
+      ignore (Runtime.Journal.append path [ ("epoch", Runtime.Journal.Int 1) ]);
+      (* Simulate a SIGKILL mid-append: a torn, unterminated last line. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"epoch\":2,\"lo";
+      close_out oc;
+      match Runtime.Journal.load path with
+      | Error e -> Alcotest.failf "torn journal errored: %s" (Runtime.Error.to_string e)
+      | Ok (records, dropped) ->
+        checki "intact records survive" 2 (List.length records);
+        checki "torn tail dropped and counted" 1 dropped)
+
+(* --- atomic file IO --- *)
+
+let test_atomic_write_read () =
+  with_temp_path (fun path ->
+      (match Runtime.Atomic_file.write path "first" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write failed: %s" (Runtime.Error.to_string e));
+      (match Runtime.Atomic_file.write path "second" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "rewrite failed: %s" (Runtime.Error.to_string e));
+      (match Runtime.Atomic_file.read path with
+      | Ok s -> checks "replace is whole-file" "second" s
+      | Error e -> Alcotest.failf "read failed: %s" (Runtime.Error.to_string e));
+      checkb "no temp file left behind" true
+        (Sys.readdir (Filename.dirname path)
+        |> Array.for_all (fun f ->
+               not
+                 (String.length f > String.length (Filename.basename path)
+                 && String.sub f 0 (String.length (Filename.basename path))
+                    = Filename.basename path))))
+
+let test_read_missing_is_typed () =
+  match Runtime.Atomic_file.read "/nonexistent/neuroselect/nope" with
+  | Error (Runtime.Error.Io _) -> ()
+  | Error e -> Alcotest.failf "wrong error kind: %s" (Runtime.Error.to_string e)
+  | Ok _ -> Alcotest.fail "read of missing path succeeded"
+
+(* --- fault injection --- *)
+
+let test_fault_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match Runtime.Fault.of_name (Runtime.Fault.name p) with
+      | Some q -> checkb "name roundtrip" true (p = q)
+      | None -> Alcotest.failf "of_name failed for %s" (Runtime.Fault.name p))
+    Runtime.Fault.all;
+  checkb "unknown name rejected" true (Runtime.Fault.of_name "no-such-fault" = None)
+
+let test_fault_disarmed_never_fires () =
+  Runtime.Fault.disarm ();
+  checkb "disarmed point not armed" false
+    (Runtime.Fault.armed Runtime.Fault.Instance_crash);
+  for _ = 1 to 100 do
+    checkb "disarmed query is false" false
+      (Runtime.Fault.fires Runtime.Fault.Instance_crash)
+  done
+
+let test_fault_limit_and_count () =
+  Fun.protect ~finally:Runtime.Fault.disarm (fun () ->
+      Runtime.Fault.arm ~seed:11 ~limit:3 [ Runtime.Fault.Poisoned_gradient ];
+      let fired = ref 0 in
+      for _ = 1 to 50 do
+        if Runtime.Fault.fires Runtime.Fault.Poisoned_gradient then incr fired
+      done;
+      checki "limit caps fires" 3 !fired;
+      checki "fired_count agrees" 3
+        (Runtime.Fault.fired_count Runtime.Fault.Poisoned_gradient);
+      checkb "other points stay disarmed" false
+        (Runtime.Fault.armed Runtime.Fault.Inference_failure))
+
+let test_fault_deterministic_in_seed () =
+  let observe seed =
+    Fun.protect ~finally:Runtime.Fault.disarm (fun () ->
+        Runtime.Fault.arm ~seed ~rate:0.3 [ Runtime.Fault.Instance_crash ];
+        List.init 64 (fun _ -> Runtime.Fault.fires Runtime.Fault.Instance_crash))
+  in
+  checkb "same seed, same firing pattern" true (observe 5 = observe 5);
+  checkb "different seeds diverge" true (observe 5 <> observe 6)
+
+(* --- clock --- *)
+
+let test_clock_monotone () =
+  let a = Runtime.Clock.now () in
+  let b = Runtime.Clock.now () in
+  checkb "now never decreases" true (b >= a);
+  checkb "elapsed_since nonnegative" true (Runtime.Clock.elapsed_since a >= 0.0);
+  let x, dt = Runtime.Clock.timed (fun () -> 42) in
+  checki "timed returns the result" 42 x;
+  checkb "timed duration nonnegative" true (dt >= 0.0)
+
+(* --- error taxonomy --- *)
+
+let test_error_classification () =
+  let e =
+    Runtime.Error.of_exn ~context:"test" (Sys_error "f: No such file or directory")
+  in
+  (match e with
+  | Runtime.Error.Io _ -> ()
+  | _ -> Alcotest.failf "Sys_error not classified as Io: %s" (Runtime.Error.to_string e));
+  let inner = Runtime.Error.Corrupt { path = "p"; detail = "d" } in
+  checkb "Runtime_error unwraps" true
+    (Runtime.Error.of_exn ~context:"test" (Runtime.Error.Runtime_error inner) = inner);
+  (match Runtime.Error.protect ~context:"test" (fun () -> failwith "boom") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "protect swallowed the failure");
+  checkb "protect passes values through" true
+    (Runtime.Error.protect ~context:"test" (fun () -> 7) = Ok 7)
+
+let suite =
+  [
+    Alcotest.test_case "crc32 known vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "crc32 incremental" `Quick test_crc32_incremental;
+    Alcotest.test_case "crc32 sensitivity" `Quick test_crc32_sensitivity;
+    Alcotest.test_case "journal encode roundtrip" `Quick test_journal_encode_roundtrip;
+    Alcotest.test_case "journal non-finite floats" `Quick test_journal_nonfinite_floats;
+    Alcotest.test_case "journal append/load" `Quick test_journal_append_load;
+    Alcotest.test_case "journal torn tail" `Quick test_journal_torn_tail;
+    Alcotest.test_case "atomic write/read" `Quick test_atomic_write_read;
+    Alcotest.test_case "read missing is typed" `Quick test_read_missing_is_typed;
+    Alcotest.test_case "fault names roundtrip" `Quick test_fault_names_roundtrip;
+    Alcotest.test_case "fault disarmed never fires" `Quick
+      test_fault_disarmed_never_fires;
+    Alcotest.test_case "fault limit and count" `Quick test_fault_limit_and_count;
+    Alcotest.test_case "fault deterministic in seed" `Quick
+      test_fault_deterministic_in_seed;
+    Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+    Alcotest.test_case "error classification" `Quick test_error_classification;
+  ]

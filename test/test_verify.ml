@@ -247,8 +247,24 @@ let qcheck_tests =
       prop_reentry_matches_unbudgeted;
     ]
 
+(* --- fault-injection scenarios --- *)
+
+let test_faultcheck_all_recover () =
+  let report = Verify.Faultcheck.run_all ~seed:42 () in
+  List.iter
+    (fun (o : Verify.Faultcheck.outcome) ->
+      checkb
+        (Printf.sprintf "scenario %s recovers (%s)" o.Verify.Faultcheck.scenario
+           o.Verify.Faultcheck.detail)
+        true o.Verify.Faultcheck.passed)
+    report.Verify.Faultcheck.outcomes;
+  checkb "report aggregates" true (Verify.Faultcheck.passed report);
+  checkb "nothing left armed" true
+    (not (List.exists Runtime.Fault.armed Runtime.Fault.all))
+
 let suite =
   [
+    Alcotest.test_case "faultcheck all recover" `Slow test_faultcheck_all_recover;
     Alcotest.test_case "oracle trivial" `Quick test_oracle_trivial;
     Alcotest.test_case "oracle pigeonhole" `Quick test_oracle_pigeonhole;
     Alcotest.test_case "oracle budget" `Quick test_oracle_budget;
