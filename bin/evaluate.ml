@@ -7,7 +7,12 @@
    instances already measured. Per-instance crashes are isolated and
    retried once instead of aborting the campaign. *)
 
-let run checkpoint seed per_year budget journal deadline =
+let run checkpoint seed per_year budget journal deadline jobs mem_limit_mb
+    isolate =
+  (* SIGINT/SIGTERM request a graceful drain: in-flight instances
+     finish and are journaled (every append is fsynced), then we exit
+     non-zero below. *)
+  Runtime.Shutdown.install ();
   let model = Core.Model.create Core.Model.paper_config in
   (match checkpoint with
   | Some path -> (
@@ -31,11 +36,18 @@ let run checkpoint seed per_year budget journal deadline =
   in
   let result =
     Experiments.Adaptive_eval.run ~progress ?journal ?deadline_seconds:deadline
-      model data.Experiments.Data.simtime instances
+      ~jobs ~isolate ?mem_limit_mb model data.Experiments.Data.simtime
+      instances
   in
   Format.printf "%a@.@.%a@.@.%a@." Experiments.Adaptive_eval.print_table3 result
     Experiments.Adaptive_eval.print_fig7a result Experiments.Adaptive_eval.print_fig7b
     result;
+  if Runtime.Shutdown.requested () then begin
+    Printf.eprintf
+      "interrupted: journal flushed, %d instance(s) not run; exiting\n%!"
+      (List.length result.Experiments.Adaptive_eval.not_run);
+    exit (Runtime.Shutdown.exit_code ())
+  end;
   if result.Experiments.Adaptive_eval.failures <> [] then exit 2
 
 open Cmdliner
@@ -63,10 +75,40 @@ let deadline =
           "Wall-clock budget per solver call, alongside the propagation \
            budget; expired solves count as unsolved.")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Measure N instances in parallel, each in a supervised worker \
+           process (implies isolation). Crashed or hung workers are \
+           retried with backoff; SIGTERM drains in-flight work and exits \
+           cleanly.")
+
+let mem_limit_mb =
+  Arg.(
+    value & opt (some int) None
+    & info [ "mem-limit-mb" ] ~docv:"MB"
+        ~doc:
+          "Address-space cap per worker process; an instance that blows \
+           past it fails alone instead of taking the campaign down \
+           (implies isolation).")
+
+let isolate =
+  Arg.(
+    value & flag
+    & info [ "isolate" ]
+        ~doc:
+          "Run every instance in a forked worker process even with a \
+           single job, so one runaway instance cannot crash the \
+           campaign.")
+
 let cmd =
   let doc = "evaluate a trained NeuroSelect model against Kissat-default" in
   Cmd.v
     (Cmd.info "ns-evaluate" ~doc)
-    Term.(const run $ checkpoint $ seed $ per_year $ budget $ journal $ deadline)
+    Term.(
+      const run $ checkpoint $ seed $ per_year $ budget $ journal $ deadline
+      $ jobs $ mem_limit_mb $ isolate)
 
 let () = exit (Cmd.eval cmd)

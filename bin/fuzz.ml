@@ -76,8 +76,10 @@ let faults =
   Arg.(value & flag & info [ "faults" ]
          ~doc:"Run the seeded fault-injection suite instead of fuzzing: torn \
                and bit-flipped checkpoint writes, poisoned gradients, failing \
-               inference, crashing instances, and journal-based campaign \
-               resume — each must recover via its documented path.")
+               inference, crashing instances, journal-based campaign resume, \
+               SIGKILLed/OOM/hung supervised workers, circuit-breaker trip \
+               and recovery, and parallel-vs-sequential journal equivalence \
+               — each must recover via its documented path.")
 
 let check_checkpoint =
   Arg.(value & opt (some string) None & info [ "check-checkpoint" ] ~docv:"FILE"

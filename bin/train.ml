@@ -22,6 +22,10 @@ let last_completed_epoch out =
       None records
 
 let run seed per_year budget epochs lr out resume checkpoint_every quiet =
+  (* SIGINT/SIGTERM are polled at each epoch boundary: the current
+     weights and a progress-journal line are flushed so --resume picks
+     up exactly where the signal landed, then we exit non-zero. *)
+  Runtime.Shutdown.install ();
   let log fmt =
     Printf.ksprintf (fun s -> if not quiet then print_endline s) fmt
   in
@@ -75,14 +79,26 @@ let run seed per_year budget epochs lr out resume checkpoint_every quiet =
     if (not quiet) && epoch mod 5 = 0 then
       Printf.printf "epoch %3d  mean BCE %.4f\n%!" epoch loss
   in
+  let write_checkpoint ~epoch ~loss =
+    Core.Model.save out model;
+    ignore
+      (Runtime.Journal.append (progress_path out)
+         [ ("epoch", Runtime.Journal.Int epoch);
+           ("loss", Runtime.Journal.Float loss) ])
+  in
   let on_epoch ~epoch ~loss =
-    if (epoch + 1) mod checkpoint_every = 0 || epoch = epochs - 1 then begin
-      Core.Model.save out model;
-      ignore
-        (Runtime.Journal.append (progress_path out)
-           [ ("epoch", Runtime.Journal.Int epoch);
-             ("loss", Runtime.Journal.Float loss) ])
-    end
+    let scheduled =
+      (epoch + 1) mod checkpoint_every = 0 || epoch = epochs - 1
+    in
+    if Runtime.Shutdown.requested () then begin
+      (* Always flush on shutdown, even off the checkpoint schedule:
+         the journal tail and weights must reflect this epoch. *)
+      write_checkpoint ~epoch ~loss;
+      log "interrupted at epoch %d: checkpoint and journal flushed to %s" epoch
+        out;
+      exit (Runtime.Shutdown.exit_code ())
+    end;
+    if scheduled then write_checkpoint ~epoch ~loss
   in
   let history =
     Core.Trainer.train ~epochs ~lr ~start_epoch ~on_epoch ~progress:train_progress

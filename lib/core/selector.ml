@@ -1,11 +1,13 @@
 type degradation =
   | Model_failure of string
   | Non_finite_probability of float
+  | Breaker_open
 
 let pp_degradation ppf = function
   | Model_failure msg -> Format.fprintf ppf "model failure: %s" msg
   | Non_finite_probability p ->
     Format.fprintf ppf "non-finite probability %h" p
+  | Breaker_open -> Format.fprintf ppf "circuit breaker open"
 
 let degradation_to_string d = Format.asprintf "%a" pp_degradation d
 
@@ -16,39 +18,97 @@ type selection = {
   degraded : degradation option;
 }
 
+(* --- fleet-wide circuit breaker around the model path --- *)
+
+type breaker_config = {
+  breaker : Runtime.Breaker.config;
+  slow_call_seconds : float option;
+}
+
+let default_breaker_config =
+  {
+    breaker = Runtime.Breaker.default_config;
+    (* The model here is a small CPU net; a multi-second inference is
+       pathological and counts against the breaker like a failure. *)
+    slow_call_seconds = Some 5.0;
+  }
+
+let breaker_config = ref default_breaker_config
+
+let make_breaker () =
+  Runtime.Breaker.create ~config:!breaker_config.breaker
+    ~now:Runtime.Clock.now ()
+
+let breaker = ref (make_breaker ())
+
+let configure_breaker config =
+  breaker_config := config;
+  breaker := make_breaker ()
+
+let breaker_state () = Runtime.Breaker.state !breaker
+
+let breaker_trip_count () = Runtime.Breaker.trip_count !breaker
+
+let reset_breaker () = Runtime.Breaker.reset !breaker
+
 let select_policy ?(alpha = Cdcl.Policy.default_alpha) model formula =
-  let t0 = Runtime.Clock.now () in
-  let outcome =
-    (* Any failure of the learned component — a model that did not
-       load, an overflow in the forward pass, an injected fault —
-       degrades to the default deletion policy rather than aborting
-       the sweep; the paper's baseline Kissat behaviour is always
-       available. *)
-    match
-      if Runtime.Fault.fires Runtime.Fault.Inference_failure then
-        Runtime.Error.raise_ (Runtime.Error.Injected_fault { point = "inference" });
-      Model.predict_formula model formula
-    with
-    | p when Float.is_finite p -> Ok p
-    | p -> Error (Non_finite_probability p)
-    | exception e -> Error (Model_failure (Printexc.to_string e))
-  in
-  let inference_seconds = Runtime.Clock.elapsed_since t0 in
-  match outcome with
-  | Ok probability ->
-    let policy =
-      if probability > 0.5 then Cdcl.Policy.Frequency { alpha }
-      else Cdcl.Policy.Default
-    in
-    { policy; probability; inference_seconds; degraded = None }
-  | Error d ->
+  if Runtime.Fault.fires Runtime.Fault.Breaker_trip then
+    Runtime.Breaker.force_open !breaker;
+  if not (Runtime.Breaker.allow !breaker) then
+    (* Fail fast, fleet-wide: while the breaker is open no selection
+       pays for (or further stresses) the failing model path — every
+       instance runs the paper's baseline policy until the cooldown
+       admits half-open trial calls again. *)
     {
       policy = Cdcl.Policy.Default;
-      probability =
-        (match d with Non_finite_probability p -> p | Model_failure _ -> Float.nan);
-      inference_seconds;
-      degraded = Some d;
+      probability = Float.nan;
+      inference_seconds = 0.0;
+      degraded = Some Breaker_open;
     }
+  else begin
+    let t0 = Runtime.Clock.now () in
+    let outcome =
+      (* Any failure of the learned component — a model that did not
+         load, an overflow in the forward pass, an injected fault —
+         degrades to the default deletion policy rather than aborting
+         the sweep; the paper's baseline Kissat behaviour is always
+         available. *)
+      match
+        if Runtime.Fault.fires Runtime.Fault.Inference_failure then
+          Runtime.Error.raise_ (Runtime.Error.Injected_fault { point = "inference" });
+        Model.predict_formula model formula
+      with
+      | p when Float.is_finite p -> Ok p
+      | p -> Error (Non_finite_probability p)
+      | exception e -> Error (Model_failure (Printexc.to_string e))
+    in
+    let inference_seconds = Runtime.Clock.elapsed_since t0 in
+    let slow =
+      match !breaker_config.slow_call_seconds with
+      | Some s -> inference_seconds > s
+      | None -> false
+    in
+    (match outcome with
+    | Ok _ when not slow -> Runtime.Breaker.record_success !breaker
+    | Ok _ | Error _ -> Runtime.Breaker.record_failure !breaker);
+    match outcome with
+    | Ok probability ->
+      let policy =
+        if probability > 0.5 then Cdcl.Policy.Frequency { alpha }
+        else Cdcl.Policy.Default
+      in
+      { policy; probability; inference_seconds; degraded = None }
+    | Error d ->
+      {
+        policy = Cdcl.Policy.Default;
+        probability =
+          (match d with
+          | Non_finite_probability p -> p
+          | Model_failure _ | Breaker_open -> Float.nan);
+        inference_seconds;
+        degraded = Some d;
+      }
+  end
 
 let solve_adaptive ?(config = Cdcl.Config.default) ?alpha model formula =
   let selection = select_policy ?alpha model formula in

@@ -8,13 +8,23 @@
     Inference is fallible in production: the checkpoint may be
     corrupt, the forward pass may overflow. [select_policy] never lets
     that abort a sweep — it degrades to the default deletion policy
-    and records why in [degraded]. *)
+    and records why in [degraded].
+
+    A fleet-wide circuit breaker guards the model path: repeated
+    failures (or pathologically slow inferences, see
+    {!breaker_config}) trip it open, after which every selection
+    short-circuits to the default policy without touching the model —
+    failing fast instead of once per call. After the cooldown the
+    breaker admits half-open trial inferences; enough successes
+    restore the model path for the whole fleet. *)
 
 type degradation =
   | Model_failure of string
       (** The model raised (bad checkpoint, forward-pass failure). *)
   | Non_finite_probability of float
       (** The model returned NaN/Inf. *)
+  | Breaker_open
+      (** The circuit breaker is open; the model was not consulted. *)
 
 val pp_degradation : Format.formatter -> degradation -> unit
 val degradation_to_string : degradation -> string
@@ -31,6 +41,28 @@ type selection = {
 
 val select_policy : ?alpha:float -> Model.t -> Cnf.Formula.t -> selection
 (** Never raises on model failure; see [degraded]. *)
+
+(** {2 Circuit breaker} *)
+
+type breaker_config = {
+  breaker : Runtime.Breaker.config;
+  slow_call_seconds : float option;
+      (** Inferences slower than this count as breaker failures even
+          when they return a usable probability; [None] disables the
+          slow-call criterion. *)
+}
+
+val default_breaker_config : breaker_config
+(** {!Runtime.Breaker.default_config} plus a 5 s slow-call bound. *)
+
+val configure_breaker : breaker_config -> unit
+(** Replace the configuration and reset the breaker. *)
+
+val breaker_state : unit -> Runtime.Breaker.state
+val breaker_trip_count : unit -> int
+
+val reset_breaker : unit -> unit
+(** Close the breaker and clear its counters (tests, operator reset). *)
 
 val solve_adaptive :
   ?config:Cdcl.Config.t ->

@@ -31,6 +31,7 @@ type t = {
   median_improvement_pct : float;
   failures : failure list;
   resumed : int;
+  not_run : string list;
 }
 
 (* --- JSONL (de)serialisation for campaign resume --- *)
@@ -95,10 +96,12 @@ let load_completed = function
       table)
 
 let run ?(alpha = Cdcl.Policy.default_alpha) ?progress ?journal ?deadline_seconds
-    ?(retries = 1) model simtime instances =
+    ?(retries = 1) ?(jobs = 1) ?(isolate = false) ?mem_limit_mb
+    ?worker_deadline_seconds model simtime instances =
   let completed = load_completed journal in
   let resumed = ref 0 in
   let failures = ref [] in
+  let not_run = ref [] in
   let persist entry =
     match journal with
     | None -> ()
@@ -141,28 +144,98 @@ let run ?(alpha = Cdcl.Policy.default_alpha) ?progress ?journal ?deadline_second
             selection.Core.Selector.degraded;
       }
   in
+  let say_entry entry =
+    say "  %-22s kissat %.0fs, adaptive %.0fs (p=%.2f, %s%s)" entry.name
+      entry.kissat_seconds entry.adaptive_seconds entry.probability
+      (if entry.chose_frequency then "frequency" else "default")
+      (match entry.degraded with None -> "" | Some d -> ", DEGRADED: " ^ d)
+  in
+  let fail instance error =
+    say "  %-22s FAILED: %s" instance error;
+    failures := { instance; error } :: !failures
+  in
+  (* Sequential path: measure in-process, one instance at a time,
+     checking for a shutdown request between instances. *)
   let handle (i : Gen.Dataset.instance) =
     match Hashtbl.find_opt completed i.name with
     | Some entry ->
       incr resumed;
       say "  %-22s resumed from journal" entry.name;
       Some entry
+    | None when Runtime.Shutdown.requested () ->
+      not_run := i.name :: !not_run;
+      None
     | None -> (
       match measure i with
       | Ok entry ->
         persist entry;
-        say "  %-22s kissat %.0fs, adaptive %.0fs (p=%.2f, %s%s)" entry.name
-          entry.kissat_seconds entry.adaptive_seconds entry.probability
-          (if entry.chose_frequency then "frequency" else "default")
-          (match entry.degraded with None -> "" | Some d -> ", DEGRADED: " ^ d);
+        say_entry entry;
         Some entry
       | Error e ->
-        let error = Runtime.Error.to_string e in
-        say "  %-22s FAILED: %s" i.name error;
-        failures := { instance = i.name; error } :: !failures;
+        fail i.name (Runtime.Error.to_string e);
         None)
   in
-  let entries = List.filter_map handle instances in
+  (* Supervised path: each instance is measured in a forked worker
+     under an address-space cap, wall deadline, and heartbeat
+     watchdog; the pool bounds in-flight work at [jobs], retries
+     crashed/hung workers with backoff, and drains gracefully on
+     SIGTERM. The worker payload is exactly the instance's journal
+     line, so parallel and sequential campaigns journal identical
+     bytes (modulo completion order). *)
+  let handle_supervised () =
+    let resumed_tbl = Hashtbl.create 16 in
+    let results = Hashtbl.create 64 in
+    let tasks =
+      List.filter_map
+        (fun (i : Gen.Dataset.instance) ->
+          match Hashtbl.find_opt completed i.name with
+          | Some entry ->
+            incr resumed;
+            Hashtbl.replace resumed_tbl entry.name entry;
+            say "  %-22s resumed from journal" entry.name;
+            None
+          | None ->
+            Some
+              ( i.name,
+                fun () ->
+                  match measure i with
+                  | Ok entry -> Ok (Journal.encode (record_of_entry entry))
+                  | Error e -> Error (Runtime.Error.to_string e) ))
+        instances
+    in
+    let on_complete (c : Runtime.Pool.completion) =
+      match c.Runtime.Pool.outcome with
+      | Runtime.Pool.Done payload -> (
+        match Option.bind (Journal.parse_line payload) entry_of_record with
+        | Some entry ->
+          Hashtbl.replace results entry.name entry;
+          persist entry;
+          say_entry entry
+        | None -> fail c.Runtime.Pool.id "unparseable worker payload")
+      | Runtime.Pool.Failed msg -> fail c.Runtime.Pool.id msg
+      | Runtime.Pool.Shed -> fail c.Runtime.Pool.id "shed: pool queue full"
+    in
+    let limits =
+      {
+        Runtime.Supervisor.default_limits with
+        mem_limit_mb;
+        deadline_seconds = worker_deadline_seconds;
+      }
+    in
+    let batch = Runtime.Pool.run_list ~jobs ~limits ~on_complete tasks in
+    not_run := List.rev batch.Runtime.Pool.not_run;
+    List.filter_map
+      (fun (i : Gen.Dataset.instance) ->
+        match Hashtbl.find_opt resumed_tbl i.name with
+        | Some _ as e -> e
+        | None -> Hashtbl.find_opt results i.name)
+      instances
+  in
+  let supervised = jobs > 1 || isolate || mem_limit_mb <> None in
+  let entries =
+    if supervised then handle_supervised ()
+    else List.filter_map handle instances
+  in
   let summarise seconds solved =
     {
       solved;
@@ -193,6 +266,7 @@ let run ?(alpha = Cdcl.Policy.default_alpha) ?progress ?journal ?deadline_second
     median_improvement_pct;
     failures = List.rev !failures;
     resumed = !resumed;
+    not_run = List.rev !not_run;
   }
 
 let print_table3 ppf t =
@@ -212,6 +286,10 @@ let print_table3 ppf t =
       degraded;
   if t.resumed > 0 then
     Format.fprintf ppf "@.%d instance(s) resumed from the journal" t.resumed;
+  if t.not_run <> [] then
+    Format.fprintf ppf
+      "@.%d instance(s) not run (campaign stopped before they started)"
+      (List.length t.not_run);
   if t.failures <> [] then begin
     Format.fprintf ppf "@.%d instance(s) failed and were excluded:"
       (List.length t.failures);

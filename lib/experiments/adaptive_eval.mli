@@ -48,6 +48,9 @@ type t = {
       (** Instances that crashed even after retry; excluded from the
           summaries. *)
   resumed : int;  (** Entries restored from the journal, not re-run. *)
+  not_run : string list;
+      (** Instances never started because the campaign was stopped
+          (SIGINT/SIGTERM graceful drain). *)
 }
 
 val run :
@@ -56,6 +59,10 @@ val run :
   ?journal:string ->
   ?deadline_seconds:float ->
   ?retries:int ->
+  ?jobs:int ->
+  ?isolate:bool ->
+  ?mem_limit_mb:int ->
+  ?worker_deadline_seconds:float ->
   Core.Model.t ->
   Simtime.t ->
   Gen.Dataset.instance list ->
@@ -63,7 +70,19 @@ val run :
 (** [journal] enables JSONL partial-result persistence and resume.
     [deadline_seconds] adds a per-solve wall-clock budget alongside
     the propagation budget. [retries] (default 1) bounds per-instance
-    retry on crash. *)
+    retry on crash.
+
+    Supervised execution: when [jobs] > 1, [isolate] is set, or
+    [mem_limit_mb] is given, every instance is measured in a forked
+    {!Runtime.Supervisor} worker — [jobs] in flight at once, each
+    under the optional address-space cap and [worker_deadline_seconds]
+    wall budget, heartbeat-watchdogged, with crashed/hung workers
+    retried (backoff) before being recorded as failures. The campaign
+    drains gracefully on SIGINT/SIGTERM: in-flight instances finish
+    and are journaled, the rest are reported in [not_run]. Worker
+    payloads are the exact journal lines, so a parallel campaign's
+    journal is byte-equivalent to the sequential one modulo completion
+    order. *)
 
 val record_of_entry : entry -> Runtime.Journal.record
 val entry_of_record : Runtime.Journal.record -> entry option

@@ -166,6 +166,7 @@ let intact path =
     | Ok payload -> Result.is_ok (parse_payload ~source:path payload))
 
 let save_result path params =
+  ignore (Runtime.Atomic_file.sweep_stale (Filename.dirname path));
   let data = encode params in
   (* Promote the current file to [.bak] before any byte of the new
      write lands, and only when it validates — so neither a torn write

@@ -10,7 +10,14 @@ val read : string -> (string, Error.t) result
 val write : ?fsync:bool -> string -> string -> (unit, Error.t) result
 (** Atomic replace. [fsync] (default true) forces the data to disk
     before the rename so a crash cannot leave a renamed-but-empty
-    file. *)
+    file, and fsyncs the parent directory after the rename so a crash
+    immediately afterwards cannot lose the new directory entry. *)
+
+val sweep_stale : string -> int
+(** Remove [*.tmp.<pid>] files in the directory whose writing process
+    is no longer alive (crashed before its rename); returns how many
+    were removed. Safe to call concurrently with live writers — their
+    pid is alive, so their tmp files are kept. *)
 
 val write_raw : string -> string -> (unit, Error.t) result
 (** Non-atomic direct write, used only by fault injection to simulate

@@ -1,0 +1,40 @@
+type t = {
+  base : float;
+  cap : float;
+  multiplier : float;
+  jitter : float;
+  seed : int;
+  attempt : int;
+}
+
+let create ?(base = 0.05) ?(cap = 5.0) ?(multiplier = 2.0) ?(jitter = 0.5) ~seed
+    () =
+  let base = Float.max 1e-9 base in
+  {
+    base;
+    cap = Float.max base cap;
+    multiplier = Float.max 1.0 multiplier;
+    jitter = Float.min 1.0 (Float.max 0.0 jitter);
+    seed;
+    attempt = 0;
+  }
+
+let attempt t = t.attempt
+
+(* The jitter draw must depend only on (seed, attempt) so a retry
+   schedule replays exactly from its seed: state carries no RNG, each
+   attempt derives a fresh stream. *)
+let unit_draw t =
+  let rng = Util.Rng.create ((t.seed * 2_654_435_761) lxor (t.attempt * 40_503)) in
+  Util.Rng.uniform rng 0.0 1.0
+
+let delay t =
+  let raw = Float.min t.cap (t.base *. (t.multiplier ** float_of_int t.attempt)) in
+  (* Decorrelate retries downward from the exponential envelope while
+     never dipping below [base]: delay ∈ [base, raw] ⊆ [base, cap]. *)
+  let u = 1.0 -. (t.jitter *. unit_draw t) in
+  t.base +. (u *. (raw -. t.base))
+
+let next t = (delay t, { t with attempt = t.attempt + 1 })
+
+let reset t = { t with attempt = 0 }

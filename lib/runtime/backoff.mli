@@ -1,0 +1,36 @@
+(** Exponential retry backoff with deterministic, seed-injectable
+    jitter.
+
+    A pure state machine: [next] returns the delay for the current
+    attempt and the advanced state, so schedules are values that can be
+    stored, replayed, and property-tested. Every delay lies in
+    [\[base, cap\]] — the jitter decorrelates concurrent retriers
+    downward from the exponential envelope but never below [base]. *)
+
+type t
+
+val create :
+  ?base:float ->
+  ?cap:float ->
+  ?multiplier:float ->
+  ?jitter:float ->
+  seed:int ->
+  unit ->
+  t
+(** [base] (default 0.05 s) is the attempt-0 delay, [cap] (default
+    5 s) the ceiling, [multiplier] (default 2) the exponential growth,
+    [jitter] ∈ [\[0, 1\]] (default 0.5) the fraction of the envelope
+    randomised away. Equal seeds produce equal schedules. *)
+
+val delay : t -> float
+(** Delay for the current attempt, in [\[base, cap\]]. Deterministic
+    in (seed, attempt). *)
+
+val next : t -> float * t
+(** [delay t] paired with the state advanced to the next attempt. *)
+
+val attempt : t -> int
+(** Zero-based attempt counter. *)
+
+val reset : t -> t
+(** Back to attempt 0 (e.g. after a success). *)

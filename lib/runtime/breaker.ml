@@ -1,0 +1,97 @@
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  failure_threshold : int;
+  cooldown_seconds : float;
+  half_open_trials : int;
+}
+
+let default_config =
+  { failure_threshold = 5; cooldown_seconds = 30.0; half_open_trials = 2 }
+
+type t = {
+  config : config;
+  now : unit -> float;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable half_open_successes : int;
+  mutable opened_at : float;
+  mutable trips : int;
+}
+
+let create ?(config = default_config) ~now () =
+  let config =
+    {
+      failure_threshold = max 1 config.failure_threshold;
+      cooldown_seconds = Float.max 0.0 config.cooldown_seconds;
+      half_open_trials = max 1 config.half_open_trials;
+    }
+  in
+  {
+    config;
+    now;
+    state = Closed;
+    consecutive_failures = 0;
+    half_open_successes = 0;
+    opened_at = neg_infinity;
+    trips = 0;
+  }
+
+let trip t =
+  t.state <- Open;
+  t.opened_at <- t.now ();
+  t.consecutive_failures <- 0;
+  t.half_open_successes <- 0;
+  t.trips <- t.trips + 1
+
+let force_open = trip
+
+(* The open→half-open edge is driven by the clock, not by an event, so
+   it is evaluated lazily whenever the breaker is observed. *)
+let refresh t =
+  match t.state with
+  | Open when t.now () -. t.opened_at >= t.config.cooldown_seconds ->
+    t.state <- Half_open;
+    t.half_open_successes <- 0
+  | Open | Closed | Half_open -> ()
+
+let state t =
+  refresh t;
+  t.state
+
+let allow t =
+  match state t with Closed | Half_open -> true | Open -> false
+
+let record_success t =
+  match state t with
+  | Closed -> t.consecutive_failures <- 0
+  | Half_open ->
+    t.half_open_successes <- t.half_open_successes + 1;
+    if t.half_open_successes >= t.config.half_open_trials then begin
+      t.state <- Closed;
+      t.consecutive_failures <- 0;
+      t.half_open_successes <- 0
+    end
+  | Open -> ()
+
+let record_failure t =
+  match state t with
+  | Closed ->
+    t.consecutive_failures <- t.consecutive_failures + 1;
+    if t.consecutive_failures >= t.config.failure_threshold then trip t
+  | Half_open -> trip t (* one bad trial re-opens immediately *)
+  | Open -> ()
+
+let reset t =
+  t.state <- Closed;
+  t.consecutive_failures <- 0;
+  t.half_open_successes <- 0;
+  t.opened_at <- neg_infinity
+
+let trip_count t = t.trips
+let consecutive_failures t = t.consecutive_failures

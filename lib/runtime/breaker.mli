@@ -1,0 +1,50 @@
+(** Circuit breaker: fail fast instead of failing per-call.
+
+    Closed (normal) counts consecutive failures; at
+    [failure_threshold] it trips Open and every [allow] is refused
+    without touching the protected resource. After [cooldown_seconds]
+    the next observation moves it to Half-open, which admits trial
+    calls: [half_open_trials] consecutive successes close it, a single
+    failure re-opens it for another cooldown.
+
+    The clock is injected at [create], so tests drive the state machine
+    with a fake clock; transitions are monotone in that clock (an open
+    breaker only ever moves towards closed as time advances, absent new
+    failures). *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+type config = {
+  failure_threshold : int;  (** Consecutive failures that trip it. *)
+  cooldown_seconds : float;  (** Open → half-open delay. *)
+  half_open_trials : int;  (** Successes in half-open that close it. *)
+}
+
+val default_config : config
+(** 5 failures, 30 s cooldown, 2 trial successes. *)
+
+type t
+
+val create : ?config:config -> now:(unit -> float) -> unit -> t
+
+val state : t -> state
+(** Current state; evaluates the cooldown edge against [now]. *)
+
+val allow : t -> bool
+(** Whether a call may proceed ([Closed] or [Half_open]). *)
+
+val record_success : t -> unit
+val record_failure : t -> unit
+
+val force_open : t -> unit
+(** Trip immediately (fault injection, administrative open). *)
+
+val reset : t -> unit
+(** Back to [Closed] with clean counters; [trip_count] is kept. *)
+
+val trip_count : t -> int
+(** Times the breaker has tripped open since creation. *)
+
+val consecutive_failures : t -> int

@@ -1,4 +1,10 @@
-let wall () = Unix.gettimeofday ()
+let source = ref Unix.gettimeofday
+
+let wall () = !source ()
+
+let set_source f = source := f
+
+let use_wall_clock () = source := Unix.gettimeofday
 
 let last = ref neg_infinity
 

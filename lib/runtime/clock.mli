@@ -7,7 +7,17 @@
     negative. *)
 
 val wall : unit -> float
-(** Raw wall-clock seconds since the epoch. *)
+(** Raw wall-clock seconds since the epoch (or the injected source). *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the time source behind [wall]/[now] — e.g. a counter that
+    steps a fixed amount per call, making measured durations
+    deterministic for reproducibility tests. Forked children inherit
+    the installed source. Supervision timing (watchdogs, deadlines)
+    reads the real clock directly and is unaffected. *)
+
+val use_wall_clock : unit -> unit
+(** Restore [Unix.gettimeofday] as the source. *)
 
 val now : unit -> float
 (** Monotonized wall clock: never decreases within the process. *)

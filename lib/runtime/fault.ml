@@ -4,6 +4,9 @@ type point =
   | Poisoned_gradient
   | Inference_failure
   | Instance_crash
+  | Worker_crash
+  | Worker_hang
+  | Breaker_trip
 
 let all =
   [
@@ -12,6 +15,9 @@ let all =
     Poisoned_gradient;
     Inference_failure;
     Instance_crash;
+    Worker_crash;
+    Worker_hang;
+    Breaker_trip;
   ]
 
 let name = function
@@ -20,6 +26,9 @@ let name = function
   | Poisoned_gradient -> "poisoned-gradient"
   | Inference_failure -> "inference-failure"
   | Instance_crash -> "instance-crash"
+  | Worker_crash -> "worker-crash"
+  | Worker_hang -> "worker-hang"
+  | Breaker_trip -> "breaker-trip"
 
 let of_name s = List.find_opt (fun p -> name p = s) all
 

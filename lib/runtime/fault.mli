@@ -22,6 +22,17 @@ type point =
       (** Selector's model call raises. *)
   | Instance_crash
       (** Runner's protected solve raises before solving. *)
+  | Worker_crash
+      (** Supervisor's forked worker SIGKILLs itself mid-solve. The
+          decision is taken in the parent before the fork so the
+          deterministic stream and limit counters live in one
+          process. *)
+  | Worker_hang
+      (** Supervisor's forked worker stops heartbeating and sleeps —
+          the watchdog must detect and reap it. Decided pre-fork like
+          {!Worker_crash}. *)
+  | Breaker_trip
+      (** Selector's circuit breaker is forced open. *)
 
 val all : point list
 val name : point -> string

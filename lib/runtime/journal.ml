@@ -176,6 +176,9 @@ let append path record =
     Error (Error.Io { path; op = "journal-append"; message = Printexc.to_string e })
 
 let load path =
+  (* Opening a campaign journal is the natural moment to reap tmp
+     files abandoned by crashed writers in the same directory. *)
+  ignore (Atomic_file.sweep_stale (Filename.dirname path));
   if not (Sys.file_exists path) then Ok ([], 0)
   else
     match Atomic_file.read path with

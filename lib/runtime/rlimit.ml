@@ -1,0 +1,2 @@
+external set_memory_limit_mb : int -> bool = "ns_set_mem_limit_mb"
+external max_rss_kb : unit -> int = "ns_max_rss_kb"

@@ -1,0 +1,14 @@
+(** OS resource limits (thin C stubs over [setrlimit]/[getrusage]).
+
+    Used by worker processes: the supervisor caps a worker's address
+    space so a runaway instance gets [Out_of_memory] inside its own
+    process instead of taking the campaign down. *)
+
+val set_memory_limit_mb : int -> bool
+(** Cap this process's address space ([RLIMIT_AS], soft and hard) at
+    the given number of mebibytes. Returns false when the kernel
+    refuses. Irreversible for non-root processes — call it only in a
+    forked worker. *)
+
+val max_rss_kb : unit -> int
+(** Peak resident set size of this process in KiB (-1 on failure). *)

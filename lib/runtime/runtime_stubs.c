@@ -1,0 +1,27 @@
+/* Minimal POSIX resource-limit stubs: the OCaml Unix library exposes
+   neither setrlimit nor getrusage, and worker isolation needs a hard
+   address-space cap installed in the forked child before any solver
+   allocation happens. */
+
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+
+CAMLprim value ns_set_mem_limit_mb(value mb)
+{
+    struct rlimit rl;
+    rlim_t bytes = (rlim_t)Long_val(mb) * 1024 * 1024;
+    rl.rlim_cur = bytes;
+    rl.rlim_max = bytes;
+    if (setrlimit(RLIMIT_AS, &rl) != 0)
+        return Val_false;
+    return Val_true;
+}
+
+CAMLprim value ns_max_rss_kb(value unit)
+{
+    struct rusage ru;
+    (void)unit;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return Val_long(-1);
+    return Val_long(ru.ru_maxrss);
+}

@@ -1,0 +1,45 @@
+(* Signal state is two cells, written from the handler and polled at
+   safe points (between instances, at epoch ends); handlers do nothing
+   else, so they are safe wherever OCaml delivers signals. *)
+
+let flag = ref false
+let received = ref None
+
+let requested () = !flag
+
+let signal () = !received
+
+let exit_code () = match !received with Some s -> 128 + s | None -> 1
+
+let note s =
+  flag := true;
+  if !received = None then received := Some s
+
+let installed = ref []
+
+let install ?(signals = [ Sys.sigint; Sys.sigterm ]) () =
+  installed := signals;
+  List.iter
+    (fun s ->
+      (* [Sys.signal] numbers and [128 + n] exit codes both use the
+         OS signal number, which [Sys.sigterm] etc. are not; translate
+         through the only portable mapping the stdlib offers. *)
+      let os_number =
+        match s with
+        | s when s = Sys.sigint -> 2
+        | s when s = Sys.sigterm -> 15
+        | s when s = Sys.sighup -> 1
+        | _ -> 0
+      in
+      Sys.set_signal s (Sys.Signal_handle (fun _ -> note os_number)))
+    signals
+
+let uninstall () =
+  List.iter (fun s -> Sys.set_signal s Sys.Signal_default) !installed;
+  installed := []
+
+let reset () =
+  flag := false;
+  received := None
+
+let request () = note 0

@@ -1,0 +1,29 @@
+(** Cooperative shutdown on SIGINT/SIGTERM.
+
+    [install] replaces the default die-immediately behaviour with a
+    flag that long-running loops poll at safe points (between campaign
+    instances, at epoch boundaries) so they can flush journals and
+    write a final checkpoint before exiting non-zero. The handler only
+    sets the flag — all real work happens in the polling code. *)
+
+val install : ?signals:int list -> unit -> unit
+(** Install handlers (default SIGINT and SIGTERM). Re-installation is
+    idempotent. *)
+
+val uninstall : unit -> unit
+(** Restore default handlers for whatever [install] replaced. *)
+
+val requested : unit -> bool
+(** Whether a shutdown signal has arrived. *)
+
+val signal : unit -> int option
+(** OS number of the first signal received, when known. *)
+
+val exit_code : unit -> int
+(** Conventional [128 + signal] exit status (1 when unknown). *)
+
+val request : unit -> unit
+(** Set the flag programmatically (tests, internal escalation). *)
+
+val reset : unit -> unit
+(** Clear the flag (tests). *)

@@ -50,6 +50,11 @@ let scenario name f =
     | exception e -> (false, "raised " ^ Printexc.to_string e)
   in
   Fault.disarm ();
+  (* Scenario isolation: the selector breaker and the clock source are
+     process-wide; a scenario that tripped or faked them must not leak
+     into the next. *)
+  Core.Selector.configure_breaker Core.Selector.default_breaker_config;
+  Runtime.Clock.use_wall_clock ();
   { scenario = name; passed; detail }
 
 let check cond msg = if not cond then failwith msg
@@ -187,8 +192,7 @@ let inference_failure_degrades ~seed ~dir:_ () =
   let s = Core.Selector.select_policy model small_formula in
   (match s.Core.Selector.degraded with
   | Some (Core.Selector.Model_failure _) -> ()
-  | Some (Core.Selector.Non_finite_probability _) | None ->
-    failwith "degradation not recorded");
+  | Some _ | None -> failwith "degradation not recorded");
   check (s.Core.Selector.policy = Cdcl.Policy.Default) "did not fall back to default";
   (* The fault is exhausted: the next selection works normally. *)
   let s2 = Core.Selector.select_policy model small_formula in
@@ -209,8 +213,7 @@ let non_finite_probability_degrades ~seed:_ ~dir:_ () =
   let s = Core.Selector.select_policy model small_formula in
   (match s.Core.Selector.degraded with
   | Some (Core.Selector.Non_finite_probability _) -> ()
-  | Some (Core.Selector.Model_failure _) | None ->
-    failwith "non-finite output not detected");
+  | Some _ | None -> failwith "non-finite output not detected");
   check (s.Core.Selector.policy = Cdcl.Policy.Default) "did not fall back to default";
   "NaN probability detected; default policy substituted"
 
@@ -279,6 +282,206 @@ let campaign_resumes_from_journal ~seed ~dir () =
   Printf.sprintf "resumed %d/4 instances from a torn journal; campaign completed"
     resumed.Experiments.Adaptive_eval.resumed
 
+(* --- supervision scenarios --- *)
+
+module Supervisor = Runtime.Supervisor
+module Pool = Runtime.Pool
+
+(* A worker SIGKILLed mid-solve is retried by the pool and the
+   campaign still completes with every entry present. *)
+let worker_killed_retried ~seed ~dir:_ () =
+  let model = Core.Model.create Core.Model.small_config in
+  let simtime = Experiments.Simtime.make ~budget:50_000 in
+  let instances = tiny_instances ~seed 3 in
+  Fault.arm ~seed ~limit:1 [ Fault.Worker_crash ];
+  let result = Experiments.Adaptive_eval.run ~jobs:2 model simtime instances in
+  let fired = Fault.fired_count Fault.Worker_crash in
+  Fault.disarm ();
+  check (fired = 1) "worker-crash fault never fired";
+  check
+    (result.Experiments.Adaptive_eval.failures = [])
+    "retry did not absorb the SIGKILLed worker";
+  check
+    (List.length result.Experiments.Adaptive_eval.entries = 3)
+    "an instance went missing after the worker was killed";
+  "one worker SIGKILLed mid-solve; the pool retried it and the campaign completed"
+
+(* A worker that blows past the address-space cap fails alone —
+   [Out_of_memory] inside the child — without taking down the pool. *)
+let worker_rss_reaped ~seed:_ ~dir:_ () =
+  let limits =
+    { Supervisor.default_limits with mem_limit_mb = Some 1024 }
+  in
+  let tasks =
+    [
+      ("small-a", fun () -> Ok "a");
+      ( "hog",
+        fun () ->
+          (* 2 GiB against a 1 GiB address-space cap: malloc fails in
+             the child, which reports Out_of_memory as its result. *)
+          let b = Bytes.create (2 * 1024 * 1024 * 1024) in
+          Ok (string_of_int (Bytes.length b)) );
+      ("small-b", fun () -> Ok "b");
+    ]
+  in
+  let batch =
+    Pool.run_list ~jobs:2 ~max_retries:0 ~limits
+      ~should_stop:(fun () -> false)
+      tasks
+  in
+  check (batch.Pool.not_run = []) "pool stopped early";
+  let find id =
+    List.find (fun (c : Pool.completion) -> c.Pool.id = id)
+      batch.Pool.completions
+  in
+  let contains_sub ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (match (find "hog").Pool.outcome with
+  | Pool.Failed msg ->
+    check
+      (contains_sub ~sub:"memory" (String.lowercase_ascii msg))
+      ("hog failed for the wrong reason: " ^ msg)
+  | Pool.Done payload -> failwith ("RSS cap not enforced: hog returned " ^ payload)
+  | Pool.Shed -> failwith "hog was shed, not run");
+  List.iter
+    (fun id ->
+      match (find id).Pool.outcome with
+      | Pool.Done _ -> ()
+      | _ -> failwith (id ^ " did not survive the hog's OOM"))
+    [ "small-a"; "small-b" ];
+  "RSS-capped worker died of Out_of_memory alone; both siblings completed"
+
+(* A hung worker (heartbeats stop) is detected by the watchdog within
+   hang_factor (= 2) heartbeat intervals, reaped, and retried. *)
+let worker_hang_watchdog ~seed ~dir:_ () =
+  let limits =
+    {
+      Supervisor.default_limits with
+      heartbeat_interval = 0.1;
+      grace_seconds = 0.2;
+    }
+  in
+  let watchdog_bound = limits.Supervisor.heartbeat_interval *. limits.Supervisor.hang_factor in
+  Fault.arm ~seed ~limit:1 [ Fault.Worker_hang ];
+  let verdict = Supervisor.run ~label:"hang" limits (fun () -> Ok "never") in
+  check (Fault.fired_count Fault.Worker_hang = 1) "worker-hang fault never fired";
+  let silence =
+    match verdict with
+    | Supervisor.Hung s -> s
+    | v ->
+      failwith ("expected a Hung verdict, got " ^ Supervisor.verdict_to_string v)
+  in
+  check (silence >= watchdog_bound) "watchdog fired before the silence bound";
+  check (silence <= watchdog_bound +. 0.3) "hang detected late";
+  check (Supervisor.retryable verdict) "hang not classified as retryable";
+  (* Through the pool: the hang is absorbed by a retry. *)
+  Fault.arm ~seed ~limit:1 [ Fault.Worker_hang ];
+  let batch =
+    Pool.run_list ~jobs:1 ~limits
+      ~should_stop:(fun () -> false)
+      [ ("t", fun () -> Ok "ok") ]
+  in
+  Fault.disarm ();
+  (match batch.Pool.completions with
+  | [ { Pool.outcome = Pool.Done "ok"; attempts; _ } ] ->
+    check (attempts = 2) "hang retry count wrong"
+  | _ -> failwith "pool did not absorb the hang with a retry");
+  Printf.sprintf
+    "hang detected after %.2fs silence (bound %.2fs); pool retry absorbed it"
+    silence watchdog_bound
+
+(* Tripping the breaker degrades every selection to the default policy
+   without consulting the model; after the cooldown a half-open trial
+   succeeds and the model path is restored. *)
+let breaker_trip_recovers ~seed ~dir:_ () =
+  let model = Core.Model.create Core.Model.small_config in
+  Core.Selector.configure_breaker
+    {
+      Core.Selector.breaker =
+        {
+          Runtime.Breaker.failure_threshold = 3;
+          cooldown_seconds = 0.2;
+          half_open_trials = 1;
+        };
+      slow_call_seconds = None;
+    };
+  Fault.arm ~seed ~limit:1 [ Fault.Breaker_trip ];
+  let s = Core.Selector.select_policy model small_formula in
+  Fault.disarm ();
+  check
+    (s.Core.Selector.degraded = Some Core.Selector.Breaker_open)
+    "forced trip not recorded as Breaker_open";
+  check (s.Core.Selector.policy = Cdcl.Policy.Default) "trip did not select default";
+  (* While open, every selection short-circuits. *)
+  for _ = 1 to 3 do
+    let s' = Core.Selector.select_policy model small_formula in
+    check
+      (s'.Core.Selector.degraded = Some Core.Selector.Breaker_open)
+      "open breaker still consulted the model"
+  done;
+  check
+    (Core.Selector.breaker_state () = Runtime.Breaker.Open)
+    "breaker not open after the trip";
+  check (Core.Selector.breaker_trip_count () >= 1) "trip not counted";
+  (* Cooldown elapses on the wall clock; the next selection is the
+     half-open trial, succeeds, and closes the breaker. *)
+  Unix.sleepf 0.25;
+  let s3 = Core.Selector.select_policy model small_formula in
+  check (s3.Core.Selector.degraded = None) "half-open trial did not reach the model";
+  check
+    (Float.is_finite s3.Core.Selector.probability)
+    "restored model path returned a bad probability";
+  check
+    (Core.Selector.breaker_state () = Runtime.Breaker.Closed)
+    "successful half-open trial did not close the breaker";
+  "breaker trip short-circuited selections to default; half-open recovery restored the model path"
+
+(* A --jobs 4 campaign writes a journal byte-equivalent (modulo
+   ordering) to the sequential run. A deterministic fake clock makes
+   the measured inference times identical across processes. *)
+let parallel_journal_equivalence ~seed ~dir () =
+  let model = Core.Model.create Core.Model.small_config in
+  let simtime = Experiments.Simtime.make ~budget:50_000 in
+  let instances = tiny_instances ~seed 4 in
+  let counter = ref 0.0 in
+  Runtime.Clock.set_source (fun () ->
+      counter := !counter +. 0.001;
+      !counter);
+  let seq_path = Filename.concat dir "seq.jsonl" in
+  let par_path = Filename.concat dir "par.jsonl" in
+  let seq =
+    Experiments.Adaptive_eval.run ~journal:seq_path model simtime instances
+  in
+  let par =
+    Experiments.Adaptive_eval.run ~journal:par_path ~jobs:4 model simtime
+      instances
+  in
+  Runtime.Clock.use_wall_clock ();
+  check
+    (seq.Experiments.Adaptive_eval.failures = []
+    && par.Experiments.Adaptive_eval.failures = [])
+    "a campaign recorded failures";
+  check
+    (List.length seq.Experiments.Adaptive_eval.entries = 4
+    && List.length par.Experiments.Adaptive_eval.entries = 4)
+    "a campaign lost instances";
+  let lines p =
+    match Runtime.Atomic_file.read p with
+    | Ok t ->
+      String.split_on_char '\n' t
+      |> List.filter (fun l -> l <> "")
+      |> List.sort compare
+    | Error e -> failwith (Error.to_string e)
+  in
+  let seq_lines = lines seq_path and par_lines = lines par_path in
+  check (List.length seq_lines = 4) "sequential journal incomplete";
+  check (seq_lines = par_lines) "parallel journal diverged from sequential";
+  Printf.sprintf "4-job journal byte-equivalent to sequential (%d lines)"
+    (List.length seq_lines)
+
 (* --- driver --- *)
 
 let all_scenarios =
@@ -292,6 +495,11 @@ let all_scenarios =
     ("non-finite-probability", non_finite_probability_degrades);
     ("instance-crash-retry", instance_crash_retried);
     ("campaign-journal-resume", campaign_resumes_from_journal);
+    ("worker-kill-retry", worker_killed_retried);
+    ("worker-rss-cap", worker_rss_reaped);
+    ("worker-hang-watchdog", worker_hang_watchdog);
+    ("breaker-trip-recover", breaker_trip_recovers);
+    ("parallel-journal-equivalence", parallel_journal_equivalence);
   ]
 
 let run_all ?dir ~seed () =

@@ -305,6 +305,8 @@ let test_selector_degrades_on_nan_weights () =
     checkb "offending probability is non-finite" true (not (Float.is_finite p))
   | Some (Core.Selector.Model_failure m) ->
     Alcotest.failf "classified as model failure: %s" m
+  | Some Core.Selector.Breaker_open ->
+    Alcotest.fail "breaker tripped on a single NaN"
   | None -> Alcotest.fail "NaN output not detected");
   checkb "falls back to the default policy" true
     (s.Core.Selector.policy = Cdcl.Policy.Default)

@@ -200,6 +200,387 @@ let test_error_classification () =
   checkb "protect passes values through" true
     (Runtime.Error.protect ~context:"test" (fun () -> 7) = Ok 7)
 
+(* --- backoff --- *)
+
+let prop_backoff_bounded =
+  QCheck.Test.make ~name:"backoff delays stay within [base, cap]" ~count:200
+    QCheck.(pair small_int (int_range 0 24))
+    (fun (seed, attempts) ->
+      let base = 0.05 and cap = 5.0 in
+      let rec go b k ok =
+        if k < 0 then ok
+        else
+          let d, b' = Runtime.Backoff.next b in
+          go b' (k - 1) (ok && d >= base -. 1e-12 && d <= cap +. 1e-12)
+      in
+      go (Runtime.Backoff.create ~seed ()) attempts true)
+
+let prop_backoff_deterministic =
+  QCheck.Test.make ~name:"backoff schedule deterministic in (seed, attempt)"
+    ~count:100
+    QCheck.(pair small_int (int_range 1 12))
+    (fun (seed, n) ->
+      let walk () =
+        let rec go acc b k =
+          if k = 0 then List.rev acc
+          else
+            let d, b' = Runtime.Backoff.next b in
+            go (d :: acc) b' (k - 1)
+        in
+        go [] (Runtime.Backoff.create ~seed ()) n
+      in
+      walk () = walk ())
+
+let test_backoff_envelope () =
+  (* With jitter 0 the schedule is the bare exponential, capped. *)
+  let b = Runtime.Backoff.create ~base:0.1 ~cap:0.9 ~multiplier:2.0 ~jitter:0.0
+      ~seed:1 ()
+  in
+  let d0, b = Runtime.Backoff.next b in
+  let d1, b = Runtime.Backoff.next b in
+  let d2, b = Runtime.Backoff.next b in
+  let d3, b = Runtime.Backoff.next b in
+  Alcotest.(check (float 1e-9)) "attempt 0 = base" 0.1 d0;
+  Alcotest.(check (float 1e-9)) "attempt 1 doubles" 0.2 d1;
+  Alcotest.(check (float 1e-9)) "attempt 2 doubles" 0.4 d2;
+  Alcotest.(check (float 1e-9)) "attempt 3 doubles" 0.8 d3;
+  let d4, b = Runtime.Backoff.next b in
+  Alcotest.(check (float 1e-9)) "attempt 4 capped" 0.9 d4;
+  let reset = Runtime.Backoff.reset b in
+  checki "reset returns to attempt 0" 0 (Runtime.Backoff.attempt reset);
+  Alcotest.(check (float 1e-9)) "reset replays the schedule" 0.1
+    (Runtime.Backoff.delay reset)
+
+(* --- circuit breaker --- *)
+
+let breaker_test_config =
+  {
+    Runtime.Breaker.failure_threshold = 2;
+    cooldown_seconds = 10.0;
+    half_open_trials = 2;
+  }
+
+let test_breaker_lifecycle () =
+  let t = ref 0.0 in
+  let b =
+    Runtime.Breaker.create ~config:breaker_test_config ~now:(fun () -> !t) ()
+  in
+  checkb "starts closed" true (Runtime.Breaker.state b = Runtime.Breaker.Closed);
+  checkb "closed allows" true (Runtime.Breaker.allow b);
+  Runtime.Breaker.record_failure b;
+  checkb "below threshold stays closed" true
+    (Runtime.Breaker.state b = Runtime.Breaker.Closed);
+  Runtime.Breaker.record_failure b;
+  checkb "threshold trips open" true
+    (Runtime.Breaker.state b = Runtime.Breaker.Open);
+  checkb "open refuses" false (Runtime.Breaker.allow b);
+  checki "trip counted" 1 (Runtime.Breaker.trip_count b);
+  t := 9.9;
+  checkb "still open just before cooldown" false (Runtime.Breaker.allow b);
+  t := 10.1;
+  checkb "cooldown admits a trial" true (Runtime.Breaker.allow b);
+  checkb "half-open after cooldown" true
+    (Runtime.Breaker.state b = Runtime.Breaker.Half_open);
+  Runtime.Breaker.record_success b;
+  checkb "one success of two keeps it half-open" true
+    (Runtime.Breaker.state b = Runtime.Breaker.Half_open);
+  Runtime.Breaker.record_success b;
+  checkb "enough trial successes close it" true
+    (Runtime.Breaker.state b = Runtime.Breaker.Closed)
+
+let test_breaker_half_open_failure_reopens () =
+  let t = ref 0.0 in
+  let b =
+    Runtime.Breaker.create ~config:breaker_test_config ~now:(fun () -> !t) ()
+  in
+  Runtime.Breaker.force_open b;
+  t := 11.0;
+  checkb "trial admitted" true (Runtime.Breaker.allow b);
+  Runtime.Breaker.record_failure b;
+  checkb "half-open failure re-opens" true
+    (Runtime.Breaker.state b = Runtime.Breaker.Open);
+  checkb "re-opened refuses" false (Runtime.Breaker.allow b);
+  t := 22.0;
+  checkb "second cooldown admits again" true (Runtime.Breaker.allow b)
+
+let prop_breaker_transitions =
+  (* Under any op sequence on a fake clock the observed state only ever
+     moves along the state graph: Closed→Open (threshold), Open→
+     Half_open (cooldown), Half_open→Closed (successes) or
+     Half_open→Open (failure). Time advance alone never re-opens. *)
+  QCheck.Test.make ~name:"breaker transitions follow the state graph" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_range 0 3))
+    (fun ops ->
+      let t = ref 0.0 in
+      let b =
+        Runtime.Breaker.create
+          ~config:
+            {
+              Runtime.Breaker.failure_threshold = 2;
+              cooldown_seconds = 5.0;
+              half_open_trials = 1;
+            }
+          ~now:(fun () -> !t)
+          ()
+      in
+      let prev = ref (Runtime.Breaker.state b) in
+      let edge_ok a s =
+        a = s
+        ||
+        match (a, s) with
+        | Runtime.Breaker.Closed, Runtime.Breaker.Open
+        | Runtime.Breaker.Open, Runtime.Breaker.Half_open
+        | Runtime.Breaker.Half_open, Runtime.Breaker.Closed
+        | Runtime.Breaker.Half_open, Runtime.Breaker.Open ->
+          true
+        | _ -> false
+      in
+      let observe () =
+        let s = Runtime.Breaker.state b in
+        let ok = edge_ok !prev s in
+        prev := s;
+        ok
+      in
+      List.for_all
+        (fun op ->
+          (* Observe before and after each op so composite steps
+             (cooldown edge + op) decompose into single edges. *)
+          let pre = observe () in
+          (match op with
+          | 0 -> t := !t +. 2.0
+          | 1 -> Runtime.Breaker.record_failure b
+          | 2 -> Runtime.Breaker.record_success b
+          | _ -> ignore (Runtime.Breaker.allow b));
+          pre && observe ())
+        ops)
+
+(* --- supervisor --- *)
+
+let slim =
+  {
+    Runtime.Supervisor.default_limits with
+    heartbeat_interval = 0.05;
+    grace_seconds = 0.2;
+  }
+
+let check_verdict name expect v =
+  if not (expect v) then
+    Alcotest.failf "%s: unexpected verdict %s" name
+      (Runtime.Supervisor.verdict_to_string v)
+
+let test_supervisor_completed () =
+  check_verdict "ok payload"
+    (function Runtime.Supervisor.Completed (Ok "payload") -> true | _ -> false)
+    (Runtime.Supervisor.run slim (fun () -> Ok "payload"));
+  check_verdict "error payload"
+    (function Runtime.Supervisor.Completed (Error "boom") -> true | _ -> false)
+    (Runtime.Supervisor.run slim (fun () -> Error "boom"));
+  checkb "completed not retryable" false
+    (Runtime.Supervisor.retryable (Runtime.Supervisor.Completed (Ok "x")))
+
+let test_supervisor_exception_is_error () =
+  match Runtime.Supervisor.run slim (fun () -> failwith "worker exploded") with
+  | Runtime.Supervisor.Completed (Error msg) ->
+    checkb "exception text propagated" true
+      (String.length msg > 0)
+  | v ->
+    Alcotest.failf "unexpected verdict %s" (Runtime.Supervisor.verdict_to_string v)
+
+let test_supervisor_crash_verdicts () =
+  let exited = Runtime.Supervisor.run slim (fun () -> Unix._exit 7) in
+  check_verdict "exit 7"
+    (function Runtime.Supervisor.Exited 7 -> true | _ -> false)
+    exited;
+  checkb "exit retryable" true (Runtime.Supervisor.retryable exited);
+  let signaled =
+    Runtime.Supervisor.run slim (fun () ->
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        Ok "unreachable")
+  in
+  check_verdict "sigkill"
+    (function Runtime.Supervisor.Signaled _ -> true | _ -> false)
+    signaled;
+  checkb "signal retryable" true (Runtime.Supervisor.retryable signaled)
+
+let test_supervisor_deadline () =
+  let limits = { slim with deadline_seconds = Some 0.15 } in
+  let t0 = Unix.gettimeofday () in
+  let v =
+    Runtime.Supervisor.run limits (fun () ->
+        Unix.sleepf 30.0;
+        Ok "slept")
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  check_verdict "deadline"
+    (function Runtime.Supervisor.Timed_out t -> t >= 0.15 | _ -> false)
+    v;
+  checkb "reaped promptly, not after the sleep" true (wall < 5.0)
+
+let test_supervisor_mem_limit () =
+  let limits = { slim with mem_limit_mb = Some 1024 } in
+  match
+    Runtime.Supervisor.run limits (fun () ->
+        let b = Bytes.create (2 * 1024 * 1024 * 1024) in
+        Ok (string_of_int (Bytes.length b)))
+  with
+  | Runtime.Supervisor.Completed (Error msg) ->
+    checkb "failed with an out-of-memory error" true
+      (let m = String.lowercase_ascii msg in
+       let n = String.length "memory" in
+       let rec has i =
+         i + n <= String.length m && (String.sub m i n = "memory" || has (i + 1))
+       in
+       has 0)
+  | v ->
+    Alcotest.failf "RSS cap not enforced: %s"
+      (Runtime.Supervisor.verdict_to_string v)
+
+(* --- pool --- *)
+
+let test_pool_runs_all () =
+  Runtime.Shutdown.reset ();
+  let ids = List.init 6 (fun i -> Printf.sprintf "t%d" i) in
+  let batch =
+    Runtime.Pool.run_list ~jobs:3 ~limits:slim
+      ~should_stop:(fun () -> false)
+      (List.map (fun id -> (id, fun () -> Ok id)) ids)
+  in
+  checki "all tasks completed" 6 (List.length batch.Runtime.Pool.completions);
+  checkb "nothing skipped" true (batch.Runtime.Pool.not_run = []);
+  List.iter
+    (fun id ->
+      match
+        List.find
+          (fun (c : Runtime.Pool.completion) -> c.Runtime.Pool.id = id)
+          batch.Runtime.Pool.completions
+      with
+      | { Runtime.Pool.outcome = Runtime.Pool.Done payload; attempts; _ } ->
+        checks "payload is the id" id payload;
+        checki "one attempt sufficed" 1 attempts
+      | _ -> Alcotest.failf "%s did not complete" id)
+    ids
+
+let test_pool_sheds_on_full_queue () =
+  Runtime.Shutdown.reset ();
+  let shed = ref [] in
+  let pool =
+    Runtime.Pool.create ~jobs:1 ~max_queue:1 ~limits:slim
+      ~should_stop:(fun () -> false)
+      ~on_complete:(fun c ->
+        match c.Runtime.Pool.outcome with
+        | Runtime.Pool.Shed -> shed := c.Runtime.Pool.id :: !shed
+        | _ -> ())
+      ()
+  in
+  let statuses =
+    List.map
+      (fun id -> Runtime.Pool.submit pool ~id (fun () -> Ok id))
+      [ "a"; "b"; "c" ]
+  in
+  checkb "at least one submit shed" true (List.mem `Shed statuses);
+  checkb "at least one submit accepted" true (List.mem `Accepted statuses);
+  checkb "shed recorded via on_complete" true (!shed <> []);
+  checkb "shed counter agrees" true (Runtime.Pool.shed_count pool >= 1);
+  let completions, not_run = Runtime.Pool.drain pool in
+  checkb "accepted tasks still completed" true
+    (List.exists
+       (fun (c : Runtime.Pool.completion) ->
+         match c.Runtime.Pool.outcome with
+         | Runtime.Pool.Done _ -> true
+         | _ -> false)
+       completions);
+  checkb "no task stranded" true (not_run = [])
+
+let test_pool_graceful_drain_keeps_journal_intact () =
+  Runtime.Shutdown.reset ();
+  with_temp_path (fun journal ->
+      (* Mid-campaign stop: the first completion requests shutdown (as
+         the SIGTERM handler would); in-flight work finishes and is
+         journaled, the rest is reported not_run — and the journal tail
+         stays fully parseable. *)
+      let stop = ref false in
+      let on_complete (c : Runtime.Pool.completion) =
+        (match c.Runtime.Pool.outcome with
+        | Runtime.Pool.Done payload ->
+          (match
+             Runtime.Journal.append journal
+               [ ("name", Runtime.Journal.String payload) ]
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "append: %s" (Runtime.Error.to_string e))
+        | _ -> Alcotest.failf "%s failed" c.Runtime.Pool.id);
+        stop := true
+      in
+      let batch =
+        Runtime.Pool.run_list ~jobs:1 ~limits:slim
+          ~should_stop:(fun () -> !stop)
+          ~on_complete
+          (List.map
+             (fun id -> (id, fun () -> Ok id))
+             [ "first"; "second"; "third" ])
+      in
+      checki "only the in-flight task completed" 1
+        (List.length batch.Runtime.Pool.completions);
+      checki "the rest were drained before launch" 2
+        (List.length batch.Runtime.Pool.not_run);
+      match Runtime.Journal.load journal with
+      | Error e -> Alcotest.failf "journal load: %s" (Runtime.Error.to_string e)
+      | Ok (records, dropped) ->
+        checki "every completion journaled exactly once" 1 (List.length records);
+        checki "journal tail intact (no torn line)" 0 dropped)
+
+(* --- shutdown flag --- *)
+
+let test_shutdown_signal_flag () =
+  Runtime.Shutdown.reset ();
+  Runtime.Shutdown.install ();
+  Fun.protect
+    ~finally:(fun () ->
+      Runtime.Shutdown.uninstall ();
+      Runtime.Shutdown.reset ())
+    (fun () ->
+      checkb "not requested initially" false (Runtime.Shutdown.requested ());
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      (* OCaml delivers the signal at the next safe point. *)
+      Unix.sleepf 0.01;
+      checkb "requested after SIGTERM" true (Runtime.Shutdown.requested ());
+      checki "exit code is 128+SIGTERM" 143 (Runtime.Shutdown.exit_code ()))
+
+(* --- stale temp-file sweep --- *)
+
+let test_sweep_stale_tmp () =
+  let dir = Filename.temp_file "nssweep" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let touch name =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc "x";
+        close_out oc
+      in
+      let own = Printf.sprintf "ckpt.tmp.%d" (Unix.getpid ()) in
+      touch "ckpt.tmp.999999";
+      (* dead pid: stale *)
+      touch own;
+      (* live (our own) pid: in use *)
+      touch "ckpt";
+      (* not a temp file at all *)
+      checki "exactly the stale file swept" 1
+        (Runtime.Atomic_file.sweep_stale dir);
+      checkb "dead-pid temp removed" false
+        (Sys.file_exists (Filename.concat dir "ckpt.tmp.999999"));
+      checkb "live-pid temp kept" true (Sys.file_exists (Filename.concat dir own));
+      checkb "regular file kept" true (Sys.file_exists (Filename.concat dir "ckpt"));
+      checki "second sweep is a no-op" 0 (Runtime.Atomic_file.sweep_stale dir))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_backoff_bounded; prop_backoff_deterministic; prop_breaker_transitions ]
+
 let suite =
   [
     Alcotest.test_case "crc32 known vectors" `Quick test_crc32_vectors;
@@ -219,4 +600,25 @@ let suite =
       test_fault_deterministic_in_seed;
     Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
     Alcotest.test_case "error classification" `Quick test_error_classification;
+    Alcotest.test_case "backoff envelope (jitter 0)" `Quick test_backoff_envelope;
+    Alcotest.test_case "breaker lifecycle (fake clock)" `Quick
+      test_breaker_lifecycle;
+    Alcotest.test_case "breaker half-open failure reopens" `Quick
+      test_breaker_half_open_failure_reopens;
+    Alcotest.test_case "supervisor completed results" `Quick
+      test_supervisor_completed;
+    Alcotest.test_case "supervisor worker exception" `Quick
+      test_supervisor_exception_is_error;
+    Alcotest.test_case "supervisor crash verdicts" `Quick
+      test_supervisor_crash_verdicts;
+    Alcotest.test_case "supervisor deadline" `Quick test_supervisor_deadline;
+    Alcotest.test_case "supervisor memory limit" `Quick test_supervisor_mem_limit;
+    Alcotest.test_case "pool runs all tasks" `Quick test_pool_runs_all;
+    Alcotest.test_case "pool sheds on full queue" `Quick
+      test_pool_sheds_on_full_queue;
+    Alcotest.test_case "pool graceful drain, journal intact" `Quick
+      test_pool_graceful_drain_keeps_journal_intact;
+    Alcotest.test_case "shutdown signal flag" `Quick test_shutdown_signal_flag;
+    Alcotest.test_case "stale temp-file sweep" `Quick test_sweep_stale_tmp;
   ]
+  @ qcheck_tests
