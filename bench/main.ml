@@ -12,9 +12,45 @@
      ablation — alpha sweep and deletion-policy zoo
      kernels — bechamel micro-benchmarks (BCP, reduce, inference)
 
-   Environment: NS_BENCH_FAST=1 shrinks the dataset and epochs ~4x. *)
+   Environment: NS_BENCH_FAST=1 shrinks the dataset and epochs ~4x;
+   NS_TRACE=path emits JSONL spans.
+
+   --json FILE additionally writes an ns.bench/1 report: the kernel
+   OLS estimates plus a full metrics snapshot (see README
+   "Observability"). bin/benchdiff.exe gates CI on it. *)
 
 let fast = Sys.getenv_opt "NS_BENCH_FAST" = Some "1"
+
+let sections =
+  [ "fig3"; "table1"; "fig4"; "table2"; "table3"; "fig7"; "ablation"; "kernels" ]
+
+let usage () =
+  Printf.eprintf
+    "usage: bench/main.exe [--json FILE] [SECTION...]\n\
+     sections: %s\n\
+     (no sections runs everything; NS_BENCH_FAST=1 shrinks the run ~4x)\n"
+    (String.concat " " sections)
+
+(* Reject unknown section names instead of silently matching nothing:
+   a typo like `kernls` used to print only the banner and exit 0. *)
+let selected, json_out =
+  let rec parse acc json = function
+    | [] -> (List.rev acc, json)
+    | "--json" :: path :: rest -> parse acc (Some path) rest
+    | [ "--json" ] ->
+      prerr_endline "bench: --json needs a FILE argument";
+      usage ();
+      exit 2
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | arg :: rest when List.mem arg sections -> parse (arg :: acc) json rest
+    | arg :: _ ->
+      Printf.eprintf "bench: unknown section %S\n" arg;
+      usage ();
+      exit 2
+  in
+  parse [] None (List.tl (Array.to_list Sys.argv))
 
 (* Dataset settings validated to give a learnable label distribution at
    this scale (see DESIGN.md on label noise): seed 7 draws a family mix
@@ -27,9 +63,7 @@ let dataset_seed = 7
 let section_header title =
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
 
-let wanted =
-  let args = Array.to_list Sys.argv |> List.tl in
-  fun name -> args = [] || List.mem name args
+let wanted name = selected = [] || List.mem name selected
 
 (* Shared state: dataset preparation and the trained model are reused
    across sections. *)
@@ -183,10 +217,16 @@ let kernel_tests () =
   in
   [ bcp; reduce; inference ]
 
+(* Estimates from the last kernels run, for the --json report. *)
+let kernel_estimates = ref []
+
 let run_kernels () =
   section_header "Kernel micro-benchmarks (bechamel)";
   let open Bechamel in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  (* 3s per kernel: the inference kernel runs ~100ms/iteration, so a
+     1s quota left the OLS estimate with a handful of samples and
+     back-to-back runs drifted past the CI gate's 25% tolerance. *)
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 3.0) () in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let handle test =
     let results = Benchmark.all cfg instances test in
@@ -197,13 +237,35 @@ let run_kernels () =
     Hashtbl.iter
       (fun name result ->
         match Analyze.OLS.estimates result with
-        | Some [ est ] -> Format.printf "%-48s %12.0f ns/run@." name est
+        | Some [ est ] ->
+          kernel_estimates :=
+            { Obs.Bench_report.name; ns_per_run = est } :: !kernel_estimates;
+          Format.printf "%-48s %12.0f ns/run@." name est
         | Some _ | None -> Format.printf "%-48s (no estimate)@." name)
       analysis
   in
   List.iter handle (kernel_tests ())
 
+let write_json path =
+  let date =
+    let tm = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let report =
+    Obs.Bench_report.make ~date ~fast
+      ~kernels:
+        (List.sort
+           (fun a b ->
+             String.compare a.Obs.Bench_report.name b.Obs.Bench_report.name)
+           !kernel_estimates)
+      ~metrics:(Obs.Report.to_json ())
+  in
+  Obs.Bench_report.write_file path report;
+  Format.printf "bench report written to %s@." path
+
 let () =
+  Obs.Trace.install_from_env ();
   Format.printf "NeuroSelect benchmark harness%s@."
     (if fast then " (fast mode)" else "");
   if wanted "fig3" then run_fig3 ();
@@ -214,4 +276,5 @@ let () =
   if wanted "fig7" then run_fig7 ();
   if wanted "ablation" then run_ablation ();
   if wanted "kernels" then run_kernels ();
+  (match json_out with Some path -> write_json path | None -> ());
   Format.printf "@.done.@."

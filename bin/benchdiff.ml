@@ -1,0 +1,72 @@
+(* ns-benchdiff: compare two ns.bench/1 JSON reports and fail on a
+   perf regression. CI runs this as the bench-smoke gate against the
+   checked-in bench/baseline.json.
+
+   By default each kernel's current/baseline ratio is normalized by
+   the median ratio across kernels before gating, so a uniformly
+   slower (or faster) machine does not trip the gate — only a kernel
+   that regressed relative to the others does. --absolute gates the
+   raw ratio instead, for same-host comparisons.
+
+   Exit codes: 0 pass, 1 regression (or kernels missing), 2 usage or
+   unreadable/invalid report. *)
+
+let run baseline current tolerance absolute =
+  let read label path =
+    match Obs.Bench_report.read_file path with
+    | Ok r -> r
+    | Error msg ->
+      Printf.eprintf "benchdiff: cannot read %s report %s: %s\n" label path msg;
+      exit 2
+  in
+  let baseline = read "baseline" baseline in
+  let current = read "current" current in
+  if baseline.Obs.Bench_report.kernels = [] then begin
+    prerr_endline "benchdiff: baseline lists no kernels";
+    exit 2
+  end;
+  let c =
+    Obs.Bench_report.compare_kernels ~tolerance ~absolute ~baseline ~current ()
+  in
+  Format.printf "%a@." Obs.Bench_report.pp_comparison c;
+  Format.printf "(tolerance %.0f%%, %s ratios; baseline %s, current %s)@."
+    (100.0 *. tolerance)
+    (if absolute then "absolute" else "median-normalized")
+    baseline.Obs.Bench_report.date current.Obs.Bench_report.date;
+  if c.Obs.Bench_report.ok then exit 0 else exit 1
+
+open Cmdliner
+
+let baseline =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BASELINE.json" ~doc:"Checked-in baseline bench report.")
+
+let current =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"CURRENT.json" ~doc:"Freshly measured bench report.")
+
+let tolerance =
+  Arg.(
+    value & opt float 0.25
+    & info [ "tolerance" ] ~docv:"FRACTION"
+        ~doc:"Allowed slowdown before a kernel counts as regressed \
+              (0.25 = 25%).")
+
+let absolute =
+  Arg.(
+    value & flag
+    & info [ "absolute" ]
+        ~doc:"Gate raw current/baseline ratios instead of \
+              median-normalized ones (same-host comparisons only).")
+
+let cmd =
+  let doc = "compare bench reports and fail on a kernel perf regression" in
+  Cmd.v
+    (Cmd.info "ns-benchdiff" ~doc)
+    Term.(const run $ baseline $ current $ tolerance $ absolute)
+
+let () = exit (Cmd.eval cmd)

@@ -8,7 +8,11 @@
    retried once instead of aborting the campaign. *)
 
 let run checkpoint seed per_year budget journal deadline jobs mem_limit_mb
-    isolate =
+    isolate metrics =
+  Obs.Trace.install_from_env ();
+  (match metrics with
+  | Some path -> at_exit (fun () -> Obs.Report.write path)
+  | None -> ());
   (* SIGINT/SIGTERM request a graceful drain: in-flight instances
      finish and are journaled (every append is fsynced), then we exit
      non-zero below. *)
@@ -103,12 +107,22 @@ let isolate =
            single job, so one runaway instance cannot crash the \
            campaign.")
 
+let metrics =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Dump an ns.metrics/1 JSON snapshot (solver, selector, pool and \
+           supervisor counters) to FILE on exit. Note: with --jobs/--isolate \
+           the per-instance solver counters accrue in the worker processes, \
+           so the parent snapshot only reflects in-process work.")
+
 let cmd =
   let doc = "evaluate a trained NeuroSelect model against Kissat-default" in
   Cmd.v
     (Cmd.info "ns-evaluate" ~doc)
     Term.(
       const run $ checkpoint $ seed $ per_year $ budget $ journal $ deadline
-      $ jobs $ mem_limit_mb $ isolate)
+      $ jobs $ mem_limit_mb $ isolate $ metrics)
 
 let () = exit (Cmd.eval cmd)

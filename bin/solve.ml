@@ -110,7 +110,13 @@ let solve_one file policy_str adaptive checkpoint proof simplify max_conflicts
       0)
 
 let run files policy_str adaptive checkpoint proof simplify max_conflicts
-    max_propagations jobs mem_limit_mb isolate verbose =
+    max_propagations jobs mem_limit_mb isolate metrics verbose =
+  Obs.Trace.install_from_env ();
+  (* The solve paths below leave through [exit]; at_exit keeps the
+     metrics dump on every one of them. *)
+  (match metrics with
+  | Some path -> at_exit (fun () -> Obs.Report.write path)
+  | None -> ());
   if (not adaptive) && Cdcl.Policy.of_string policy_str = None then begin
     prerr_endline ("unknown policy: " ^ policy_str);
     exit 2
@@ -208,6 +214,11 @@ let isolate =
          ~doc:"Fork the solve into a supervised worker process (resource \
                limits, heartbeat watchdog) instead of running in-process.")
 
+let metrics =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Dump an ns.metrics/1 JSON snapshot of all solver/selector \
+               counters to FILE on exit.")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ])
 
 let cmd =
@@ -217,6 +228,6 @@ let cmd =
     Term.(
       const run $ files $ policy $ adaptive $ checkpoint $ proof $ simplify_flag
       $ max_conflicts $ max_propagations $ jobs $ mem_limit_mb $ isolate
-      $ verbose)
+      $ metrics $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -21,7 +21,12 @@ let last_completed_epoch out =
         | None -> acc)
       None records
 
-let run seed per_year budget epochs lr out resume checkpoint_every quiet =
+let run seed per_year budget epochs lr out resume checkpoint_every metrics
+    quiet =
+  Obs.Trace.install_from_env ();
+  (match metrics with
+  | Some path -> at_exit (fun () -> Obs.Report.write path)
+  | None -> ());
   (* SIGINT/SIGTERM are polled at each epoch boundary: the current
      weights and a progress-journal line are flushed so --resume picks
      up exactly where the signal landed, then we exit non-zero. *)
@@ -142,6 +147,15 @@ let checkpoint_every =
     & info [ "checkpoint-every" ] ~docv:"N"
         ~doc:"Write the checkpoint and progress journal every N epochs.")
 
+let metrics =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Dump an ns.metrics/1 JSON snapshot (per-layer forward times, \
+           backward/step times, gradient-clip events, labelling-solver \
+           counters) to FILE on exit.")
+
 let quiet = Arg.(value & flag & info [ "quiet"; "q" ])
 
 let cmd =
@@ -150,6 +164,6 @@ let cmd =
     (Cmd.info "ns-train" ~doc)
     Term.(
       const run $ seed $ per_year $ budget $ epochs $ lr $ out $ resume
-      $ checkpoint_every $ quiet)
+      $ checkpoint_every $ metrics $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -1,6 +1,20 @@
 module Lit = Cnf.Lit
 module Vec = Util.Vec
 
+(* Process-wide observability handles, registered once at load. The
+   hot-path operations on them are plain field stores (no allocation);
+   see Obs.Metrics. *)
+let m_propagations = Obs.Metrics.counter "cdcl.propagations"
+let m_conflicts = Obs.Metrics.counter "cdcl.conflicts"
+let m_decisions = Obs.Metrics.counter "cdcl.decisions"
+let m_restarts = Obs.Metrics.counter "cdcl.restarts"
+let m_reduce_passes = Obs.Metrics.counter "cdcl.reduce_passes"
+let m_clauses_learned = Obs.Metrics.counter "cdcl.clauses_learned"
+let m_clauses_deleted = Obs.Metrics.counter "cdcl.clauses_deleted"
+let m_clauses_kept = Obs.Metrics.counter "cdcl.clauses_kept"
+let m_frequency_recomputes = Obs.Metrics.counter "cdcl.frequency_recomputes"
+let h_reduce_seconds = Obs.Metrics.histogram "cdcl.reduce_seconds"
+
 type clause = {
   cid : int;
   lits : Lit.t array;
@@ -109,7 +123,7 @@ let enqueue t l reason =
    conflicting clause, if any. Increments the propagation-trigger
    counter of the variable whose assignment is being consumed, once per
    implication it produces (Section 3.1 of the paper). *)
-let propagate t =
+let propagate_body t =
   let conflict = ref None in
   while !conflict = None && t.qhead < Vec.length t.trail do
     let p = Vec.get t.trail t.qhead in
@@ -165,6 +179,7 @@ let propagate t =
             else begin
               ignore (enqueue t first (Some c));
               t.stats.propagations <- t.stats.propagations + 1;
+              Obs.Metrics.incr m_propagations;
               t.prop_counts.(p_var) <- t.prop_counts.(p_var) + 1
             end
           end
@@ -174,6 +189,13 @@ let propagate t =
     Vec.shrink ws !j
   done;
   !conflict
+
+(* The closure for the span is only allocated when tracing is live, so
+   the disabled path costs one branch. *)
+let propagate t =
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "solver.propagate" (fun () -> propagate_body t)
+  else propagate_body t
 
 (* --- activity management ------------------------------------------- *)
 
@@ -376,6 +398,7 @@ let clause_info t f_max c =
   let frequency =
     match Policy.alpha_of t.cfg.policy with
     | Some alpha ->
+      Obs.Metrics.incr m_frequency_recomputes;
       let vars = Array.map Lit.var c.lits in
       Policy.clause_frequency ~alpha ~f_max ~counts:t.prop_counts ~vars
     | None -> 0
@@ -394,8 +417,9 @@ let rebuild_watches t =
 (* Delete the lowest-ranked fraction of reducible learned clauses
    according to the configured policy, then reset the propagation
    counters ("since the last clause deletion", Eq. 2). *)
-let reduce t =
+let reduce_body t =
   t.stats.reduces <- t.stats.reduces + 1;
+  Obs.Metrics.incr m_reduce_passes;
   let f_max = Array.fold_left max 0 t.prop_counts in
   let candidates =
     Vec.fold
@@ -418,9 +442,18 @@ let reduce t =
         emit_trace t (Deleted c.lits)
       end)
     ranked;
+  Obs.Metrics.add m_clauses_deleted (min to_delete (List.length ranked));
+  Obs.Metrics.add m_clauses_kept
+    (max 0 (List.length ranked - to_delete));
   Vec.filter_in_place (fun c -> not c.deleted) t.learnts;
   rebuild_watches t;
   Array.fill t.prop_counts 0 (Array.length t.prop_counts) 0
+
+let reduce t =
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "solver.reduce" (fun () ->
+        Obs.Metrics.time h_reduce_seconds (fun () -> reduce_body t))
+  else Obs.Metrics.time h_reduce_seconds (fun () -> reduce_body t)
 
 (* --- restarts --------------------------------------------------------- *)
 
@@ -444,6 +477,7 @@ let should_restart t =
 
 let do_restart t =
   t.stats.restarts <- t.stats.restarts + 1;
+  Obs.Metrics.incr m_restarts;
   t.conflicts_since_restart <- 0;
   (match t.restart with
   | R_luby (it, limit) -> limit := Util.Luby.next it
@@ -529,6 +563,7 @@ let create ?(config = Config.default) formula =
 
 let install_learnt t lits glue =
   t.stats.learned_total <- t.stats.learned_total + 1;
+  Obs.Metrics.incr m_clauses_learned;
   emit_trace t (Learned lits);
   if Array.length lits = 1 then begin
     backtrack t 0;
@@ -557,6 +592,7 @@ let pick_branch_var t =
 
 let decide t v =
   t.stats.decisions <- t.stats.decisions + 1;
+  Obs.Metrics.incr m_decisions;
   Vec.push t.trail_lim (Vec.length t.trail);
   let l = Lit.make v t.phase.(v) in
   ignore (enqueue t l None);
@@ -634,7 +670,7 @@ let next_decision t result =
     | None -> result := Some (Sat (model t))
   end
 
-let search t =
+let search_body t =
   let conflicts0 = t.stats.conflicts and propagations0 = t.stats.propagations in
   let deadline =
     Option.map (fun s -> Runtime.Clock.now () +. s) t.cfg.max_wall_seconds
@@ -645,6 +681,7 @@ let search t =
     match propagate t with
     | Some confl ->
       t.stats.conflicts <- t.stats.conflicts + 1;
+      Obs.Metrics.incr m_conflicts;
       if decision_level t = 0 then result := Some Unsat
       else begin
         let lits, bt_level, glue = analyze t confl in
@@ -670,6 +707,8 @@ let search t =
       else next_decision t result
   done;
   Option.get !result
+
+let search t = Obs.Trace.with_span "solver.solve" (fun () -> search_body t)
 
 let solve t =
   match t.answer with

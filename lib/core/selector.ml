@@ -1,3 +1,9 @@
+let m_selections = Obs.Metrics.counter "selector.selections"
+let m_fallbacks = Obs.Metrics.counter "selector.fallbacks"
+let m_breaker_rejections = Obs.Metrics.counter "selector.breaker_open_rejections"
+let m_chose_frequency = Obs.Metrics.counter "selector.chose_frequency"
+let h_inference = Obs.Metrics.histogram "selector.inference_seconds"
+
 type degradation =
   | Model_failure of string
   | Non_finite_probability of float
@@ -52,9 +58,12 @@ let breaker_trip_count () = Runtime.Breaker.trip_count !breaker
 let reset_breaker () = Runtime.Breaker.reset !breaker
 
 let select_policy ?(alpha = Cdcl.Policy.default_alpha) model formula =
+  Obs.Metrics.incr m_selections;
   if Runtime.Fault.fires Runtime.Fault.Breaker_trip then
     Runtime.Breaker.force_open !breaker;
-  if not (Runtime.Breaker.allow !breaker) then
+  if not (Runtime.Breaker.allow !breaker) then begin
+    Obs.Metrics.incr m_fallbacks;
+    Obs.Metrics.incr m_breaker_rejections;
     (* Fail fast, fleet-wide: while the breaker is open no selection
        pays for (or further stresses) the failing model path — every
        instance runs the paper's baseline policy until the cooldown
@@ -65,6 +74,7 @@ let select_policy ?(alpha = Cdcl.Policy.default_alpha) model formula =
       inference_seconds = 0.0;
       degraded = Some Breaker_open;
     }
+  end
   else begin
     let t0 = Runtime.Clock.now () in
     let outcome =
@@ -74,15 +84,18 @@ let select_policy ?(alpha = Cdcl.Policy.default_alpha) model formula =
          the sweep; the paper's baseline Kissat behaviour is always
          available. *)
       match
-        if Runtime.Fault.fires Runtime.Fault.Inference_failure then
-          Runtime.Error.raise_ (Runtime.Error.Injected_fault { point = "inference" });
-        Model.predict_formula model formula
+        Obs.Trace.with_span "selector.inference" (fun () ->
+            if Runtime.Fault.fires Runtime.Fault.Inference_failure then
+              Runtime.Error.raise_
+                (Runtime.Error.Injected_fault { point = "inference" });
+            Model.predict_formula model formula)
       with
       | p when Float.is_finite p -> Ok p
       | p -> Error (Non_finite_probability p)
       | exception e -> Error (Model_failure (Printexc.to_string e))
     in
     let inference_seconds = Runtime.Clock.elapsed_since t0 in
+    Obs.Metrics.observe h_inference inference_seconds;
     let slow =
       match !breaker_config.slow_call_seconds with
       | Some s -> inference_seconds > s
@@ -94,11 +107,15 @@ let select_policy ?(alpha = Cdcl.Policy.default_alpha) model formula =
     match outcome with
     | Ok probability ->
       let policy =
-        if probability > 0.5 then Cdcl.Policy.Frequency { alpha }
+        if probability > 0.5 then begin
+          Obs.Metrics.incr m_chose_frequency;
+          Cdcl.Policy.Frequency { alpha }
+        end
         else Cdcl.Policy.Default
       in
       { policy; probability; inference_seconds; degraded = None }
     | Error d ->
+      Obs.Metrics.incr m_fallbacks;
       {
         policy = Cdcl.Policy.Default;
         probability =

@@ -6,6 +6,9 @@ module Linear = struct
     bias : Param.t option;
     in_dim : int;
     out_dim : int;
+    forward_seconds : Obs.Metrics.histogram;
+        (* per-layer wall time, keyed by the layer name so the metric
+           survives model re-creation *)
   }
 
   let create ?(bias = true) rng ~in_dim ~out_dim ~name =
@@ -13,14 +16,18 @@ module Linear = struct
     let bias =
       if bias then Some (Param.create (name ^ ".bias") (Mat.zeros 1 out_dim)) else None
     in
-    { weight; bias; in_dim; out_dim }
+    let forward_seconds =
+      Obs.Metrics.histogram ("nn.forward_seconds." ^ name)
+    in
+    { weight; bias; in_dim; out_dim; forward_seconds }
 
   let forward tape t x =
-    let w = Ad.of_param tape t.weight in
-    let y = Ad.matmul tape x w in
-    match t.bias with
-    | None -> y
-    | Some b -> Ad.add_row_bias tape y (Ad.of_param tape b)
+    Obs.Metrics.time t.forward_seconds (fun () ->
+        let w = Ad.of_param tape t.weight in
+        let y = Ad.matmul tape x w in
+        match t.bias with
+        | None -> y
+        | Some b -> Ad.add_row_bias tape y (Ad.of_param tape b))
 
   let params t =
     t.weight :: (match t.bias with None -> [] | Some b -> [ b ])

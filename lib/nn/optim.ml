@@ -37,9 +37,12 @@ let grad_norm t =
   in
   sqrt acc
 
+let m_grad_clips = Obs.Metrics.counter "nn.grad_clip_events"
+
 let clip_grad_norm t max_norm =
   let n = grad_norm t in
   if Float.is_finite n && n > max_norm && max_norm > 0.0 then begin
+    Obs.Metrics.incr m_grad_clips;
     let s = max_norm /. n in
     List.iter
       (fun (p : Param.t) -> p.Param.grad <- Mat.scale s p.Param.grad)

@@ -5,6 +5,11 @@ type 'g spec = {
   forward : Ad.tape -> 'g -> Ad.v;
 }
 
+let h_forward = Obs.Metrics.histogram "nn.forward_seconds"
+let h_backward = Obs.Metrics.histogram "nn.backward_seconds"
+let h_step = Obs.Metrics.histogram "nn.step_seconds"
+let m_diverged = Obs.Metrics.counter "nn.diverged_steps"
+
 type history = {
   epoch_losses : float array;
   skipped_steps : int;
@@ -57,6 +62,7 @@ let fit ?(epochs = 40) ?(lr = 1e-3) ?(seed = 7) ?(pos_weight = 1.0)
      moments, then back the learning rate off. *)
   let diverge () =
     incr skipped;
+    Obs.Metrics.incr m_diverged;
     Optim.zero_grads optimiser;
     let current = Optim.lr optimiser in
     let next = Float.max min_lr (current *. lr_backoff) in
@@ -75,18 +81,21 @@ let fit ?(epochs = 40) ?(lr = 1e-3) ?(seed = 7) ?(pos_weight = 1.0)
       Array.iter
         (fun (input, label) ->
           let tape = Ad.tape () in
-          let l = loss_node ~pos_weight spec tape input label in
+          let l =
+            Obs.Metrics.time h_forward (fun () ->
+                loss_node ~pos_weight spec tape input label)
+          in
           let lv = Mat.get (Ad.value l) 0 0 in
           if not (Float.is_finite lv) then diverge ()
           else begin
-            Ad.backward tape l;
+            Obs.Metrics.time h_backward (fun () -> Ad.backward tape l);
             maybe_poison_gradients spec.params;
             let gn = Optim.clip_grad_norm optimiser clip_norm in
             if not (Float.is_finite gn) then diverge ()
             else begin
               total := !total +. lv;
               incr counted;
-              Optim.step optimiser
+              Obs.Metrics.time h_step (fun () -> Optim.step optimiser)
             end
           end)
         order;

@@ -1,0 +1,37 @@
+(** Minimal JSON tree with a deterministic printer.
+
+    The observability layer emits machine-readable artifacts (metric
+    reports, bench results, trace spans) whose bytes must be stable
+    across runs for golden tests and CI diffing, so the printer
+    guarantees: object keys in the order given by the caller, floats
+    through one canonical format, no whitespace variation. The parser
+    accepts standard JSON (objects, arrays, strings with escapes,
+    numbers, booleans, null). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** Non-finite floats print as [null]. *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering, no trailing newline. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; [Error] carries a position-tagged
+    message. Numbers without ['.'], ['e'] or ['E'] that fit an OCaml
+    [int] parse as [Int], everything else as [Float]. *)
+
+(** {1 Accessors} — [None] on kind mismatch or missing member. *)
+
+val member : string -> t -> t option
+val to_float_opt : t -> float option
+(** Accepts [Int] and [Float]. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

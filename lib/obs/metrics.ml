@@ -1,0 +1,181 @@
+type counter = { mutable count : int }
+
+type gauge = { cell : float array (* length 1: unboxed float store *) }
+
+type histogram = {
+  bounds : float array; (* strictly increasing upper bounds *)
+  bucket_counts : int array; (* length bounds + 1; last = overflow *)
+  sum : float array; (* length 1 *)
+  mutable observations : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type registry = { table : (string, metric) Hashtbl.t }
+
+let create_registry () = { table = Hashtbl.create 64 }
+let default_registry = create_registry ()
+
+let register ?(registry = default_registry) name make describe =
+  match Hashtbl.find_opt registry.table name with
+  | None ->
+    let m = make () in
+    Hashtbl.replace registry.table name m;
+    m
+  | Some existing -> describe existing
+
+let kind_error name wanted =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %S already registered as a different %s" name
+       wanted)
+
+(* --- counters -------------------------------------------------------- *)
+
+let counter ?registry name =
+  match
+    register ?registry name
+      (fun () -> Counter { count = 0 })
+      (function Counter _ as m -> m | _ -> kind_error name "kind (wanted counter)")
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let incr c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.Metrics.add: negative delta";
+  c.count <- c.count + n
+
+let counter_value c = c.count
+
+(* --- gauges ---------------------------------------------------------- *)
+
+let gauge ?registry name =
+  match
+    register ?registry name
+      (fun () -> Gauge { cell = [| 0.0 |] })
+      (function Gauge _ as m -> m | _ -> kind_error name "kind (wanted gauge)")
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let set g v = g.cell.(0) <- v
+let gauge_value g = g.cell.(0)
+
+(* --- histograms ------------------------------------------------------ *)
+
+let default_bounds =
+  (* 1–2–5 per decade over [1e-9, 1e3]. Spelled via powers of ten so
+     every bound is the closest float to its decimal form. *)
+  let steps = [ 1.0; 2.0; 5.0 ] in
+  let decades = List.init 12 (fun i -> i - 9) in
+  let ladder =
+    List.concat_map
+      (fun d -> List.map (fun s -> s *. (10.0 ** float_of_int d)) steps)
+      decades
+  in
+  Array.of_list (ladder @ [ 1e3 ])
+
+let check_bounds bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Obs.Metrics.histogram: empty bounds";
+  for i = 1 to Array.length bounds - 1 do
+    if not (bounds.(i) > bounds.(i - 1)) then
+      invalid_arg "Obs.Metrics.histogram: bounds must be strictly increasing"
+  done
+
+let histogram ?registry ?(bounds = default_bounds) name =
+  check_bounds bounds;
+  match
+    register ?registry name
+      (fun () ->
+        Histogram
+          {
+            bounds = Array.copy bounds;
+            bucket_counts = Array.make (Array.length bounds + 1) 0;
+            sum = [| 0.0 |];
+            observations = 0;
+          })
+      (function
+        | Histogram h as m ->
+          if h.bounds <> bounds then
+            invalid_arg
+              (Printf.sprintf
+                 "Obs.Metrics: histogram %S already registered with different \
+                  bounds"
+                 name);
+          m
+        | _ -> kind_error name "kind (wanted histogram)")
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+(* Index of the first bound >= v, or |bounds| (overflow) when v is
+   above them all. Binary search over the preallocated array: no
+   allocation on the observe path. *)
+let bucket_index bounds v =
+  let lo = ref 0 and hi = ref (Array.length bounds) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if bounds.(mid) >= v then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h v =
+  if not (Float.is_nan v) then begin
+    let i = bucket_index h.bounds v in
+    h.bucket_counts.(i) <- h.bucket_counts.(i) + 1;
+    h.sum.(0) <- h.sum.(0) +. v;
+    h.observations <- h.observations + 1
+  end
+
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  observe h (Float.max 0.0 (Unix.gettimeofday () -. t0));
+  r
+
+let hist_count h = h.observations
+let hist_sum h = h.sum.(0)
+
+let buckets h =
+  Array.init
+    (Array.length h.bucket_counts)
+    (fun i ->
+      let le =
+        if i < Array.length h.bounds then h.bounds.(i) else infinity
+      in
+      (le, h.bucket_counts.(i)))
+
+let merge ~into src =
+  if into.bounds <> src.bounds then
+    invalid_arg "Obs.Metrics.merge: mismatched bucket bounds";
+  Array.iteri
+    (fun i c -> into.bucket_counts.(i) <- into.bucket_counts.(i) + c)
+    src.bucket_counts;
+  into.sum.(0) <- into.sum.(0) +. src.sum.(0);
+  into.observations <- into.observations + src.observations
+
+(* --- registry-wide --------------------------------------------------- *)
+
+let snapshot ?(registry = default_registry) () =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset ?(registry = default_registry) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.cell.(0) <- 0.0
+      | Histogram h ->
+        Array.fill h.bucket_counts 0 (Array.length h.bucket_counts) 0;
+        h.sum.(0) <- 0.0;
+        h.observations <- 0)
+    registry.table
+
+let find ?(registry = default_registry) name =
+  Hashtbl.find_opt registry.table name

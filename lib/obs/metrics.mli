@@ -1,0 +1,88 @@
+(** Process-wide metric registry: counters, gauges, and log-bucketed
+    histograms.
+
+    Handles are registered once (typically at module initialisation)
+    and then mutated in place, so the hot-path operations — {!incr},
+    {!add}, {!set}, {!observe} — allocate nothing: a counter bump is a
+    single mutable-field store, a histogram observation is a binary
+    search over a preallocated bounds array plus two array stores.
+
+    Registering the same name twice returns the existing handle; the
+    name is the identity. Registering a name as two different metric
+    kinds (or a histogram with different bounds) raises
+    [Invalid_argument] — silently shadowing a metric would corrupt
+    every report that mentions it.
+
+    All functions default to a single process-wide registry; tests can
+    pass their own {!registry} to stay independent of whatever the
+    linked libraries registered at startup. *)
+
+type registry
+
+val default_registry : registry
+val create_registry : unit -> registry
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : ?registry:registry -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Negative deltas raise [Invalid_argument]: counters only go up. *)
+
+val counter_value : counter -> int
+
+(** {1 Gauges} — last-write-wins floats (queue depths, sizes). *)
+
+type gauge
+
+val gauge : ?registry:registry -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} — log-bucketed distributions. *)
+
+type histogram
+
+val default_bounds : float array
+(** A 1–2–5 ladder per decade from [1e-9] to [1e3] (37 upper bounds),
+    sized for wall-clock seconds from nanoseconds to ~17 minutes.
+    Values above the last bound land in an implicit overflow bucket. *)
+
+val histogram : ?registry:registry -> ?bounds:float array -> string -> histogram
+(** [bounds] must be strictly increasing and non-empty. *)
+
+val observe : histogram -> float -> unit
+(** Values ≤ the first bound count in bucket 0; NaN is dropped. *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its wall-clock duration in seconds.
+    Re-raises without observing if the thunk raises. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val buckets : histogram -> (float * int) array
+(** [(upper_bound, count)] pairs; the final pair's bound is
+    [infinity] (the overflow bucket). Counts are per-bucket, not
+    cumulative. *)
+
+val merge : into:histogram -> histogram -> unit
+(** Add the source's bucket counts/sum into [into]. Raises
+    [Invalid_argument] when the bucket bounds differ. *)
+
+(** {1 Registry-wide operations} *)
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+val snapshot : ?registry:registry -> unit -> (string * metric) list
+(** All registered metrics sorted by name. *)
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every value; registrations (and handles) stay valid. *)
+
+val find : ?registry:registry -> string -> metric option

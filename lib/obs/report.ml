@@ -1,0 +1,149 @@
+let schema = "ns.metrics/1"
+
+let histogram_json h =
+  let bucket (le, count) =
+    Json.Obj
+      [
+        ( "le",
+          if Float.is_finite le then Json.Float le else Json.String "+inf" );
+        ("count", Json.Int count);
+      ]
+  in
+  Json.Obj
+    [
+      ("count", Json.Int (Metrics.hist_count h));
+      ("sum", Json.Float (Metrics.hist_sum h));
+      ( "buckets",
+        Json.List (Array.to_list (Array.map bucket (Metrics.buckets h))) );
+    ]
+
+let to_json ?registry ?now () =
+  let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+  let snap = Metrics.snapshot ?registry () in
+  let pick f = List.filter_map f snap in
+  let counters =
+    pick (function
+      | name, Metrics.Counter c -> Some (name, Json.Int (Metrics.counter_value c))
+      | _ -> None)
+  in
+  let gauges =
+    pick (function
+      | name, Metrics.Gauge g -> Some (name, Json.Float (Metrics.gauge_value g))
+      | _ -> None)
+  in
+  let histograms =
+    pick (function
+      | name, Metrics.Histogram h -> Some (name, histogram_json h)
+      | _ -> None)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("created_unix", Json.Float now);
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]
+
+let to_string ?registry ?now () = Json.to_string (to_json ?registry ?now ())
+
+let write ?registry ?now path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string ?registry ?now ());
+      output_char oc '\n')
+
+(* --- schema validation ----------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let require msg = function Some x -> Ok x | None -> Error msg
+
+let check_all f xs =
+  List.fold_left
+    (fun acc x ->
+      let* () = acc in
+      f x)
+    (Ok ()) xs
+
+let obj_members msg j =
+  match j with Json.Obj kvs -> Ok kvs | _ -> Error msg
+
+let validate_bucket name j =
+  let* le =
+    require
+      (Printf.sprintf "histogram %s: bucket missing 'le'" name)
+      (Json.member "le" j)
+  in
+  let* () =
+    match le with
+    | Json.Float _ | Json.Int _ | Json.String "+inf" -> Ok ()
+    | _ -> Error (Printf.sprintf "histogram %s: bad bucket 'le'" name)
+  in
+  let* _count =
+    require
+      (Printf.sprintf "histogram %s: bucket missing integer 'count'" name)
+      (Option.bind (Json.member "count" j) Json.to_int_opt)
+  in
+  Ok ()
+
+let validate_histogram (name, j) =
+  let* _count =
+    require
+      (Printf.sprintf "histogram %s: missing integer 'count'" name)
+      (Option.bind (Json.member "count" j) Json.to_int_opt)
+  in
+  let* _sum =
+    require
+      (Printf.sprintf "histogram %s: missing number 'sum'" name)
+      (Option.bind (Json.member "sum" j) Json.to_float_opt)
+  in
+  let* bs =
+    require
+      (Printf.sprintf "histogram %s: missing 'buckets' array" name)
+      (Option.bind (Json.member "buckets" j) Json.to_list_opt)
+  in
+  check_all (validate_bucket name) bs
+
+let validate j =
+  let* s =
+    require "missing 'schema'"
+      (Option.bind (Json.member "schema" j) Json.to_string_opt)
+  in
+  let* () =
+    if s = schema then Ok ()
+    else Error (Printf.sprintf "schema %S, expected %S" s schema)
+  in
+  let* _ =
+    require "missing number 'created_unix'"
+      (Option.bind (Json.member "created_unix" j) Json.to_float_opt)
+  in
+  let* counters =
+    require "missing 'counters' object" (Json.member "counters" j)
+  in
+  let* counters = obj_members "'counters' is not an object" counters in
+  let* () =
+    check_all
+      (fun (name, v) ->
+        match Json.to_int_opt v with
+        | Some _ -> Ok ()
+        | None -> Error (Printf.sprintf "counter %s: not an integer" name))
+      counters
+  in
+  let* gauges = require "missing 'gauges' object" (Json.member "gauges" j) in
+  let* gauges = obj_members "'gauges' is not an object" gauges in
+  let* () =
+    check_all
+      (fun (name, v) ->
+        match Json.to_float_opt v with
+        | Some _ -> Ok ()
+        | None -> Error (Printf.sprintf "gauge %s: not a number" name))
+      gauges
+  in
+  let* hists =
+    require "missing 'histograms' object" (Json.member "histograms" j)
+  in
+  let* hists = obj_members "'histograms' is not an object" hists in
+  check_all validate_histogram hists

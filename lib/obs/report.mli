@@ -1,0 +1,30 @@
+(** Stable-schema JSON snapshot of a metric registry.
+
+    Schema ["ns.metrics/1"]:
+    {v
+    { "schema": "ns.metrics/1",
+      "created_unix": <float>,
+      "counters":   { "<name>": <int>, … },
+      "gauges":     { "<name>": <float>, … },
+      "histograms": { "<name>":
+          { "count": <int>, "sum": <float>,
+            "buckets": [ {"le": <float>|"+inf", "count": <int>}, … ] },
+        … } }
+    v}
+
+    Names are sorted, every histogram bucket is present (zero counts
+    included), and floats render canonically, so two snapshots of the
+    same state are byte-identical — the property the golden test and
+    CI artifact diffing rely on. *)
+
+val to_json : ?registry:Metrics.registry -> ?now:float -> unit -> Json.t
+(** [now] defaults to [Unix.gettimeofday ()]; pass a fixed value for
+    reproducible output. *)
+
+val to_string : ?registry:Metrics.registry -> ?now:float -> unit -> string
+
+val write : ?registry:Metrics.registry -> ?now:float -> string -> unit
+(** Write the snapshot (plus a trailing newline) to a file. *)
+
+val validate : Json.t -> (unit, string) result
+(** Check a document against the ["ns.metrics/1"] schema. *)

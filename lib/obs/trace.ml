@@ -1,0 +1,112 @@
+type sink =
+  | File of out_channel
+  | Sink_buffer of Buffer.t
+
+type state = {
+  mutable sink : sink option;
+  mutable epoch : float; (* clock value when the sink was installed *)
+  mutable next_id : int;
+  mutable stack : int list; (* open span ids, innermost first *)
+}
+
+let state = { sink = None; epoch = 0.0; next_id = 0; stack = [] }
+
+(* Monotonized wall clock, independent of Runtime.Clock so the obs
+   layer stays at the bottom of the dependency order. *)
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let enabled () = state.sink <> None
+
+let depth () = List.length state.stack
+
+let emit line =
+  match state.sink with
+  | None -> ()
+  | Some (File oc) ->
+    output_string oc line;
+    output_char oc '\n'
+  | Some (Sink_buffer buf) ->
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+
+let flush_sink () =
+  match state.sink with Some (File oc) -> flush oc | _ -> ()
+
+let disable () =
+  (match state.sink with
+  | Some (File oc) ->
+    flush oc;
+    close_out_noerr oc
+  | Some (Sink_buffer _) | None -> ());
+  state.sink <- None;
+  state.stack <- []
+
+let install sink =
+  disable ();
+  state.sink <- Some sink;
+  state.epoch <- now ();
+  state.next_id <- 0;
+  state.stack <- []
+
+let at_exit_registered = ref false
+
+let register_at_exit () =
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit (fun () -> match state.sink with
+      | Some (File _) -> disable ()
+      | Some (Sink_buffer _) | None -> ())
+  end
+
+let enable_file path =
+  install (File (open_out path));
+  register_at_exit ()
+
+let enable_buffer buf = install (Sink_buffer buf)
+
+let install_from_env () =
+  match Sys.getenv_opt "NS_TRACE" with
+  | Some path when path <> "" -> enable_file path
+  | Some _ | None -> ()
+
+let span_line ~name ~id ~parent ~depth ~start ~dur ~attrs =
+  let base =
+    [
+      ("name", Json.String name);
+      ("id", Json.Int id);
+      ( "parent",
+        match parent with None -> Json.Null | Some p -> Json.Int p );
+      ("depth", Json.Int depth);
+      ("start", Json.Float start);
+      ("dur", Json.Float dur);
+      ("pid", Json.Int (Unix.getpid ()));
+    ]
+  in
+  Json.to_string (Json.Obj (if attrs = [] then base else base @ attrs))
+
+let with_span ?(attrs = []) name f =
+  match state.sink with
+  | None -> f ()
+  | Some _ ->
+    let id = state.next_id in
+    state.next_id <- id + 1;
+    let parent = match state.stack with [] -> None | p :: _ -> Some p in
+    let d = List.length state.stack in
+    state.stack <- id :: state.stack;
+    let t0 = now () in
+    let finish () =
+      (match state.stack with
+      | top :: rest when top = id -> state.stack <- rest
+      | _ -> () (* sink swapped mid-span: drop silently *));
+      let t1 = now () in
+      emit
+        (span_line ~name ~id ~parent ~depth:d
+           ~start:(t0 -. state.epoch) ~dur:(t1 -. t0) ~attrs);
+      if d = 0 then flush_sink ()
+    in
+    Fun.protect ~finally:finish f

@@ -1,0 +1,41 @@
+(** Monotonic-clock span tracing with JSONL export.
+
+    Spans nest: {!with_span} pushes the span onto a per-process stack,
+    runs the thunk, and on exit (normal or exceptional) emits one JSON
+    line [{"name":…,"id":…,"parent":…,"depth":…,"start":…,"dur":…,
+    "pid":…}] to the configured sink. [start] is seconds since the
+    sink was installed, [dur] is the span's wall time, both read from
+    a monotonized clock; [parent] is [null] for root spans. Lines are
+    emitted at span {e end}, so a parent appears after its children —
+    consumers reconstruct the tree from [id]/[parent].
+
+    Tracing is off by default and {!with_span} then costs one boolean
+    load plus a closure call, so instrumented hot paths stay cheap.
+    Enable it programmatically ({!enable_file}) or through the
+    [NS_TRACE=path] environment switch ({!install_from_env}, called by
+    every binary at startup). Forked workers inherit the sink; each
+    line carries the writer's [pid] so a supervised campaign's spans
+    remain attributable. *)
+
+val enabled : unit -> bool
+
+val with_span :
+  ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** When tracing is disabled this is exactly [f ()]. *)
+
+val enable_file : string -> unit
+(** Open (truncate) [path] and start emitting spans. Registers an
+    [at_exit] flush/close. *)
+
+val enable_buffer : Buffer.t -> unit
+(** In-memory sink for tests. *)
+
+val disable : unit -> unit
+(** Flush, close a file sink, and stop emitting. Idempotent. *)
+
+val install_from_env : unit -> unit
+(** [NS_TRACE=path] in the environment enables {!enable_file}[ path];
+    unset or empty leaves tracing off. *)
+
+val depth : unit -> int
+(** Current nesting depth (0 outside any span) — exposed for tests. *)

@@ -1,5 +1,12 @@
 type state = Closed | Open | Half_open
 
+(* State-transition counters are process-wide across all breaker
+   instances; per-edge, not per-instance, which is what a fleet
+   dashboard wants. *)
+let m_opened = Obs.Metrics.counter "runtime.breaker.opened"
+let m_half_opened = Obs.Metrics.counter "runtime.breaker.half_opened"
+let m_closed = Obs.Metrics.counter "runtime.breaker.closed"
+
 let state_name = function
   | Closed -> "closed"
   | Open -> "open"
@@ -43,6 +50,7 @@ let create ?(config = default_config) ~now () =
   }
 
 let trip t =
+  Obs.Metrics.incr m_opened;
   t.state <- Open;
   t.opened_at <- t.now ();
   t.consecutive_failures <- 0;
@@ -56,6 +64,7 @@ let force_open = trip
 let refresh t =
   match t.state with
   | Open when t.now () -. t.opened_at >= t.config.cooldown_seconds ->
+    Obs.Metrics.incr m_half_opened;
     t.state <- Half_open;
     t.half_open_successes <- 0
   | Open | Closed | Half_open -> ()
@@ -73,6 +82,7 @@ let record_success t =
   | Half_open ->
     t.half_open_successes <- t.half_open_successes + 1;
     if t.half_open_successes >= t.config.half_open_trials then begin
+      Obs.Metrics.incr m_closed;
       t.state <- Closed;
       t.consecutive_failures <- 0;
       t.half_open_successes <- 0

@@ -3,6 +3,11 @@ type outcome =
   | Failed of string
   | Shed
 
+let g_queue_depth = Obs.Metrics.gauge "runtime.pool.queue_depth"
+let g_in_flight = Obs.Metrics.gauge "runtime.pool.in_flight"
+let m_retries = Obs.Metrics.counter "runtime.pool.worker_retries"
+let m_shed = Obs.Metrics.counter "runtime.pool.shed"
+
 type completion = {
   id : string;
   attempts : int;
@@ -61,6 +66,10 @@ let create ?(jobs = 2) ?max_queue ?(max_retries = 2) ?backoff
 let in_flight t = List.length t.running
 let queued t = List.length t.queue
 
+let observe_depths t =
+  Obs.Metrics.set g_queue_depth (float_of_int (queued t));
+  Obs.Metrics.set g_in_flight (float_of_int (in_flight t))
+
 let complete t c =
   t.completions <- c :: t.completions;
   t.on_complete c
@@ -71,6 +80,7 @@ let submit t ~id thunk =
        the backlog grow without bound. The shed is still recorded so
        accounting stays exact. *)
     t.shed_count <- t.shed_count + 1;
+    Obs.Metrics.incr m_shed;
     complete t { id; attempts = 0; outcome = Shed };
     `Shed
   end
@@ -86,6 +96,7 @@ let submit t ~id thunk =
             p_ready_at = neg_infinity;
           };
         ];
+    observe_depths t;
     `Accepted
   end
 
@@ -113,6 +124,7 @@ let pump t =
         | (Supervisor.Exited _ | Supervisor.Signaled _ | Supervisor.Hung _
           | Supervisor.Timed_out _) as v ->
           if attempts <= t.max_retries && not (t.should_stop ()) then begin
+            Obs.Metrics.incr m_retries;
             let delay, backoff = Backoff.next p.p_backoff in
             t.queue <-
               t.queue
@@ -148,7 +160,8 @@ let pump t =
           fill ()
     in
     fill ()
-  end
+  end;
+  observe_depths t
 
 let tick t =
   let fds = List.concat_map (fun r -> Supervisor.wait_fds r.r_worker) t.running in

@@ -187,6 +187,21 @@ let send_kill t =
     try Unix.kill t.pid Sys.sigkill with Unix.Unix_error _ -> ()
   end
 
+let m_completed_ok = Obs.Metrics.counter "runtime.supervisor.completed_ok"
+let m_completed_error = Obs.Metrics.counter "runtime.supervisor.completed_error"
+let m_exited = Obs.Metrics.counter "runtime.supervisor.exited"
+let m_signaled = Obs.Metrics.counter "runtime.supervisor.signaled"
+let m_hung = Obs.Metrics.counter "runtime.supervisor.hung"
+let m_timed_out = Obs.Metrics.counter "runtime.supervisor.timed_out"
+
+let count_verdict = function
+  | Completed (Ok _) -> Obs.Metrics.incr m_completed_ok
+  | Completed (Error _) -> Obs.Metrics.incr m_completed_error
+  | Exited _ -> Obs.Metrics.incr m_exited
+  | Signaled _ -> Obs.Metrics.incr m_signaled
+  | Hung _ -> Obs.Metrics.incr m_hung
+  | Timed_out _ -> Obs.Metrics.incr m_timed_out
+
 let finalize t status =
   let v =
     match t.kill_reason with
@@ -207,6 +222,7 @@ let finalize t status =
   in
   (try Unix.close t.result_r with Unix.Unix_error _ -> ());
   (try Unix.close t.hb_r with Unix.Unix_error _ -> ());
+  count_verdict v;
   t.verdict <- Some v;
   v
 

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "neuroselect"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("runtime", Test_runtime.suite);
       ("cnf", Test_cnf.suite);
       ("simplify", Test_simplify.suite);
