@@ -206,6 +206,37 @@ let kernel_tests () =
     Test.make ~name:"solver: PHP(7,6) full solve (reduces included)"
       (Staged.stage (fun () -> ignore (Cdcl.Solver.solve_formula reduce_instance)))
   in
+  (* Arena-specific kernels. bcp_arena is propagation-bound on a larger
+     instance (short clause DB walks, blocking-literal hits dominate);
+     reduce_arena drives the packed-key ranking, watcher flush, and
+     copying compaction hard via an aggressive deletion schedule. *)
+  let bcp_arena_instance =
+    let rng = Util.Rng.create 3 in
+    Gen.Ksat.generate rng ~num_vars:400 ~num_clauses:1_680 ~k:3
+  in
+  let bcp_arena =
+    Test.make ~name:"solver: bcp_arena 100k propagations of 3-SAT"
+      (Staged.stage (fun () ->
+           let config =
+             Cdcl.Config.with_budget ~max_propagations:100_000 Cdcl.Config.default
+           in
+           ignore (Cdcl.Solver.solve_formula ~config bcp_arena_instance)))
+  in
+  let reduce_arena =
+    Test.make ~name:"solver: reduce_arena PHP(7,6), aggressive deletion"
+      (Staged.stage (fun () ->
+           let config =
+             {
+               Cdcl.Config.default with
+               Cdcl.Config.policy = Cdcl.Policy.frequency_default;
+               reduce_first = 20;
+               reduce_inc = 5;
+               reduce_fraction = 0.8;
+               tier1_glue = 0;
+             }
+           in
+           ignore (Cdcl.Solver.solve_formula ~config reduce_instance)))
+  in
   let attn_graph =
     let rng = Util.Rng.create 2 in
     Satgraph.Bigraph.of_formula (Gen.Ksat.near_threshold rng ~num_vars:300)
@@ -215,7 +246,7 @@ let kernel_tests () =
     Test.make ~name:"model: NeuroSelect inference, 300-var CNF"
       (Staged.stage (fun () -> ignore (Core.Model.predict model attn_graph)))
   in
-  [ bcp; reduce; inference ]
+  [ bcp; bcp_arena; reduce; reduce_arena; inference ]
 
 (* Estimates from the last kernels run, for the --json report. *)
 let kernel_estimates = ref []

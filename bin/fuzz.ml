@@ -6,8 +6,8 @@
 
    Exit codes: 0 = clean, 1 = discrepancies found. *)
 
-let run seed cases case gradcheck faults check_checkpoint no_metamorphic
-    no_proofs buggy verbose =
+let run seed cases case gradcheck faults diff_ref check_checkpoint
+    no_metamorphic no_proofs buggy verbose =
   (match check_checkpoint with
   | None -> ()
   | Some path ->
@@ -27,6 +27,14 @@ let run seed cases case gradcheck faults check_checkpoint no_metamorphic
     let report = Verify.Faultcheck.run_all ~seed () in
     Format.printf "%a@." Verify.Faultcheck.pp_report report;
     exit (if Verify.Faultcheck.passed report then 0 else 1)
+  end;
+  if diff_ref then begin
+    let on_case i family =
+      if verbose then Printf.printf "c case %d: %s\n%!" i family
+    in
+    let report = Verify.Fuzz.run_ref_diff ~on_case ~seed ~cases () in
+    Format.printf "%a" Verify.Fuzz.pp_ref_diff_report report;
+    exit (if report.Verify.Fuzz.rd_failures = [] then 0 else 1)
   end;
   if gradcheck then begin
     let reports = Verify.Gradcheck.run_all ~seed () in
@@ -81,6 +89,14 @@ let faults =
                and recovery, and parallel-vs-sequential journal equivalence \
                — each must recover via its documented path.")
 
+let diff_ref =
+  Arg.(value & flag & info [ "diff-ref" ]
+         ~doc:"Differential mode: run the arena-backed solver against the \
+               record-based reference solver on every case under a \
+               compaction-heavy reduce schedule and require bit-for-bit \
+               identical verdicts, statistics, and clause traces (UNSAT \
+               proofs DRUP-checked).")
+
 let check_checkpoint =
   Arg.(value & opt (some string) None & info [ "check-checkpoint" ] ~docv:"FILE"
          ~doc:"Validate FILE as a NeuroSelect checkpoint (header, CRC, \
@@ -104,7 +120,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ns-fuzz" ~doc)
     Term.(
-      const run $ seed $ cases $ case $ gradcheck $ faults $ check_checkpoint
-      $ no_metamorphic $ no_proofs $ buggy $ verbose)
+      const run $ seed $ cases $ case $ gradcheck $ faults $ diff_ref
+      $ check_checkpoint $ no_metamorphic $ no_proofs $ buggy $ verbose)
 
 let () = exit (Cmd.eval cmd)

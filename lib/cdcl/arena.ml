@@ -1,0 +1,152 @@
+(* Flat clause arena, Kissat-style.
+
+   Every clause lives in one growable [int array]; a clause reference
+   (cref) is the offset of its header. Layout, in words:
+
+     c + 0   flags|glue|size   bit 0 learned, bit 1 used, bit 2 deleted,
+                               bit 3 moved; bits 4..27 glue (saturated);
+                               bits 28..   size
+     c + 1   activity bits     order-preserving int encoding of the
+                               float activity — or, once the moved bit
+                               is set during GC, the forwarding cref
+                               into the to-space
+     c + 2   cid               stable clause id (tie-breaker in reduce)
+     c + 3.. literals          [size] literals, one word each
+
+   Garbage collection is a MiniSat-style copying pass: the solver
+   relocates every root (clause vectors, then watchers and reasons)
+   with [reloc], which copies a clause on first touch and installs a
+   forwarding pointer in the from-space header, then [adopt]s the
+   to-space. Deleted clauses are never relocated — the solver drops
+   dead references before calling [reloc]. *)
+
+type t = {
+  mutable data : int array;
+  mutable len : int;
+  mutable garbage : int;  (* words occupied by deleted clauses *)
+}
+
+let header_words = 3
+let glue_bits = 24
+let glue_max = (1 lsl glue_bits) - 1
+let size_shift = 4 + glue_bits
+let lit_offset = header_words
+
+let f_learned = 1
+let f_used = 2
+let f_deleted = 4
+let f_moved = 8
+
+let create ?(capacity = 1024) () =
+  { data = Array.make (max capacity header_words) 0; len = 0; garbage = 0 }
+
+let raw a = a.data
+let[@inline] size a c = Array.unsafe_get a.data c lsr size_shift
+let[@inline] glue a c = (Array.unsafe_get a.data c lsr 4) land glue_max
+let[@inline] learned a c = Array.unsafe_get a.data c land f_learned <> 0
+let[@inline] used a c = Array.unsafe_get a.data c land f_used <> 0
+let[@inline] deleted a c = Array.unsafe_get a.data c land f_deleted <> 0
+let[@inline] moved a c = Array.unsafe_get a.data c land f_moved <> 0
+let[@inline] cid a c = Array.unsafe_get a.data (c + 2)
+
+let[@inline] lit a c k : Cnf.Lit.t =
+  Cnf.Lit.of_index (Array.unsafe_get a.data (c + header_words + k))
+
+let[@inline] set_lit a c k (l : Cnf.Lit.t) =
+  Array.unsafe_set a.data (c + header_words + k) (Cnf.Lit.to_index l)
+
+let[@inline] swap_lits a c i j =
+  let bi = c + header_words + i and bj = c + header_words + j in
+  let tmp = Array.unsafe_get a.data bi in
+  Array.unsafe_set a.data bi (Array.unsafe_get a.data bj);
+  Array.unsafe_set a.data bj tmp
+
+let set_glue a c g =
+  let g = if g < 0 then 0 else if g > glue_max then glue_max else g in
+  let w = a.data.(c) in
+  a.data.(c) <- w land lnot (glue_max lsl 4) lor (g lsl 4)
+
+let set_used a c = a.data.(c) <- a.data.(c) lor f_used
+let clear_used a c = a.data.(c) <- a.data.(c) land lnot f_used
+
+let words a c = header_words + size a c
+
+let mark_deleted a c =
+  if a.data.(c) land f_deleted = 0 then begin
+    a.data.(c) <- a.data.(c) lor f_deleted;
+    a.garbage <- a.garbage + words a c
+  end
+
+(* Clause activities are non-negative floats; shifting the IEEE bit
+   pattern right by one drops the sign bit (always 0) and one mantissa
+   bit, leaving a 63-bit integer whose order matches the float order.
+   Reduce can therefore compare activities without boxing a float. *)
+let[@inline] encode_activity f =
+  Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float f) 1)
+
+let[@inline] decode_activity bits =
+  Int64.float_of_bits (Int64.shift_left (Int64.of_int bits) 1)
+
+let[@inline] activity_bits a c = Array.unsafe_get a.data (c + 1)
+let[@inline] activity a c = decode_activity (activity_bits a c)
+let[@inline] set_activity a c f = a.data.(c + 1) <- encode_activity f
+
+let live_words a = a.len - a.garbage
+let garbage a = a.garbage
+let total_words a = a.len
+
+let ensure a extra =
+  let cap = Array.length a.data in
+  if a.len + extra > cap then begin
+    let cap' = ref (2 * cap) in
+    while a.len + extra > !cap' do cap' := 2 * !cap' done;
+    let data = Array.make !cap' 0 in
+    Array.blit a.data 0 data 0 a.len;
+    a.data <- data
+  end
+
+let alloc a ~learned ~glue ~cid ~size =
+  if size > (max_int lsr (4 + glue_bits)) then invalid_arg "Arena.alloc: size";
+  ensure a (header_words + size);
+  let c = a.len in
+  let g = if glue < 0 then 0 else if glue > glue_max then glue_max else glue in
+  a.data.(c) <- (if learned then f_learned else 0) lor (g lsl 4)
+                lor (size lsl (4 + glue_bits));
+  a.data.(c + 1) <- 0 (* activity 0.0 *);
+  a.data.(c + 2) <- cid;
+  a.len <- a.len + header_words + size;
+  c
+
+let alloc_lits a ~learned ~glue ~cid lits =
+  let size = Array.length lits in
+  let c = alloc a ~learned ~glue ~cid ~size in
+  for k = 0 to size - 1 do
+    a.data.(c + header_words + k) <- Cnf.Lit.to_index lits.(k)
+  done;
+  c
+
+let lits_array a c = Array.init (size a c) (fun k -> lit a c k)
+
+(* --- copying GC --- *)
+
+let gc_target a = create ~capacity:(max (live_words a) header_words) ()
+
+let reloc ~from_ ~into c =
+  let w = from_.data.(c) in
+  if w land f_moved <> 0 then from_.data.(c + 1)
+  else begin
+    if w land f_deleted <> 0 then invalid_arg "Arena.reloc: deleted clause";
+    let n = words from_ c in
+    ensure into n;
+    Array.blit from_.data c into.data into.len n;
+    let c' = into.len in
+    into.len <- into.len + n;
+    from_.data.(c) <- w lor f_moved;
+    from_.data.(c + 1) <- c';
+    c'
+  end
+
+let adopt a from_ =
+  a.data <- from_.data;
+  a.len <- from_.len;
+  a.garbage <- 0

@@ -1,0 +1,93 @@
+(** Flat clause arena with copying garbage collection.
+
+    All clauses live in one growable [int array]. A clause reference
+    (cref) is the word offset of a three-word header (packed
+    flags/glue/size, activity bits, clause id) followed by the literals
+    inline. See DESIGN.md "Arena clause database" for the layout and
+    the relocation rules. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val alloc : t -> learned:bool -> glue:int -> cid:int -> size:int -> int
+(** Allocates a clause of [size] literals (uninitialised — fill with
+    {!set_lit}) and returns its cref. Activity starts at 0. *)
+
+val alloc_lits : t -> learned:bool -> glue:int -> cid:int -> Cnf.Lit.t array -> int
+(** {!alloc} plus literal initialisation from an array. *)
+
+(** {2 Accessors} — [c] must be a valid, non-relocated cref. *)
+
+val size : t -> int -> int
+val lit : t -> int -> int -> Cnf.Lit.t
+val set_lit : t -> int -> int -> Cnf.Lit.t -> unit
+val swap_lits : t -> int -> int -> int -> unit
+val glue : t -> int -> int
+val set_glue : t -> int -> int -> unit
+(** Glue saturates at 2^24 - 1. *)
+
+val learned : t -> int -> bool
+val used : t -> int -> bool
+val set_used : t -> int -> unit
+val clear_used : t -> int -> unit
+val deleted : t -> int -> bool
+val cid : t -> int -> int
+
+val activity : t -> int -> float
+val set_activity : t -> int -> float -> unit
+
+val activity_bits : t -> int -> int
+(** Raw order-preserving integer encoding of the activity: comparing
+    two clauses' activity bits orders them exactly like the floats
+    (activities are non-negative). Feeds the packed reduce key without
+    boxing. *)
+
+val encode_activity : float -> int
+val decode_activity : int -> float
+
+val mark_deleted : t -> int -> unit
+(** Flags the clause deleted and accounts its words as garbage.
+    The storage is reclaimed by the next GC; the clause stays readable
+    (e.g. for trace emission) until then. *)
+
+val words : t -> int -> int
+(** Total footprint of the clause in words (header + literals). *)
+
+val live_words : t -> int
+
+val garbage : t -> int
+(** Words currently occupied by deleted clauses; the solver triggers a
+    GC once this passes a fraction of {!total_words}. *)
+
+val total_words : t -> int
+val moved : t -> int -> bool
+
+(** {2 Copying GC}
+
+    Protocol: [let dst = gc_target a] — then [reloc ~from_:a ~into:dst]
+    every live root in allocation order (clause vectors first for
+    locality, then watchers and reasons, which find forwarding
+    pointers) — then [adopt a dst]. Relocating a deleted clause is a
+    programming error and raises [Invalid_argument]: callers must drop
+    dead references instead of relocating them. *)
+
+val gc_target : t -> t
+val reloc : from_:t -> into:t -> int -> int
+val adopt : t -> t -> unit
+
+val lits_array : t -> int -> Cnf.Lit.t array
+(** Fresh array copy of the literals (slow path: trace emission,
+    tests). *)
+
+(** {2 Raw access}
+
+    Escape hatch for the BCP inner loop, which reads clause words
+    directly to avoid per-access call and field-load overhead. The
+    returned buffer is invalidated by any [alloc] or [adopt]; layout:
+    word [c] is the packed header ([size = header lsr size_shift]),
+    literal [k] (as its [Lit.to_index]) is word [c + lit_offset + k]. *)
+
+val raw : t -> int array
+val size_shift : int
+val lit_offset : int

@@ -1,0 +1,79 @@
+(* Allocation-free in-place sort of three parallel int arrays by
+   ascending (key, tie). The reduce pass sorts packed ranking keys
+   (Fig. 5) with the clause id as tie-breaker and the cref riding
+   along; [Array.sort] on a tuple array or a clause list would allocate
+   per candidate, which is exactly what this PR removes.
+
+   Plain quicksort (median-of-three pivot, insertion sort below 16,
+   recursion on the smaller half so the stack stays O(log n)). The sort
+   need not be stable: (key, tie) pairs are unique because cids are. *)
+
+let[@inline] less k1 t1 k2 t2 = k1 < k2 || (k1 = k2 && t1 < t2)
+
+let[@inline] swap (a : int array) i j =
+  let t = Array.unsafe_get a i in
+  Array.unsafe_set a i (Array.unsafe_get a j);
+  Array.unsafe_set a j t
+
+let swap3 keys tie refs i j =
+  swap keys i j;
+  swap tie i j;
+  swap refs i j
+
+let insertion keys tie refs lo hi =
+  for i = lo + 1 to hi do
+    let k = keys.(i) and t = tie.(i) and r = refs.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && less k t keys.(!j) tie.(!j) do
+      keys.(!j + 1) <- keys.(!j);
+      tie.(!j + 1) <- tie.(!j);
+      refs.(!j + 1) <- refs.(!j);
+      decr j
+    done;
+    keys.(!j + 1) <- k;
+    tie.(!j + 1) <- t;
+    refs.(!j + 1) <- r
+  done
+
+let rec quick keys tie refs lo hi =
+  if hi - lo < 16 then insertion keys tie refs lo hi
+  else begin
+    (* median of three into position [lo] as pivot *)
+    let mid = lo + ((hi - lo) / 2) in
+    if less keys.(mid) tie.(mid) keys.(lo) tie.(lo) then
+      swap3 keys tie refs lo mid;
+    if less keys.(hi) tie.(hi) keys.(lo) tie.(lo) then
+      swap3 keys tie refs lo hi;
+    if less keys.(hi) tie.(hi) keys.(mid) tie.(mid) then
+      swap3 keys tie refs mid hi;
+    swap3 keys tie refs lo mid;
+    let pk = keys.(lo) and pt = tie.(lo) in
+    let i = ref lo and j = ref (hi + 1) in
+    (try
+       while true do
+         incr i;
+         while !i <= hi && less keys.(!i) tie.(!i) pk pt do incr i done;
+         decr j;
+         while less pk pt keys.(!j) tie.(!j) do decr j done;
+         if !i >= !j then raise Exit;
+         swap3 keys tie refs !i !j
+       done
+     with Exit -> ());
+    swap3 keys tie refs lo !j;
+    let p = !j in
+    (* recurse on the smaller side first to bound the stack *)
+    if p - lo < hi - p then begin
+      quick keys tie refs lo (p - 1);
+      quick keys tie refs (p + 1) hi
+    end
+    else begin
+      quick keys tie refs (p + 1) hi;
+      quick keys tie refs lo (p - 1)
+    end
+  end
+
+let sort ~keys ~tie ~refs ~len =
+  if len > Array.length keys || len > Array.length tie
+     || len > Array.length refs
+  then invalid_arg "Keysort.sort: len";
+  if len > 1 then quick keys tie refs 0 (len - 1)

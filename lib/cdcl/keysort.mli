@@ -1,0 +1,17 @@
+(** Allocation-free in-place sort of three parallel [int array]s by
+    ascending [(key, tie)].
+
+    The reduce pass ranks clause-deletion candidates by the packed key
+    of Fig. 5 with the clause id as tie-breaker, the cref riding along
+    in [refs]. Sorting parallel scratch arrays in place replaces the
+    seed solver's [List.sort] over [(clause, info)] pairs, which
+    allocated a list cell, a tuple, and an info record per candidate
+    per pass. *)
+
+val sort : keys:int array -> tie:int array -> refs:int array -> len:int -> unit
+(** Sorts the first [len] entries of the three arrays as one sequence
+    of triples, ascending by [(key, tie)]. Quicksort with
+    median-of-three pivots and an insertion-sort base case; not stable,
+    which is irrelevant because [(key, tie)] pairs are unique when ties
+    are clause ids. @raise Invalid_argument if [len] exceeds any
+    array's length. *)

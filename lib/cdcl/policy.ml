@@ -17,13 +17,18 @@ type clause_info = {
   frequency : int;
 }
 
-let clause_frequency ~alpha ~f_max ~counts ~vars =
+(* Manual loop over the literals: the seed solver built an
+   [Array.map Lit.var] per candidate per reduce just to feed this. *)
+let clause_frequency ~alpha ~f_max ~counts ~lits =
   if f_max = 0 then 0
   else begin
     let threshold = alpha *. float_of_int f_max in
-    Array.fold_left
-      (fun acc v -> if float_of_int counts.(v) > threshold then acc + 1 else acc)
-      0 vars
+    let n = ref 0 in
+    for k = 0 to Array.length lits - 1 do
+      let v = Cnf.Lit.var (Array.unsafe_get lits k) in
+      if float_of_int (Array.unsafe_get counts v) > threshold then incr n
+    done;
+    !n
   end
 
 (* Field widths for the packed key (Fig. 5). 20+20+20 = 60 bits fits a
@@ -46,17 +51,32 @@ let scramble seed id =
   let z = Int64.logxor z (Int64.shift_right_logical z 27) in
   Int64.to_int (Int64.shift_right_logical z 4)
 
+let[@inline] activity_key activity =
+  (* Monotone map of a non-negative float into an int key. *)
+  let scaled = Float.min activity 1e15 in
+  int_of_float (scaled *. 1000.0)
+
 let key policy info =
   match policy with
   | Default -> pack3 0 (inverted info.glue) (inverted info.size)
   | Frequency _ -> pack3 (saturate info.frequency) (inverted info.glue) (inverted info.size)
   | Glue_only -> pack3 0 (inverted info.glue) 0
   | Size_only -> pack3 0 (inverted info.size) 0
-  | Activity ->
-    (* Monotone map of a non-negative float into an int key. *)
-    let scaled = Float.min info.activity 1e15 in
-    int_of_float (scaled *. 1000.0)
+  | Activity -> activity_key info.activity
   | Random seed -> scramble seed info.id land ((1 lsl 60) - 1)
+
+(* Same ranking as [key] but from unboxed scalars, so the reduce pass
+   can fill its scratch key array without allocating a [clause_info]
+   per candidate. The activity arrives as the arena's order-preserving
+   bit encoding. *)
+let packed_key policy ~id ~glue ~size ~activity_bits ~frequency =
+  match policy with
+  | Default -> pack3 0 (inverted glue) (inverted size)
+  | Frequency _ -> pack3 (saturate frequency) (inverted glue) (inverted size)
+  | Glue_only -> pack3 0 (inverted glue) 0
+  | Size_only -> pack3 0 (inverted size) 0
+  | Activity -> activity_key (Arena.decode_activity activity_bits)
+  | Random seed -> scramble seed id land ((1 lsl 60) - 1)
 
 let compare_clauses policy a b =
   let c = Int.compare (key policy a) (key policy b) in

@@ -38,15 +38,27 @@ type clause_info = {
 }
 
 val clause_frequency :
-  alpha:float -> f_max:int -> counts:int array -> vars:int array -> int
-(** [clause_frequency ~alpha ~f_max ~counts ~vars] evaluates Eq. 2:
-    the number of variables [v] in [vars] with [counts.(v) > alpha *
-    f_max]. Returns 0 when [f_max = 0]. *)
+  alpha:float -> f_max:int -> counts:int array -> lits:Cnf.Lit.t array -> int
+(** [clause_frequency ~alpha ~f_max ~counts ~lits] evaluates Eq. 2:
+    the number of literals in [lits] whose variable [v] has
+    [counts.(v) > alpha * f_max]. Iterates the literals directly — no
+    intermediate variable array. Returns 0 when [f_max = 0]. *)
 
 val key : t -> clause_info -> int
 (** Packed ranking key; higher means more valuable (kept longer).
     For [Activity] the float activity is mapped monotonically into the
     key. Total order within each policy. *)
+
+val packed_key :
+  t -> id:int -> glue:int -> size:int -> activity_bits:int -> frequency:int -> int
+(** Exactly {!key}, but from unboxed scalars so the reduce pass builds
+    its ranking array without allocating a {!clause_info} per
+    candidate. [activity_bits] is the order-preserving integer encoding
+    of the clause activity ({!Arena.activity_bits}); for every [info],
+    [packed_key p ~id:info.id ~glue:info.glue ~size:info.size
+    ~activity_bits:(Arena.encode_activity info.activity)
+    ~frequency:info.frequency = key p info] up to the arena's activity
+    quantisation. *)
 
 val compare_clauses : t -> clause_info -> clause_info -> int
 (** [compare_clauses p a b < 0] when [a] ranks below [b] (deleted

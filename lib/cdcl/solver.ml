@@ -13,20 +13,33 @@ let m_clauses_learned = Obs.Metrics.counter "cdcl.clauses_learned"
 let m_clauses_deleted = Obs.Metrics.counter "cdcl.clauses_deleted"
 let m_clauses_kept = Obs.Metrics.counter "cdcl.clauses_kept"
 let m_frequency_recomputes = Obs.Metrics.counter "cdcl.frequency_recomputes"
+let m_arena_gcs = Obs.Metrics.counter "cdcl.arena_gcs"
 let h_reduce_seconds = Obs.Metrics.histogram "cdcl.reduce_seconds"
 
-type clause = {
-  cid : int;
-  lits : Lit.t array;
-  learned : bool;
-  mutable activity : float;
-  mutable glue : int;
-  mutable deleted : bool;
-  mutable used : bool;
-}
+(* Clauses live in a flat int arena (see Arena); a clause is an integer
+   cref. Watcher lists are stride-2 int vectors of (tag, cref) pairs:
 
-let dummy_clause =
-  { cid = -1; lits = [||]; learned = false; activity = 0.0; glue = 0; deleted = true; used = false }
+     tag = lit_index lsl 1          long clause, cached blocking literal
+     tag = lit_index lsl 1 lor 1    binary clause, the OTHER literal
+
+   BCP consults only the tag in the common case: a satisfied blocking
+   literal means the clause is satisfied without touching its memory,
+   and for binary clauses the watcher pair is the whole clause — the
+   arena is never dereferenced on the binary path.
+
+   Binary clauses are consequently never literal-swapped, so the
+   implied literal of a binary reason is at position 0 *or* 1. Every
+   reason-side traversal (analyze, lit_redundant, analyze_final)
+   therefore skips the resolved variable by name instead of assuming
+   it sits at index 0, and [locked] checks both watched literals of a
+   binary clause.
+
+   Assignments are stored per *literal index* ([values]): assigning a
+   literal writes 1 at its own slot and -1 at its negation's, so BCP
+   evaluates tags and arena words with a single unsafe load — no
+   var/sign decomposition. This leans on the literal encoding
+   ([Lit.to_index (Lit.negate l) = Lit.to_index l lxor 1], positive
+   literal of var v at index 2v), which the BCP loop uses directly. *)
 
 type result =
   | Sat of bool array
@@ -43,18 +56,20 @@ type t = {
   n : int;
   stats : Solver_stats.t;
   (* assignment state *)
-  assigns : int array; (* var -> 0 / 1 / -1 *)
+  values : int array; (* lit index -> 1 true / -1 false / 0 unassigned *)
   level : int array; (* var -> decision level *)
-  reason : clause option array; (* var -> implying clause *)
+  reason : int array; (* var -> implying cref, or -1 *)
   phase : bool array; (* var -> saved phase *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;
   (* clause database *)
-  watches : clause Vec.t array; (* lit index -> watchers *)
-  originals : clause Vec.t;
-  learnts : clause Vec.t;
+  arena : Arena.t;
+  watches : int Vec.t array; (* lit index -> stride-2 (tag, cref) *)
+  originals : int Vec.t; (* crefs *)
+  learnts : int Vec.t; (* crefs *)
   mutable next_cid : int;
+  mutable arena_gcs : int;
   (* heuristics *)
   order : Var_heap.t;
   vmtf : Vmtf.t option;
@@ -65,10 +80,16 @@ type t = {
   mutable next_reduce : int;
   (* propagation-frequency counters (since last reduce), Section 3 *)
   prop_counts : int array;
-  (* analyze scratch *)
+  (* analyze scratch, hoisted into solver state and reused *)
   seen : int array;
+  learnt : Lit.t Vec.t; (* the clause under construction *)
   analyze_toclear : Lit.t Vec.t;
   analyze_stack : Lit.t Vec.t;
+  mutable simp : int array; (* simplify_clause scratch (lit indices) *)
+  (* reduce ranking scratch: parallel (key, cid, cref) arrays *)
+  mutable rk_keys : int array;
+  mutable rk_tie : int array;
+  mutable rk_refs : int array;
   level_stamp : int array;
   mutable stamp_gen : int;
   mutable answer : result option;
@@ -81,14 +102,21 @@ and trace_event =
   | Learned of Cnf.Lit.t array
   | Deleted of Cnf.Lit.t array
 
-let emit_trace t event =
+(* Trace payload arrays are only materialised when a trace callback is
+   installed; the hot path pays one branch. *)
+let trace_deleted t c =
   match t.trace with
-  | Some f -> f event
+  | Some f -> f (Deleted (Arena.lits_array t.arena c))
   | None -> ()
 
-let lit_value t l =
-  let v = t.assigns.(Lit.var l) in
-  if Lit.is_pos l then v else -v
+let trace_learned t =
+  match t.trace with
+  | Some f -> f (Learned (Vec.to_array t.learnt))
+  | None -> ()
+
+let[@inline] lit_value t l = Array.unsafe_get t.values (Lit.to_index l)
+
+let[@inline] var_assigned t v = Array.unsafe_get t.values (v + v) <> 0
 
 let decision_level t = Vec.length t.trail_lim
 
@@ -101,86 +129,162 @@ let make_restart_state (cfg : Config.t) =
   | Config.Glucose { fast_alpha; slow_alpha; margin } ->
     R_glucose (Util.Ema.create ~alpha:fast_alpha, Util.Ema.create ~alpha:slow_alpha, margin)
 
-let watch_list t l = t.watches.(Lit.to_index l)
+let[@inline] watch_list t l = t.watches.(Lit.to_index l)
+
+let[@inline] tag_long l = Lit.to_index l lsl 1
+let[@inline] tag_binary l = (Lit.to_index l lsl 1) lor 1
 
 let attach t c =
-  assert (Array.length c.lits >= 2);
-  Vec.push (watch_list t c.lits.(0)) c;
-  Vec.push (watch_list t c.lits.(1)) c
+  let a = t.arena in
+  assert (Arena.size a c >= 2);
+  let l0 = Arena.lit a c 0 and l1 = Arena.lit a c 1 in
+  if Arena.size a c = 2 then begin
+    Vec.push2 (watch_list t l0) (tag_binary l1) c;
+    Vec.push2 (watch_list t l1) (tag_binary l0) c
+  end
+  else begin
+    Vec.push2 (watch_list t l0) (tag_long l1) c;
+    Vec.push2 (watch_list t l1) (tag_long l0) c
+  end
 
 let enqueue t l reason =
-  let v = Lit.var l in
-  if t.assigns.(v) <> 0 then lit_value t l > 0
+  let idx = Lit.to_index l in
+  let v0 = Array.unsafe_get t.values idx in
+  if v0 <> 0 then v0 > 0
   else begin
-    t.assigns.(v) <- (if Lit.is_pos l then 1 else -1);
+    t.values.(idx) <- 1;
+    t.values.(idx lxor 1) <- -1;
+    let v = Lit.var l in
     t.level.(v) <- decision_level t;
     t.reason.(v) <- reason;
     Vec.push t.trail l;
     true
   end
 
-(* Two-watched-literal Boolean constraint propagation. Returns the
-   conflicting clause, if any. Increments the propagation-trigger
-   counter of the variable whose assignment is being consumed, once per
-   implication it produces (Section 3.1 of the paper). *)
+(* BCP-internal enqueue by literal index; the caller has already
+   established the literal is unassigned. *)
+let[@inline] enqueue_unchecked t idx reason =
+  Array.unsafe_set t.values idx 1;
+  Array.unsafe_set t.values (idx lxor 1) (-1);
+  let v = idx lsr 1 in
+  t.level.(v) <- Vec.length t.trail_lim;
+  t.reason.(v) <- reason;
+  Vec.push t.trail (Lit.of_index idx)
+
+(* Two-watched-literal Boolean constraint propagation over the arena.
+   Returns the conflicting cref, or -1. Increments the
+   propagation-trigger counter of the variable whose assignment is
+   being consumed, once per implication it produces (Section 3.1).
+
+   The loop works entirely on literal indices and raw arrays: the
+   arena buffer, the literal-value array and each watch list's backing
+   array are hoisted into locals. Nothing in here allocates arena
+   words, so [adata] stays valid; replacement watches go to some other
+   literal's list, never back onto [ws], so [wd]/[n] stay valid too. *)
 let propagate_body t =
-  let conflict = ref None in
-  while !conflict = None && t.qhead < Vec.length t.trail do
-    let p = Vec.get t.trail t.qhead in
+  let adata = Arena.raw t.arena in
+  let values = t.values in
+  let watches = t.watches in
+  let pc = t.prop_counts in
+  let conflict = ref (-1) in
+  while !conflict < 0 && t.qhead < Vec.length t.trail do
+    let p = Vec.unsafe_get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
-    let p_var = Lit.var p in
-    let false_lit = Lit.negate p in
-    let ws = watch_list t false_lit in
+    let p_idx = Lit.to_index p in
+    let p_var = p_idx lsr 1 in
+    let false_lit = p_idx lxor 1 in
+    let ws = Array.unsafe_get watches false_lit in
+    let n = Vec.length ws in
+    let wd = Vec.unsafe_data ws in
     let i = ref 0 and j = ref 0 in
-    while !i < Vec.length ws do
-      let c = Vec.get ws !i in
-      incr i;
-      if c.deleted then () (* drop lazily *)
+    while !i < n do
+      let tag = Array.unsafe_get wd !i in
+      let cr = Array.unsafe_get wd (!i + 1) in
+      i := !i + 2;
+      if tag land 1 <> 0 then begin
+        (* Binary clause: the other literal is inline in the watcher. *)
+        Array.unsafe_set wd !j tag;
+        Array.unsafe_set wd (!j + 1) cr;
+        j := !j + 2;
+        let other = tag lsr 1 in
+        let v = Array.unsafe_get values other in
+        if v > 0 then ()
+        else if v < 0 then begin
+          conflict := cr;
+          t.qhead <- Vec.length t.trail;
+          while !i < n do
+            Array.unsafe_set wd !j (Array.unsafe_get wd !i);
+            Array.unsafe_set wd (!j + 1) (Array.unsafe_get wd (!i + 1));
+            i := !i + 2;
+            j := !j + 2
+          done
+        end
+        else begin
+          enqueue_unchecked t other cr;
+          t.stats.propagations <- t.stats.propagations + 1;
+          Obs.Metrics.incr m_propagations;
+          Array.unsafe_set pc p_var (Array.unsafe_get pc p_var + 1)
+        end
+      end
+      else if Array.unsafe_get values (tag lsr 1) > 0 then begin
+        (* Satisfied via the cached blocking literal: the clause's
+           memory is never touched. *)
+        Array.unsafe_set wd !j tag;
+        Array.unsafe_set wd (!j + 1) cr;
+        j := !j + 2
+      end
       else begin
         (* Ensure the falsified literal sits at position 1. *)
-        if Lit.equal c.lits.(0) false_lit then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- false_lit
+        let base = cr + Arena.lit_offset in
+        let l0 = Array.unsafe_get adata base in
+        if l0 = false_lit then begin
+          Array.unsafe_set adata base (Array.unsafe_get adata (base + 1));
+          Array.unsafe_set adata (base + 1) false_lit
         end;
-        let first = c.lits.(0) in
-        if lit_value t first > 0 then begin
-          (* Clause already satisfied: keep the watch. *)
-          Vec.set ws !j c;
-          incr j
+        let first = Array.unsafe_get adata base in
+        let new_tag = first lsl 1 in
+        if first <> tag lsr 1 && Array.unsafe_get values first > 0 then begin
+          (* Clause already satisfied: keep the watch, cache [first]. *)
+          Array.unsafe_set wd !j new_tag;
+          Array.unsafe_set wd (!j + 1) cr;
+          j := !j + 2
         end
         else begin
           (* Look for a replacement watch. *)
-          let len = Array.length c.lits in
+          let stop = base + (Array.unsafe_get adata cr lsr Arena.size_shift) in
+          let k = ref (base + 2) in
           let found = ref false in
-          let k = ref 2 in
-          while (not !found) && !k < len do
-            if lit_value t c.lits.(!k) >= 0 then begin
-              c.lits.(1) <- c.lits.(!k);
-              c.lits.(!k) <- false_lit;
-              Vec.push (watch_list t c.lits.(1)) c;
+          while (not !found) && !k < stop do
+            let lk = Array.unsafe_get adata !k in
+            if Array.unsafe_get values lk >= 0 then begin
+              Array.unsafe_set adata (base + 1) lk;
+              Array.unsafe_set adata !k false_lit;
+              Vec.push2 (Array.unsafe_get watches lk) new_tag cr;
               found := true
             end
             else incr k
           done;
           if not !found then begin
             (* Unit or conflicting. *)
-            Vec.set ws !j c;
-            incr j;
-            if lit_value t first < 0 then begin
-              conflict := Some c;
+            Array.unsafe_set wd !j new_tag;
+            Array.unsafe_set wd (!j + 1) cr;
+            j := !j + 2;
+            if Array.unsafe_get values first < 0 then begin
+              conflict := cr;
               t.qhead <- Vec.length t.trail;
               (* Copy back the untouched suffix before bailing out. *)
-              while !i < Vec.length ws do
-                Vec.set ws !j (Vec.get ws !i);
-                incr j;
-                incr i
+              while !i < n do
+                Array.unsafe_set wd !j (Array.unsafe_get wd !i);
+                Array.unsafe_set wd (!j + 1) (Array.unsafe_get wd (!i + 1));
+                i := !i + 2;
+                j := !j + 2
               done
             end
             else begin
-              ignore (enqueue t first (Some c));
+              enqueue_unchecked t first cr;
               t.stats.propagations <- t.stats.propagations + 1;
               Obs.Metrics.incr m_propagations;
-              t.prop_counts.(p_var) <- t.prop_counts.(p_var) + 1
+              Array.unsafe_set pc p_var (Array.unsafe_get pc p_var + 1)
             end
           end
         end
@@ -212,9 +316,13 @@ let var_bump t v =
 let var_decay t = t.var_inc <- t.var_inc /. t.cfg.var_decay
 
 let cla_bump t c =
-  c.activity <- c.activity +. t.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun c -> c.activity <- c.activity *. 1e-20) t.learnts;
+  let a = t.arena in
+  Arena.set_activity a c (Arena.activity a c +. t.cla_inc);
+  if Arena.activity a c > 1e20 then begin
+    for idx = 0 to Vec.length t.learnts - 1 do
+      let cr = Vec.unsafe_get t.learnts idx in
+      Arena.set_activity a cr (Arena.activity a cr *. 1e-20)
+    done;
     t.cla_inc <- t.cla_inc *. 1e-20
   end
 
@@ -222,17 +330,35 @@ let cla_decay t = t.cla_inc <- t.cla_inc /. t.cfg.clause_decay
 
 (* --- LBD ------------------------------------------------------------ *)
 
-let compute_glue t lits =
+let compute_glue_cref t c =
   t.stamp_gen <- t.stamp_gen + 1;
+  let adata = Arena.raw t.arena in
+  let level = t.level and stamp = t.level_stamp in
+  let gen = t.stamp_gen in
   let g = ref 0 in
-  Array.iter
-    (fun l ->
-      let lv = t.level.(Lit.var l) in
-      if lv > 0 && t.level_stamp.(lv) <> t.stamp_gen then begin
-        t.level_stamp.(lv) <- t.stamp_gen;
-        incr g
-      end)
-    lits;
+  let base = c + Arena.lit_offset in
+  let stop = base + (Array.unsafe_get adata c lsr Arena.size_shift) in
+  for w = base to stop - 1 do
+    let lv = Array.unsafe_get level (Array.unsafe_get adata w lsr 1) in
+    if lv > 0 && Array.unsafe_get stamp lv <> gen then begin
+      Array.unsafe_set stamp lv gen;
+      incr g
+    end
+  done;
+  !g
+
+let compute_glue_vec t lits =
+  t.stamp_gen <- t.stamp_gen + 1;
+  let level = t.level and stamp = t.level_stamp in
+  let gen = t.stamp_gen in
+  let g = ref 0 in
+  for k = 0 to Vec.length lits - 1 do
+    let lv = Array.unsafe_get level (Lit.var (Vec.unsafe_get lits k)) in
+    if lv > 0 && Array.unsafe_get stamp lv <> gen then begin
+      Array.unsafe_set stamp lv gen;
+      incr g
+    end
+  done;
   !g
 
 (* --- backtracking ---------------------------------------------------- *)
@@ -240,12 +366,18 @@ let compute_glue t lits =
 let backtrack t target_level =
   if decision_level t > target_level then begin
     let bound = Vec.get t.trail_lim target_level in
+    let tdata = Vec.unsafe_data t.trail in
+    let values = t.values and reason = t.reason and phase = t.phase in
+    let save_phase = t.cfg.phase_saving in
     for i = Vec.length t.trail - 1 downto bound do
-      let l = Vec.get t.trail i in
+      let l = Array.unsafe_get tdata i in
       let v = Lit.var l in
-      if t.cfg.phase_saving then t.phase.(v) <- t.assigns.(v) > 0;
-      t.assigns.(v) <- 0;
-      t.reason.(v) <- None;
+      (* The trail literal is the true one, so it carries the phase. *)
+      if save_phase then Array.unsafe_set phase v (Lit.is_pos l);
+      let idx = Lit.to_index l in
+      Array.unsafe_set values idx 0;
+      Array.unsafe_set values (idx lxor 1) 0;
+      Array.unsafe_set reason v (-1);
       Var_heap.insert t.order v;
       match t.vmtf with
       | Some q -> Vmtf.on_unassign q v
@@ -260,93 +392,108 @@ let backtrack t target_level =
 
 let abstract_level t v = 1 lsl (t.level.(v) land 31)
 
-(* MiniSat-style recursive redundancy check for clause minimisation. *)
+(* MiniSat-style recursive redundancy check for clause minimisation.
+   Reason clauses are scanned skipping the resolved variable by name
+   (see the watcher-layout comment at the top of the file). *)
 let lit_redundant t p abstract_levels =
   Vec.clear t.analyze_stack;
   Vec.push t.analyze_stack p;
+  let adata = Arena.raw t.arena in
+  let seen = t.seen and level = t.level and reason = t.reason in
   let top = Vec.length t.analyze_toclear in
   let ok = ref true in
   while !ok && not (Vec.is_empty t.analyze_stack) do
     let x = Vec.pop t.analyze_stack in
-    match t.reason.(Lit.var x) with
-    | None -> assert false
-    | Some c ->
-      let len = Array.length c.lits in
-      let k = ref 1 in
-      while !ok && !k < len do
-        let q = c.lits.(!k) in
-        incr k;
-        let v = Lit.var q in
-        if t.seen.(v) = 0 && t.level.(v) > 0 then begin
-          if t.reason.(v) <> None && abstract_level t v land abstract_levels <> 0 then begin
-            t.seen.(v) <- 1;
-            Vec.push t.analyze_stack q;
-            Vec.push t.analyze_toclear q
-          end
-          else begin
-            (* Not redundant: undo the speculative marks. *)
-            for j = Vec.length t.analyze_toclear - 1 downto top do
-              t.seen.(Lit.var (Vec.get t.analyze_toclear j)) <- 0
-            done;
-            Vec.shrink t.analyze_toclear top;
-            ok := false
-          end
+    let xv = Lit.var x in
+    let c = reason.(xv) in
+    assert (c >= 0);
+    let base = c + Arena.lit_offset in
+    let stop = base + (Array.unsafe_get adata c lsr Arena.size_shift) in
+    let k = ref base in
+    while !ok && !k < stop do
+      let q_idx = Array.unsafe_get adata !k in
+      incr k;
+      let v = q_idx lsr 1 in
+      if v <> xv && Array.unsafe_get seen v = 0 && Array.unsafe_get level v > 0
+      then begin
+        if reason.(v) >= 0 && abstract_level t v land abstract_levels <> 0 then begin
+          seen.(v) <- 1;
+          let q = Lit.of_index q_idx in
+          Vec.push t.analyze_stack q;
+          Vec.push t.analyze_toclear q
         end
-      done
+        else begin
+          (* Not redundant: undo the speculative marks. *)
+          for j = Vec.length t.analyze_toclear - 1 downto top do
+            seen.(Lit.var (Vec.get t.analyze_toclear j)) <- 0
+          done;
+          Vec.shrink t.analyze_toclear top;
+          ok := false
+        end
+      end
+    done
   done;
   !ok
 
-(* First-UIP learning. Returns (learnt literals with the asserting
-   literal at index 0, backjump level, glue). *)
+(* First-UIP learning into the reusable [t.learnt] scratch vector
+   (asserting literal at index 0). Returns (backjump level, glue). *)
 let analyze t confl =
-  let learnt = Vec.create ~dummy:(Lit.pos 1) () in
+  let a = t.arena in
+  let adata = Arena.raw a in
+  let seen = t.seen and level = t.level in
+  let dl = decision_level t in
+  let learnt = t.learnt in
+  Vec.clear learnt;
   Vec.push learnt (Lit.pos 1) (* slot 0 reserved for the asserting literal *);
   let path_count = ref 0 in
-  let p = ref None in
+  let p_var = ref (-1) in
+  let p_lit = ref (Lit.pos 1) in
   let index = ref (Vec.length t.trail - 1) in
   let c = ref confl in
   let continue = ref true in
   while !continue do
-    let clause = !c in
-    if clause.learned then begin
-      cla_bump t clause;
-      clause.used <- true;
+    let cr = !c in
+    if Arena.learned a cr then begin
+      cla_bump t cr;
+      Arena.set_used a cr;
       (* Glucose-style dynamic glue update. *)
-      let g = compute_glue t clause.lits in
-      if g < clause.glue then clause.glue <- g
+      let g = compute_glue_cref t cr in
+      if g < Arena.glue a cr then Arena.set_glue a cr g
     end;
-    let start = match !p with None -> 0 | Some _ -> 1 in
-    for k = start to Array.length clause.lits - 1 do
-      let q = clause.lits.(k) in
-      let v = Lit.var q in
-      if t.seen.(v) = 0 && t.level.(v) > 0 then begin
+    let skip_var = !p_var in
+    let base = cr + Arena.lit_offset in
+    let stop = base + (Array.unsafe_get adata cr lsr Arena.size_shift) in
+    for w = base to stop - 1 do
+      let q_idx = Array.unsafe_get adata w in
+      let v = q_idx lsr 1 in
+      if v <> skip_var
+         && Array.unsafe_get seen v = 0
+         && Array.unsafe_get level v > 0
+      then begin
         var_bump t v;
-        t.seen.(v) <- 1;
-        if t.level.(v) >= decision_level t then incr path_count
-        else Vec.push learnt q
+        Array.unsafe_set seen v 1;
+        if Array.unsafe_get level v >= dl then incr path_count
+        else Vec.push learnt (Lit.of_index q_idx)
       end
     done;
     (* Select the next literal to resolve on. *)
-    while t.seen.(Lit.var (Vec.get t.trail !index)) = 0 do
+    while Array.unsafe_get seen (Lit.var (Vec.unsafe_get t.trail !index)) = 0 do
       decr index
     done;
-    let pl = Vec.get t.trail !index in
+    let pl = Vec.unsafe_get t.trail !index in
     decr index;
-    p := Some pl;
-    t.seen.(Lit.var pl) <- 0;
+    p_var := Lit.var pl;
+    p_lit := pl;
+    seen.(!p_var) <- 0;
     decr path_count;
     if !path_count <= 0 then continue := false
     else begin
-      match t.reason.(Lit.var pl) with
-      | Some r -> c := r
-      | None -> assert false
+      let r = t.reason.(!p_var) in
+      assert (r >= 0);
+      c := r
     end
   done;
-  let asserting =
-    match !p with
-    | Some pl -> Lit.negate pl
-    | None -> assert false
-  in
+  let asserting = Lit.negate !p_lit in
   Vec.set learnt 0 asserting;
   (* Minimisation. *)
   Vec.clear t.analyze_toclear;
@@ -360,7 +507,7 @@ let analyze t confl =
     in
     let keep l =
       Lit.equal l asserting
-      || t.reason.(Lit.var l) = None
+      || t.reason.(Lit.var l) < 0
       || not (lit_redundant t l abstract_levels)
     in
     Vec.filter_in_place keep learnt
@@ -368,92 +515,195 @@ let analyze t confl =
   t.stats.minimized_literals <- t.stats.minimized_literals + (before - Vec.length learnt);
   (* Clear all seen marks. *)
   Vec.iter (fun l -> t.seen.(Lit.var l) <- 0) t.analyze_toclear;
-  let lits = Vec.to_array learnt in
   (* Find the backjump level and place a literal of that level at 1. *)
   let bt_level =
-    if Array.length lits = 1 then 0
+    if Vec.length learnt = 1 then 0
     else begin
       let max_i = ref 1 in
-      for k = 2 to Array.length lits - 1 do
-        if t.level.(Lit.var lits.(k)) > t.level.(Lit.var lits.(!max_i)) then max_i := k
+      for k = 2 to Vec.length learnt - 1 do
+        if t.level.(Lit.var (Vec.get learnt k)) > t.level.(Lit.var (Vec.get learnt !max_i))
+        then max_i := k
       done;
-      let tmp = lits.(1) in
-      lits.(1) <- lits.(!max_i);
-      lits.(!max_i) <- tmp;
-      t.level.(Lit.var lits.(1))
+      let tmp = Vec.get learnt 1 in
+      Vec.set learnt 1 (Vec.get learnt !max_i);
+      Vec.set learnt !max_i tmp;
+      t.level.(Lit.var (Vec.get learnt 1))
     end
   in
-  let glue = compute_glue t lits in
-  (lits, bt_level, glue)
+  let glue = compute_glue_vec t learnt in
+  (bt_level, glue)
 
 (* --- reduce ----------------------------------------------------------- *)
 
+(* A clause is locked while it is the reason of one of its watched
+   literals. Binary clauses are never literal-swapped, so the implied
+   literal can sit at either position. *)
 let locked t c =
-  Array.length c.lits > 0
-  &&
-  let v = Lit.var c.lits.(0) in
-  t.assigns.(v) <> 0 && (match t.reason.(v) with Some r -> r == c | None -> false)
+  let a = t.arena in
+  let v0 = Lit.var (Arena.lit a c 0) in
+  (var_assigned t v0 && t.reason.(v0) = c)
+  || (Arena.size a c = 2
+     &&
+     let v1 = Lit.var (Arena.lit a c 1) in
+     var_assigned t v1 && t.reason.(v1) = c)
 
-let clause_info t f_max c =
-  let frequency =
-    match Policy.alpha_of t.cfg.policy with
-    | Some alpha ->
-      Obs.Metrics.incr m_frequency_recomputes;
-      let vars = Array.map Lit.var c.lits in
-      Policy.clause_frequency ~alpha ~f_max ~counts:t.prop_counts ~vars
-    | None -> 0
-  in
-  {
-    Policy.id = c.cid;
-    glue = c.glue;
-    size = Array.length c.lits;
-    activity = c.activity;
-    frequency;
-  }
+(* Drop watchers of deleted clauses in one pass over the watch lists
+   (the stride-2 analogue of the seed solver's [rebuild_watches]; BCP
+   itself never checks the deleted flag). *)
+let flush_watches t =
+  let a = t.arena in
+  let watches = t.watches in
+  for w = 0 to Array.length watches - 1 do
+    let ws = watches.(w) in
+    let n = Vec.length ws in
+    if n > 0 then begin
+      let i = ref 0 and j = ref 0 in
+      while !i < n do
+        let cr = Vec.unsafe_get ws (!i + 1) in
+        if not (Arena.deleted a cr) then begin
+          Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+          Vec.unsafe_set ws (!j + 1) cr;
+          j := !j + 2
+        end;
+        i := !i + 2
+      done;
+      Vec.shrink ws !j
+    end
+  done
 
-let rebuild_watches t =
-  Array.iter (fun ws -> Vec.filter_in_place (fun c -> not c.deleted) ws) t.watches
+(* Copying arena compaction: relocate every live root (clause vectors
+   first for allocation-order locality, then watchers and reasons,
+   which find forwarding pointers), then adopt the to-space. Callers
+   must have flushed dead references first — relocating a deleted
+   clause raises. *)
+let arena_gc t =
+  let from_ = t.arena in
+  let into = Arena.gc_target from_ in
+  for idx = 0 to Vec.length t.originals - 1 do
+    Vec.unsafe_set t.originals idx (Arena.reloc ~from_ ~into (Vec.unsafe_get t.originals idx))
+  done;
+  for idx = 0 to Vec.length t.learnts - 1 do
+    Vec.unsafe_set t.learnts idx (Arena.reloc ~from_ ~into (Vec.unsafe_get t.learnts idx))
+  done;
+  for w = 0 to Array.length t.watches - 1 do
+    let ws = t.watches.(w) in
+    let n = Vec.length ws in
+    let i = ref 1 in
+    while !i < n do
+      Vec.unsafe_set ws !i (Arena.reloc ~from_ ~into (Vec.unsafe_get ws !i));
+      i := !i + 2
+    done
+  done;
+  for i = 0 to Vec.length t.trail - 1 do
+    let v = Lit.var (Vec.get t.trail i) in
+    let r = t.reason.(v) in
+    if r >= 0 then t.reason.(v) <- Arena.reloc ~from_ ~into r
+  done;
+  Arena.adopt t.arena into;
+  t.arena_gcs <- t.arena_gcs + 1;
+  Obs.Metrics.incr m_arena_gcs
+
+(* Compact once a quarter of the arena is garbage. *)
+let maybe_gc t =
+  let g = Arena.garbage t.arena in
+  if g > 0 && g * 4 >= Arena.total_words t.arena then arena_gc t
+
+let ensure_rank_scratch t n =
+  if Array.length t.rk_keys < n then begin
+    let cap = ref (max 16 (Array.length t.rk_keys)) in
+    while !cap < n do cap := 2 * !cap done;
+    t.rk_keys <- Array.make !cap 0;
+    t.rk_tie <- Array.make !cap 0;
+    t.rk_refs <- Array.make !cap 0
+  end
 
 (* Delete the lowest-ranked fraction of reducible learned clauses
    according to the configured policy, then reset the propagation
-   counters ("since the last clause deletion", Eq. 2). *)
+   counters ("since the last clause deletion", Eq. 2). Candidate
+   ranking fills preallocated parallel (packed key, cid, cref) arrays
+   and sorts them in place — no per-candidate allocation. *)
 let reduce_body t =
   t.stats.reduces <- t.stats.reduces + 1;
   Obs.Metrics.incr m_reduce_passes;
-  let f_max = Array.fold_left max 0 t.prop_counts in
-  let candidates =
-    Vec.fold
-      (fun acc c ->
-        if c.deleted || c.glue <= t.cfg.tier1_glue || locked t c then acc
-        else (c, clause_info t f_max c) :: acc)
-      [] t.learnts
+  let arena = t.arena in
+  let pc = t.prop_counts in
+  let f_max = ref 0 in
+  for v = 0 to Array.length pc - 1 do
+    if Array.unsafe_get pc v > !f_max then f_max := Array.unsafe_get pc v
+  done;
+  let has_alpha, alpha =
+    match Policy.alpha_of t.cfg.policy with
+    | Some alpha -> (true, alpha)
+    | None -> (false, 0.0)
   in
-  let ranked =
-    List.sort (fun (_, a) (_, b) -> Policy.compare_clauses t.cfg.policy a b) candidates
-  in
-  let to_delete =
-    int_of_float (t.cfg.reduce_fraction *. float_of_int (List.length ranked))
-  in
-  List.iteri
-    (fun i (c, _) ->
-      if i < to_delete then begin
-        c.deleted <- true;
-        t.stats.deleted_total <- t.stats.deleted_total + 1;
-        emit_trace t (Deleted c.lits)
-      end)
-    ranked;
-  Obs.Metrics.add m_clauses_deleted (min to_delete (List.length ranked));
-  Obs.Metrics.add m_clauses_kept
-    (max 0 (List.length ranked - to_delete));
-  Vec.filter_in_place (fun c -> not c.deleted) t.learnts;
-  rebuild_watches t;
-  Array.fill t.prop_counts 0 (Array.length t.prop_counts) 0
+  let threshold = alpha *. float_of_int !f_max in
+  let nl = Vec.length t.learnts in
+  ensure_rank_scratch t nl;
+  let keys = t.rk_keys and tie = t.rk_tie and refs = t.rk_refs in
+  let n = ref 0 in
+  for idx = 0 to nl - 1 do
+    let c = Vec.unsafe_get t.learnts idx in
+    let glue = Arena.glue arena c in
+    if glue <= t.cfg.tier1_glue || locked t c then ()
+    else begin
+      let size = Arena.size arena c in
+      let frequency =
+        if has_alpha then begin
+          Obs.Metrics.incr m_frequency_recomputes;
+          if !f_max = 0 then 0
+          else begin
+            let fr = ref 0 in
+            for k = 0 to size - 1 do
+              let v = Lit.var (Arena.lit arena c k) in
+              if float_of_int (Array.unsafe_get pc v) > threshold then incr fr
+            done;
+            !fr
+          end
+        end
+        else 0
+      in
+      let cid = Arena.cid arena c in
+      keys.(!n) <-
+        Policy.packed_key t.cfg.policy ~id:cid ~glue ~size
+          ~activity_bits:(Arena.activity_bits arena c) ~frequency;
+      tie.(!n) <- cid;
+      refs.(!n) <- c;
+      incr n
+    end
+  done;
+  Keysort.sort ~keys ~tie ~refs ~len:!n;
+  let to_delete = int_of_float (t.cfg.reduce_fraction *. float_of_int !n) in
+  for i = 0 to to_delete - 1 do
+    let c = refs.(i) in
+    Arena.mark_deleted arena c;
+    t.stats.deleted_total <- t.stats.deleted_total + 1;
+    trace_deleted t c
+  done;
+  Obs.Metrics.add m_clauses_deleted to_delete;
+  Obs.Metrics.add m_clauses_kept (!n - to_delete);
+  if to_delete > 0 then begin
+    (* Drop deleted crefs from the learnt vector, preserving order. *)
+    let keep = ref 0 in
+    for idx = 0 to nl - 1 do
+      let c = Vec.unsafe_get t.learnts idx in
+      if not (Arena.deleted arena c) then begin
+        Vec.unsafe_set t.learnts !keep c;
+        incr keep
+      end
+    done;
+    Vec.shrink t.learnts !keep;
+    flush_watches t;
+    maybe_gc t
+  end;
+  Array.fill pc 0 (Array.length pc) 0
 
 let reduce t =
   if Obs.Trace.enabled () then
     Obs.Trace.with_span "solver.reduce" (fun () ->
         Obs.Metrics.time h_reduce_seconds (fun () -> reduce_body t))
   else Obs.Metrics.time h_reduce_seconds (fun () -> reduce_body t)
+
+let reduce_now t = reduce t
 
 (* --- restarts --------------------------------------------------------- *)
 
@@ -488,32 +738,58 @@ let do_restart t =
 
 exception Trivially_unsat
 
-let new_clause t ~learned ~glue lits =
-  let c =
-    { cid = t.next_cid; lits; learned; activity = 0.0; glue; deleted = false; used = false }
-  in
-  t.next_cid <- t.next_cid + 1;
-  c
-
-(* Sort, deduplicate, and drop tautologies. Returns [None] for a
-   tautological clause. *)
-let simplify_clause lits =
-  let sorted = List.sort_uniq Lit.compare (Array.to_list lits) in
-  let rec tautology = function
-    | a :: (b :: _ as rest) -> Lit.equal (Lit.negate a) b || tautology rest
-    | [ _ ] | [] -> false
-  in
-  if tautology sorted then None else Some (Array.of_list sorted)
+(* Sort, deduplicate, and drop tautologies, into the [t.simp] scratch
+   array (as literal indices, ascending). Returns the simplified
+   length, or -1 for a tautological clause. Insertion sort: input
+   clauses are short, and nothing is allocated beyond scratch growth. *)
+let simplify_into t lits =
+  let n = Array.length lits in
+  if Array.length t.simp < n then t.simp <- Array.make (max 16 (2 * n)) 0;
+  let s = t.simp in
+  for k = 0 to n - 1 do
+    s.(k) <- Lit.to_index lits.(k)
+  done;
+  for k = 1 to n - 1 do
+    let x = s.(k) in
+    let j = ref (k - 1) in
+    while !j >= 0 && s.(!j) > x do
+      s.(!j + 1) <- s.(!j);
+      decr j
+    done;
+    s.(!j + 1) <- x
+  done;
+  (* Dedup in place; a complementary pair is adjacent after sorting
+     (indices 2v and 2v+1). *)
+  let out = ref 0 in
+  let taut = ref false in
+  for k = 0 to n - 1 do
+    if !taut then ()
+    else if !out > 0 && s.(!out - 1) = s.(k) then ()
+    else if !out > 0 && s.(!out - 1) lxor 1 = s.(k) then taut := true
+    else begin
+      s.(!out) <- s.(k);
+      incr out
+    end
+  done;
+  if !taut then -1 else !out
 
 let add_original t lits =
-  match simplify_clause lits with
-  | None -> ()
-  | Some [||] -> raise Trivially_unsat
-  | Some [| l |] -> if not (enqueue t l None) then raise Trivially_unsat
-  | Some lits ->
-    let c = new_clause t ~learned:false ~glue:0 lits in
+  let n = simplify_into t lits in
+  if n = 0 then raise Trivially_unsat
+  else if n = 1 then begin
+    if not (enqueue t (Lit.of_index t.simp.(0)) (-1)) then raise Trivially_unsat
+  end
+  else if n >= 2 then begin
+    let c =
+      Arena.alloc t.arena ~learned:false ~glue:0 ~cid:t.next_cid ~size:n
+    in
+    t.next_cid <- t.next_cid + 1;
+    for k = 0 to n - 1 do
+      Arena.set_lit t.arena c k (Lit.of_index t.simp.(k))
+    done;
     Vec.push t.originals c;
     attach t c
+  end
 
 let create ?(config = Config.default) formula =
   let n = Cnf.Formula.num_vars formula in
@@ -522,17 +798,19 @@ let create ?(config = Config.default) formula =
       cfg = config;
       n;
       stats = Solver_stats.create ();
-      assigns = Array.make (n + 1) 0;
+      values = Array.make ((2 * (n + 1)) + 2) 0;
       level = Array.make (n + 1) 0;
-      reason = Array.make (n + 1) None;
+      reason = Array.make (n + 1) (-1);
       phase = Array.make (n + 1) false;
       trail = Vec.create ~dummy:(Lit.pos 1) ();
       trail_lim = Vec.create ~dummy:0 ();
       qhead = 0;
-      watches = Array.init ((2 * (n + 1)) + 2) (fun _ -> Vec.create ~dummy:dummy_clause ());
-      originals = Vec.create ~dummy:dummy_clause ();
-      learnts = Vec.create ~dummy:dummy_clause ();
+      arena = Arena.create ~capacity:4096 ();
+      watches = Array.init ((2 * (n + 1)) + 2) (fun _ -> Vec.create ~dummy:0 ());
+      originals = Vec.create ~dummy:0 ();
+      learnts = Vec.create ~dummy:0 ();
       next_cid = 0;
+      arena_gcs = 0;
       order = Var_heap.create ~num_vars:n;
       vmtf =
         (match config.branching with
@@ -545,8 +823,13 @@ let create ?(config = Config.default) formula =
       next_reduce = config.reduce_first;
       prop_counts = Array.make (n + 1) 0;
       seen = Array.make (n + 1) 0;
+      learnt = Vec.create ~dummy:(Lit.pos 1) ();
       analyze_toclear = Vec.create ~dummy:(Lit.pos 1) ();
       analyze_stack = Vec.create ~dummy:(Lit.pos 1) ();
+      simp = Array.make 16 0;
+      rk_keys = [||];
+      rk_tie = [||];
+      rk_refs = [||];
       level_stamp = Array.make (n + 2) 0;
       stamp_gen = 0;
       answer = None;
@@ -561,19 +844,25 @@ let create ?(config = Config.default) formula =
 
 (* --- learned clause installation -------------------------------------- *)
 
-let install_learnt t lits glue =
+let install_learnt t glue =
   t.stats.learned_total <- t.stats.learned_total + 1;
   Obs.Metrics.incr m_clauses_learned;
-  emit_trace t (Learned lits);
-  if Array.length lits = 1 then begin
+  trace_learned t;
+  let learnt = t.learnt in
+  if Vec.length learnt = 1 then begin
     backtrack t 0;
-    ignore (enqueue t lits.(0) None)
+    ignore (enqueue t (Vec.get learnt 0) (-1))
   end
   else begin
-    let c = new_clause t ~learned:true ~glue lits in
+    let size = Vec.length learnt in
+    let c = Arena.alloc t.arena ~learned:true ~glue ~cid:t.next_cid ~size in
+    t.next_cid <- t.next_cid + 1;
+    for k = 0 to size - 1 do
+      Arena.set_lit t.arena c k (Vec.get learnt k)
+    done;
     Vec.push t.learnts c;
     attach t c;
-    ignore (enqueue t lits.(0) (Some c))
+    ignore (enqueue t (Vec.get learnt 0) c)
   end
 
 (* --- decisions --------------------------------------------------------- *)
@@ -582,12 +871,12 @@ let rec pick_from_heap t =
   if Var_heap.is_empty t.order then None
   else begin
     let v = Var_heap.remove_max t.order in
-    if t.assigns.(v) = 0 then Some v else pick_from_heap t
+    if not (var_assigned t v) then Some v else pick_from_heap t
   end
 
 let pick_branch_var t =
   match t.vmtf with
-  | Some q -> Vmtf.pick q ~assigned:(fun v -> t.assigns.(v) <> 0)
+  | Some q -> Vmtf.pick q ~assigned:(fun v -> var_assigned t v)
   | None -> pick_from_heap t
 
 let decide t v =
@@ -595,7 +884,7 @@ let decide t v =
   Obs.Metrics.incr m_decisions;
   Vec.push t.trail_lim (Vec.length t.trail);
   let l = Lit.make v t.phase.(v) in
-  ignore (enqueue t l None);
+  ignore (enqueue t l (-1));
   let dl = decision_level t in
   if dl > t.stats.max_decision_level then t.stats.max_decision_level <- dl
 
@@ -606,19 +895,20 @@ let decide t v =
 let analyze_final t p =
   let core = ref [ p ] in
   if decision_level t > 0 then begin
+    let a = t.arena in
     t.seen.(Lit.var p) <- 1;
     let bound = Vec.get t.trail_lim 0 in
     for i = Vec.length t.trail - 1 downto bound do
       let q = Vec.get t.trail i in
       let v = Lit.var q in
       if t.seen.(v) = 1 then begin
-        (match t.reason.(v) with
-        | None -> core := q :: !core
-        | Some c ->
-          for k = 1 to Array.length c.lits - 1 do
-            let u = Lit.var c.lits.(k) in
-            if t.level.(u) > 0 then t.seen.(u) <- 1
-          done);
+        let r = t.reason.(v) in
+        if r < 0 then core := q :: !core
+        else
+          for k = 0 to Arena.size a r - 1 do
+            let u = Lit.var (Arena.lit a r k) in
+            if u <> v && t.level.(u) > 0 then t.seen.(u) <- 1
+          done;
         t.seen.(v) <- 0
       end
     done;
@@ -629,7 +919,7 @@ let analyze_final t p =
 (* --- main search -------------------------------------------------------- *)
 
 let model t =
-  Array.init (t.n + 1) (fun v -> v > 0 && t.assigns.(v) > 0)
+  Array.init (t.n + 1) (fun v -> v > 0 && t.values.(v + v) > 0)
 
 let budget_exhausted t ~conflicts0 ~propagations0 ~deadline =
   (match t.cfg.max_conflicts with
@@ -661,7 +951,7 @@ let next_decision t result =
     else begin
       t.stats.decisions <- t.stats.decisions + 1;
       Vec.push t.trail_lim (Vec.length t.trail);
-      ignore (enqueue t p None)
+      ignore (enqueue t p (-1))
     end
   end
   else begin
@@ -678,15 +968,15 @@ let search_body t =
   let assumption_depth = Array.length t.assumptions in
   let result = ref None in
   while !result = None do
-    match propagate t with
-    | Some confl ->
+    let confl = propagate t in
+    if confl >= 0 then begin
       t.stats.conflicts <- t.stats.conflicts + 1;
       Obs.Metrics.incr m_conflicts;
       if decision_level t = 0 then result := Some Unsat
       else begin
-        let lits, bt_level, glue = analyze t confl in
+        let bt_level, glue = analyze t confl in
         backtrack t bt_level;
-        install_learnt t lits glue;
+        install_learnt t glue;
         var_decay t;
         cla_decay t;
         note_conflict_for_restart t glue;
@@ -698,13 +988,12 @@ let search_body t =
         if budget_exhausted t ~conflicts0 ~propagations0 ~deadline then
           result := Some Unknown
       end
-    | None ->
-      if budget_exhausted t ~conflicts0 ~propagations0 ~deadline then
-        result := Some Unknown
-      else if
-        should_restart t && decision_level t > assumption_depth
-      then do_restart t
-      else next_decision t result
+    end
+    else if budget_exhausted t ~conflicts0 ~propagations0 ~deadline then
+      result := Some Unknown
+    else if should_restart t && decision_level t > assumption_depth then
+      do_restart t
+    else next_decision t result
   done;
   Option.get !result
 
@@ -756,11 +1045,13 @@ let propagation_counts t = Array.copy t.prop_counts
 
 let value t v =
   if v < 1 || v > t.n then invalid_arg "Solver.value";
-  match t.assigns.(v) with
+  match t.values.(v + v) with
   | 0 -> None
   | x -> Some (x > 0)
 
 let learned_clause_count t = Vec.length t.learnts
+let arena_gc_count t = t.arena_gcs
+let arena_live_words t = Arena.live_words t.arena
 
 let set_trace t f = t.trace <- Some f
 let clear_trace t = t.trace <- None

@@ -7,6 +7,14 @@
     step ranks clauses with a pluggable {!Policy.t} — the integration
     point for the paper's propagation-frequency deletion metric.
 
+    The clause database is a flat integer arena ({!Arena}): clauses are
+    crefs into one growable buffer, watcher lists are unboxed
+    [(tag, cref)] int pairs carrying a blocking literal (binary clauses
+    inline the other literal in the tag and never touch clause memory
+    during BCP), and deletion reclaims storage with a copying
+    compaction instead of tombstone flags. See DESIGN.md "Arena clause
+    database".
+
     Per-variable propagation-trigger counters are maintained since the
     last reduce (Section 3 of the paper) and drive the frequency policy;
     they are also exposed for Figure 3's distribution plot. *)
@@ -59,6 +67,17 @@ val value : t -> int -> bool option
 val learned_clause_count : t -> int
 (** Live (non-deleted) learned clauses. *)
 
+val reduce_now : t -> unit
+(** Force one clause-database reduction pass immediately (normally
+    driven by the conflict schedule). Exposed for benchmarks and
+    allocation tests. *)
+
+val arena_gc_count : t -> int
+(** Number of arena compactions performed so far. *)
+
+val arena_live_words : t -> int
+(** Words of live clause storage in the arena. *)
+
 val check_model : Cnf.Formula.t -> bool array -> bool
 (** [check_model f model] verifies a {!Sat} witness independently. *)
 
@@ -81,3 +100,4 @@ val solve_formula :
   ?config:Config.t -> Cnf.Formula.t -> result * Solver_stats.t
 (** One-shot convenience: create, solve, return result and a stats
     snapshot. *)
+

@@ -50,6 +50,8 @@ let clip_grad_norm t max_norm =
   end;
   n
 
+(* Moment buffers and parameters are updated in place with the fused
+   Mat kernels: no per-parameter intermediate matrices. *)
 let step t =
   (match t.algo with
   | Adam a ->
@@ -57,21 +59,19 @@ let step t =
     let bc1 = 1.0 -. (a.beta1 ** float_of_int a.t) in
     let bc2 = 1.0 -. (a.beta2 ** float_of_int a.t) in
     let update (p : Param.t) =
-      p.Param.adam_m <-
-        Mat.add (Mat.scale a.beta1 p.Param.adam_m) (Mat.scale (1.0 -. a.beta1) p.Param.grad);
-      p.Param.adam_v <-
-        Mat.add (Mat.scale a.beta2 p.Param.adam_v)
-          (Mat.scale (1.0 -. a.beta2) (Mat.mul p.Param.grad p.Param.grad));
-      let m_hat = Mat.scale (1.0 /. bc1) p.Param.adam_m in
-      let v_hat = Mat.scale (1.0 /. bc2) p.Param.adam_v in
-      let delta = Mat.map2 (fun m v -> t.lr *. m /. (sqrt v +. a.eps)) m_hat v_hat in
-      p.Param.value <- Mat.sub p.Param.value delta
+      Mat.scale_in_place a.beta1 p.Param.adam_m;
+      Mat.add_scaled_in_place p.Param.adam_m (1.0 -. a.beta1) p.Param.grad;
+      Mat.scale_in_place a.beta2 p.Param.adam_v;
+      Mat.add_scaled_sq_in_place p.Param.adam_v (1.0 -. a.beta2) p.Param.grad;
+      Mat.adam_update_in_place p.Param.value ~lr:t.lr ~eps:a.eps ~bc1 ~bc2
+        ~m:p.Param.adam_m ~v:p.Param.adam_v
     in
     List.iter update t.params
   | Sgd s ->
     let update ((p : Param.t), vel) =
-      vel := Mat.add (Mat.scale s.momentum !vel) (Mat.scale t.lr p.Param.grad);
-      p.Param.value <- Mat.sub p.Param.value !vel
+      Mat.scale_in_place s.momentum !vel;
+      Mat.add_scaled_in_place !vel t.lr p.Param.grad;
+      Mat.sub_in_place p.Param.value !vel
     in
     List.iter update s.velocity);
   zero_grads t

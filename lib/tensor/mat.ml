@@ -59,18 +59,109 @@ let same_shape a b =
 
 let map2 f a b =
   same_shape a b;
-  { a with data = Array.map2 f a.data b.data }
+  let n = Array.length a.data in
+  let ad = a.data and bd = b.data in
+  let data = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set data k (f (Array.unsafe_get ad k) (Array.unsafe_get bd k))
+  done;
+  { a with data }
 
-let add a b = map2 ( +. ) a b
-let sub a b = map2 ( -. ) a b
-let mul a b = map2 ( *. ) a b
-let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
-let map f m = { m with data = Array.map f m.data }
+(* The elementwise workhorses are specialised loops rather than
+   [map2 ( +. )]: with no polymorphic closure in the way the floats
+   stay unboxed end to end. *)
+let add a b =
+  same_shape a b;
+  let n = Array.length a.data in
+  let ad = a.data and bd = b.data in
+  let data = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set data k (Array.unsafe_get ad k +. Array.unsafe_get bd k)
+  done;
+  { a with data }
+
+let sub a b =
+  same_shape a b;
+  let n = Array.length a.data in
+  let ad = a.data and bd = b.data in
+  let data = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set data k (Array.unsafe_get ad k -. Array.unsafe_get bd k)
+  done;
+  { a with data }
+
+let mul a b =
+  same_shape a b;
+  let n = Array.length a.data in
+  let ad = a.data and bd = b.data in
+  let data = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set data k (Array.unsafe_get ad k *. Array.unsafe_get bd k)
+  done;
+  { a with data }
+
+let scale s m =
+  let n = Array.length m.data in
+  let md = m.data in
+  let data = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set data k (s *. Array.unsafe_get md k)
+  done;
+  { m with data }
+
+let map f m =
+  let n = Array.length m.data in
+  let md = m.data in
+  let data = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    Array.unsafe_set data k (f (Array.unsafe_get md k))
+  done;
+  { m with data }
 
 let add_in_place acc x =
   same_shape acc x;
   for k = 0 to Array.length acc.data - 1 do
     acc.data.(k) <- acc.data.(k) +. x.data.(k)
+  done
+
+let sub_in_place acc x =
+  same_shape acc x;
+  let ad = acc.data and xd = x.data in
+  for k = 0 to Array.length ad - 1 do
+    Array.unsafe_set ad k (Array.unsafe_get ad k -. Array.unsafe_get xd k)
+  done
+
+let scale_in_place s m =
+  let md = m.data in
+  for k = 0 to Array.length md - 1 do
+    Array.unsafe_set md k (s *. Array.unsafe_get md k)
+  done
+
+let add_scaled_in_place acc s x =
+  same_shape acc x;
+  let ad = acc.data and xd = x.data in
+  for k = 0 to Array.length ad - 1 do
+    Array.unsafe_set ad k (Array.unsafe_get ad k +. (s *. Array.unsafe_get xd k))
+  done
+
+let add_scaled_sq_in_place acc s x =
+  same_shape acc x;
+  let ad = acc.data and xd = x.data in
+  for k = 0 to Array.length ad - 1 do
+    let g = Array.unsafe_get xd k in
+    Array.unsafe_set ad k (Array.unsafe_get ad k +. (s *. (g *. g)))
+  done
+
+let adam_update_in_place value ~lr ~eps ~bc1 ~bc2 ~m ~v =
+  same_shape value m;
+  same_shape value v;
+  let vd = value.data and md = m.data and sd = v.data in
+  let c1 = 1.0 /. bc1 and c2 = 1.0 /. bc2 in
+  for k = 0 to Array.length vd - 1 do
+    let m_hat = c1 *. Array.unsafe_get md k in
+    let v_hat = c2 *. Array.unsafe_get sd k in
+    Array.unsafe_set vd k
+      (Array.unsafe_get vd k -. (lr *. m_hat /. (sqrt v_hat +. eps)))
   done
 
 let fill m x = Array.fill m.data 0 (Array.length m.data) x

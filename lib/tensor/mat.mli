@@ -47,6 +47,32 @@ val map2 : (float -> float -> float) -> t -> t -> t
 val add_in_place : t -> t -> unit
 (** [add_in_place acc x] accumulates [x] into [acc]. *)
 
+(** {2 In-place kernels}
+
+    Allocation-free updates for the optimiser inner loop
+    ({!Nn.Optim.step} runs one per parameter per training step); the
+    out-of-place equivalents allocate several intermediates per call. *)
+
+val sub_in_place : t -> t -> unit
+(** [sub_in_place acc x]: [acc <- acc - x]. *)
+
+val scale_in_place : float -> t -> unit
+(** [scale_in_place s m]: [m <- s * m]. *)
+
+val add_scaled_in_place : t -> float -> t -> unit
+(** [add_scaled_in_place acc s x]: [acc <- acc + s * x] (axpy). *)
+
+val add_scaled_sq_in_place : t -> float -> t -> unit
+(** [add_scaled_sq_in_place acc s x]: [acc <- acc + s * (x ∘ x)] —
+    the Adam second-moment accumulation. *)
+
+val adam_update_in_place :
+  t -> lr:float -> eps:float -> bc1:float -> bc2:float -> m:t -> v:t -> unit
+(** Fused bias-corrected Adam parameter update:
+    [value <- value - lr * (m/bc1) / (sqrt (v/bc2) + eps)],
+    elementwise. [bc1]/[bc2] are the bias-correction denominators
+    [1 - beta^t]. *)
+
 val fill : t -> float -> unit
 
 val matmul : t -> t -> t

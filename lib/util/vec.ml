@@ -23,6 +23,9 @@ let check v i =
 
 let get v i = check v i; v.data.(i)
 let set v i x = check v i; v.data.(i) <- x
+let unsafe_get v i = Array.unsafe_get v.data i
+let unsafe_set v i x = Array.unsafe_set v.data i x
+let unsafe_data v = v.data
 
 let grow v =
   let cap = Array.length v.data in
@@ -34,6 +37,12 @@ let push v x =
   if v.len = Array.length v.data then grow v;
   v.data.(v.len) <- x;
   v.len <- v.len + 1
+
+let push2 v x y =
+  while v.len + 2 > Array.length v.data do grow v done;
+  v.data.(v.len) <- x;
+  v.data.(v.len + 1) <- y;
+  v.len <- v.len + 2
 
 let pop v =
   if v.len = 0 then invalid_arg "Vec.pop: empty";

@@ -23,7 +23,26 @@ val get : 'a t -> int -> 'a
 (** Bounds-checked read of element [i < length]. *)
 
 val set : 'a t -> int -> 'a -> unit
+
+val unsafe_get : 'a t -> int -> 'a
+(** Unchecked read. The caller must guarantee [0 <= i < length v];
+    reading stale capacity beyond the fill pointer is undefined. Used
+    by the BCP inner loop where the bound is hoisted out of the loop. *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+(** Unchecked write; same contract as {!unsafe_get}. *)
+
+val unsafe_data : 'a t -> 'a array
+(** The backing array. Invalidated by any growth ([push]/[push2] past
+    capacity); only the first [length v] slots are live. Lets the BCP
+    loop hoist the field load while scanning a list it never appends
+    to. *)
+
 val push : 'a t -> 'a -> unit
+
+val push2 : 'a t -> 'a -> 'a -> unit
+(** [push2 v x y] appends two elements with a single capacity check —
+    the common case for stride-2 watcher lists (tagged literal, cref). *)
 
 val pop : 'a t -> 'a
 (** Removes and returns the last element. @raise Invalid_argument if empty. *)

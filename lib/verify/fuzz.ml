@@ -286,3 +286,90 @@ let pp_report ppf r =
         "@.FAIL case %d (%s): %s@.replay: %s@.shrunk reproducer:@.%s@."
         d.case_index d.family d.detail d.replay d.dimacs)
     r.discrepancies
+
+(* --- arena vs. reference differential mode --------------------------- *)
+
+type ref_diff_report = {
+  rd_seed : int;
+  rd_cases : int;
+  rd_compactions : int;  (* arena GCs across all runs *)
+  rd_failures : (int * string * string) list;  (* case, family, detail *)
+}
+
+(* Aggressive schedule: frequent reduces, deep deletion, no protected
+   tier — maximises deleted-clause garbage so the arena compacts often
+   even on fuzz-sized instances. Policy rotates with the case index. *)
+let ref_diff_config i =
+  let policy = List.nth all_policies (i mod List.length all_policies) in
+  {
+    Cdcl.Config.default with
+    Cdcl.Config.policy;
+    reduce_first = 20;
+    reduce_inc = 5;
+    reduce_fraction = 0.8;
+    tier1_glue = 0;
+  }
+
+let stats_equal (a : Cdcl.Solver_stats.t) (b : Cdcl.Solver_stats.t) =
+  a.Cdcl.Solver_stats.decisions = b.Cdcl.Solver_stats.decisions
+  && a.Cdcl.Solver_stats.conflicts = b.Cdcl.Solver_stats.conflicts
+  && a.Cdcl.Solver_stats.propagations = b.Cdcl.Solver_stats.propagations
+  && a.Cdcl.Solver_stats.restarts = b.Cdcl.Solver_stats.restarts
+  && a.Cdcl.Solver_stats.reduces = b.Cdcl.Solver_stats.reduces
+  && a.Cdcl.Solver_stats.learned_total = b.Cdcl.Solver_stats.learned_total
+  && a.Cdcl.Solver_stats.deleted_total = b.Cdcl.Solver_stats.deleted_total
+  && a.Cdcl.Solver_stats.minimized_literals = b.Cdcl.Solver_stats.minimized_literals
+  && a.Cdcl.Solver_stats.max_decision_level = b.Cdcl.Solver_stats.max_decision_level
+
+let run_ref_diff ?(on_case = fun _ _ -> ()) ~seed ~cases () =
+  let failures = ref [] in
+  let compactions = ref 0 in
+  for i = 0 to cases - 1 do
+    let family, f = generate_case ~seed i in
+    on_case i family;
+    let config = ref_diff_config i in
+    let arena = Cdcl.Solver.create ~config f in
+    let arena_events = ref [] in
+    let drup = Cdcl.Drup.create () in
+    Cdcl.Solver.set_trace arena (fun ev ->
+        arena_events := ev :: !arena_events;
+        Cdcl.Drup.event drup ev);
+    let rs = Refsolver.create ~config f in
+    let ref_events = ref [] in
+    Refsolver.set_trace rs (fun ev -> ref_events := ev :: !ref_events);
+    let ra = Cdcl.Solver.solve arena in
+    let rr = Refsolver.solve rs in
+    compactions := !compactions + Cdcl.Solver.arena_gc_count arena;
+    let fail detail = failures := (i, family, detail) :: !failures in
+    (match (ra, rr) with
+    | Cdcl.Solver.Sat ma, Cdcl.Solver.Sat mr ->
+      if not (Cdcl.Solver.check_model f ma) then fail "arena model invalid";
+      if ma <> mr then fail "models differ"
+    | Cdcl.Solver.Unsat, Cdcl.Solver.Unsat ->
+      Cdcl.Drup.conclude_unsat drup;
+      (match Cdcl.Drup_check.check_solver_proof f drup with
+      | Cdcl.Drup_check.Valid -> ()
+      | Cdcl.Drup_check.Invalid { line; reason } ->
+        fail (Printf.sprintf "arena DRUP proof invalid at line %d: %s" line reason))
+    | Cdcl.Solver.Unknown, Cdcl.Solver.Unknown -> ()
+    | _ -> fail "verdicts diverge");
+    if not (stats_equal (Cdcl.Solver.stats arena) (Refsolver.stats rs)) then
+      fail "statistics diverge";
+    if List.rev !arena_events <> List.rev !ref_events then fail "traces diverge"
+  done;
+  {
+    rd_seed = seed;
+    rd_cases = cases;
+    rd_compactions = !compactions;
+    rd_failures = List.rev !failures;
+  }
+
+let pp_ref_diff_report ppf r =
+  Format.fprintf ppf
+    "ref-diff: seed %d, %d cases, %d arena compactions, %d failures@."
+    r.rd_seed r.rd_cases r.rd_compactions
+    (List.length r.rd_failures);
+  List.iter
+    (fun (i, family, detail) ->
+      Format.fprintf ppf "FAIL case %d (%s): %s@." i family detail)
+    r.rd_failures

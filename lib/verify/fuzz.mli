@@ -77,3 +77,30 @@ val run :
 val replay_command : seed:int -> case_index:int -> string
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 Arena vs. reference differential mode}
+
+    Runs the arena-backed {!Cdcl.Solver} and the record-based
+    {!Refsolver} side by side on the seeded corpus under an aggressive
+    reduce schedule (policy rotating per case) that forces frequent
+    clause deletion and arena compaction, and demands bit-for-bit
+    agreement: verdicts, models, every statistics counter, and the
+    learned/deleted trace streams. UNSAT arena proofs are DRUP-checked.
+    Exposed on the CLI as [fuzz --diff-ref]. *)
+
+type ref_diff_report = {
+  rd_seed : int;
+  rd_cases : int;
+  rd_compactions : int;  (** Total arena GCs across all runs. *)
+  rd_failures : (int * string * string) list;
+      (** (case index, family, failure detail). *)
+}
+
+val run_ref_diff :
+  ?on_case:(int -> string -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  ref_diff_report
+
+val pp_ref_diff_report : Format.formatter -> ref_diff_report -> unit

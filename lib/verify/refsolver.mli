@@ -1,0 +1,33 @@
+(** Record-based reference CDCL solver for differential testing.
+
+    Implements exactly the same search semantics as {!Cdcl.Solver} —
+    blocking-literal watchers, binary-clause inlining, quantised clause
+    activities, identical reduce ranking and schedule — but stores
+    clauses as plain OCaml records instead of the flat integer arena.
+    Since only the memory layout differs, both solvers must produce
+    identical verdicts, statistics, and learned/deleted traces on every
+    input under every configuration; a divergence pinpoints a bug in
+    the arena, the watcher encoding, the packed ranking key, or the
+    compaction pass. Assumption solving is not supported (the
+    differential suite drives plain {!solve}). *)
+
+type result = Cdcl.Solver.result =
+  | Sat of bool array
+  | Unsat
+  | Unknown
+
+type t
+
+val create : ?config:Cdcl.Config.t -> Cnf.Formula.t -> t
+val solve : t -> result
+
+val stats : t -> Cdcl.Solver_stats.t
+val num_vars : t -> int
+val learned_clause_count : t -> int
+val propagation_counts : t -> int array
+
+val set_trace : t -> (Cdcl.Solver.trace_event -> unit) -> unit
+(** Emits the same event stream as {!Cdcl.Solver.set_trace}. *)
+
+val solve_formula :
+  ?config:Cdcl.Config.t -> Cnf.Formula.t -> result * Cdcl.Solver_stats.t

@@ -109,13 +109,54 @@ let test_policy_saturation () =
 let test_policy_clause_frequency_eq2 () =
   let counts = [| 0; 10; 8; 3; 0 |] in
   (* f_max = 10, alpha = 0.8 -> threshold 8 (strict). *)
+  let lits vs = Array.map (fun v -> Cnf.Lit.pos v) vs in
   let f =
-    Cdcl.Policy.clause_frequency ~alpha:0.8 ~f_max:10 ~counts ~vars:[| 1; 2; 3 |]
+    Cdcl.Policy.clause_frequency ~alpha:0.8 ~f_max:10 ~counts
+      ~lits:(lits [| 1; 2; 3 |])
   in
   checki "only count > 8 qualifies" 1 f;
+  (* Polarity is irrelevant: Eq. 2 counts variables. *)
+  checki "negated literals score identically" f
+    (Cdcl.Policy.clause_frequency ~alpha:0.8 ~f_max:10 ~counts
+       ~lits:(Array.map Cnf.Lit.negate (lits [| 1; 2; 3 |])));
   checki "f_max zero -> 0"
     0
-    (Cdcl.Policy.clause_frequency ~alpha:0.8 ~f_max:0 ~counts ~vars:[| 1 |])
+    (Cdcl.Policy.clause_frequency ~alpha:0.8 ~f_max:0 ~counts ~lits:(lits [| 1 |]))
+
+let test_policy_packed_key_matches_key () =
+  (* packed_key from unboxed scalars must rank exactly like key on the
+     boxed record, for every policy, once the activity has gone through
+     the arena's quantising encode/decode round-trip. *)
+  let policies =
+    [ Cdcl.Policy.Default; Cdcl.Policy.frequency_default; Cdcl.Policy.Glue_only;
+      Cdcl.Policy.Size_only; Cdcl.Policy.Activity; Cdcl.Policy.Random 13 ]
+  in
+  let cases =
+    [ info ~id:1 ~glue:2 ~size:3 ~activity:0.0 ~frequency:0 ();
+      info ~id:7 ~glue:9 ~size:40 ~activity:3.25 ~frequency:5 ();
+      info ~id:42 ~glue:1 ~size:2 ~activity:1e12 ~frequency:1 ();
+      info ~id:999 ~glue:10_000_000 ~size:10_000_000 ~activity:0.125 ~frequency:10_000_000 () ]
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun i ->
+          let quantised =
+            { i with
+              Cdcl.Policy.activity =
+                Cdcl.Arena.decode_activity (Cdcl.Arena.encode_activity i.Cdcl.Policy.activity)
+            }
+          in
+          checki
+            (Printf.sprintf "packed_key = key (%s, id %d)" (Cdcl.Policy.name p)
+               i.Cdcl.Policy.id)
+            (Cdcl.Policy.key p quantised)
+            (Cdcl.Policy.packed_key p ~id:i.Cdcl.Policy.id ~glue:i.Cdcl.Policy.glue
+               ~size:i.Cdcl.Policy.size
+               ~activity_bits:(Cdcl.Arena.encode_activity i.Cdcl.Policy.activity)
+               ~frequency:i.Cdcl.Policy.frequency))
+        cases)
+    policies
 
 let test_policy_activity_ordering () =
   let a = info ~activity:5.0 () and b = info ~activity:1.0 () in
@@ -461,6 +502,7 @@ let suite =
     Alcotest.test_case "policy key monotone" `Quick test_policy_key_monotone_in_fields;
     Alcotest.test_case "policy saturation" `Quick test_policy_saturation;
     Alcotest.test_case "policy eq2 frequency" `Quick test_policy_clause_frequency_eq2;
+    Alcotest.test_case "policy packed key matches key" `Quick test_policy_packed_key_matches_key;
     Alcotest.test_case "policy activity" `Quick test_policy_activity_ordering;
     Alcotest.test_case "policy random deterministic" `Quick test_policy_random_deterministic;
     Alcotest.test_case "policy names roundtrip" `Quick test_policy_names_roundtrip;

@@ -111,7 +111,7 @@ let test_adaptive_eval_runs () =
 (* --- fault tolerance --- *)
 
 let test_solve_protected_retries () =
-  let t = Experiments.Simtime.make ~budget:100_000 in
+  let t = Experiments.Simtime.make ~budget:400_000 in
   let f = (List.hd (mini_instances 1)).Gen.Dataset.formula in
   Fun.protect ~finally:Runtime.Fault.disarm (fun () ->
       (* One injected crash: the single retry absorbs it. *)

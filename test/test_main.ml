@@ -17,4 +17,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("experiments", Test_experiments.suite);
       ("verify", Test_verify.suite);
+      ("refdiff", Test_refdiff.suite);
     ]
