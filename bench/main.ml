@@ -237,6 +237,45 @@ let kernel_tests () =
            in
            ignore (Cdcl.Solver.solve_formula ~config reduce_instance)))
   in
+  (* Inprocessing kernels. PHP(8,7) is the smallest pigeonhole where the
+     tier/vivify/subsume machinery fires often enough to dominate noise:
+     a full solve runs ~150 vivifications and ~1k subsumptions. The
+     second kernel forces a pass at every restart with the deletion
+     schedule of reduce_arena, so pass overhead (occurrence stamping,
+     probe propagation, DRUP emission) is the measured quantity rather
+     than search. *)
+  let inprocess_instance = Gen.Pigeonhole.unsat 7 in
+  let inprocess_cfg =
+    Cdcl.Config.with_inprocess ~interval:4 true
+      {
+        Cdcl.Config.default with
+        Cdcl.Config.policy = Cdcl.Policy.frequency_default;
+        reduce_first = 300;
+        reduce_inc = 100;
+        reduce_fraction = 0.5;
+      }
+  in
+  let inprocess =
+    Test.make ~name:"solver: inprocess PHP(8,7) full solve (vivify+subsume)"
+      (Staged.stage (fun () ->
+           ignore (Cdcl.Solver.solve_formula ~config:inprocess_cfg inprocess_instance)))
+  in
+  let inprocess_pass_cfg =
+    Cdcl.Config.with_inprocess ~interval:1 true
+      {
+        Cdcl.Config.default with
+        Cdcl.Config.policy = Cdcl.Policy.frequency_default;
+        reduce_first = 20;
+        reduce_inc = 5;
+        reduce_fraction = 0.8;
+        tier1_glue = 0;
+      }
+  in
+  let inprocess_pass =
+    Test.make ~name:"solver: inprocess_pass PHP(7,6), pass every restart"
+      (Staged.stage (fun () ->
+           ignore (Cdcl.Solver.solve_formula ~config:inprocess_pass_cfg reduce_instance)))
+  in
   let attn_graph =
     let rng = Util.Rng.create 2 in
     Satgraph.Bigraph.of_formula (Gen.Ksat.near_threshold rng ~num_vars:300)
@@ -246,7 +285,7 @@ let kernel_tests () =
     Test.make ~name:"model: NeuroSelect inference, 300-var CNF"
       (Staged.stage (fun () -> ignore (Core.Model.predict model attn_graph)))
   in
-  [ bcp; bcp_arena; reduce; reduce_arena; inference ]
+  [ bcp; bcp_arena; reduce; reduce_arena; inprocess; inprocess_pass; inference ]
 
 (* Estimates from the last kernels run, for the --json report. *)
 let kernel_estimates = ref []

@@ -95,7 +95,11 @@ let diff_ref =
                record-based reference solver on every case under a \
                compaction-heavy reduce schedule and require bit-for-bit \
                identical verdicts, statistics, and clause traces (UNSAT \
-               proofs DRUP-checked).")
+               proofs DRUP-checked), then re-solve with inprocessing \
+               (vivification, subsumption, tiered reduce) enabled and \
+               require verdict agreement plus a valid DRUP proof. Every \
+               failure kind — statistics and trace divergence included — \
+               is shrunk to a minimal DIMACS reproducer.")
 
 let check_checkpoint =
   Arg.(value & opt (some string) None & info [ "check-checkpoint" ] ~docv:"FILE"

@@ -9,8 +9,8 @@
    the summary line per file replaces the exit-code convention (0 =
    every file produced a verdict). *)
 
-let solve_one file policy_str adaptive checkpoint proof simplify max_conflicts
-    max_propagations verbose : int =
+let solve_one file policy_str adaptive checkpoint proof simplify inprocess
+    max_conflicts max_propagations verbose : int =
   let original = Cnf.Dimacs.parse_file file in
   if verbose then
     Printf.printf "c parsed %s: %d vars, %d clauses\n" file
@@ -39,6 +39,11 @@ let solve_one file policy_str adaptive checkpoint proof simplify max_conflicts
   | Some (formula, preprocessing) ->
     let base =
       Cdcl.Config.with_budget ?max_conflicts ?max_propagations Cdcl.Config.default
+    in
+    let base =
+      match inprocess with
+      | None -> base
+      | Some interval -> Cdcl.Config.with_inprocess ~interval true base
     in
     let config =
       if adaptive then base
@@ -109,8 +114,8 @@ let solve_one file policy_str adaptive checkpoint proof simplify max_conflicts
       print_endline "s UNKNOWN";
       0)
 
-let run files policy_str adaptive checkpoint proof simplify max_conflicts
-    max_propagations jobs mem_limit_mb isolate metrics verbose =
+let run files policy_str adaptive checkpoint proof simplify inprocess
+    max_conflicts max_propagations jobs mem_limit_mb isolate metrics verbose =
   Obs.Trace.install_from_env ();
   (* The solve paths below leave through [exit]; at_exit keeps the
      metrics dump on every one of them. *)
@@ -126,8 +131,8 @@ let run files policy_str adaptive checkpoint proof simplify max_conflicts
     exit 2
   end;
   let solve file () =
-    solve_one file policy_str adaptive checkpoint proof simplify max_conflicts
-      max_propagations verbose
+    solve_one file policy_str adaptive checkpoint proof simplify inprocess
+      max_conflicts max_propagations verbose
   in
   let limits = { Runtime.Supervisor.default_limits with mem_limit_mb } in
   let supervised = isolate || mem_limit_mb <> None || jobs > 1 in
@@ -195,6 +200,14 @@ let simplify_flag =
   Arg.(value & flag & info [ "simplify" ]
          ~doc:"Preprocess (unit propagation, pure literals, subsumption) before solving.")
 
+let inprocess =
+  Arg.(value & opt ~vopt:(Some 4) (some int) None & info [ "inprocess" ]
+         ~docv:"INTERVAL"
+         ~doc:"Enable arena inprocessing (tiered clause DB, clause \
+               vivification, backward subsumption) with a pass every \
+               INTERVAL restarts (default 4). Proofs emitted with --proof \
+               remain DRUP-checkable.")
+
 let max_conflicts =
   Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N")
 
@@ -227,7 +240,7 @@ let cmd =
     (Cmd.info "ns-solve" ~doc)
     Term.(
       const run $ files $ policy $ adaptive $ checkpoint $ proof $ simplify_flag
-      $ max_conflicts $ max_propagations $ jobs $ mem_limit_mb $ isolate
-      $ metrics $ verbose)
+      $ inprocess $ max_conflicts $ max_propagations $ jobs $ mem_limit_mb
+      $ isolate $ metrics $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -4,8 +4,10 @@
    (cref) is the offset of its header. Layout, in words:
 
      c + 0   flags|glue|size   bit 0 learned, bit 1 used, bit 2 deleted,
-                               bit 3 moved; bits 4..27 glue (saturated);
-                               bits 28..   size
+                               bit 3 moved; bits 4..5 tier (0 local,
+                               1 mid, 2 core); bits 6..7 usage counter
+                               (saturating, drives tier promotion);
+                               bits 8..27 glue (saturated); bits 28.. size
      c + 1   activity bits     order-preserving int encoding of the
                                float activity — or, once the moved bit
                                is set during GC, the forwarding cref
@@ -27,9 +29,10 @@ type t = {
 }
 
 let header_words = 3
-let glue_bits = 24
+let glue_bits = 20
 let glue_max = (1 lsl glue_bits) - 1
-let size_shift = 4 + glue_bits
+let glue_shift = 8
+let size_shift = glue_shift + glue_bits
 let lit_offset = header_words
 
 let f_learned = 1
@@ -37,12 +40,27 @@ let f_used = 2
 let f_deleted = 4
 let f_moved = 8
 
+(* Tiers of the learned-clause database ("Rethinking Clause Management
+   for CDCL SAT Solvers"): core clauses are never deleted, mid clauses
+   are reduced by ranking key, local clauses aggressively. Stored in
+   header bits 4..5; the 2-bit usage counter (bits 6..7) counts
+   conflicts the clause participated in since the last promotion
+   decision. Both travel with the header word through relocation. *)
+let tier_local = 0
+let tier_mid = 1
+let tier_core = 2
+let tier_shift = 4
+let tier_mask = 3
+let usage_shift = 6
+let usage_mask = 3
+let usage_max = usage_mask
+
 let create ?(capacity = 1024) () =
   { data = Array.make (max capacity header_words) 0; len = 0; garbage = 0 }
 
 let raw a = a.data
 let[@inline] size a c = Array.unsafe_get a.data c lsr size_shift
-let[@inline] glue a c = (Array.unsafe_get a.data c lsr 4) land glue_max
+let[@inline] glue a c = (Array.unsafe_get a.data c lsr glue_shift) land glue_max
 let[@inline] learned a c = Array.unsafe_get a.data c land f_learned <> 0
 let[@inline] used a c = Array.unsafe_get a.data c land f_used <> 0
 let[@inline] deleted a c = Array.unsafe_get a.data c land f_deleted <> 0
@@ -64,10 +82,32 @@ let[@inline] swap_lits a c i j =
 let set_glue a c g =
   let g = if g < 0 then 0 else if g > glue_max then glue_max else g in
   let w = a.data.(c) in
-  a.data.(c) <- w land lnot (glue_max lsl 4) lor (g lsl 4)
+  a.data.(c) <- w land lnot (glue_max lsl glue_shift) lor (g lsl glue_shift)
 
 let set_used a c = a.data.(c) <- a.data.(c) lor f_used
 let clear_used a c = a.data.(c) <- a.data.(c) land lnot f_used
+
+(* Promote a learned clause to irredundant (it subsumed an original, so
+   it must now survive every reduce to keep the model sound). *)
+let clear_learned a c = a.data.(c) <- a.data.(c) land lnot f_learned
+
+let[@inline] tier a c = (Array.unsafe_get a.data c lsr tier_shift) land tier_mask
+
+let set_tier a c t =
+  if t < tier_local || t > tier_core then invalid_arg "Arena.set_tier";
+  let w = a.data.(c) in
+  a.data.(c) <- w land lnot (tier_mask lsl tier_shift) lor (t lsl tier_shift)
+
+let[@inline] usage a c = (Array.unsafe_get a.data c lsr usage_shift) land usage_mask
+
+let set_usage a c u =
+  let u = if u < 0 then 0 else if u > usage_max then usage_max else u in
+  let w = a.data.(c) in
+  a.data.(c) <- w land lnot (usage_mask lsl usage_shift) lor (u lsl usage_shift)
+
+let bump_usage a c =
+  let u = usage a c in
+  if u < usage_max then set_usage a c (u + 1)
 
 let words a c = header_words + size a c
 
@@ -106,12 +146,12 @@ let ensure a extra =
   end
 
 let alloc a ~learned ~glue ~cid ~size =
-  if size > (max_int lsr (4 + glue_bits)) then invalid_arg "Arena.alloc: size";
+  if size > (max_int lsr size_shift) then invalid_arg "Arena.alloc: size";
   ensure a (header_words + size);
   let c = a.len in
   let g = if glue < 0 then 0 else if glue > glue_max then glue_max else glue in
-  a.data.(c) <- (if learned then f_learned else 0) lor (g lsl 4)
-                lor (size lsl (4 + glue_bits));
+  a.data.(c) <- (if learned then f_learned else 0) lor (g lsl glue_shift)
+                lor (size lsl size_shift);
   a.data.(c + 1) <- 0 (* activity 0.0 *);
   a.data.(c + 2) <- cid;
   a.len <- a.len + header_words + size;
@@ -126,6 +166,18 @@ let alloc_lits a ~learned ~glue ~cid lits =
   c
 
 let lits_array a c = Array.init (size a c) (fun k -> lit a c k)
+
+(* In-place vivification shrink: keep the first [size'] literals, turn
+   the tail into garbage. The freed words stay inside the clause's
+   original footprint until the next GC copies only the live prefix. *)
+let shrink_size a c size' =
+  let old = size a c in
+  if size' <= 0 || size' > old then invalid_arg "Arena.shrink_size";
+  if size' < old then begin
+    let w = a.data.(c) in
+    a.data.(c) <- w land ((1 lsl size_shift) - 1) lor (size' lsl size_shift);
+    a.garbage <- a.garbage + (old - size')
+  end
 
 (* --- copying GC --- *)
 

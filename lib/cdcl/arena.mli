@@ -25,14 +25,45 @@ val set_lit : t -> int -> int -> Cnf.Lit.t -> unit
 val swap_lits : t -> int -> int -> int -> unit
 val glue : t -> int -> int
 val set_glue : t -> int -> int -> unit
-(** Glue saturates at 2^24 - 1. *)
+(** Glue saturates at 2^20 - 1. *)
 
 val learned : t -> int -> bool
 val used : t -> int -> bool
 val set_used : t -> int -> unit
 val clear_used : t -> int -> unit
+
+val clear_learned : t -> int -> unit
+(** Promote a learned clause to irredundant. Used when a learned clause
+    subsumes an original: the original may then be deleted only if its
+    subsumer is guaranteed to survive clause-database reduction. *)
+
 val deleted : t -> int -> bool
 val cid : t -> int -> int
+
+(** {2 Tiers}
+
+    Learned clauses carry a 2-bit tier tag ({!tier_local} <
+    {!tier_mid} < {!tier_core}) and a saturating 2-bit usage counter in
+    the packed header word; both survive relocation because the whole
+    header is blitted. Freshly allocated clauses start at
+    [tier_local] / usage 0. *)
+
+val tier_local : int
+val tier_mid : int
+val tier_core : int
+val tier : t -> int -> int
+
+val set_tier : t -> int -> int -> unit
+(** Raises [Invalid_argument] outside [tier_local..tier_core]. *)
+
+val usage : t -> int -> int
+val usage_max : int
+
+val set_usage : t -> int -> int -> unit
+(** Clamps to [0..usage_max]. *)
+
+val bump_usage : t -> int -> unit
+(** Saturating increment. *)
 
 val activity : t -> int -> float
 val set_activity : t -> int -> float -> unit
@@ -53,6 +84,13 @@ val mark_deleted : t -> int -> unit
 
 val words : t -> int -> int
 (** Total footprint of the clause in words (header + literals). *)
+
+val shrink_size : t -> int -> int -> unit
+(** [shrink_size a c n] truncates the clause to its first [n] literals
+    in place (vivification). The freed tail words are accounted as
+    garbage and reclaimed at the next GC, which copies only the live
+    prefix. Raises [Invalid_argument] when [n] is 0 or exceeds the
+    current size. *)
 
 val live_words : t -> int
 

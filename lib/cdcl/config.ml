@@ -22,6 +22,14 @@ type t = {
   max_conflicts : int option;
   max_propagations : int option;
   max_wall_seconds : float option;
+  inprocess : bool;
+  inprocess_interval : int;
+  tier2_glue : int;
+  promote_uses : int;
+  vivify_budget : int;
+  subsume_budget : int;
+  inprocess_vivify : bool;
+  inprocess_subsume : bool;
 }
 
 let default =
@@ -40,9 +48,25 @@ let default =
     max_conflicts = None;
     max_propagations = None;
     max_wall_seconds = None;
+    inprocess = false;
+    inprocess_interval = 4;
+    tier2_glue = 6;
+    promote_uses = 2;
+    vivify_budget = 2_000;
+    subsume_budget = 20_000;
+    inprocess_vivify = true;
+    inprocess_subsume = true;
   }
 
 let with_policy policy t = { t with policy }
+
+let with_inprocess ?interval enabled t =
+  {
+    t with
+    inprocess = enabled;
+    inprocess_interval =
+      (match interval with Some i -> max 1 i | None -> t.inprocess_interval);
+  }
 
 let with_budget ?max_conflicts ?max_propagations ?max_wall_seconds t =
   let keep_or cur = function None -> cur | Some _ as v -> v in

@@ -30,6 +30,26 @@ type t = {
       (** Wall-clock deadline per [solve] call, checked alongside the
           other budgets; [None] = unlimited. The solver answers
           [Unknown] when it expires. *)
+  inprocess : bool;
+      (** Master switch for the inprocessing tier (tiered clause DB,
+          vivification, backward subsumption). Off by default so the
+          bit-for-bit differential path against {!Verify.Refsolver}
+          stays intact. *)
+  inprocess_interval : int;
+      (** Restarts between inprocessing passes (>= 1). *)
+  tier2_glue : int;
+      (** Learned clauses with [tier1_glue < glue <= tier2_glue] enter
+          the mid tier; higher glue starts local. *)
+  promote_uses : int;
+      (** Conflict participations (saturating 2-bit counter) required to
+          promote a clause one tier at the next reduce. *)
+  vivify_budget : int;
+      (** Propagation budget per vivification pass. *)
+  subsume_budget : int;
+      (** Clause-pair inspection budget per subsumption pass. *)
+  inprocess_vivify : bool;  (** Sub-switch: run vivification. *)
+  inprocess_subsume : bool;
+      (** Sub-switch: run backward subsumption/strengthening. *)
 }
 
 val default : t
@@ -39,6 +59,10 @@ val default : t
     tier1 glue 2. *)
 
 val with_policy : Policy.t -> t -> t
+
+val with_inprocess : ?interval:int -> bool -> t -> t
+(** Toggle inprocessing; [interval] (clamped to >= 1) overrides
+    {!field-inprocess_interval} when given. *)
 
 val with_budget :
   ?max_conflicts:int -> ?max_propagations:int -> ?max_wall_seconds:float -> t -> t

@@ -78,6 +78,32 @@ let packed_key policy ~id ~glue ~size ~activity_bits ~frequency =
   | Activity -> activity_key (Arena.decode_activity activity_bits)
   | Random seed -> scramble seed id land ((1 lsl 60) - 1)
 
+(* --- tiered clause database (inprocessing) --- *)
+
+(* Every [packed_key] fits in 60 bits: [pack3] is 3x20 bits,
+   [activity_key] is at most 1e18 < 2^60, [Random] is masked. Placing
+   the tier above bit 60 makes one ranking sort delete local clauses
+   before mid ones without a second pass. *)
+let tiered_key policy ~tier ~id ~glue ~size ~activity_bits ~frequency =
+  (tier lsl 60)
+  lor (packed_key policy ~id ~glue ~size ~activity_bits ~frequency
+      land ((1 lsl 60) - 1))
+
+let initial_tier ~tier1_glue ~tier2_glue ~glue =
+  if glue <= tier1_glue then Arena.tier_core
+  else if glue <= tier2_glue then Arena.tier_mid
+  else Arena.tier_local
+
+(* Usage promotes local clauses to mid only. Core — the immortal tier —
+   is entered exclusively on recomputed glue via {!initial_tier}: an
+   activity signal as weak as "antecedent twice" would otherwise grow
+   an undeletable set without bound and crowd out the deletion
+   policy. *)
+let promoted_tier ~promote_uses ~usage ~tier =
+  if tier >= Arena.tier_mid then tier
+  else if usage >= min promote_uses Arena.usage_max then Arena.tier_mid
+  else tier
+
 let compare_clauses policy a b =
   let c = Int.compare (key policy a) (key policy b) in
   if c <> 0 then c

@@ -60,6 +60,32 @@ val packed_key :
     ~frequency:info.frequency = key p info] up to the arena's activity
     quantisation. *)
 
+val tiered_key :
+  t ->
+  tier:int ->
+  id:int ->
+  glue:int ->
+  size:int ->
+  activity_bits:int ->
+  frequency:int ->
+  int
+(** {!packed_key} with the clause's tier ({!Arena.tier_local} etc.)
+    packed above bit 60, so a single ascending sort ranks local clauses
+    below mid ones regardless of their metric keys. Core clauses are
+    never ranked — the reduce pass excludes them before keying. *)
+
+val initial_tier : tier1_glue:int -> tier2_glue:int -> glue:int -> int
+(** Tier assigned to a freshly learned clause from its LBD:
+    [glue <= tier1_glue] is core, [glue <= tier2_glue] mid, else
+    local. *)
+
+val promoted_tier : promote_uses:int -> usage:int -> tier:int -> int
+(** Usage-based promotion: a local clause whose saturating usage
+    counter reached [promote_uses] (clamped to {!Arena.usage_max})
+    climbs to mid. Mid and core are unchanged — the immortal core tier
+    is entered only on recomputed glue via {!initial_tier}, never on
+    usage alone. *)
+
 val compare_clauses : t -> clause_info -> clause_info -> int
 (** [compare_clauses p a b < 0] when [a] ranks below [b] (deleted
     first). Consistent with {!key}. *)

@@ -15,6 +15,15 @@ let m_clauses_kept = Obs.Metrics.counter "cdcl.clauses_kept"
 let m_frequency_recomputes = Obs.Metrics.counter "cdcl.frequency_recomputes"
 let m_arena_gcs = Obs.Metrics.counter "cdcl.arena_gcs"
 let h_reduce_seconds = Obs.Metrics.histogram "cdcl.reduce_seconds"
+let m_inprocess_passes = Obs.Metrics.counter "cdcl.inprocess_passes"
+let m_vivified = Obs.Metrics.counter "cdcl.clauses_vivified"
+let m_vivify_deleted = Obs.Metrics.counter "cdcl.clauses_vivify_deleted"
+let m_subsumed = Obs.Metrics.counter "cdcl.clauses_subsumed"
+let m_strengthened = Obs.Metrics.counter "cdcl.clauses_strengthened"
+let g_tier_core = Obs.Metrics.gauge "cdcl.tier_core_clauses"
+let g_tier_mid = Obs.Metrics.gauge "cdcl.tier_mid_clauses"
+let g_tier_local = Obs.Metrics.gauge "cdcl.tier_local_clauses"
+let h_inprocess_seconds = Obs.Metrics.histogram "cdcl.inprocess_seconds"
 
 (* Clauses live in a flat int arena (see Arena); a clause is an integer
    cref. Watcher lists are stride-2 int vectors of (tag, cref) pairs:
@@ -78,6 +87,13 @@ type t = {
   restart : restart_state;
   mutable conflicts_since_restart : int;
   mutable next_reduce : int;
+  (* inprocessing *)
+  mutable restarts_since_inprocess : int;
+  mutable root_units_emitted : int; (* trail prefix already in the proof *)
+  lit_stamp : int array; (* lit index -> generation (subsumption) *)
+  mutable lit_stamp_gen : int;
+  mutable subsume_cursor : int; (* rotation point over the clause DB *)
+  mutable last_subsume_db : int; (* live clause count at the last pass *)
   (* propagation-frequency counters (since last reduce), Section 3 *)
   prop_counts : int array;
   (* analyze scratch, hoisted into solver state and reused *)
@@ -113,6 +129,14 @@ let trace_learned t =
   match t.trace with
   | Some f -> f (Learned (Vec.to_array t.learnt))
   | None -> ()
+
+(* Inprocessing rewrites snapshot clause literals before mutating the
+   arena, so the trace payload cannot alias surgered memory. *)
+let trace_learned_lits t lits =
+  match t.trace with Some f -> f (Learned lits) | None -> ()
+
+let trace_deleted_lits t lits =
+  match t.trace with Some f -> f (Deleted lits) | None -> ()
 
 let[@inline] lit_value t l = Array.unsafe_get t.values (Lit.to_index l)
 
@@ -363,12 +387,11 @@ let compute_glue_vec t lits =
 
 (* --- backtracking ---------------------------------------------------- *)
 
-let backtrack t target_level =
+let backtrack_gen t ~save_phase target_level =
   if decision_level t > target_level then begin
     let bound = Vec.get t.trail_lim target_level in
     let tdata = Vec.unsafe_data t.trail in
     let values = t.values and reason = t.reason and phase = t.phase in
-    let save_phase = t.cfg.phase_saving in
     for i = Vec.length t.trail - 1 downto bound do
       let l = Array.unsafe_get tdata i in
       let v = Lit.var l in
@@ -387,6 +410,13 @@ let backtrack t target_level =
     Vec.shrink t.trail_lim target_level;
     t.qhead <- bound
   end
+
+let backtrack t target_level =
+  backtrack_gen t ~save_phase:t.cfg.phase_saving target_level
+
+(* Vivification probes must not pollute the saved phases that guide
+   search decisions. *)
+let backtrack_probe t target_level = backtrack_gen t ~save_phase:false target_level
 
 (* --- conflict analysis ----------------------------------------------- *)
 
@@ -435,6 +465,32 @@ let lit_redundant t p abstract_levels =
   done;
   !ok
 
+(* Usage-driven tier promotion (inprocessing only). A clause touched as
+   an antecedent in conflict analysis bumps its saturating usage
+   counter and climbs one tier when the counter reaches
+   [promote_uses]; a dynamic glue improvement below the tier
+   thresholds promotes immediately. The counter resets on promotion so
+   the next climb needs fresh evidence. *)
+let promote_on_use t c =
+  let a = t.arena in
+  Arena.bump_usage a c;
+  let tier = Arena.tier a c in
+  if tier < Arena.tier_core then begin
+    let by_use =
+      Policy.promoted_tier ~promote_uses:t.cfg.promote_uses
+        ~usage:(Arena.usage a c) ~tier
+    in
+    let by_glue =
+      Policy.initial_tier ~tier1_glue:t.cfg.tier1_glue
+        ~tier2_glue:t.cfg.tier2_glue ~glue:(Arena.glue a c)
+    in
+    let tier' = max by_use by_glue in
+    if tier' > tier then begin
+      Arena.set_tier a c tier';
+      Arena.set_usage a c 0
+    end
+  end
+
 (* First-UIP learning into the reusable [t.learnt] scratch vector
    (asserting literal at index 0). Returns (backjump level, glue). *)
 let analyze t confl =
@@ -458,7 +514,8 @@ let analyze t confl =
       Arena.set_used a cr;
       (* Glucose-style dynamic glue update. *)
       let g = compute_glue_cref t cr in
-      if g < Arena.glue a cr then Arena.set_glue a cr g
+      if g < Arena.glue a cr then Arena.set_glue a cr g;
+      if t.cfg.inprocess then promote_on_use t cr
     end;
     let skip_var = !p_var in
     let base = cr + Arena.lit_offset in
@@ -640,12 +697,27 @@ let reduce_body t =
   let nl = Vec.length t.learnts in
   ensure_rank_scratch t nl;
   let keys = t.rk_keys and tie = t.rk_tie and refs = t.rk_refs in
+  let inpro = t.cfg.inprocess in
   let n = ref 0 in
   for idx = 0 to nl - 1 do
     let c = Vec.unsafe_get t.learnts idx in
     let glue = Arena.glue arena c in
-    if glue <= t.cfg.tier1_glue || locked t c then ()
+    (* With the tiered DB the core tier replaces the flat glue
+       exemption: promotion decides what is untouchable. *)
+    let skip =
+      if inpro then Arena.tier arena c = Arena.tier_core || locked t c
+      else glue <= t.cfg.tier1_glue || locked t c
+    in
+    if skip then ()
     else begin
+      if inpro then begin
+        (* Age the usage counter; an idle mid clause falls back to
+           local so it competes with the aggressive tier again. *)
+        let u = Arena.usage arena c in
+        if u = 0 && Arena.tier arena c = Arena.tier_mid then
+          Arena.set_tier arena c Arena.tier_local
+        else if u > 0 then Arena.set_usage arena c (u - 1)
+      end;
       let size = Arena.size arena c in
       let frequency =
         if has_alpha then begin
@@ -664,8 +736,13 @@ let reduce_body t =
       in
       let cid = Arena.cid arena c in
       keys.(!n) <-
-        Policy.packed_key t.cfg.policy ~id:cid ~glue ~size
-          ~activity_bits:(Arena.activity_bits arena c) ~frequency;
+        (if inpro then
+           Policy.tiered_key t.cfg.policy ~tier:(Arena.tier arena c) ~id:cid
+             ~glue ~size ~activity_bits:(Arena.activity_bits arena c)
+             ~frequency
+         else
+           Policy.packed_key t.cfg.policy ~id:cid ~glue ~size
+             ~activity_bits:(Arena.activity_bits arena c) ~frequency);
       tie.(!n) <- cid;
       refs.(!n) <- c;
       incr n
@@ -733,6 +810,433 @@ let do_restart t =
   | R_luby (it, limit) -> limit := Util.Luby.next it
   | R_none | R_glucose _ -> ());
   backtrack t 0
+
+(* --- inprocessing ------------------------------------------------------ *)
+
+(* In-search simplification at decision level 0, scheduled every
+   [inprocess_interval] restarts: clause vivification (re-propagate a
+   candidate's literals under fresh decision levels and shrink or drop
+   it) followed by backward subsumption / self-subsuming resolution
+   over the arena with occurrence lists and literal stamps. Every
+   rewrite emits a DRUP add-then-delete pair; DESIGN.md §9 states the
+   soundness rules the code below follows:
+
+   - locked clauses (reasons of root assignments) are never deleted or
+     rewritten, so every root unit stays UP-derivable forever;
+   - all root-level trail literals are emitted as learned unit lines
+     before anything is deleted (a root-satisfied clause may be the
+     only support of a later RUP check);
+   - an added clause line always precedes the deletion of the clause it
+     replaces, so the replaced clause participates in the RUP check;
+   - a learned clause that subsumes an irredundant one is promoted to
+     irredundant before the subsumee dies, keeping reduce from ever
+     deleting the last cover of an original clause. *)
+
+(* Emit every root-level trail literal not yet in the proof. Each is
+   RUP: its reason chain consists of locked (hence live) clauses. *)
+let emit_root_units t =
+  assert (decision_level t = 0);
+  while t.root_units_emitted < Vec.length t.trail do
+    trace_learned_lits t [| Vec.get t.trail t.root_units_emitted |];
+    t.root_units_emitted <- t.root_units_emitted + 1
+  done
+
+(* Remove [c]'s two watcher entries (cref match, so it works for both
+   binary and long tags). *)
+let detach t c =
+  let remove_watch l =
+    let ws = watch_list t l in
+    let n = Vec.length ws in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let tag = Vec.unsafe_get ws !i and cr = Vec.unsafe_get ws (!i + 1) in
+      if cr <> c then begin
+        Vec.unsafe_set ws !j tag;
+        Vec.unsafe_set ws (!j + 1) cr;
+        j := !j + 2
+      end;
+      i := !i + 2
+    done;
+    Vec.shrink ws !j
+  in
+  remove_watch (Arena.lit t.arena c 0);
+  remove_watch (Arena.lit t.arena c 1)
+
+let probe_assume t l =
+  Vec.push t.trail_lim (Vec.length t.trail);
+  ignore (enqueue t l (-1))
+
+(* Rewrite [c] in place to exactly [lits] (a strict subset of its
+   current literals, in order). Caller detaches/reattaches. *)
+let commit_rewrite t c lits =
+  let a = t.arena in
+  let n = Array.length lits in
+  for k = 0 to n - 1 do
+    Arena.set_lit a c k lits.(k)
+  done;
+  Arena.shrink_size a c n;
+  if Arena.glue a c > n - 1 then Arena.set_glue a c (n - 1);
+  if t.cfg.inprocess && Arena.learned a c then begin
+    let tier' =
+      Policy.initial_tier ~tier1_glue:t.cfg.tier1_glue
+        ~tier2_glue:t.cfg.tier2_glue ~glue:(Arena.glue a c)
+    in
+    if tier' > Arena.tier a c then Arena.set_tier a c tier'
+  end
+
+(* Assert a derived unit at the root and propagate it to fixpoint,
+   emitting it (and its consequences) into the proof. Returns false
+   when the unit contradicts the root state — the formula is
+   unsatisfiable and the empty clause has been emitted. *)
+let assert_root_unit t l =
+  let v = lit_value t l in
+  if v > 0 then true (* already a root unit, already emitted *)
+  else if v < 0 then begin
+    trace_learned_lits t [| l |];
+    trace_learned_lits t [||];
+    false
+  end
+  else begin
+    ignore (enqueue t l (-1));
+    let confl = propagate t in
+    emit_root_units t;
+    if confl >= 0 then begin
+      trace_learned_lits t [||];
+      false
+    end
+    else true
+  end
+
+(* Vivify one attached, unlocked, live clause at level 0. For each
+   literal in turn: a literal already implied true closes the clause at
+   the kept prefix plus that literal; an implied-false literal is
+   dropped; otherwise its negation is assumed at a fresh decision level
+   and propagated, a conflict again closing the clause at the prefix.
+   [kept] is caller-provided scratch. *)
+let vivify_clause t c kept =
+  let a = t.arena in
+  let ls = Arena.lits_array a c in
+  if Array.exists (fun l -> lit_value t l > 0) ls then begin
+    (* Root-satisfied: the clause is redundant outright. *)
+    detach t c;
+    trace_deleted_lits t ls;
+    Arena.mark_deleted a c;
+    `Deleted
+  end
+  else begin
+    detach t c (* the clause must not propagate in its own probe *);
+    Vec.clear kept;
+    let n = Array.length ls in
+    let stopped = ref false in
+    let i = ref 0 in
+    while (not !stopped) && !i < n do
+      let l = ls.(!i) in
+      incr i;
+      let v = lit_value t l in
+      if v > 0 then begin
+        Vec.push kept l;
+        stopped := true
+      end
+      else if v < 0 then () (* falsified by the prefix: drop *)
+      else begin
+        if Runtime.Fault.fires Runtime.Fault.Inprocess_abort then
+          Runtime.Error.raise_
+            (Runtime.Error.Injected_fault { point = "inprocess-abort" });
+        probe_assume t (Lit.negate l);
+        let confl = propagate t in
+        Vec.push kept l;
+        if confl >= 0 then stopped := true
+      end
+    done;
+    backtrack_probe t 0;
+    let n' = Vec.length kept in
+    if n' = n then begin
+      attach t c;
+      `Kept
+    end
+    else if n' = 0 then begin
+      (* Every literal was false at the root: direct conflict. *)
+      trace_learned_lits t [||];
+      `Unsat
+    end
+    else if n' = 1 then begin
+      let ok = assert_root_unit t (Vec.get kept 0) in
+      trace_deleted_lits t ls;
+      Arena.mark_deleted a c;
+      if ok then `Deleted else `Unsat
+    end
+    else begin
+      let lits' = Vec.to_array kept in
+      trace_learned_lits t lits';
+      commit_rewrite t c lits';
+      trace_deleted_lits t ls;
+      attach t c;
+      `Rewritten
+    end
+  end
+
+(* Drop deleted crefs from [vec], returning [idx] adjusted for the
+   removals before it (used to resume an interrupted iteration). *)
+let prune_vec_deleted t vec idx =
+  let a = t.arena in
+  let n = Vec.length vec in
+  let keep = ref 0 and idx' = ref idx in
+  for i = 0 to n - 1 do
+    let c = Vec.unsafe_get vec i in
+    if Arena.deleted a c then begin
+      if i < idx then decr idx'
+    end
+    else begin
+      Vec.unsafe_set vec !keep c;
+      incr keep
+    end
+  done;
+  Vec.shrink vec !keep;
+  !idx'
+
+(* Mid-vivification compaction: every deleted clause was detached
+   before deletion, so the watch lists hold only live crefs; pruning
+   the clause vectors makes every root live and [arena_gc] safe. *)
+let gc_during_inprocess t vec idx =
+  let idx' = prune_vec_deleted t vec idx in
+  let other = if vec == t.learnts then t.originals else t.learnts in
+  ignore (prune_vec_deleted t other 0);
+  arena_gc t;
+  idx'
+
+let vivify_pass t =
+  let start = t.stats.propagations in
+  let kept = Vec.create ~dummy:(Lit.pos 1) () in
+  let ok = ref true in
+  (* The budget charges every probed literal, not just propagations: a
+     probe that derives nothing still walks the assumed literal's watch
+     list, so a propagation-only budget would let a pass sweep the
+     whole database at full traversal cost. *)
+  let ticks = ref 0 in
+  let process vec =
+    let idx = ref 0 in
+    while
+      !ok && !idx < Vec.length vec
+      && t.stats.propagations - start + !ticks <= t.cfg.vivify_budget
+    do
+      let c = Vec.unsafe_get vec !idx in
+      if
+        (not (Arena.deleted t.arena c))
+        && (not (locked t c))
+        && Arena.size t.arena c >= 2
+        && (* Local-tier learnts are deletion fodder: probing them costs
+              more than the next reduce will ever save. *)
+        ((not (Arena.learned t.arena c))
+        || Arena.tier t.arena c > Arena.tier_local)
+      then begin
+        ticks := !ticks + Arena.size t.arena c;
+        match vivify_clause t c kept with
+        | `Kept -> ()
+        | `Rewritten ->
+          t.stats.vivified <- t.stats.vivified + 1;
+          Obs.Metrics.incr m_vivified
+        | `Deleted ->
+          t.stats.vivify_deleted <- t.stats.vivify_deleted + 1;
+          t.stats.deleted_total <- t.stats.deleted_total + 1;
+          Obs.Metrics.incr m_vivify_deleted
+        | `Unsat -> ok := false
+      end;
+      incr idx;
+      if !ok && Arena.garbage t.arena * 4 >= Arena.total_words t.arena then
+        idx := gc_during_inprocess t vec !idx
+    done
+  in
+  process t.learnts;
+  if !ok then process t.originals;
+  !ok
+
+(* Backward subsumption and self-subsuming resolution. Occurrence
+   lists and the crefs inside them are raw arena offsets, so no
+   compaction may run during this pass. *)
+let subsume_pass t =
+  let a = t.arena in
+  let occ = Array.make (Array.length t.values) [] in
+  let occ_len = Array.make (Array.length t.values) 0 in
+  let add_occ c =
+    if not (Arena.deleted a c) then
+      for k = 0 to Arena.size a c - 1 do
+        let i = Lit.to_index (Arena.lit a c k) in
+        occ.(i) <- c :: occ.(i);
+        occ_len.(i) <- occ_len.(i) + 1
+      done
+  in
+  Vec.iter add_occ t.originals;
+  Vec.iter add_occ t.learnts;
+  let budget = ref t.cfg.subsume_budget in
+  let ok = ref true in
+  let strengthen d k_drop =
+    let old = Arena.lits_array a d in
+    let dn = Array.length old in
+    let lits' = Array.make (dn - 1) old.(0) in
+    let j = ref 0 in
+    Array.iteri
+      (fun i l ->
+        if i <> k_drop then begin
+          lits'.(!j) <- l;
+          incr j
+        end)
+      old;
+    detach t d;
+    if dn - 1 = 1 then begin
+      let keep_going = assert_root_unit t lits'.(0) in
+      trace_deleted_lits t old;
+      Arena.mark_deleted a d;
+      if not keep_going then ok := false
+    end
+    else begin
+      trace_learned_lits t lits';
+      commit_rewrite t d lits';
+      trace_deleted_lits t old;
+      attach t d
+    end;
+    t.stats.strengthened <- t.stats.strengthened + 1;
+    Obs.Metrics.incr m_strengthened
+  in
+  let try_subsume_with c =
+    if (not (Arena.deleted a c)) && !budget > 0 then begin
+      let sz = Arena.size a c in
+      (* Stamping is charged too: with a free setup, a pass over a big
+         database costs O(DB) even when the budget stops every scan. *)
+      budget := !budget - sz;
+      t.lit_stamp_gen <- t.lit_stamp_gen + 1;
+      let gen = t.lit_stamp_gen in
+      let stamp = t.lit_stamp in
+      (* Stamp the subsumer's literals; scan the shortest occurrence
+         list among them. *)
+      let best = ref (-1) and best_len = ref max_int in
+      for k = 0 to sz - 1 do
+        let i = Lit.to_index (Arena.lit a c k) in
+        stamp.(i) <- gen;
+        if occ_len.(i) < !best_len then begin
+          best_len := occ_len.(i);
+          best := i
+        end
+      done;
+      List.iter
+        (fun d ->
+          if
+            !ok && !budget > 0 && d <> c
+            && (not (Arena.deleted a d))
+            && Arena.size a d >= sz
+            && not (locked t d)
+          then begin
+            decr budget;
+            let dn = Arena.size a d in
+            let pos = ref 0 and negc = ref 0 and negi = ref (-1) in
+            for k = 0 to dn - 1 do
+              let i = Lit.to_index (Arena.lit a d k) in
+              if stamp.(i) = gen then incr pos
+              else if stamp.(i lxor 1) = gen then begin
+                incr negc;
+                negi := k
+              end
+            done;
+            if !pos = sz then begin
+              (* [d] is a (not necessarily strict) superset of [c]. *)
+              if Arena.learned a c && not (Arena.learned a d) then begin
+                (* The survivor must outlive every reduce. *)
+                Arena.clear_learned a c;
+                Vec.push t.originals c
+              end;
+              detach t d;
+              trace_deleted_lits t (Arena.lits_array a d);
+              Arena.mark_deleted a d;
+              t.stats.subsumed <- t.stats.subsumed + 1;
+              t.stats.deleted_total <- t.stats.deleted_total + 1;
+              Obs.Metrics.incr m_subsumed
+            end
+            else if !pos = sz - 1 && !negc = 1 then
+              (* Self-subsuming resolution: neither clause is a
+                 tautology, so the flipped literal is exactly the
+                 subsumer literal missing from [d]. *)
+              strengthen d !negi
+          end)
+        occ.(!best)
+    end
+  in
+  (* Round-robin over originals then learnts, resuming where the last
+     pass ran out of budget so successive passes cover the whole
+     database instead of re-scanning the same prefix. *)
+  let n_orig = Vec.length t.originals in
+  let total = n_orig + Vec.length t.learnts in
+  if total > 0 then begin
+    let i = ref (t.subsume_cursor mod total) in
+    let processed = ref 0 in
+    while !ok && !budget > 0 && !processed < total do
+      let c =
+        if !i < n_orig then Vec.unsafe_get t.originals !i
+        else Vec.unsafe_get t.learnts (!i - n_orig)
+      in
+      try_subsume_with c;
+      incr processed;
+      i := if !i + 1 = total then 0 else !i + 1
+    done;
+    t.subsume_cursor <- !i
+  end;
+  !ok
+
+let update_tier_gauges t =
+  let a = t.arena in
+  let core = ref 0 and mid = ref 0 and local = ref 0 in
+  Vec.iter
+    (fun c ->
+      if not (Arena.deleted a c) then begin
+        let tr = Arena.tier a c in
+        if tr = Arena.tier_core then incr core
+        else if tr = Arena.tier_mid then incr mid
+        else incr local
+      end)
+    t.learnts;
+  Obs.Metrics.set g_tier_core (float_of_int !core);
+  Obs.Metrics.set g_tier_mid (float_of_int !mid);
+  Obs.Metrics.set g_tier_local (float_of_int !local)
+
+(* One full inprocessing pass at level 0. Returns false when the pass
+   derived unsatisfiability (empty clause already emitted). *)
+let inprocess_body t =
+  t.stats.inprocess_passes <- t.stats.inprocess_passes + 1;
+  Obs.Metrics.incr m_inprocess_passes;
+  emit_root_units t;
+  let ok = ref true in
+  if t.cfg.inprocess_vivify then ok := vivify_pass t;
+  (* Building occurrence lists costs O(database) regardless of the
+     inspection budget, so subsumption waits until the database grew
+     enough (12.5%) since its last pass to offer new subsumees. *)
+  let db_size = Vec.length t.originals + Vec.length t.learnts in
+  if
+    !ok && t.cfg.inprocess_subsume
+    && db_size * 8 >= t.last_subsume_db * 9
+  then begin
+    ok := subsume_pass t;
+    t.last_subsume_db <- db_size
+  end;
+  (* Drop dead crefs (and learnts promoted to irredundant by
+     subsumption) before compaction; watch lists are already clean
+     because deletion always follows detachment. *)
+  ignore (prune_vec_deleted t t.originals 0);
+  let keep = ref 0 in
+  for i = 0 to Vec.length t.learnts - 1 do
+    let c = Vec.unsafe_get t.learnts i in
+    if (not (Arena.deleted t.arena c)) && Arena.learned t.arena c then begin
+      Vec.unsafe_set t.learnts !keep c;
+      incr keep
+    end
+  done;
+  Vec.shrink t.learnts !keep;
+  maybe_gc t;
+  update_tier_gauges t;
+  !ok
+
+let inprocess t =
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "solver.inprocess" (fun () ->
+        Obs.Metrics.time h_inprocess_seconds (fun () -> inprocess_body t))
+  else Obs.Metrics.time h_inprocess_seconds (fun () -> inprocess_body t)
 
 (* --- creation --------------------------------------------------------- *)
 
@@ -821,6 +1325,12 @@ let create ?(config = Config.default) formula =
       restart = make_restart_state config;
       conflicts_since_restart = 0;
       next_reduce = config.reduce_first;
+      restarts_since_inprocess = 0;
+      root_units_emitted = 0;
+      lit_stamp = Array.make ((2 * (n + 1)) + 2) 0;
+      lit_stamp_gen = 0;
+      subsume_cursor = 0;
+      last_subsume_db = 0;
       prop_counts = Array.make (n + 1) 0;
       seen = Array.make (n + 1) 0;
       learnt = Vec.create ~dummy:(Lit.pos 1) ();
@@ -857,6 +1367,10 @@ let install_learnt t glue =
     let size = Vec.length learnt in
     let c = Arena.alloc t.arena ~learned:true ~glue ~cid:t.next_cid ~size in
     t.next_cid <- t.next_cid + 1;
+    if t.cfg.inprocess then
+      Arena.set_tier t.arena c
+        (Policy.initial_tier ~tier1_glue:t.cfg.tier1_glue
+           ~tier2_glue:t.cfg.tier2_glue ~glue);
     for k = 0 to size - 1 do
       Arena.set_lit t.arena c k (Vec.get learnt k)
     done;
@@ -991,8 +1505,17 @@ let search_body t =
     end
     else if budget_exhausted t ~conflicts0 ~propagations0 ~deadline then
       result := Some Unknown
-    else if should_restart t && decision_level t > assumption_depth then
-      do_restart t
+    else if should_restart t && decision_level t > assumption_depth then begin
+      do_restart t;
+      if t.cfg.inprocess then begin
+        t.restarts_since_inprocess <- t.restarts_since_inprocess + 1;
+        if t.restarts_since_inprocess >= max 1 t.cfg.inprocess_interval
+        then begin
+          t.restarts_since_inprocess <- 0;
+          if not (inprocess t) then result := Some Unsat
+        end
+      end
+    end
     else next_decision t result
   done;
   Option.get !result
@@ -1052,6 +1575,32 @@ let value t v =
 let learned_clause_count t = Vec.length t.learnts
 let arena_gc_count t = t.arena_gcs
 let arena_live_words t = Arena.live_words t.arena
+
+let inprocess_now t =
+  match t.answer with
+  | Some (Sat _ | Unsat) -> ()
+  | Some Unknown | None ->
+    backtrack t 0;
+    if propagate t >= 0 then begin
+      emit_root_units t;
+      trace_learned_lits t [||];
+      t.answer <- Some Unsat
+    end
+    else if not (inprocess t) then t.answer <- Some Unsat
+
+let tier_counts t =
+  let a = t.arena in
+  let core = ref 0 and mid = ref 0 and local = ref 0 in
+  Vec.iter
+    (fun c ->
+      if not (Arena.deleted a c) then begin
+        let tr = Arena.tier a c in
+        if tr = Arena.tier_core then incr core
+        else if tr = Arena.tier_mid then incr mid
+        else incr local
+      end)
+    t.learnts;
+  (!core, !mid, !local)
 
 let set_trace t f = t.trace <- Some f
 let clear_trace t = t.trace <- None

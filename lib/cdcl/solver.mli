@@ -78,6 +78,19 @@ val arena_gc_count : t -> int
 val arena_live_words : t -> int
 (** Words of live clause storage in the arena. *)
 
+val inprocess_now : t -> unit
+(** Run one inprocessing pass (vivification and/or backward
+    subsumption per the config sub-switches) immediately at decision
+    level 0, regardless of the restart schedule. A pass that derives
+    unsatisfiability records the answer, which subsequent {!solve}
+    calls return. Exposed for tests and benchmarks; no-op after a
+    final answer. *)
+
+val tier_counts : t -> int * int * int
+(** Live learned clauses per tier as [(core, mid, local)]. All
+    clauses report as local when inprocessing is off (tier bits stay
+    at their allocation default). *)
+
 val check_model : Cnf.Formula.t -> bool array -> bool
 (** [check_model f model] verifies a {!Sat} witness independently. *)
 

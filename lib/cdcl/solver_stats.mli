@@ -11,6 +11,15 @@ type t = {
   mutable minimized_literals : int;
       (** Literals removed by learned-clause minimisation. *)
   mutable max_decision_level : int;
+  mutable inprocess_passes : int;
+      (** Inprocessing passes run (0 when {!Config.t.inprocess} is
+          off). *)
+  mutable vivified : int;  (** Clauses shrunk by vivification. *)
+  mutable vivify_deleted : int;
+      (** Clauses deleted outright by vivification. *)
+  mutable subsumed : int;  (** Clauses removed by backward subsumption. *)
+  mutable strengthened : int;
+      (** Literals removed by self-subsuming resolution. *)
 }
 
 val create : unit -> t

@@ -7,6 +7,7 @@ type point =
   | Worker_crash
   | Worker_hang
   | Breaker_trip
+  | Inprocess_abort
 
 let all =
   [
@@ -18,6 +19,7 @@ let all =
     Worker_crash;
     Worker_hang;
     Breaker_trip;
+    Inprocess_abort;
   ]
 
 let name = function
@@ -29,6 +31,7 @@ let name = function
   | Worker_crash -> "worker-crash"
   | Worker_hang -> "worker-hang"
   | Breaker_trip -> "breaker-trip"
+  | Inprocess_abort -> "inprocess-abort"
 
 let of_name s = List.find_opt (fun p -> name p = s) all
 

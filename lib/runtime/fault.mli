@@ -33,6 +33,11 @@ type point =
           {!Worker_crash}. *)
   | Breaker_trip
       (** Selector's circuit breaker is forced open. *)
+  | Inprocess_abort
+      (** The solver's inprocessing pass raises mid-vivification,
+          simulating a crash during in-place clause surgery. The
+          partially emitted DRUP prefix must stay checkable and a fresh
+          solve must recover. *)
 
 val all : point list
 val name : point -> string

@@ -439,6 +439,71 @@ let breaker_trip_recovers ~seed ~dir:_ () =
     "successful half-open trial did not close the breaker";
   "breaker trip short-circuited selections to default; half-open recovery restored the model path"
 
+(* --- inprocessing scenario --- *)
+
+(* An abort mid-vivification escapes the solve as a typed runtime
+   error. The DRUP prefix emitted up to the abort must still replay
+   line by line (inprocessing commits each rewrite atomically: the Add
+   precedes the Delete it justifies), and a fresh solve with the fault
+   exhausted must recover the verdict with a complete, valid proof. *)
+let inprocess_abort_recovers ~seed ~dir:_ () =
+  let f = Gen.Pigeonhole.unsat 5 in
+  let config =
+    Cdcl.Config.with_inprocess ~interval:1 true
+      {
+        Cdcl.Config.default with
+        Cdcl.Config.policy = Cdcl.Policy.frequency_default;
+        reduce_first = 20;
+        reduce_inc = 10;
+        reduce_fraction = 0.7;
+        restart_mode = Cdcl.Config.Luby 8;
+      }
+  in
+  let t = Cdcl.Solver.create ~config f in
+  let drup = Cdcl.Drup.create () in
+  Cdcl.Solver.set_trace t (fun ev -> Cdcl.Drup.event drup ev);
+  Fault.arm ~seed ~limit:1 [ Fault.Inprocess_abort ];
+  (match Cdcl.Solver.solve t with
+  | exception Error.Runtime_error (Error.Injected_fault { point }) ->
+    check (point = "inprocess-abort") ("wrong fault point: " ^ point)
+  | _ -> failwith "abort never escaped the solve");
+  let fired = Fault.fired_count Fault.Inprocess_abort in
+  check (fired = 1) "fault did not fire exactly once";
+  let prefix_lines = Cdcl.Drup.num_lines drup in
+  check (prefix_lines > 0) "abort left no proof prefix to check";
+  (* Replaying the prefix must fail only for being incomplete — every
+     emitted line must itself be RUP. *)
+  (match Cdcl.Drup_check.check f (Cdcl.Drup.to_string drup) with
+  | Cdcl.Drup_check.Invalid { reason = "proof does not derive the empty clause"; _ }
+    ->
+    ()
+  | Cdcl.Drup_check.Valid -> failwith "aborted solve produced a complete proof"
+  | Cdcl.Drup_check.Invalid { line; reason } ->
+    failwith
+      (Printf.sprintf "proof prefix broken at line %d: %s" line reason));
+  (* Recovery: the fault budget is exhausted, so a fresh solve runs the
+     same inprocessing schedule to completion. *)
+  let t2 = Cdcl.Solver.create ~config f in
+  let drup2 = Cdcl.Drup.create () in
+  Cdcl.Solver.set_trace t2 (fun ev -> Cdcl.Drup.event drup2 ev);
+  (match Cdcl.Solver.solve t2 with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> failwith "recovered solve lost the UNSAT verdict");
+  check
+    (Fault.fired_count Fault.Inprocess_abort = 1)
+    "exhausted fault fired again";
+  Fault.disarm ();
+  Cdcl.Drup.conclude_unsat drup2;
+  (match Cdcl.Drup_check.check_solver_proof f drup2 with
+  | Cdcl.Drup_check.Valid -> ()
+  | Cdcl.Drup_check.Invalid { line; reason } ->
+    failwith
+      (Printf.sprintf "recovered proof invalid at line %d: %s" line reason));
+  Printf.sprintf
+    "abort after %d proof lines left a checkable prefix; fresh solve recovered \
+     UNSAT with a valid proof"
+    prefix_lines
+
 (* A --jobs 4 campaign writes a journal byte-equivalent (modulo
    ordering) to the sequential run. A deterministic fake clock makes
    the measured inference times identical across processes. *)
@@ -499,6 +564,7 @@ let all_scenarios =
     ("worker-rss-cap", worker_rss_reaped);
     ("worker-hang-watchdog", worker_hang_watchdog);
     ("breaker-trip-recover", breaker_trip_recovers);
+    ("inprocess-abort-recover", inprocess_abort_recovers);
     ("parallel-journal-equivalence", parallel_journal_equivalence);
   ]
 

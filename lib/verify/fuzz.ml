@@ -289,11 +289,20 @@ let pp_report ppf r =
 
 (* --- arena vs. reference differential mode --------------------------- *)
 
+type ref_diff_failure = {
+  rdf_case : int;
+  rdf_family : string;
+  rdf_detail : string;
+  rdf_dimacs : string;  (* shrunk reproducer, every failure kind *)
+  rdf_replay : string;
+}
+
 type ref_diff_report = {
   rd_seed : int;
   rd_cases : int;
   rd_compactions : int;  (* arena GCs across all runs *)
-  rd_failures : (int * string * string) list;  (* case, family, detail *)
+  rd_rewrites : int;  (* inprocessing rewrites across all runs *)
+  rd_failures : ref_diff_failure list;
 }
 
 (* Aggressive schedule: frequent reduces, deep deletion, no protected
@@ -310,6 +319,25 @@ let ref_diff_config i =
     tier1_glue = 0;
   }
 
+(* The inprocessing arm: a pass after every restart, restarts every
+   few conflicts, eager promotion — so vivification, subsumption, tier
+   movement, and mid-pass compaction all trigger on fuzz-sized
+   instances. Only the verdict, model validity, and DRUP proof are
+   compared against the reference: inprocessing legitimately changes
+   the search trajectory, so bit-for-bit stats equality is gated to
+   the inprocessing-off arm. *)
+let inprocess_diff_config i =
+  {
+    (ref_diff_config i) with
+    Cdcl.Config.restart_mode = Cdcl.Config.Luby 8;
+    inprocess = true;
+    inprocess_interval = 1;
+    tier2_glue = 4;
+    promote_uses = 1;
+    vivify_budget = 10_000;
+    subsume_budget = 50_000;
+  }
+
 let stats_equal (a : Cdcl.Solver_stats.t) (b : Cdcl.Solver_stats.t) =
   a.Cdcl.Solver_stats.decisions = b.Cdcl.Solver_stats.decisions
   && a.Cdcl.Solver_stats.conflicts = b.Cdcl.Solver_stats.conflicts
@@ -321,55 +349,122 @@ let stats_equal (a : Cdcl.Solver_stats.t) (b : Cdcl.Solver_stats.t) =
   && a.Cdcl.Solver_stats.minimized_literals = b.Cdcl.Solver_stats.minimized_literals
   && a.Cdcl.Solver_stats.max_decision_level = b.Cdcl.Solver_stats.max_decision_level
 
+(* One case, both arms. Returns (first failure, compactions,
+   inprocessing rewrites). Deterministic in (config, ipconfig, f), so
+   the shrinker can re-run it on candidate sub-formulas. *)
+let run_one_ref_diff config ipconfig f =
+  let failure = ref None in
+  let fail d = if !failure = None then failure := Some d in
+  let compactions = ref 0 in
+  let rewrites = ref 0 in
+  (* Arm 1: inprocessing off — bit-for-bit against the reference. *)
+  let arena = Cdcl.Solver.create ~config f in
+  let arena_events = ref [] in
+  let drup = Cdcl.Drup.create () in
+  Cdcl.Solver.set_trace arena (fun ev ->
+      arena_events := ev :: !arena_events;
+      Cdcl.Drup.event drup ev);
+  let rs = Refsolver.create ~config f in
+  let ref_events = ref [] in
+  Refsolver.set_trace rs (fun ev -> ref_events := ev :: !ref_events);
+  let ra = Cdcl.Solver.solve arena in
+  let rr = Refsolver.solve rs in
+  compactions := !compactions + Cdcl.Solver.arena_gc_count arena;
+  (match (ra, rr) with
+  | Cdcl.Solver.Sat ma, Cdcl.Solver.Sat mr ->
+    if not (Cdcl.Solver.check_model f ma) then fail "arena model invalid";
+    if ma <> mr then fail "models differ"
+  | Cdcl.Solver.Unsat, Cdcl.Solver.Unsat ->
+    Cdcl.Drup.conclude_unsat drup;
+    (match Cdcl.Drup_check.check_solver_proof f drup with
+    | Cdcl.Drup_check.Valid -> ()
+    | Cdcl.Drup_check.Invalid { line; reason } ->
+      fail (Printf.sprintf "arena DRUP proof invalid at line %d: %s" line reason))
+  | Cdcl.Solver.Unknown, Cdcl.Solver.Unknown -> ()
+  | _ -> fail "verdicts diverge");
+  if not (stats_equal (Cdcl.Solver.stats arena) (Refsolver.stats rs)) then
+    fail "statistics diverge";
+  if List.rev !arena_events <> List.rev !ref_events then fail "traces diverge";
+  (* Arm 2: inprocessing on — verdict, model validity, DRUP proof. *)
+  if !failure = None then begin
+    let ip = Cdcl.Solver.create ~config:ipconfig f in
+    let ip_drup = Cdcl.Drup.create () in
+    Cdcl.Drup.attach ip_drup ip;
+    let ri = Cdcl.Solver.solve ip in
+    compactions := !compactions + Cdcl.Solver.arena_gc_count ip;
+    let st = Cdcl.Solver.stats ip in
+    rewrites :=
+      !rewrites + st.Cdcl.Solver_stats.vivified
+      + st.Cdcl.Solver_stats.vivify_deleted + st.Cdcl.Solver_stats.subsumed
+      + st.Cdcl.Solver_stats.strengthened;
+    match (ri, rr) with
+    | Cdcl.Solver.Sat mi, Cdcl.Solver.Sat _ ->
+      if not (Cdcl.Solver.check_model f mi) then
+        fail "inprocessing model invalid"
+    | Cdcl.Solver.Unsat, Cdcl.Solver.Unsat -> (
+      Cdcl.Drup.conclude_unsat ip_drup;
+      match Cdcl.Drup_check.check_solver_proof f ip_drup with
+      | Cdcl.Drup_check.Valid -> ()
+      | Cdcl.Drup_check.Invalid { line; reason } ->
+        fail
+          (Printf.sprintf "inprocessing DRUP proof invalid at line %d: %s" line
+             reason))
+    | _ ->
+      fail
+        (Printf.sprintf "inprocessing verdict %s but reference says %s"
+           (verdict_name ri) (verdict_name rr))
+  end;
+  (!failure, !compactions, !rewrites)
+
 let run_ref_diff ?(on_case = fun _ _ -> ()) ~seed ~cases () =
   let failures = ref [] in
   let compactions = ref 0 in
+  let rewrites = ref 0 in
   for i = 0 to cases - 1 do
     let family, f = generate_case ~seed i in
     on_case i family;
     let config = ref_diff_config i in
-    let arena = Cdcl.Solver.create ~config f in
-    let arena_events = ref [] in
-    let drup = Cdcl.Drup.create () in
-    Cdcl.Solver.set_trace arena (fun ev ->
-        arena_events := ev :: !arena_events;
-        Cdcl.Drup.event drup ev);
-    let rs = Refsolver.create ~config f in
-    let ref_events = ref [] in
-    Refsolver.set_trace rs (fun ev -> ref_events := ev :: !ref_events);
-    let ra = Cdcl.Solver.solve arena in
-    let rr = Refsolver.solve rs in
-    compactions := !compactions + Cdcl.Solver.arena_gc_count arena;
-    let fail detail = failures := (i, family, detail) :: !failures in
-    (match (ra, rr) with
-    | Cdcl.Solver.Sat ma, Cdcl.Solver.Sat mr ->
-      if not (Cdcl.Solver.check_model f ma) then fail "arena model invalid";
-      if ma <> mr then fail "models differ"
-    | Cdcl.Solver.Unsat, Cdcl.Solver.Unsat ->
-      Cdcl.Drup.conclude_unsat drup;
-      (match Cdcl.Drup_check.check_solver_proof f drup with
-      | Cdcl.Drup_check.Valid -> ()
-      | Cdcl.Drup_check.Invalid { line; reason } ->
-        fail (Printf.sprintf "arena DRUP proof invalid at line %d: %s" line reason))
-    | Cdcl.Solver.Unknown, Cdcl.Solver.Unknown -> ()
-    | _ -> fail "verdicts diverge");
-    if not (stats_equal (Cdcl.Solver.stats arena) (Refsolver.stats rs)) then
-      fail "statistics diverge";
-    if List.rev !arena_events <> List.rev !ref_events then fail "traces diverge"
+    let ipconfig = inprocess_diff_config i in
+    let failure, gcs, rws = run_one_ref_diff config ipconfig f in
+    compactions := !compactions + gcs;
+    rewrites := !rewrites + rws;
+    match failure with
+    | None -> ()
+    | Some detail ->
+      (* Shrink on every failure kind — statistics and trace
+         divergences included, not just verdict mismatches. *)
+      let still_fails g =
+        let failure, _, _ = run_one_ref_diff config ipconfig g in
+        failure <> None
+      in
+      let minimal = shrink still_fails f in
+      failures :=
+        {
+          rdf_case = i;
+          rdf_family = family;
+          rdf_detail = detail;
+          rdf_dimacs = Cnf.Dimacs.to_string minimal;
+          rdf_replay = replay_command ~seed ~case_index:i ^ " --diff-ref";
+        }
+        :: !failures
   done;
   {
     rd_seed = seed;
     rd_cases = cases;
     rd_compactions = !compactions;
+    rd_rewrites = !rewrites;
     rd_failures = List.rev !failures;
   }
 
 let pp_ref_diff_report ppf r =
   Format.fprintf ppf
-    "ref-diff: seed %d, %d cases, %d arena compactions, %d failures@."
-    r.rd_seed r.rd_cases r.rd_compactions
+    "ref-diff: seed %d, %d cases, %d arena compactions, %d inprocessing \
+     rewrites, %d failures@."
+    r.rd_seed r.rd_cases r.rd_compactions r.rd_rewrites
     (List.length r.rd_failures);
   List.iter
-    (fun (i, family, detail) ->
-      Format.fprintf ppf "FAIL case %d (%s): %s@." i family detail)
+    (fun d ->
+      Format.fprintf ppf
+        "@.FAIL case %d (%s): %s@.replay: %s@.shrunk reproducer:@.%s@."
+        d.rdf_case d.rdf_family d.rdf_detail d.rdf_replay d.rdf_dimacs)
     r.rd_failures

@@ -81,19 +81,40 @@ val pp_report : Format.formatter -> report -> unit
 (** {2 Arena vs. reference differential mode}
 
     Runs the arena-backed {!Cdcl.Solver} and the record-based
-    {!Refsolver} side by side on the seeded corpus under an aggressive
-    reduce schedule (policy rotating per case) that forces frequent
-    clause deletion and arena compaction, and demands bit-for-bit
-    agreement: verdicts, models, every statistics counter, and the
-    learned/deleted trace streams. UNSAT arena proofs are DRUP-checked.
-    Exposed on the CLI as [fuzz --diff-ref]. *)
+    {!Refsolver} side by side on the seeded corpus, in two arms per
+    case. Arm one (inprocessing off) uses an aggressive reduce
+    schedule (policy rotating per case) that forces frequent clause
+    deletion and arena compaction, and demands bit-for-bit agreement:
+    verdicts, models, every statistics counter, and the
+    learned/deleted trace streams; UNSAT arena proofs are
+    DRUP-checked. Arm two re-solves with inprocessing enabled on a
+    pass-per-restart schedule (vivification, subsumption, tier
+    promotion, mid-pass compaction) and checks verdict agreement,
+    model validity, and the DRUP proof — statistics equality is gated
+    to the inprocessing-off arm because inprocessing legitimately
+    changes the search trajectory. Every failure kind is shrunk to a
+    minimal DIMACS reproducer. Exposed on the CLI as
+    [fuzz --diff-ref]. *)
+
+type ref_diff_failure = {
+  rdf_case : int;
+  rdf_family : string;
+  rdf_detail : string;  (** Which check failed and how. *)
+  rdf_dimacs : string;
+      (** Shrunk reproducer — produced for every failure kind,
+          statistics/trace divergence included. *)
+  rdf_replay : string;
+}
 
 type ref_diff_report = {
   rd_seed : int;
   rd_cases : int;
   rd_compactions : int;  (** Total arena GCs across all runs. *)
-  rd_failures : (int * string * string) list;
-      (** (case index, family, failure detail). *)
+  rd_rewrites : int;
+      (** Vivification/subsumption/strengthening rewrites performed by
+          the inprocessing arm — a coverage signal that the passes
+          actually ran. *)
+  rd_failures : ref_diff_failure list;
 }
 
 val run_ref_diff :

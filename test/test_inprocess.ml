@@ -1,0 +1,388 @@
+(* Inprocessing tier tests: arena tier/usage metadata, the pure policy
+   tiering helpers, clause vivification, backward subsumption and
+   self-subsuming strengthening, DRUP emission ordering, mid-pass
+   compaction, and end-to-end proofs with inprocessing enabled.
+
+   The trace-level assertions pin down the DRUP contract directly: an
+   added (strengthened) clause line always immediately precedes the
+   deletion of the clause it replaces, and root units are emitted
+   before the first deletion. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let lit = Cnf.Lit.of_dimacs
+
+let formula lists =
+  let num_vars =
+    List.fold_left
+      (fun m c -> List.fold_left (fun m l -> max m (abs l)) m c)
+      0 lists
+  in
+  Cnf.Formula.of_dimacs_lists ~num_vars lists
+
+let dimacs_of_lits lits =
+  Array.to_list (Array.map Cnf.Lit.to_dimacs lits)
+
+(* Normalised trace events as dimacs int lists, in emission order. *)
+let record_trace t =
+  let events = ref [] in
+  Cdcl.Solver.set_trace t (fun ev ->
+      let tag =
+        match ev with
+        | Cdcl.Solver.Learned lits -> `L (dimacs_of_lits lits)
+        | Cdcl.Solver.Deleted lits -> `D (dimacs_of_lits lits)
+      in
+      events := tag :: !events);
+  fun () -> List.rev !events
+
+let ip_config =
+  {
+    Cdcl.Config.default with
+    Cdcl.Config.inprocess = true;
+    inprocess_interval = 1;
+    tier2_glue = 4;
+    promote_uses = 1;
+    vivify_budget = 100_000;
+    subsume_budget = 100_000;
+  }
+
+(* --- arena metadata --------------------------------------------------- *)
+
+let test_arena_tier_usage () =
+  let a = Cdcl.Arena.create () in
+  let c =
+    Cdcl.Arena.alloc_lits a ~learned:true ~glue:3 ~cid:7
+      [| lit 1; lit (-2); lit 3 |]
+  in
+  checki "fresh clause is local" Cdcl.Arena.tier_local (Cdcl.Arena.tier a c);
+  checki "fresh usage is 0" 0 (Cdcl.Arena.usage a c);
+  Cdcl.Arena.set_tier a c Cdcl.Arena.tier_core;
+  checki "set_tier round-trips" Cdcl.Arena.tier_core (Cdcl.Arena.tier a c);
+  checki "glue unharmed by tier" 3 (Cdcl.Arena.glue a c);
+  checkb "learned unharmed by tier" true (Cdcl.Arena.learned a c);
+  for _ = 1 to 10 do
+    Cdcl.Arena.bump_usage a c
+  done;
+  checki "usage saturates" Cdcl.Arena.usage_max (Cdcl.Arena.usage a c);
+  Cdcl.Arena.set_usage a c 1;
+  checki "set_usage round-trips" 1 (Cdcl.Arena.usage a c);
+  checki "size unharmed" 3 (Cdcl.Arena.size a c);
+  Alcotest.check_raises "tier out of range" (Invalid_argument "Arena.set_tier")
+    (fun () -> Cdcl.Arena.set_tier a c 3);
+  Cdcl.Arena.clear_learned a c;
+  checkb "clear_learned" false (Cdcl.Arena.learned a c)
+
+let test_arena_shrink () =
+  let a = Cdcl.Arena.create () in
+  let c =
+    Cdcl.Arena.alloc_lits a ~learned:false ~glue:2 ~cid:1
+      [| lit 1; lit 2; lit 3; lit 4 |]
+  in
+  let garbage0 = Cdcl.Arena.garbage a in
+  Cdcl.Arena.shrink_size a c 2;
+  checki "shrunk size" 2 (Cdcl.Arena.size a c);
+  checki "freed words become garbage" (garbage0 + 2) (Cdcl.Arena.garbage a);
+  checkb "prefix literals survive" true
+    (Cdcl.Arena.lit a c 0 = lit 1 && Cdcl.Arena.lit a c 1 = lit 2);
+  Alcotest.check_raises "shrink to zero" (Invalid_argument "Arena.shrink_size")
+    (fun () -> Cdcl.Arena.shrink_size a c 0);
+  Alcotest.check_raises "grow forbidden" (Invalid_argument "Arena.shrink_size")
+    (fun () -> Cdcl.Arena.shrink_size a c 3)
+
+(* --- policy helpers --------------------------------------------------- *)
+
+let test_policy_tiers () =
+  let tier = Cdcl.Policy.initial_tier ~tier1_glue:2 ~tier2_glue:6 in
+  checki "glue 2 -> core" Cdcl.Arena.tier_core (tier ~glue:2);
+  checki "glue 3 -> mid" Cdcl.Arena.tier_mid (tier ~glue:3);
+  checki "glue 6 -> mid" Cdcl.Arena.tier_mid (tier ~glue:6);
+  checki "glue 7 -> local" Cdcl.Arena.tier_local (tier ~glue:7);
+  let promoted = Cdcl.Policy.promoted_tier ~promote_uses:2 in
+  checki "unused local stays" Cdcl.Arena.tier_local
+    (promoted ~usage:1 ~tier:Cdcl.Arena.tier_local);
+  checki "used local climbs to mid" Cdcl.Arena.tier_mid
+    (promoted ~usage:2 ~tier:Cdcl.Arena.tier_local);
+  checki "usage never reaches core" Cdcl.Arena.tier_mid
+    (promoted ~usage:3 ~tier:Cdcl.Arena.tier_mid);
+  checki "core is terminal" Cdcl.Arena.tier_core
+    (promoted ~usage:0 ~tier:Cdcl.Arena.tier_core)
+
+let test_policy_tiered_key () =
+  let key tier glue =
+    Cdcl.Policy.tiered_key Cdcl.Policy.Default ~tier ~id:5 ~glue ~size:4
+      ~activity_bits:0 ~frequency:0
+  in
+  (* A higher tier dominates any in-tier ranking difference: reduce
+     sorts ascending and deletes the low end, so locals always rank
+     below mids, mids below core. *)
+  checkb "tier dominates glue" true
+    (key Cdcl.Arena.tier_core 30 > key Cdcl.Arena.tier_mid 1);
+  checkb "tier dominates glue (mid/local)" true
+    (key Cdcl.Arena.tier_mid 30 > key Cdcl.Arena.tier_local 1);
+  checkb "within a tier the packed key orders" true
+    (key Cdcl.Arena.tier_local 2 > key Cdcl.Arena.tier_local 9)
+
+(* --- vivification ----------------------------------------------------- *)
+
+let test_vivify_shrinks_clause () =
+  (* Probing (1 2 3): assuming -1 propagates -2 through the binary
+     (1 -2), so literal 2 is falsified by the probe prefix and dropped.
+     The rewrite must appear as Add(1 3) immediately followed by
+     Delete(1 2 3). The long clause comes first so the binary's own
+     probes cannot reorder its literals beforehand. *)
+  let f = formula [ [ 1; 2; 3 ]; [ 1; -2 ] ] in
+  let config = { ip_config with Cdcl.Config.inprocess_subsume = false } in
+  let t = Cdcl.Solver.create ~config f in
+  let trace = record_trace t in
+  Cdcl.Solver.inprocess_now t;
+  let st = Cdcl.Solver.stats t in
+  checki "one clause vivified" 1 st.Cdcl.Solver_stats.vivified;
+  (match trace () with
+  | [ `L [ 1; 3 ]; `D [ 1; 2; 3 ] ] -> ()
+  | _ -> Alcotest.fail "expected exactly Add(1 3); Delete(1 2 3)");
+  match Cdcl.Solver.solve t with
+  | Cdcl.Solver.Sat m ->
+    checkb "model after vivification" true (Cdcl.Solver.check_model f m)
+  | _ -> Alcotest.fail "satisfiable instance"
+
+let test_vivify_deletes_root_satisfied () =
+  (* Unit 1 satisfies (1 2 3) at the root; the root unit must enter the
+     proof before the deletion it justifies. *)
+  let f = formula [ [ 1 ]; [ 1; 2; 3 ]; [ -2; 3 ] ] in
+  let config = { ip_config with Cdcl.Config.inprocess_subsume = false } in
+  let t = Cdcl.Solver.create ~config f in
+  let trace = record_trace t in
+  Cdcl.Solver.inprocess_now t;
+  let st = Cdcl.Solver.stats t in
+  checki "one clause deleted by vivification" 1
+    st.Cdcl.Solver_stats.vivify_deleted;
+  (match trace () with
+  | [ `L [ 1 ]; `D [ 1; 2; 3 ] ] -> ()
+  | _ -> Alcotest.fail "expected root unit Add(1) then Delete(1 2 3)");
+  match Cdcl.Solver.solve t with
+  | Cdcl.Solver.Sat m -> checkb "model" true (Cdcl.Solver.check_model f m)
+  | _ -> Alcotest.fail "satisfiable instance"
+
+(* --- subsumption ------------------------------------------------------ *)
+
+let test_subsume_deletes_superset () =
+  let f = formula [ [ 1; 2 ]; [ 1; 2; 3 ] ] in
+  let config = { ip_config with Cdcl.Config.inprocess_vivify = false } in
+  let t = Cdcl.Solver.create ~config f in
+  let trace = record_trace t in
+  Cdcl.Solver.inprocess_now t;
+  let st = Cdcl.Solver.stats t in
+  checki "one clause subsumed" 1 st.Cdcl.Solver_stats.subsumed;
+  (match trace () with
+  | [ `D [ 1; 2; 3 ] ] -> ()
+  | _ -> Alcotest.fail "expected exactly Delete(1 2 3)");
+  match Cdcl.Solver.solve t with
+  | Cdcl.Solver.Sat m -> checkb "model" true (Cdcl.Solver.check_model f m)
+  | _ -> Alcotest.fail "satisfiable instance"
+
+let test_strengthen_self_subsuming () =
+  (* (1 2) resolved with (1 -2 3) on variable 2 strengthens the latter
+     to (1 3): Add(1 3) must immediately precede Delete(1 -2 3). The
+     extra clause (2 4) keeps variable 1's occurrence list the scan
+     target. *)
+  let f = formula [ [ 1; 2 ]; [ 1; -2; 3 ]; [ 2; 4 ] ] in
+  let config = { ip_config with Cdcl.Config.inprocess_vivify = false } in
+  let t = Cdcl.Solver.create ~config f in
+  let trace = record_trace t in
+  Cdcl.Solver.inprocess_now t;
+  let st = Cdcl.Solver.stats t in
+  checki "one clause strengthened" 1 st.Cdcl.Solver_stats.strengthened;
+  (match trace () with
+  | [ `L [ 1; 3 ]; `D [ 1; -2; 3 ] ] -> ()
+  | _ -> Alcotest.fail "expected Add(1 3) then Delete(1 -2 3)");
+  match Cdcl.Solver.solve t with
+  | Cdcl.Solver.Sat m -> checkb "model" true (Cdcl.Solver.check_model f m)
+  | _ -> Alcotest.fail "satisfiable instance"
+
+(* --- mid-pass compaction ---------------------------------------------- *)
+
+let test_compaction_during_vivification () =
+  (* Sixty root-satisfied padding clauses die inside a single vivify
+     pass and push arena garbage over the GC threshold, forcing a
+     compaction while the pass iterates — clause vectors must be
+     re-indexed and the surviving pigeonhole core must still prove
+     UNSAT with a checkable DRUP log. *)
+  let pad = List.init 60 (fun i -> [ 1; 100 + (2 * i); 101 + (2 * i) ]) in
+  let ph = Gen.Pigeonhole.unsat 5 in
+  let ph_clauses = ref [] in
+  Cnf.Formula.iter_clauses
+    (fun c ->
+      ph_clauses :=
+        List.map
+          (fun l ->
+            let d = Cnf.Lit.to_dimacs l in
+            if d > 0 then d + 300 else d - 300)
+          (Array.to_list c)
+        :: !ph_clauses)
+    ph;
+  let f = formula (([ 1 ] :: pad) @ !ph_clauses) in
+  let t = Cdcl.Solver.create ~config:ip_config f in
+  let drup = Cdcl.Drup.create () in
+  Cdcl.Solver.set_trace t (fun ev -> Cdcl.Drup.event drup ev);
+  let gcs0 = Cdcl.Solver.arena_gc_count t in
+  Cdcl.Solver.inprocess_now t;
+  checkb "compaction ran during the pass" true
+    (Cdcl.Solver.arena_gc_count t > gcs0);
+  let st = Cdcl.Solver.stats t in
+  checkb "padding deleted by vivification" true
+    (st.Cdcl.Solver_stats.vivify_deleted >= 60);
+  (match Cdcl.Solver.solve t with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole core must be UNSAT");
+  Cdcl.Drup.conclude_unsat drup;
+  checkb "DRUP proof valid across mid-pass compaction" true
+    (Cdcl.Drup_check.check_solver_proof f drup = Cdcl.Drup_check.Valid)
+
+(* --- end-to-end with inprocessing on ---------------------------------- *)
+
+let solve_config =
+  {
+    ip_config with
+    Cdcl.Config.policy = Cdcl.Policy.frequency_default;
+    reduce_first = 20;
+    reduce_inc = 10;
+    reduce_fraction = 0.7;
+    restart_mode = Cdcl.Config.Luby 8;
+  }
+
+let test_unsat_proof_with_inprocessing () =
+  let f = Gen.Pigeonhole.unsat 6 in
+  let t = Cdcl.Solver.create ~config:solve_config f in
+  let drup = Cdcl.Drup.create () in
+  Cdcl.Solver.set_trace t (fun ev -> Cdcl.Drup.event drup ev);
+  (match Cdcl.Solver.solve t with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole is UNSAT");
+  let st = Cdcl.Solver.stats t in
+  checkb "inprocessing actually ran" true
+    (st.Cdcl.Solver_stats.inprocess_passes > 0);
+  Cdcl.Drup.conclude_unsat drup;
+  checkb "DRUP proof valid with inprocessing" true
+    (Cdcl.Drup_check.check_solver_proof f drup = Cdcl.Drup_check.Valid)
+
+let test_tier_counts_populated () =
+  (* A run that learns and reduces under the tiered policy must leave
+     learned clauses spread over the tiers it reports. *)
+  let f = Gen.Pigeonhole.unsat 6 in
+  let t = Cdcl.Solver.create ~config:solve_config f in
+  ignore (Cdcl.Solver.solve t);
+  let core, mid, local = Cdcl.Solver.tier_counts t in
+  checkb "tier counts cover the learnt set" true
+    (core + mid + local = Cdcl.Solver.learned_clause_count t);
+  checkb "some clause left the local tier" true (core + mid > 0)
+
+(* --- properties ------------------------------------------------------- *)
+
+(* Every Add line the solver emits with inprocessing on — learned
+   clauses, vivification rewrites, strengthenings, derived root units —
+   must be logically implied by the ORIGINAL formula: F with the
+   clause's negation as units must be UNSAT by the DPLL oracle. *)
+let prop_rewrites_implied =
+  QCheck.Test.make ~name:"inprocessing rewrites implied by input formula"
+    ~count:40
+    QCheck.(int_range 0 199)
+    (fun i ->
+      let _family, f = Verify.Fuzz.generate_case ~seed:9001 i in
+      let t = Cdcl.Solver.create ~config:solve_config f in
+      let added = ref [] in
+      Cdcl.Solver.set_trace t (fun ev ->
+          match ev with
+          | Cdcl.Solver.Learned lits when Array.length lits > 0 ->
+            added := dimacs_of_lits lits :: !added
+          | _ -> ());
+      ignore (Cdcl.Solver.solve t);
+      let base = ref [] in
+      Cnf.Formula.iter_clauses
+        (fun c -> base := List.map Cnf.Lit.to_dimacs (Array.to_list c) :: !base)
+        f;
+      List.for_all
+        (fun clause ->
+          let refutation =
+            Cnf.Formula.of_dimacs_lists ~num_vars:(Cnf.Formula.num_vars f)
+              (!base @ List.map (fun l -> [ -l ]) clause)
+          in
+          match Verify.Oracle.solve ~max_nodes:200_000 refutation with
+          | Some Verify.Oracle.Unsat -> true
+          | None -> true (* oracle budget exhausted: skip, don't fail *)
+          | Some (Verify.Oracle.Sat _) -> false)
+        !added)
+
+(* Tier, usage, glue, size, learnedness, and literals all live in (or
+   next to) the header word and must survive a copying compaction
+   verbatim. *)
+let prop_tiers_survive_compaction =
+  QCheck.Test.make ~name:"tier tags survive arena compaction" ~count:100
+    QCheck.(
+      list_of_size Gen.(int_range 1 40)
+        (quad (int_range 1 6) (int_range 0 2) (int_range 0 3) bool))
+    (fun specs ->
+      let a = Cdcl.Arena.create () in
+      let clauses =
+        List.mapi
+          (fun i (size, tier, usage, learned) ->
+            let lits =
+              Array.init size (fun k ->
+                  Cnf.Lit.make ((i * 7) + k + 1) (k mod 2 = 0))
+            in
+            let c =
+              Cdcl.Arena.alloc_lits a ~learned ~glue:(size + 1) ~cid:i lits
+            in
+            Cdcl.Arena.set_tier a c tier;
+            Cdcl.Arena.set_usage a c usage;
+            if i mod 3 = 2 then Cdcl.Arena.mark_deleted a c;
+            (c, lits, tier, usage, size, learned, i mod 3 = 2))
+          specs
+      in
+      let dst = Cdcl.Arena.gc_target a in
+      let live =
+        List.filter_map
+          (fun (c, lits, tier, usage, size, learned, dead) ->
+            if dead then None
+            else
+              Some (Cdcl.Arena.reloc ~from_:a ~into:dst c, lits, tier, usage, size, learned))
+          clauses
+      in
+      Cdcl.Arena.adopt a dst;
+      List.for_all
+        (fun (c, lits, tier, usage, size, learned) ->
+          Cdcl.Arena.tier a c = tier
+          && Cdcl.Arena.usage a c = usage
+          && Cdcl.Arena.size a c = size
+          && Cdcl.Arena.glue a c = size + 1
+          && Cdcl.Arena.learned a c = learned
+          && Array.for_all
+               (fun k -> Cdcl.Arena.lit a c k = lits.(k))
+               (Array.init size Fun.id))
+        live)
+
+let suite =
+  [
+    Alcotest.test_case "arena: tier and usage bits" `Quick test_arena_tier_usage;
+    Alcotest.test_case "arena: in-place shrink" `Quick test_arena_shrink;
+    Alcotest.test_case "policy: tier assignment and promotion" `Quick
+      test_policy_tiers;
+    Alcotest.test_case "policy: tiered ranking key" `Quick
+      test_policy_tiered_key;
+    Alcotest.test_case "vivify: shrinks a clause with DRUP pair" `Quick
+      test_vivify_shrinks_clause;
+    Alcotest.test_case "vivify: deletes root-satisfied clause" `Quick
+      test_vivify_deletes_root_satisfied;
+    Alcotest.test_case "subsume: deletes superset" `Quick
+      test_subsume_deletes_superset;
+    Alcotest.test_case "subsume: self-subsuming strengthening" `Quick
+      test_strengthen_self_subsuming;
+    Alcotest.test_case "compaction mid-vivification" `Quick
+      test_compaction_during_vivification;
+    Alcotest.test_case "UNSAT proof with inprocessing on" `Quick
+      test_unsat_proof_with_inprocessing;
+    Alcotest.test_case "tier counts populated" `Quick
+      test_tier_counts_populated;
+    QCheck_alcotest.to_alcotest prop_rewrites_implied;
+    QCheck_alcotest.to_alcotest prop_tiers_survive_compaction;
+  ]

@@ -18,4 +18,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("verify", Test_verify.suite);
       ("refdiff", Test_refdiff.suite);
+      ("inprocess", Test_inprocess.suite);
     ]
