@@ -1,0 +1,473 @@
+(* ns-loadtest: replay a mixed generated workload against ns-serve at a
+   controlled request rate and report latency percentiles, shed rate,
+   and worker-restart counts in ns.bench/1 JSON.
+
+   The harness spawns the server itself (--server PATH), opens several
+   client connections over the Unix-domain socket, paces requests to
+   the target QPS from one select loop, and matches responses by id.
+   Two drill scenarios are built in:
+
+   - --kill-worker K tags every Kth request inject:"crash_once", so its
+     first worker attempt dies with a nonzero exit and the pool's
+     retry/backoff path must finish the campaign anyway (the server
+     must be spawned with --allow-inject, which this harness does).
+
+   - --sigterm-after K sends SIGTERM to the server after K responses
+     have arrived and then asserts the graceful-drain contract: every
+     outstanding request terminates (completed or rejected), the
+     server exits 0, and the journal ends with a "drained" event whose
+     counters match what the clients observed.
+
+   Exit status: 0 when every assertion holds, 1 otherwise. *)
+
+let mixed_instance rng i =
+  match i mod 5 with
+  | 0 ->
+    let n = Util.Rng.int_in rng 8 20 in
+    let m = int_of_float (float_of_int n *. Util.Rng.uniform rng 3.0 4.5) in
+    Gen.Ksat.generate rng ~num_vars:n ~num_clauses:(max 1 m) ~k:3
+  | 1 ->
+    let pigeons = Util.Rng.int_in rng 3 5 in
+    Gen.Pigeonhole.generate ~pigeons ~holes:(pigeons - 1)
+  | 2 ->
+    let vertices = Util.Rng.int_in rng 5 8 in
+    Gen.Coloring.generate rng ~vertices
+      ~edge_prob:(Util.Rng.uniform rng 0.3 0.6)
+      ~colors:3
+  | 3 -> Gen.Parity.chain rng ~num_vars:(Util.Rng.int_in rng 4 9) ~target:true
+  | _ -> Gen.Circuits.adder_miter ~faulty:(Util.Rng.bool rng) 1
+
+(* --- response bookkeeping ---------------------------------------------- *)
+
+type outcome = {
+  status : string;
+  attempts : int;
+  latency : float; (* client-observed seconds *)
+}
+
+type harness = {
+  conns : (Unix.file_descr * Runtime.Frame.reader) array;
+  outcomes : (string, outcome) Hashtbl.t;
+  sent_at : (string, float) Hashtbl.t;
+  verbose : bool;
+}
+
+let record_response h fields =
+  match Runtime.Journal.find_string fields "id" with
+  | None -> ()
+  | Some id -> (
+    match Hashtbl.find_opt h.sent_at id with
+    | None -> () (* metrics / unsolicited *)
+    | Some t0 ->
+      let status =
+        Option.value (Runtime.Journal.find_string fields "status")
+          ~default:"error"
+      in
+      let attempts =
+        Option.value (Runtime.Journal.find_int fields "attempts") ~default:0
+      in
+      Hashtbl.replace h.outcomes id
+        { status; attempts; latency = Unix.gettimeofday () -. t0 };
+      if h.verbose then
+        Printf.eprintf "c [loadtest] %s -> %s (%d attempts)\n%!" id status
+          attempts)
+
+let pump_responses h =
+  let fds = Array.to_list (Array.map fst h.conns) in
+  let readable, _, _ =
+    try Unix.select fds [] [] 0.02
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  Array.iter
+    (fun (fd, reader) ->
+      if List.mem fd readable then
+        match Runtime.Frame.read_into reader fd with
+        | `Eof | `Blocked -> ()
+        | `Data ->
+          let rec drain () =
+            match Runtime.Frame.next reader with
+            | None -> ()
+            | Some payload ->
+              (match Runtime.Journal.parse_line payload with
+              | Some fields -> record_response h fields
+              | None -> ());
+              drain ()
+          in
+          drain ())
+    h.conns
+
+(* --- percentiles -------------------------------------------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+(* --- the campaign ------------------------------------------------------- *)
+
+let run server socket_opt requests qps conns jobs max_queue deadline
+    kill_worker sigterm_after json_path seed verbose =
+  let failures = ref [] in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        failures := m :: !failures;
+        Printf.eprintf "FAIL: %s\n%!" m)
+      fmt
+  in
+  let tmp = Filename.get_temp_dir_name () in
+  let socket =
+    match socket_opt with
+    | Some s -> s
+    | None -> Filename.concat tmp (Printf.sprintf "ns-loadtest-%d.sock" (Unix.getpid ()))
+  in
+  let journal =
+    Filename.concat tmp (Printf.sprintf "ns-loadtest-%d.jsonl" (Unix.getpid ()))
+  in
+  (try Sys.remove journal with Sys_error _ -> ());
+  (* Spawn the server under test. *)
+  let server_pid =
+    match server with
+    | None -> None
+    | Some exe ->
+      let args =
+        [|
+          exe;
+          "--socket";
+          socket;
+          "--journal";
+          journal;
+          "--jobs";
+          string_of_int jobs;
+          "--max-queue";
+          string_of_int max_queue;
+          "--deadline";
+          string_of_float deadline;
+          "--allow-inject";
+        |]
+      in
+      let pid = Unix.create_process exe args Unix.stdin Unix.stderr Unix.stderr in
+      Some pid
+  in
+  (* Wait for the socket to appear. *)
+  let deadline_t = Unix.gettimeofday () +. 10.0 in
+  while (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline_t do
+    Unix.sleepf 0.05
+  done;
+  if not (Sys.file_exists socket) then begin
+    fail "server socket %s never appeared" socket;
+    (match server_pid with Some pid -> Unix.kill pid Sys.sigkill | None -> ());
+    exit 1
+  end;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    Unix.set_nonblock fd;
+    (fd, Runtime.Frame.create_reader ())
+  in
+  let h =
+    {
+      conns = Array.init (max 1 conns) (fun _ -> connect ());
+      outcomes = Hashtbl.create (2 * requests);
+      sent_at = Hashtbl.create (2 * requests);
+      verbose;
+    }
+  in
+  let rng = Util.Rng.create seed in
+  let instances =
+    Array.init requests (fun i -> Cnf.Dimacs.to_string (mixed_instance rng i))
+  in
+  let t_start = Unix.gettimeofday () in
+  let sent = ref 0 in
+  let sigterm_sent = ref false in
+  let responses () = Hashtbl.length h.outcomes in
+  let maybe_sigterm () =
+    if
+      sigterm_after > 0
+      && (not !sigterm_sent)
+      && responses () >= sigterm_after
+    then begin
+      match server_pid with
+      | Some pid ->
+        sigterm_sent := true;
+        if verbose then Printf.eprintf "c [loadtest] SIGTERM to server %d\n%!" pid;
+        Unix.kill pid Sys.sigterm
+      | None -> fail "--sigterm-after needs --server (no pid to signal)"
+    end
+  in
+  let campaign_deadline = Unix.gettimeofday () +. 120.0 in
+  while
+    (not !sigterm_sent)
+    && (responses () < requests || !sent < requests)
+    && Unix.gettimeofday () < campaign_deadline
+  do
+    (* Pace sends to the target QPS. *)
+    let due =
+      min requests
+        (1 + int_of_float ((Unix.gettimeofday () -. t_start) *. qps))
+    in
+    while !sent < due && not !sigterm_sent do
+      let i = !sent in
+      let id = Printf.sprintf "L%d" i in
+      let inject =
+        if kill_worker > 0 && i mod kill_worker = kill_worker - 1 then
+          [ ("inject", Runtime.Journal.String "crash_once") ]
+        else []
+      in
+      let payload =
+        Runtime.Journal.encode
+          ([
+             ("op", Runtime.Journal.String "solve");
+             ("id", Runtime.Journal.String id);
+             ("dimacs", Runtime.Journal.String instances.(i));
+             ("deadline_s", Runtime.Journal.Float deadline);
+           ]
+          @ inject)
+      in
+      let fd, _ = h.conns.(i mod Array.length h.conns) in
+      Hashtbl.replace h.sent_at id (Unix.gettimeofday ());
+      (try Runtime.Frame.write fd payload
+       with Unix.Unix_error _ ->
+         Hashtbl.replace h.outcomes id
+           { status = "connection_lost"; attempts = 0; latency = 0.0 });
+      incr sent
+    done;
+    pump_responses h;
+    maybe_sigterm ()
+  done;
+  (* After SIGTERM, outstanding requests terminate as completed or
+     rejected; keep reading until the server closes the connections. *)
+  if !sigterm_sent then begin
+    let settle = Unix.gettimeofday () +. 30.0 in
+    while responses () < !sent && Unix.gettimeofday () < settle do
+      pump_responses h
+    done
+  end;
+  (* Ask for the server-level snapshot (skip when it is shutting down). *)
+  let worker_retries = ref (-1) in
+  if not !sigterm_sent then begin
+    let fd, reader = h.conns.(0) in
+    (try
+       Runtime.Frame.write fd
+         (Runtime.Journal.encode
+            [
+              ("op", Runtime.Journal.String "metrics");
+              ("id", Runtime.Journal.String "final-metrics");
+            ])
+     with Unix.Unix_error _ -> ());
+    let t_end = Unix.gettimeofday () +. 5.0 in
+    let got = ref false in
+    while (not !got) && Unix.gettimeofday () < t_end do
+      (match Unix.select [ fd ] [] [] 0.05 with
+      | [ _ ], _, _ -> ignore (Runtime.Frame.read_into reader fd)
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      let rec drain () =
+        match Runtime.Frame.next reader with
+        | None -> ()
+        | Some payload ->
+          (match Runtime.Journal.parse_line payload with
+          | Some fields
+            when Runtime.Journal.find_string fields "id"
+                 = Some "final-metrics" ->
+            worker_retries :=
+              Option.value
+                (Runtime.Journal.find_int fields "worker_retries")
+                ~default:(-1);
+            got := true
+          | Some fields -> record_response h fields
+          | None -> ());
+          drain ()
+      in
+      drain ()
+    done
+  end;
+  Array.iter
+    (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    h.conns;
+  (* Reap the spawned server and check the drain contract. *)
+  let server_exit =
+    match server_pid with
+    | None -> None
+    | Some pid ->
+      if not !sigterm_sent then Unix.kill pid Sys.sigterm;
+      let _, status = Unix.waitpid [] pid in
+      Some status
+  in
+  (match server_exit with
+  | Some (Unix.WEXITED 0) | None -> ()
+  | Some (Unix.WEXITED c) -> fail "server exited %d, expected 0" c
+  | Some (Unix.WSIGNALED s) -> fail "server killed by signal %d" s
+  | Some (Unix.WSTOPPED _) -> fail "server stopped unexpectedly");
+  (* --- tally -------------------------------------------------------- *)
+  let count pred = Hashtbl.fold (fun _ o n -> if pred o then n + 1 else n) h.outcomes 0 in
+  let ok = count (fun o -> o.status = "ok") in
+  let shed = count (fun o -> o.status = "shed") in
+  let rejected = count (fun o -> o.status = "rejected") in
+  let errors = count (fun o -> o.status = "error" || o.status = "connection_lost") in
+  let retried_ok = count (fun o -> o.status = "ok" && o.attempts >= 2) in
+  let unanswered = !sent - responses () in
+  let latencies =
+    Hashtbl.fold
+      (fun _ o acc -> if o.status = "ok" then o.latency :: acc else acc)
+      h.outcomes []
+    |> Array.of_list
+  in
+  Array.sort compare latencies;
+  let p50 = percentile latencies 50.0
+  and p95 = percentile latencies 95.0
+  and p99 = percentile latencies 99.0 in
+  if unanswered > 0 then
+    fail "%d requests never received a terminal response" unanswered;
+  if errors > 0 then fail "%d requests errored" errors;
+  if ok = 0 then fail "no request completed successfully";
+  if kill_worker > 0 && retried_ok = 0 then
+    fail "--kill-worker set but no request completed on a retry";
+  (* Journal cross-check: every terminal response the clients saw must
+     be journaled, and a drain event must close the file. *)
+  (match Runtime.Journal.load journal with
+  | Error e ->
+    fail "journal unreadable: %s" (Runtime.Error.to_string e)
+  | Ok (records, dropped) ->
+    if dropped > 0 then fail "journal has %d torn records" dropped;
+    let drained =
+      List.exists
+        (fun r -> Runtime.Journal.find_string r "event" = Some "drained")
+        records
+    in
+    if server <> None && not drained then
+      fail "journal has no drained event";
+    let journaled_terminal =
+      List.length
+        (List.filter
+           (fun r -> Runtime.Journal.find_string r "status" <> None)
+           records)
+    in
+    let client_terminal = ok + shed + rejected + errors in
+    if journaled_terminal < client_terminal then
+      fail "journal has %d terminal records, clients saw %d"
+        journaled_terminal client_terminal);
+  (* --- report ------------------------------------------------------- *)
+  let wall = Unix.gettimeofday () -. t_start in
+  Printf.printf
+    "loadtest: %d requests at %.0f qps over %d conns in %.1fs\n\
+    \  ok %d (retried %d)  shed %d  rejected %d  errors %d  unanswered %d\n\
+    \  latency p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  worker retries %s\n"
+    !sent qps (Array.length h.conns) wall ok retried_ok shed rejected errors
+    unanswered (1000.0 *. p50) (1000.0 *. p95) (1000.0 *. p99)
+    (if !worker_retries >= 0 then string_of_int !worker_retries else "n/a");
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let g name v = Obs.Metrics.set (Obs.Metrics.gauge name) v in
+    g "loadtest.sent" (float_of_int !sent);
+    g "loadtest.ok" (float_of_int ok);
+    g "loadtest.shed" (float_of_int shed);
+    g "loadtest.rejected" (float_of_int rejected);
+    g "loadtest.errors" (float_of_int errors);
+    g "loadtest.retried_ok" (float_of_int retried_ok);
+    g "loadtest.worker_retries" (float_of_int !worker_retries);
+    g "loadtest.qps_target" qps;
+    g "loadtest.wall_seconds" wall;
+    let date =
+      let tm = Unix.gmtime (Unix.time ()) in
+      Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    in
+    let kernels =
+      [
+        { Obs.Bench_report.name = "serve.latency.p50"; ns_per_run = 1e9 *. p50 };
+        { Obs.Bench_report.name = "serve.latency.p95"; ns_per_run = 1e9 *. p95 };
+        { Obs.Bench_report.name = "serve.latency.p99"; ns_per_run = 1e9 *. p99 };
+      ]
+    in
+    Obs.Bench_report.write_file path
+      (Obs.Bench_report.make ~date ~fast:false ~kernels
+         ~metrics:(Obs.Report.to_json ()));
+    Printf.printf "loadtest report written to %s\n" path);
+  (try Sys.remove journal with Sys_error _ -> ());
+  if !failures = [] then 0 else 1
+
+open Cmdliner
+
+let server =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "server" ] ~docv:"PATH"
+        ~doc:
+          "ns-serve binary to spawn (with --allow-inject and a fresh \
+           journal). Without it, --socket must name a running server and \
+           the drain assertions are skipped.")
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Socket path (default: fresh temp).")
+
+let requests =
+  Arg.(
+    value & opt int 200
+    & info [ "requests"; "n" ] ~docv:"N" ~doc:"Total solve requests to replay.")
+
+let qps =
+  Arg.(
+    value & opt float 100.0
+    & info [ "qps" ] ~docv:"Q" ~doc:"Target request rate.")
+
+let conns =
+  Arg.(
+    value & opt int 4
+    & info [ "conns" ] ~docv:"C" ~doc:"Client connections (round-robin).")
+
+let jobs =
+  Arg.(value & opt int 2 & info [ "jobs" ] ~docv:"N" ~doc:"Server worker slots.")
+
+let max_queue =
+  Arg.(
+    value & opt int 8
+    & info [ "max-queue" ] ~docv:"N" ~doc:"Server admission-control bound.")
+
+let deadline =
+  Arg.(
+    value & opt float 5.0
+    & info [ "deadline" ] ~docv:"S" ~doc:"Per-request wall deadline.")
+
+let kill_worker =
+  Arg.(
+    value & opt int 0
+    & info [ "kill-worker" ] ~docv:"K"
+        ~doc:
+          "Crash the worker of every Kth request on its first attempt \
+           (0 = off); the campaign must still complete via retries.")
+
+let sigterm_after =
+  Arg.(
+    value & opt int 0
+    & info [ "sigterm-after" ] ~docv:"K"
+        ~doc:
+          "SIGTERM the server after K responses (0 = off) and assert the \
+           graceful-drain contract: outstanding requests terminate, exit \
+           code 0, journal closes with a drained event.")
+
+let json_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write an ns.bench/1 report.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N")
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ])
+
+let cmd =
+  let doc = "load-test harness for ns-serve" in
+  Cmd.v
+    (Cmd.info "ns-loadtest" ~doc)
+    Term.(
+      const run $ server $ socket $ requests $ qps $ conns $ jobs $ max_queue
+      $ deadline $ kill_worker $ sigterm_after $ json_path $ seed $ verbose)
+
+let () = exit (Cmd.eval' cmd)

@@ -34,7 +34,21 @@ let run seed cases case gradcheck faults diff_ref check_checkpoint
     in
     let report = Verify.Fuzz.run_ref_diff ~on_case ~seed ~cases () in
     Format.printf "%a" Verify.Fuzz.pp_ref_diff_report report;
-    exit (if report.Verify.Fuzz.rd_failures = [] then 0 else 1)
+    (* Third arm: randomized incremental call sequences against a
+       fresh-solver-per-step oracle (at least 300, more when --cases
+       asks for it). *)
+    let sequences = max cases 300 in
+    let on_case i =
+      if verbose then Printf.printf "c incremental sequence %d\n%!" i
+    in
+    let ireport = Verify.Fuzz.run_incremental_diff ~on_case ~seed ~sequences () in
+    Format.printf "%a" Verify.Fuzz.pp_incr_report ireport;
+    exit
+      (if
+         report.Verify.Fuzz.rd_failures = []
+         && ireport.Verify.Fuzz.ir_failures = []
+       then 0
+       else 1)
   end;
   if gradcheck then begin
     let reports = Verify.Gradcheck.run_all ~seed () in
@@ -99,7 +113,10 @@ let diff_ref =
                (vivification, subsumption, tiered reduce) enabled and \
                require verdict agreement plus a valid DRUP proof. Every \
                failure kind — statistics and trace divergence included — \
-               is shrunk to a minimal DIMACS reproducer.")
+               is shrunk to a minimal DIMACS reproducer. Also runs \
+               randomized incremental call sequences (add_clause, new_var, \
+               solve, solve_with_assumptions) against a \
+               fresh-solver-per-step oracle — at least 300 sequences.")
 
 let check_checkpoint =
   Arg.(value & opt (some string) None & info [ "check-checkpoint" ] ~docv:"FILE"

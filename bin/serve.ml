@@ -1,0 +1,707 @@
+(* ns-serve: long-lived incremental solve service.
+
+   Speaks a length-prefixed JSON protocol (decimal byte count, newline,
+   flat JSON object — the Journal codec) over a Unix-domain socket or
+   stdin/stdout. One-shot solve requests are multiplexed onto a
+   Runtime.Pool of supervised worker processes with per-request wall
+   deadlines and RLIMIT_AS memory caps; a bounded queue sheds excess
+   load with 429-style responses instead of building backlog, and
+   crashed workers are retried with backoff. Incremental sessions run
+   in-process on the Cdcl.Solver IPASIR-style API. SIGTERM drains
+   gracefully: in-flight work finishes, new work is rejected, the
+   journal is flushed, and the process exits 0.
+
+   Requests (one JSON object per frame):
+     {"op":"ping","id":..}
+     {"op":"metrics","id":..}            server-level snapshot
+     {"op":"solve","id":..,"dimacs":..,
+      "deadline_s":..,"mem_mb":..}       pool-backed one-shot solve
+     {"op":"session","id":..,"action":"new|add|new_var|solve|close",
+      "sid":..,"vars":..,"clause":"1 -2 0","assumptions":"1 -2"}
+
+   Responses echo "id", carry "status" ("ok" | "error" | "shed" |
+   "rejected") and, for solves, the verdict, model, solver statistics,
+   attempt count, latency, and the inference-breaker degraded flag. *)
+
+let m_requests = Obs.Metrics.counter "serve.requests"
+let m_completed = Obs.Metrics.counter "serve.completed"
+let m_failed = Obs.Metrics.counter "serve.failed"
+let m_rejected = Obs.Metrics.counter "serve.rejected"
+let h_latency = Obs.Metrics.histogram "serve.latency_seconds"
+
+(* A connected client: a frame reader over buffered inbound bytes. *)
+type client = {
+  fd : Unix.file_descr;
+  reader : Runtime.Frame.reader;
+  mutable alive : bool;
+}
+
+(* Extract complete frames in arrival order; a malformed length prefix
+   kills the connection. *)
+let drain_frames c =
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Runtime.Frame.next c.reader with
+    | Some payload -> out := payload :: !out
+    | None -> continue := false
+  done;
+  if Runtime.Frame.malformed c.reader then c.alive <- false;
+  List.rev !out
+
+(* --- literal / model string helpers ----------------------------------- *)
+
+let lits_of_string s =
+  String.split_on_char ' ' (String.trim s)
+  |> List.filter_map (fun tok ->
+         match int_of_string_opt (String.trim tok) with
+         | None | Some 0 -> None
+         | Some d -> Some (Cnf.Lit.of_dimacs d))
+
+let model_to_string m =
+  let b = Buffer.create 64 in
+  for v = 1 to Array.length m - 1 do
+    if v > 1 then Buffer.add_char b ' ';
+    Buffer.add_string b (string_of_int (if m.(v) then v else -v))
+  done;
+  Buffer.contents b
+
+let verdict_name = function
+  | Cdcl.Solver.Sat _ -> "sat"
+  | Cdcl.Solver.Unsat -> "unsat"
+  | Cdcl.Solver.Unknown -> "unknown"
+
+(* --- worker-side solve ------------------------------------------------- *)
+
+(* Runs inside the forked supervisor worker: parse, solve under the
+   request's wall budget, and return a flat-JSON payload the parent
+   merges into the response. *)
+let worker_solve ~deadline_s ~inject_marker dimacs () =
+  (match inject_marker with
+  | Some marker when not (Sys.file_exists marker) ->
+    (* Injected crash for drill scenarios: die on the first attempt,
+       succeed on the retry (the marker outlives this process). *)
+    (try
+       let oc = open_out marker in
+       close_out oc
+     with Sys_error _ -> ());
+    exit 66
+  | _ -> ());
+  match Runtime.Error.protect ~context:"serve.worker" (fun () ->
+      let f = Cnf.Dimacs.parse_string dimacs in
+      let config =
+        Cdcl.Config.with_budget ~max_wall_seconds:deadline_s
+          Cdcl.Config.default
+      in
+      let result, stats = Cdcl.Solver.solve_formula ~config f in
+      Runtime.Journal.encode
+        ([
+           ("verdict", Runtime.Journal.String (verdict_name result));
+           ( "model",
+             match result with
+             | Cdcl.Solver.Sat m -> Runtime.Journal.String (model_to_string m)
+             | _ -> Runtime.Journal.Null );
+           ("conflicts", Runtime.Journal.Int stats.Cdcl.Solver_stats.conflicts);
+           ("decisions", Runtime.Journal.Int stats.Cdcl.Solver_stats.decisions);
+           ( "propagations",
+             Runtime.Journal.Int stats.Cdcl.Solver_stats.propagations );
+           ( "learned",
+             Runtime.Journal.Int stats.Cdcl.Solver_stats.learned_total );
+         ]))
+  with
+  | Ok payload -> Ok payload
+  | Error e -> Error (Runtime.Error.to_string e)
+
+(* --- server state ------------------------------------------------------ *)
+
+type pending_req = {
+  pr_client : client;
+  pr_user_id : string;
+  pr_submitted : float;
+  pr_marker : string option;
+}
+
+type server = {
+  pool : Runtime.Pool.t;
+  pending : (string, pending_req) Hashtbl.t; (* pool id -> request *)
+  sessions : (string, Cdcl.Solver.t) Hashtbl.t;
+  journal : string option;
+  default_deadline : float;
+  default_mem_mb : int option;
+  allow_inject : bool;
+  verbose : bool;
+  mutable next_req : int;
+  mutable draining : bool;
+}
+
+let log srv fmt =
+  Printf.ksprintf
+    (fun s -> if srv.verbose then Printf.eprintf "c [serve] %s\n%!" s)
+    fmt
+
+let degraded () =
+  match Core.Selector.breaker_state () with
+  | Runtime.Breaker.Open -> true
+  | Runtime.Breaker.Closed | Runtime.Breaker.Half_open -> false
+
+let journal_append srv record =
+  match srv.journal with
+  | None -> ()
+  | Some path -> (
+    match Runtime.Journal.append path record with
+    | Ok () -> ()
+    | Error e -> log srv "journal append failed: %s" (Runtime.Error.to_string e))
+
+let respond srv client record =
+  if client.alive then
+    try Runtime.Frame.write client.fd (Runtime.Journal.encode record)
+    with Unix.Unix_error _ ->
+      client.alive <- false;
+      log srv "client write failed; dropping connection"
+
+let base_response ~id ~status rest =
+  ("id", Runtime.Journal.String id)
+  :: ("status", Runtime.Journal.String status)
+  :: ("degraded", Runtime.Journal.Bool (degraded ()))
+  :: rest
+
+(* Completion of a pool-backed solve: merge the worker payload (or the
+   failure) into the response, journal it, and clean up. *)
+let on_pool_complete srv (c : Runtime.Pool.completion) =
+  match Hashtbl.find_opt srv.pending c.Runtime.Pool.id with
+  | None -> ()
+  | Some pr ->
+    Hashtbl.remove srv.pending c.Runtime.Pool.id;
+    (match pr.pr_marker with
+    | Some m when Sys.file_exists m -> ( try Sys.remove m with Sys_error _ -> ())
+    | _ -> ());
+    let latency = Unix.gettimeofday () -. pr.pr_submitted in
+    Obs.Metrics.observe h_latency latency;
+    let tail =
+      [
+        ("attempts", Runtime.Journal.Int c.Runtime.Pool.attempts);
+        ("latency_ms", Runtime.Journal.Float (1000.0 *. latency));
+      ]
+    in
+    let record =
+      match c.Runtime.Pool.outcome with
+      | Runtime.Pool.Done payload ->
+        Obs.Metrics.incr m_completed;
+        let body =
+          match Runtime.Journal.parse_line payload with
+          | Some fields -> fields
+          | None ->
+            [ ("verdict", Runtime.Journal.String "unknown") ]
+        in
+        base_response ~id:pr.pr_user_id ~status:"ok" (body @ tail)
+      | Runtime.Pool.Failed msg ->
+        Obs.Metrics.incr m_failed;
+        base_response ~id:pr.pr_user_id ~status:"error"
+          (("error", Runtime.Journal.String msg) :: tail)
+      | Runtime.Pool.Shed ->
+        (* 429-style: admission control refused the request. *)
+        base_response ~id:pr.pr_user_id ~status:"shed" tail
+    in
+    respond srv pr.pr_client record;
+    journal_append srv record
+
+(* --- request handling --------------------------------------------------- *)
+
+let handle_metrics srv ~id client =
+  let num name v = (name, Runtime.Journal.Int v) in
+  respond srv client
+    (base_response ~id ~status:"ok"
+       [
+         num "requests" (Obs.Metrics.counter_value m_requests);
+         num "completed" (Obs.Metrics.counter_value m_completed);
+         num "failed" (Obs.Metrics.counter_value m_failed);
+         num "rejected" (Obs.Metrics.counter_value m_rejected);
+         num "shed" (Runtime.Pool.shed_count srv.pool);
+         num "worker_retries"
+           (Obs.Metrics.counter_value
+              (Obs.Metrics.counter "runtime.pool.worker_retries"));
+         num "in_flight" (Runtime.Pool.in_flight srv.pool);
+         num "queued" (Runtime.Pool.queued srv.pool);
+         num "sessions" (Hashtbl.length srv.sessions);
+         ( "breaker",
+           Runtime.Journal.String
+             (Runtime.Breaker.state_name (Core.Selector.breaker_state ())) );
+         ("draining", Runtime.Journal.Bool srv.draining);
+       ])
+
+let handle_solve srv ~id client fields =
+  match Runtime.Journal.find_string fields "dimacs" with
+  | None ->
+    respond srv client
+      (base_response ~id ~status:"error"
+         [ ("error", Runtime.Journal.String "solve: missing dimacs field") ])
+  | Some dimacs ->
+    let deadline_s =
+      match Runtime.Journal.find_float fields "deadline_s" with
+      | Some d when d > 0.0 && Float.is_finite d -> d
+      | _ -> srv.default_deadline
+    in
+    let mem_mb =
+      match Runtime.Journal.find_int fields "mem_mb" with
+      | Some m when m > 0 -> Some m
+      | _ -> srv.default_mem_mb
+    in
+    let inject_marker =
+      match Runtime.Journal.find_string fields "inject" with
+      | Some "crash_once" when srv.allow_inject ->
+        Some
+          (Filename.concat
+             (Filename.get_temp_dir_name ())
+             (Printf.sprintf "ns-serve-inject-%d-%d" (Unix.getpid ())
+                srv.next_req))
+      | _ -> None
+    in
+    let pool_id = Printf.sprintf "r%d" srv.next_req in
+    srv.next_req <- srv.next_req + 1;
+    Hashtbl.replace srv.pending pool_id
+      {
+        pr_client = client;
+        pr_user_id = id;
+        pr_submitted = Unix.gettimeofday ();
+        pr_marker = inject_marker;
+      };
+    let limits =
+      {
+        Runtime.Supervisor.default_limits with
+        Runtime.Supervisor.mem_limit_mb = mem_mb;
+        (* The solver budget returns Unknown at [deadline_s]; the
+           supervisor deadline is the backstop for a worker that fails
+           to honour it. *)
+        deadline_seconds = Some ((deadline_s *. 1.5) +. 1.0);
+      }
+    in
+    (* Shed submissions complete synchronously through on_pool_complete. *)
+    ignore
+      (Runtime.Pool.submit srv.pool ~limits ~id:pool_id
+         (worker_solve ~deadline_s ~inject_marker dimacs))
+
+let find_session srv ~id client sid k =
+  match Hashtbl.find_opt srv.sessions sid with
+  | Some solver -> k solver
+  | None ->
+    respond srv client
+      (base_response ~id ~status:"error"
+         [
+           ( "error",
+             Runtime.Journal.String
+               (Printf.sprintf "session: unknown sid %s" sid) );
+         ])
+
+(* Incremental sessions run in-process on the IPASIR-style API; solver
+   budgets (not supervisor deadlines) bound their solve steps, so a
+   session solve stalls the event loop for at most the deadline. *)
+let handle_session srv ~id client fields =
+  let sid =
+    Option.value (Runtime.Journal.find_string fields "sid") ~default:"s0"
+  in
+  let action =
+    Option.value (Runtime.Journal.find_string fields "action") ~default:""
+  in
+  let ok rest = respond srv client (base_response ~id ~status:"ok" rest) in
+  let err msg =
+    respond srv client
+      (base_response ~id ~status:"error"
+         [ ("error", Runtime.Journal.String msg) ])
+  in
+  let protected f =
+    match Runtime.Error.protect ~context:"serve.session" f with
+    | Ok () -> ()
+    | Error e -> err (Runtime.Error.to_string e)
+  in
+  match action with
+  | "new" ->
+    let vars =
+      match Runtime.Journal.find_int fields "vars" with
+      | Some v when v >= 0 -> v
+      | _ -> 0
+    in
+    Hashtbl.replace srv.sessions sid
+      (Cdcl.Solver.create (Cnf.Formula.create ~num_vars:vars [||]));
+    ok [ ("sid", Runtime.Journal.String sid) ]
+  | "close" ->
+    Hashtbl.remove srv.sessions sid;
+    ok []
+  | "add" ->
+    find_session srv ~id client sid (fun solver ->
+        protected (fun () ->
+            let lits =
+              lits_of_string
+                (Option.value
+                   (Runtime.Journal.find_string fields "clause")
+                   ~default:"")
+            in
+            (* Auto-introduce variables the clause mentions. *)
+            List.iter
+              (fun l ->
+                while Cnf.Lit.var l > Cdcl.Solver.num_vars solver do
+                  ignore (Cdcl.Solver.new_var solver)
+                done)
+              lits;
+            Cdcl.Solver.add_clause solver lits;
+            ok [ ("vars", Runtime.Journal.Int (Cdcl.Solver.num_vars solver)) ]))
+  | "new_var" ->
+    find_session srv ~id client sid (fun solver ->
+        protected (fun () ->
+            ok [ ("var", Runtime.Journal.Int (Cdcl.Solver.new_var solver)) ]))
+  | "solve" ->
+    find_session srv ~id client sid (fun solver ->
+        protected (fun () ->
+            let assumptions =
+              lits_of_string
+                (Option.value
+                   (Runtime.Journal.find_string fields "assumptions")
+                   ~default:"")
+            in
+            let t0 = Unix.gettimeofday () in
+            let result =
+              if assumptions = [] then Cdcl.Solver.solve solver
+              else Cdcl.Solver.solve_with_assumptions solver assumptions
+            in
+            let core =
+              match Cdcl.Solver.unsat_core solver with
+              | None -> Runtime.Journal.Null
+              | Some core ->
+                Runtime.Journal.String
+                  (String.concat " "
+                     (List.map
+                        (fun l -> string_of_int (Cnf.Lit.to_dimacs l))
+                        core))
+            in
+            ok
+              [
+                ("verdict", Runtime.Journal.String (verdict_name result));
+                ( "model",
+                  match result with
+                  | Cdcl.Solver.Sat m ->
+                    Runtime.Journal.String (model_to_string m)
+                  | _ -> Runtime.Journal.Null );
+                ("core", core);
+                ( "latency_ms",
+                  Runtime.Journal.Float
+                    (1000.0 *. (Unix.gettimeofday () -. t0)) );
+              ]))
+  | other -> err (Printf.sprintf "session: unknown action %S" other)
+
+let reject srv ~id client =
+  Obs.Metrics.incr m_rejected;
+  let record = base_response ~id ~status:"rejected" [] in
+  respond srv client record;
+  journal_append srv record
+
+let handle_frame srv client payload =
+  Obs.Metrics.incr m_requests;
+  match Runtime.Journal.parse_line payload with
+  | None ->
+    respond srv client
+      (base_response ~id:"" ~status:"error"
+         [ ("error", Runtime.Journal.String "malformed JSON frame") ])
+  | Some fields -> (
+    let id =
+      Option.value (Runtime.Journal.find_string fields "id") ~default:""
+    in
+    let op =
+      Option.value (Runtime.Journal.find_string fields "op") ~default:""
+    in
+    match op with
+    | "ping" -> respond srv client (base_response ~id ~status:"ok" [])
+    | "metrics" -> handle_metrics srv ~id client
+    | _ when srv.draining ->
+      (* Draining: in-flight work finishes, new work is turned away. *)
+      reject srv ~id client
+    | "solve" -> handle_solve srv ~id client fields
+    | "session" -> handle_session srv ~id client fields
+    | other ->
+      respond srv client
+        (base_response ~id ~status:"error"
+           [
+             ( "error",
+               Runtime.Journal.String (Printf.sprintf "unknown op %S" other) );
+           ]))
+
+(* --- event loop --------------------------------------------------------- *)
+
+let service_client srv client =
+  (match Runtime.Frame.read_into client.reader client.fd with
+  | `Eof -> client.alive <- false
+  | `Data | `Blocked -> ());
+  if client.alive then
+    List.iter (handle_frame srv client) (drain_frames client)
+
+(* Graceful drain: the listener is already closed and [draining] set.
+   In-flight workers finish under their own limits (the pool launches
+   nothing new once Shutdown is requested); their responses flow out
+   through on_pool_complete; queued-but-never-launched requests are
+   rejected so no client is left hanging. *)
+let drain_and_exit srv clients =
+  log srv "draining: %d in flight, %d queued"
+    (Runtime.Pool.in_flight srv.pool)
+    (Runtime.Pool.queued srv.pool);
+  let _completions, not_run = Runtime.Pool.drain srv.pool in
+  List.iter
+    (fun pool_id ->
+      match Hashtbl.find_opt srv.pending pool_id with
+      | None -> ()
+      | Some pr ->
+        Hashtbl.remove srv.pending pool_id;
+        reject srv ~id:pr.pr_user_id pr.pr_client)
+    not_run;
+  journal_append srv
+    [
+      ("event", Runtime.Journal.String "drained");
+      ( "completed",
+        Runtime.Journal.Int (Obs.Metrics.counter_value m_completed) );
+      ("rejected", Runtime.Journal.Int (Obs.Metrics.counter_value m_rejected));
+      ("shed", Runtime.Journal.Int (Runtime.Pool.shed_count srv.pool));
+    ];
+  List.iter
+    (fun c ->
+      if c.alive then try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !clients;
+  log srv "drained cleanly"
+
+let serve_loop srv ~accept_fd ~initial_clients =
+  let clients = ref initial_clients in
+  let continue = ref true in
+  while !continue do
+    if Runtime.Shutdown.requested () && not srv.draining then begin
+      srv.draining <- true;
+      (match accept_fd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ())
+    end;
+    let listen_fds =
+      if srv.draining then [] else Option.to_list accept_fd
+    in
+    let client_fds = List.map (fun c -> c.fd) !clients in
+    let worker_fds = [] in
+    let readable, _, _ =
+      try
+        Unix.select (listen_fds @ client_fds @ worker_fds) [] [] 0.05
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    (match accept_fd with
+    | Some lfd when (not srv.draining) && List.mem lfd readable -> (
+      match Unix.accept lfd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        clients :=
+          { fd; reader = Runtime.Frame.create_reader (); alive = true }
+          :: !clients
+      | exception Unix.Unix_error _ -> ())
+    | _ -> ());
+    List.iter
+      (fun c -> if List.mem c.fd readable then service_client srv c)
+      !clients;
+    clients :=
+      List.filter
+        (fun c ->
+          if c.alive then true
+          else begin
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            false
+          end)
+        !clients;
+    Runtime.Pool.pump srv.pool;
+    if srv.draining then begin
+      drain_and_exit srv clients;
+      continue := false
+    end
+    else if accept_fd = None && !clients = [] then begin
+      (* stdio mode: EOF on stdin is a polite shutdown request. *)
+      srv.draining <- true;
+      drain_and_exit srv clients;
+      continue := false
+    end
+  done
+
+(* --- startup ------------------------------------------------------------ *)
+
+let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
+    allow_inject verbose =
+  Runtime.Shutdown.install ();
+  let srv_ref = ref None in
+  let pool =
+    Runtime.Pool.create ~jobs ~max_queue ~max_retries
+      ~limits:
+        {
+          Runtime.Supervisor.default_limits with
+          Runtime.Supervisor.deadline_seconds = Some ((deadline *. 1.5) +. 1.0);
+          mem_limit_mb = mem_mb;
+        }
+      ~on_complete:(fun c ->
+        match !srv_ref with Some srv -> on_pool_complete srv c | None -> ())
+      ()
+  in
+  let srv =
+    {
+      pool;
+      pending = Hashtbl.create 64;
+      sessions = Hashtbl.create 8;
+      journal;
+      default_deadline = deadline;
+      default_mem_mb = mem_mb;
+      allow_inject;
+      verbose;
+      next_req = 0;
+      draining = false;
+    }
+  in
+  srv_ref := Some srv;
+  if stdio then begin
+    (* One client: frames arrive on stdin, responses leave on stdout.
+       [reader] buffers and parses inbound frames; [writer] is the
+       client every response targets. *)
+    let writer =
+      { fd = Unix.stdout; reader = Runtime.Frame.create_reader (); alive = true }
+    in
+    let reader =
+      { fd = Unix.stdin; reader = Runtime.Frame.create_reader (); alive = true }
+    in
+    let continue = ref true in
+    while !continue do
+      if Runtime.Shutdown.requested () && not srv.draining then
+        srv.draining <- true;
+      let readable, _, _ =
+        try Unix.select [ Unix.stdin ] [] [] 0.05
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if (not srv.draining) && List.mem Unix.stdin readable then begin
+        match Runtime.Frame.read_into reader.reader Unix.stdin with
+        | `Eof ->
+          (* EOF: a polite shutdown request — drain what was buffered. *)
+          List.iter (handle_frame srv writer) (drain_frames reader);
+          srv.draining <- true;
+          reader.alive <- false
+        | `Data | `Blocked -> ()
+      end;
+      if reader.alive then
+        List.iter (handle_frame srv writer) (drain_frames reader);
+      Runtime.Pool.pump srv.pool;
+      if srv.draining then begin
+        drain_and_exit srv (ref []);
+        continue := false
+      end
+    done;
+    0
+  end
+  else begin
+    let socket_path =
+      match socket with
+      | Some s -> s
+      | None -> Filename.concat (Filename.get_temp_dir_name ()) "ns-serve.sock"
+    in
+    let pidfile =
+      match pidfile with Some p -> p | None -> socket_path ^ ".pid"
+    in
+    match Runtime.Pidlock.acquire pidfile with
+    | Error e ->
+      Printf.eprintf "ns-serve: %s\n%!" (Runtime.Error.to_string e);
+      1
+    | Ok () ->
+      if Runtime.Pidlock.sweep_socket socket_path then
+        log srv "swept stale socket %s" socket_path;
+      let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind lfd (Unix.ADDR_UNIX socket_path);
+      Unix.listen lfd 64;
+      Unix.set_nonblock lfd;
+      log srv "listening on %s (pidfile %s, %d jobs, queue %d)" socket_path
+        pidfile jobs max_queue;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close lfd with Unix.Unix_error _ -> ());
+          ignore (Runtime.Pidlock.sweep_socket socket_path);
+          Runtime.Pidlock.release pidfile)
+        (fun () -> serve_loop srv ~accept_fd:(Some lfd) ~initial_clients:[]);
+      0
+  end
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to listen on (default \\$TMPDIR/ns-serve.sock).")
+
+let stdio =
+  Arg.(
+    value & flag
+    & info [ "stdio" ]
+        ~doc:"Serve a single client over stdin/stdout instead of a socket.")
+
+let jobs =
+  Arg.(
+    value & opt int 2
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Concurrent solver workers.")
+
+let max_queue =
+  Arg.(
+    value & opt int 8
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admission-control bound: waiting solve requests beyond this are \
+           shed with a status of \"shed\" instead of queued.")
+
+let max_retries =
+  Arg.(
+    value & opt int 2
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"Extra attempts for crashed/hung/timed-out workers.")
+
+let deadline =
+  Arg.(
+    value & opt float 10.0
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Default per-request wall deadline; the solver returns \"unknown\" \
+           at the budget, the supervisor kills runaways at 1.5x + 1s. \
+           Requests may override with a deadline_s field.")
+
+let mem_mb =
+  Arg.(
+    value
+    & opt (some int) (Some 1024)
+    & info [ "mem-mb" ] ~docv:"MB"
+        ~doc:"Per-worker RLIMIT_AS cap; requests may override with mem_mb.")
+
+let journal =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:"Append one JSONL record per finished request (fsynced).")
+
+let pidfile =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pidfile" ] ~docv:"FILE"
+        ~doc:
+          "Single-instance pidfile (default SOCKET.pid). Stale files from \
+           dead servers are swept on startup; a live owner refuses startup.")
+
+let allow_inject =
+  Arg.(
+    value & flag
+    & info [ "allow-inject" ]
+        ~doc:
+          "Honour the request field inject:\"crash_once\" (worker dies on \
+           its first attempt) — for load-test drills only.")
+
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ])
+
+let cmd =
+  let doc = "long-lived incremental SAT solve service" in
+  Cmd.v
+    (Cmd.info "ns-serve" ~doc)
+    Term.(
+      const run $ socket $ stdio $ jobs $ max_queue $ max_retries $ deadline
+      $ mem_mb $ journal $ pidfile $ allow_inject $ verbose)
+
+let () = exit (Cmd.eval' cmd)

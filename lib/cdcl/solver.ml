@@ -60,21 +60,24 @@ type restart_state =
   | R_luby of Util.Luby.t * int ref (* iterator, current limit *)
   | R_glucose of Util.Ema.t * Util.Ema.t * float (* fast, slow, margin *)
 
+(* Per-variable arrays are mutable fields so {!new_var} can grow them
+   between solves (they are reallocated with geometric slack; hot loops
+   re-hoist them on every call, so a swap between calls is safe). *)
 type t = {
   cfg : Config.t;
-  n : int;
+  mutable n : int;
   stats : Solver_stats.t;
   (* assignment state *)
-  values : int array; (* lit index -> 1 true / -1 false / 0 unassigned *)
-  level : int array; (* var -> decision level *)
-  reason : int array; (* var -> implying cref, or -1 *)
-  phase : bool array; (* var -> saved phase *)
+  mutable values : int array; (* lit index -> 1 true / -1 false / 0 unassigned *)
+  mutable level : int array; (* var -> decision level *)
+  mutable reason : int array; (* var -> implying cref, or -1 *)
+  mutable phase : bool array; (* var -> saved phase *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;
   (* clause database *)
   arena : Arena.t;
-  watches : int Vec.t array; (* lit index -> stride-2 (tag, cref) *)
+  mutable watches : int Vec.t array; (* lit index -> stride-2 (tag, cref) *)
   originals : int Vec.t; (* crefs *)
   learnts : int Vec.t; (* crefs *)
   mutable next_cid : int;
@@ -90,14 +93,14 @@ type t = {
   (* inprocessing *)
   mutable restarts_since_inprocess : int;
   mutable root_units_emitted : int; (* trail prefix already in the proof *)
-  lit_stamp : int array; (* lit index -> generation (subsumption) *)
+  mutable lit_stamp : int array; (* lit index -> generation (subsumption) *)
   mutable lit_stamp_gen : int;
   mutable subsume_cursor : int; (* rotation point over the clause DB *)
   mutable last_subsume_db : int; (* live clause count at the last pass *)
   (* propagation-frequency counters (since last reduce), Section 3 *)
-  prop_counts : int array;
+  mutable prop_counts : int array;
   (* analyze scratch, hoisted into solver state and reused *)
-  seen : int array;
+  mutable seen : int array;
   learnt : Lit.t Vec.t; (* the clause under construction *)
   analyze_toclear : Lit.t Vec.t;
   analyze_stack : Lit.t Vec.t;
@@ -106,8 +109,9 @@ type t = {
   mutable rk_keys : int array;
   mutable rk_tie : int array;
   mutable rk_refs : int array;
-  level_stamp : int array;
+  mutable level_stamp : int array;
   mutable stamp_gen : int;
+  mutable in_solve : bool; (* re-entrancy guard for the state machine *)
   mutable answer : result option;
   mutable trace : (trace_event -> unit) option;
   mutable assumptions : Lit.t array;
@@ -1342,6 +1346,7 @@ let create ?(config = Config.default) formula =
       rk_refs = [||];
       level_stamp = Array.make (n + 2) 0;
       stamp_gen = 0;
+      in_solve = false;
       answer = None;
       trace = None;
       assumptions = [||];
@@ -1351,6 +1356,166 @@ let create ?(config = Config.default) formula =
   (try Cnf.Formula.iter_clauses (fun c -> add_original t c) formula
    with Trivially_unsat -> t.answer <- Some Unsat);
   t
+
+(* --- incremental API (IPASIR-style state machine) ----------------------- *)
+
+type state = [ `Ready | `Solving | `Sat | `Unsat | `Unknown ]
+
+let state t : state =
+  if t.in_solve then `Solving
+  else
+    match t.answer with
+    | None -> `Ready
+    | Some (Sat _) -> `Sat
+    | Some Unsat -> `Unsat
+    | Some Unknown -> `Unknown
+
+let state_name t =
+  match state t with
+  | `Ready -> "ready"
+  | `Solving -> "solving"
+  | `Sat -> "sat"
+  | `Unsat -> "unsat"
+  | `Unknown -> "unknown"
+
+let guard t op =
+  if t.in_solve then
+    Runtime.Error.raise_
+      (Runtime.Error.Invalid_state
+         {
+           op;
+           state = "solving";
+           detail = "mutating or re-entrant calls are only legal between solves";
+         })
+
+let with_solving t f =
+  t.in_solve <- true;
+  Fun.protect ~finally:(fun () -> t.in_solve <- false) f
+
+(* Grow every per-variable array to cover variables [1..v], with
+   geometric slack so a burst of [new_var] calls is amortised O(1).
+   Extra capacity beyond [t.n] is benign everywhere: scans that walk
+   whole arrays ([reduce]'s frequency pass, watch flushing) see zeros
+   and empty vectors. *)
+let grow_var_arrays t v =
+  if v + 1 > Array.length t.level then begin
+    let cap = max (v + 1) (2 * Array.length t.level) in
+    let grown src fill =
+      let dst = Array.make cap fill in
+      Array.blit src 0 dst 0 (Array.length src);
+      dst
+    in
+    t.level <- grown t.level 0;
+    t.reason <- grown t.reason (-1);
+    t.phase <- grown t.phase false;
+    t.prop_counts <- grown t.prop_counts 0;
+    t.seen <- grown t.seen 0;
+    t.level_stamp <-
+      (let dst = Array.make (cap + 1) 0 in
+       Array.blit t.level_stamp 0 dst 0 (Array.length t.level_stamp);
+       dst);
+    let lcap = (2 * cap) + 2 in
+    t.values <-
+      (let dst = Array.make lcap 0 in
+       Array.blit t.values 0 dst 0 (Array.length t.values);
+       dst);
+    t.lit_stamp <-
+      (let dst = Array.make lcap 0 in
+       Array.blit t.lit_stamp 0 dst 0 (Array.length t.lit_stamp);
+       dst);
+    t.watches <-
+      (let old = t.watches in
+       Array.init lcap (fun i ->
+           if i < Array.length old then old.(i) else Vec.create ~dummy:0 ()))
+  end
+
+let new_var t =
+  guard t "new_var";
+  let v = t.n + 1 in
+  grow_var_arrays t v;
+  t.n <- v;
+  Var_heap.grow t.order ~num_vars:v;
+  (match t.vmtf with Some q -> Vmtf.grow q ~num_vars:v | None -> ());
+  (* Unsat is monotone under variable introduction; a cached model does
+     not cover the fresh variable, so it is dropped. *)
+  (match t.answer with
+  | Some Unsat -> ()
+  | Some (Sat _ | Unknown) | None -> t.answer <- None);
+  v
+
+let add_clause t lits =
+  guard t "add_clause";
+  let lits = Array.of_list lits in
+  Array.iter
+    (fun l ->
+      let v = Lit.var l in
+      if v < 1 || v > t.n then
+        Runtime.Error.raise_
+          (Runtime.Error.Invalid_state
+             {
+               op = "add_clause";
+               state = state_name t;
+               detail =
+                 Printf.sprintf
+                   "variable %d has not been introduced (num_vars = %d); call \
+                    new_var first"
+                   v t.n;
+             }))
+    lits;
+  match t.answer with
+  | Some Unsat -> () (* Unsat is sticky: adding clauses cannot undo it. *)
+  | Some (Sat _ | Unknown) | None ->
+    backtrack t 0;
+    let n = simplify_into t lits in
+    if n < 0 then () (* tautology: a no-op, any cached answer survives *)
+    else begin
+      t.core <- None;
+      if n = 0 then t.answer <- Some Unsat
+      else if n = 1 then begin
+        (* Root unit: enqueue now; the next solve's propagation pass
+           picks it up because qhead trails the new literal. *)
+        if enqueue t (Lit.of_index t.simp.(0)) (-1) then t.answer <- None
+        else t.answer <- Some Unsat
+      end
+      else begin
+        (* Attachment invariant: the two watched slots must not hold
+           literals already false at the root, so partition non-false
+           literals to the front. *)
+        let arr = Array.make n 0 in
+        let nonfalse = ref 0 in
+        for k = 0 to n - 1 do
+          if t.values.(t.simp.(k)) >= 0 then begin
+            arr.(!nonfalse) <- t.simp.(k);
+            incr nonfalse
+          end
+        done;
+        let back = ref !nonfalse in
+        for k = 0 to n - 1 do
+          if t.values.(t.simp.(k)) < 0 then begin
+            arr.(!back) <- t.simp.(k);
+            incr back
+          end
+        done;
+        if !nonfalse = 0 then t.answer <- Some Unsat
+        else begin
+          let c =
+            Arena.alloc t.arena ~learned:false ~glue:0 ~cid:t.next_cid ~size:n
+          in
+          t.next_cid <- t.next_cid + 1;
+          for k = 0 to n - 1 do
+            Arena.set_lit t.arena c k (Lit.of_index arr.(k))
+          done;
+          Vec.push t.originals c;
+          attach t c;
+          (if !nonfalse = 1 then
+             (* Unit under the root assignment: propagate its single
+                non-false literal with the new clause as reason. *)
+             let l = Lit.of_index arr.(0) in
+             if t.values.(arr.(0)) = 0 then ignore (enqueue t l c));
+          t.answer <- None
+        end
+      end
+    end
 
 (* --- learned clause installation -------------------------------------- *)
 
@@ -1523,18 +1688,23 @@ let search_body t =
 let search t = Obs.Trace.with_span "solver.solve" (fun () -> search_body t)
 
 let solve t =
+  guard t "solve";
+  (* A plain solve is assumption-free: stale assumptions and cores left
+     behind by an earlier [solve_with_assumptions] must not leak into
+     this call's answer, even when the answer itself is cached. *)
+  t.assumptions <- [||];
+  t.core <- None;
   match t.answer with
   | Some (Sat _ | Unsat) -> Option.get t.answer
   | Some Unknown | None ->
     (* Drop any decisions left over from an interrupted assumption run. *)
     backtrack t 0;
-    t.assumptions <- [||];
-    t.core <- None;
-    let r = search t in
+    let r = with_solving t (fun () -> search t) in
     t.answer <- Some r;
     r
 
 let solve_with_assumptions t lits =
+  guard t "solve_with_assumptions";
   match t.answer with
   | Some Unsat ->
     (* The formula is unsatisfiable outright: empty core. *)
@@ -1544,8 +1714,11 @@ let solve_with_assumptions t lits =
     backtrack t 0;
     t.assumptions <- Array.of_list lits;
     t.core <- None;
-    let r = search t in
-    t.assumptions <- [||];
+    let r =
+      with_solving t (fun () ->
+          Fun.protect ~finally:(fun () -> t.assumptions <- [||]) (fun () ->
+              search t))
+    in
     (match r with
     | Unsat when t.core = None ->
       (* Level-0 conflict: unsat independent of assumptions. *)

@@ -32,10 +32,55 @@ val create : ?config:Config.t -> Cnf.Formula.t -> t
 (** Loads the formula (deduplicating literals, dropping tautologies,
     propagating units at level 0). *)
 
+(** {1 Incremental API (IPASIR-style)}
+
+    The solver is a state machine:
+
+    {v
+      Ready --solve--> Solving --> Sat | Unsat | Unknown --> Ready
+    v}
+
+    [create] leaves the solver [`Ready] (or [`Unsat] when the input is
+    trivially unsatisfiable). A completed solve parks it in a verdict
+    state; any mutation ({!add_clause}, {!new_var}) or another solve
+    call moves it back through [`Ready]. Calls that are illegal while
+    [`Solving] (i.e. re-entrant calls from a trace callback or signal
+    handler) raise {!Runtime.Error.Runtime_error} with [Invalid_state]. [Unsat]
+    is sticky: no sequence of [add_clause]/[new_var] calls can undo it. *)
+
+type state = [ `Ready | `Solving | `Sat | `Unsat | `Unknown ]
+
+val state : t -> state
+(** Current position in the state machine. The verdict states mirror
+    the cached {!result} that an immediate {!solve} would return. *)
+
+val new_var : t -> int
+(** Introduce one fresh variable and return its index ([num_vars] after
+    the call). Grows every per-variable structure (assignment, watches,
+    activity heap, VMTF queue, propagation counters). Amortised O(1).
+
+    @raise Runtime.Error.Runtime_error when called while solving. *)
+
+val add_clause : t -> Cnf.Lit.t list -> unit
+(** Add a clause between solves (IPASIR [add]). The clause is
+    simplified (duplicate literals dropped, tautologies ignored) and
+    attached on the fly at decision level 0: root-falsified literals
+    are moved out of the watched slots, clauses unit under the root
+    assignment propagate immediately, and an empty or root-falsified
+    clause makes the solver [`Unsat]. Any cached [Sat]/[Unknown]
+    answer is invalidated.
+
+    @raise Runtime.Error.Runtime_error when called while solving, or when a
+    literal mentions a variable beyond {!num_vars} (introduce it with
+    {!new_var} first). *)
+
 val solve : t -> result
 (** Runs search to completion or budget exhaustion. Calling [solve]
     again after [Unknown] continues with a fresh budget window; after
-    [Sat]/[Unsat] it returns the same answer. *)
+    [Sat]/[Unsat] it returns the same answer. A plain [solve] is
+    assumption-free: any assumptions and failed-assumption core from an
+    earlier {!solve_with_assumptions} are cleared first, so
+    {!unsat_core} returns [None] afterwards. *)
 
 val solve_with_assumptions : t -> Cnf.Lit.t list -> result
 (** Incremental solving under assumption literals (MiniSat-style): each

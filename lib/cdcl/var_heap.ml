@@ -1,7 +1,8 @@
 type t = {
-  heap : int array;          (* heap slots -> variable *)
-  pos : int array;           (* variable -> heap slot, -1 if absent *)
-  act : float array;         (* variable -> activity *)
+  mutable heap : int array;  (* heap slots -> variable *)
+  mutable pos : int array;   (* variable -> heap slot, -1 if absent *)
+  mutable act : float array; (* variable -> activity *)
+  mutable num_vars : int;
   mutable len : int;
   mutable max_act : float;
 }
@@ -12,7 +13,14 @@ let create ~num_vars =
   for i = 0 to num_vars - 1 do
     pos.(i + 1) <- i
   done;
-  { heap; pos; act = Array.make (num_vars + 1) 0.0; len = num_vars; max_act = 0.0 }
+  {
+    heap;
+    pos;
+    act = Array.make (num_vars + 1) 0.0;
+    num_vars;
+    len = num_vars;
+    max_act = 0.0;
+  }
 
 let mem t v = t.pos.(v) >= 0
 let is_empty t = t.len = 0
@@ -81,3 +89,24 @@ let rescale t factor =
   t.max_act <- t.max_act *. factor
 
 let decay_check t = t.max_act
+
+(* Incremental variable introduction: extend the index range and insert
+   every fresh variable at activity 0 so it is immediately decidable. *)
+let grow t ~num_vars =
+  if num_vars > t.num_vars then begin
+    let grow_int src fill =
+      let dst = Array.make (num_vars + 1) fill in
+      Array.blit src 0 dst 0 (Array.length src);
+      dst
+    in
+    t.heap <- grow_int t.heap 0 (* slots beyond len are scratch *);
+    t.pos <- grow_int t.pos (-1);
+    t.act <-
+      (let dst = Array.make (num_vars + 1) 0.0 in
+       Array.blit t.act 0 dst 0 (Array.length t.act);
+       dst);
+    for v = t.num_vars + 1 to num_vars do
+      insert t v
+    done;
+    t.num_vars <- num_vars
+  end

@@ -35,3 +35,8 @@ val rescale : t -> float -> unit
 val decay_check : t -> float
 (** Largest activity currently stored (0 when all zero) — callers use it
     to decide when to rescale. *)
+
+val grow : t -> num_vars:int -> unit
+(** Extend the variable range to [1..num_vars]; fresh variables enter
+    the heap with activity 0. No-op when [num_vars] is not larger than
+    the current range. *)

@@ -1,7 +1,8 @@
 type t = {
-  prev : int array; (* var -> predecessor (towards front), 0 = none *)
-  next : int array; (* var -> successor (towards back), 0 = none *)
-  stamp : int array; (* var -> enqueue timestamp *)
+  mutable prev : int array; (* var -> predecessor (towards front), 0 = none *)
+  mutable next : int array; (* var -> successor (towards back), 0 = none *)
+  mutable stamp : int array; (* var -> enqueue timestamp *)
+  mutable num_vars : int;
   mutable head : int;
   mutable counter : int;
   mutable search : int; (* start point for pick; 0 = use head *)
@@ -16,7 +17,15 @@ let create ~num_vars =
     next.(v) <- (if v = num_vars then 0 else v + 1);
     stamp.(v) <- num_vars - v + 1
   done;
-  { prev; next; stamp; head = (if num_vars >= 1 then 1 else 0); counter = num_vars; search = 0 }
+  {
+    prev;
+    next;
+    stamp;
+    num_vars;
+    head = (if num_vars >= 1 then 1 else 0);
+    counter = num_vars;
+    search = 0;
+  }
 
 let unlink t v =
   let p = t.prev.(v) and n = t.next.(v) in
@@ -57,3 +66,31 @@ let on_unassign t v =
   if t.search = 0 || t.stamp.(v) > t.stamp.(t.search) then t.search <- v
 
 let front t = t.head
+
+(* Incremental variable introduction: fresh variables join at the back
+   of the queue (least recently used), mirroring the initial order. *)
+let grow t ~num_vars =
+  if num_vars > t.num_vars then begin
+    let grow_int src =
+      let dst = Array.make (num_vars + 1) 0 in
+      Array.blit src 0 dst 0 (Array.length src);
+      dst
+    in
+    t.prev <- grow_int t.prev;
+    t.next <- grow_int t.next;
+    t.stamp <- grow_int t.stamp;
+    (* Find the current tail by walking from the head; growth is rare
+       enough that the linear scan never shows up. *)
+    let tail = ref t.head in
+    while !tail <> 0 && t.next.(!tail) <> 0 do
+      tail := t.next.(!tail)
+    done;
+    for v = t.num_vars + 1 to num_vars do
+      t.prev.(v) <- !tail;
+      t.next.(v) <- 0;
+      t.stamp.(v) <- 0;
+      if !tail = 0 then t.head <- v else t.next.(!tail) <- v;
+      tail := v
+    done;
+    t.num_vars <- num_vars
+  end

@@ -24,3 +24,8 @@ val on_unassign : t -> int -> unit
 
 val front : t -> int
 (** Current front variable (most recently bumped). *)
+
+val grow : t -> num_vars:int -> unit
+(** Extend the variable range to [1..num_vars]; fresh variables join at
+    the back of the queue. No-op when [num_vars] is not larger than the
+    current range. *)

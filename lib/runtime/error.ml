@@ -5,6 +5,7 @@ type t =
   | Numeric_divergence of { context : string; detail : string }
   | Budget_exhausted of { context : string; detail : string }
   | Injected_fault of { point : string }
+  | Invalid_state of { op : string; state : string; detail : string }
 
 exception Runtime_error of t
 
@@ -19,6 +20,8 @@ let to_string = function
   | Budget_exhausted { context; detail } ->
     Printf.sprintf "budget exhausted in %s: %s" context detail
   | Injected_fault { point } -> Printf.sprintf "injected fault at %s" point
+  | Invalid_state { op; state; detail } ->
+    Printf.sprintf "invalid state for %s (state %s): %s" op state detail
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

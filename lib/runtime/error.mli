@@ -21,6 +21,10 @@ type t =
       (** A propagation, conflict, or wall-clock budget ran out. *)
   | Injected_fault of { point : string }
       (** A seeded {!Fault} fired; only seen under fault injection. *)
+  | Invalid_state of { op : string; state : string; detail : string }
+      (** An API call that is illegal in the component's current state
+          (e.g. mutating an incremental solver from inside its own
+          [solve], or referencing a variable never introduced). *)
 
 exception Runtime_error of t
 (** The one exception the runtime layer raises. *)

@@ -1,0 +1,58 @@
+let max_frame = 64 * 1024 * 1024
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let write fd payload =
+  write_all fd (Printf.sprintf "%d\n%s" (String.length payload) payload)
+
+type reader = {
+  buf : Buffer.t;
+  mutable bad : bool;
+}
+
+let create_reader () = { buf = Buffer.create 256; bad = false }
+
+let feed r chunk ~len = if not r.bad then Buffer.add_subbytes r.buf chunk 0 len
+
+let next r =
+  if r.bad then None
+  else
+    let s = Buffer.contents r.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some nl -> (
+      match int_of_string_opt (String.trim (String.sub s 0 nl)) with
+      | None | Some 0 ->
+        r.bad <- true;
+        None
+      | Some len when len < 0 || len > max_frame ->
+        r.bad <- true;
+        None
+      | Some len ->
+        if String.length s >= nl + 1 + len then begin
+          let payload = String.sub s (nl + 1) len in
+          Buffer.clear r.buf;
+          Buffer.add_substring r.buf s (nl + 1 + len)
+            (String.length s - nl - 1 - len);
+          Some payload
+        end
+        else None)
+
+let malformed r = r.bad
+
+let read_into r fd =
+  let chunk = Bytes.create 65536 in
+  match Unix.read fd chunk 0 (Bytes.length chunk) with
+  | 0 -> `Eof
+  | n ->
+    feed r chunk ~len:n;
+    `Data
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    `Blocked
+  | exception Unix.Unix_error _ -> `Eof

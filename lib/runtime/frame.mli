@@ -1,0 +1,33 @@
+(** Length-prefixed framing for the solve-service wire protocol.
+
+    A frame is an ASCII decimal byte count, a newline, then exactly
+    that many payload bytes (one flat-JSON object, see {!Journal}).
+    Length prefixes make the stream self-synchronising without
+    escaping, and let a reader with a partial frame wait for the rest
+    instead of guessing. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one complete frame (blocking; loops over short writes).
+    Raises [Unix.Unix_error] on a broken pipe — callers own the
+    connection lifecycle. *)
+
+type reader
+(** Buffered inbound bytes for one connection. *)
+
+val create_reader : unit -> reader
+
+val feed : reader -> bytes -> len:int -> unit
+(** Append [len] bytes from the chunk. *)
+
+val next : reader -> string option
+(** Pop the next complete frame payload, or [None] when more bytes are
+    needed. After a malformed length prefix (non-numeric, zero,
+    negative, or over the 64 MiB sanity cap) the reader is poisoned:
+    [next] returns [None] forever and {!malformed} turns true. *)
+
+val malformed : reader -> bool
+
+val read_into : reader -> Unix.file_descr -> [ `Data | `Eof | `Blocked ]
+(** One [read] of up to 64 KiB fed into the reader. [`Blocked] covers
+    EAGAIN/EWOULDBLOCK on non-blocking descriptors; any other error
+    reports as [`Eof]. *)

@@ -1,0 +1,54 @@
+let pid_alive pid =
+  if pid <= 0 then false
+  else
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception Unix.Unix_error (Unix.EPERM, _, _) ->
+      (* Exists but is not ours to signal: definitely alive. *)
+      true
+    | exception _ -> false
+
+let read_pid path =
+  match Atomic_file.read path with
+  | Error _ -> None
+  | Ok s -> int_of_string_opt (String.trim s)
+
+let acquire path =
+  let stale_swept =
+    match read_pid path with
+    | Some pid when pid_alive pid && pid <> Unix.getpid () ->
+      Some
+        (Error.Invalid_state
+           {
+             op = "Pidlock.acquire";
+             state = "locked";
+             detail =
+               Printf.sprintf "%s names live process %d; refusing to start"
+                 path pid;
+           })
+    | Some _ | None ->
+      (* Missing, unparseable, or naming a dead process: sweep it. *)
+      (try Sys.remove path with Sys_error _ -> ());
+      None
+  in
+  match stale_swept with
+  | Some e -> Error e
+  | None -> Atomic_file.write ~fsync:false path (string_of_int (Unix.getpid ()))
+
+let release path =
+  match read_pid path with
+  | Some pid when pid = Unix.getpid () -> (
+    try Sys.remove path with Sys_error _ -> ())
+  | Some _ | None -> ()
+
+let sweep_socket path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false
+  | exception _ -> false
+  | st ->
+    if st.Unix.st_kind = Unix.S_SOCK then begin
+      (try Sys.remove path with Sys_error _ -> ());
+      true
+    end
+    else false

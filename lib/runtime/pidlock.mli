@@ -1,0 +1,29 @@
+(** Pidfile-based single-instance locking with stale-artifact sweeping.
+
+    A crashed server leaves two kinds of debris behind: a pidfile
+    naming a process that no longer exists, and a Unix-domain socket
+    path that [bind] will refuse to reuse. On startup the server calls
+    {!acquire}, which distinguishes a live owner (refuse to start) from
+    stale debris (sweep it and take over), and {!sweep_socket} for the
+    socket path. Liveness is probed with [kill pid 0]: [ESRCH] means
+    dead, [EPERM] means alive but owned by someone else (still a
+    conflict). *)
+
+val pid_alive : int -> bool
+(** Is there a live process with this pid (signal-0 probe)? A process
+    we lack permission to signal counts as alive. *)
+
+val acquire : string -> (unit, Error.t) result
+(** [acquire pidfile] claims single-instance ownership: writes our pid
+    to [pidfile]. A pidfile naming a live process is a conflict
+    ([Error Invalid_state]); a stale or unparseable pidfile is removed
+    and claimed. *)
+
+val release : string -> unit
+(** Remove the pidfile if it still names this process. Never raises. *)
+
+val sweep_socket : string -> bool
+(** Remove a leftover Unix-domain socket path so [bind] can reuse it.
+    Returns [true] when a stale socket was actually removed. Only
+    unlinks sockets (and dangling paths [stat] rejects); refuses to
+    delete regular files. Never raises. *)

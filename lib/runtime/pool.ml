@@ -20,6 +20,7 @@ type pending = {
   p_attempts : int; (* attempts already consumed *)
   p_backoff : Backoff.t;
   p_ready_at : float; (* real-clock time before which it must wait *)
+  p_limits : Supervisor.limits; (* per-task resource envelope *)
 }
 
 type running = {
@@ -74,7 +75,7 @@ let complete t c =
   t.completions <- c :: t.completions;
   t.on_complete c
 
-let submit t ~id thunk =
+let submit t ?limits ~id thunk =
   if queued t >= t.max_queue then begin
     (* Load shedding: a full queue refuses new work instead of letting
        the backlog grow without bound. The shed is still recorded so
@@ -94,6 +95,7 @@ let submit t ~id thunk =
             p_attempts = 0;
             p_backoff = t.backoff;
             p_ready_at = neg_infinity;
+            p_limits = Option.value limits ~default:t.limits;
           };
         ];
     observe_depths t;
@@ -101,7 +103,7 @@ let submit t ~id thunk =
   end
 
 let launch t p =
-  let worker = Supervisor.spawn ~label:p.p_id t.limits p.p_thunk in
+  let worker = Supervisor.spawn ~label:p.p_id p.p_limits p.p_thunk in
   t.running <- { r_worker = worker; r_pending = p } :: t.running
 
 (* One scheduling step: reap finished workers (retrying retryable

@@ -39,7 +39,15 @@ val create :
 (** Defaults: 2 jobs, queue bound [64 × jobs], 2 retries, seed-1
     backoff, {!Supervisor.default_limits}, stop on {!Shutdown}. *)
 
-val submit : t -> id:string -> (unit -> (string, string) result) -> [ `Accepted | `Shed ]
+val submit :
+  t ->
+  ?limits:Supervisor.limits ->
+  id:string ->
+  (unit -> (string, string) result) ->
+  [ `Accepted | `Shed ]
+(** [?limits] overrides the pool-wide resource envelope for this task
+    only (per-request deadlines and memory caps); retries keep the
+    override. *)
 
 val pump : t -> unit
 (** One non-blocking scheduling step: reap, retry, launch. *)

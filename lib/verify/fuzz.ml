@@ -456,6 +456,200 @@ let run_ref_diff ?(on_case = fun _ _ -> ()) ~seed ~cases () =
     rd_failures = List.rev !failures;
   }
 
+(* --- incremental API differential mode -------------------------------- *)
+
+type incr_failure = {
+  if_case : int;
+  if_step : int;
+  if_detail : string;
+  if_replay : string;
+}
+
+type incr_report = {
+  ir_seed : int;
+  ir_sequences : int;
+  ir_steps : int; (* total API calls issued *)
+  ir_solves : int; (* solve / solve_with_assumptions steps checked *)
+  ir_checks : int;
+  ir_failures : incr_failure list;
+}
+
+(* One randomized call sequence against a fresh-solver-per-step oracle.
+
+   The incremental solver receives interleaved add_clause / new_var /
+   solve / solve_with_assumptions calls; at every solve step a brand-new
+   solver is built from the accumulated formula and must produce the
+   same verdict constructor. Models can legitimately differ (the
+   incremental solver carries learned clauses and saved phases across
+   steps), so SAT answers are checked for validity against the
+   accumulated formula instead of equality. Plain solves additionally
+   cross-check the Refsolver reference implementation. *)
+let run_one_incremental ~seed i ~steps_done ~solves_done ~checks_done =
+  let rng = Util.Rng.create ((seed * 2_000_033) + i + 1) in
+  let config =
+    Cdcl.Config.with_policy
+      (List.nth all_policies (i mod List.length all_policies))
+      Cdcl.Config.default
+  in
+  let num_vars = ref (Util.Rng.int_in rng 4 8) in
+  let clauses = ref [] in
+  (* accumulated, reversed *)
+  let inc = Cdcl.Solver.create ~config (Cnf.Formula.create ~num_vars:!num_vars [||]) in
+  let failure = ref None in
+  let fail step msg = if !failure = None then failure := Some (step, msg) in
+  let check step cond msg =
+    incr checks_done;
+    if not cond then fail step (msg ())
+  in
+  let accumulated () =
+    Cnf.Formula.create ~num_vars:!num_vars (Array.of_list (List.rev !clauses))
+  in
+  let random_clause () =
+    let len = Util.Rng.int_in rng 1 (min 4 !num_vars) in
+    let vars = Util.Rng.sample_distinct rng len !num_vars in
+    Array.map (fun v -> Cnf.Lit.make (v + 1) (Util.Rng.bool rng)) vars
+  in
+  let random_assumptions () =
+    let k = Util.Rng.int_in rng 0 (min 3 !num_vars) in
+    Array.to_list
+      (Array.map
+         (fun v -> Cnf.Lit.make (v + 1) (Util.Rng.bool rng))
+         (Util.Rng.sample_distinct rng k !num_vars))
+  in
+  let model_ok f m = Cdcl.Solver.check_model f m in
+  let assumptions_hold m assumptions =
+    List.for_all
+      (fun l ->
+        let v = Cnf.Lit.var l in
+        v < Array.length m && m.(v) = Cnf.Lit.is_pos l)
+      assumptions
+  in
+  let check_solve step assumptions =
+    incr solves_done;
+    let f = accumulated () in
+    let fresh = Cdcl.Solver.create ~config f in
+    match assumptions with
+    | None ->
+      let ri = Cdcl.Solver.solve inc in
+      let ro = Cdcl.Solver.solve fresh in
+      check step (same_verdict ri ro) (fun () ->
+          Printf.sprintf "plain solve: incremental %s vs fresh %s"
+            (verdict_name ri) (verdict_name ro));
+      (* Cross-check the record-based reference implementation too. *)
+      let rs = Refsolver.create ~config f in
+      let rr = Refsolver.solve rs in
+      check step (same_verdict ri rr) (fun () ->
+          Printf.sprintf "plain solve: incremental %s vs refsolver %s"
+            (verdict_name ri) (verdict_name rr));
+      check step
+        (Cdcl.Solver.unsat_core inc = None)
+        (fun () -> "plain solve left a stale unsat core");
+      (match ri with
+      | Cdcl.Solver.Sat m ->
+        check step (model_ok f m) (fun () ->
+            "plain solve: incremental SAT model invalid")
+      | _ -> ());
+      check step
+        (match (Cdcl.Solver.state inc, ri) with
+        | `Sat, Cdcl.Solver.Sat _ | `Unsat, Cdcl.Solver.Unsat
+        | `Unknown, Cdcl.Solver.Unknown ->
+          true
+        | _ -> false)
+        (fun () -> "state does not mirror the verdict")
+    | Some assumptions ->
+      let ri = Cdcl.Solver.solve_with_assumptions inc assumptions in
+      let ro = Cdcl.Solver.solve_with_assumptions fresh assumptions in
+      check step (same_verdict ri ro) (fun () ->
+          Printf.sprintf "assumption solve: incremental %s vs fresh %s"
+            (verdict_name ri) (verdict_name ro));
+      (match ri with
+      | Cdcl.Solver.Sat m ->
+        check step
+          (model_ok f m && assumptions_hold m assumptions)
+          (fun () -> "assumption solve: SAT model invalid or violates assumptions")
+      | Cdcl.Solver.Unsat -> (
+        match Cdcl.Solver.unsat_core inc with
+        | None -> fail step "assumption UNSAT without a core"
+        | Some core ->
+          check step
+            (List.for_all
+               (fun l -> List.exists (Cnf.Lit.equal l) assumptions)
+               core)
+            (fun () -> "unsat core is not a subset of the assumptions");
+          (* The core alone must still be unsatisfiable with the formula. *)
+          let again = Cdcl.Solver.create ~config f in
+          check step
+            (Cdcl.Solver.solve_with_assumptions again core = Cdcl.Solver.Unsat)
+            (fun () -> "unsat core does not reproduce UNSAT"))
+      | Cdcl.Solver.Unknown -> ())
+  in
+  let steps = Util.Rng.int_in rng 10 24 in
+  let step = ref 0 in
+  while !step < steps && !failure = None do
+    incr steps_done;
+    let r = Util.Rng.int rng 100 in
+    (if r < 50 then begin
+       let c = random_clause () in
+       clauses := c :: !clauses;
+       Cdcl.Solver.add_clause inc (Array.to_list c)
+     end
+     else if r < 65 then begin
+       let v = Cdcl.Solver.new_var inc in
+       incr num_vars;
+       check !step (v = !num_vars) (fun () ->
+           Printf.sprintf "new_var returned %d, expected %d" v !num_vars)
+     end
+     else if r < 90 then check_solve !step (Some (random_assumptions ()))
+     else check_solve !step None);
+    incr step
+  done;
+  (* Every sequence ends with a checked plain solve. *)
+  if !failure = None then begin
+    incr steps_done;
+    check_solve !step None
+  end;
+  !failure
+
+let run_incremental_diff ?(on_case = fun _ -> ()) ~seed ~sequences () =
+  let steps_done = ref 0 in
+  let solves_done = ref 0 in
+  let checks_done = ref 0 in
+  let failures = ref [] in
+  for i = 0 to sequences - 1 do
+    on_case i;
+    match run_one_incremental ~seed i ~steps_done ~solves_done ~checks_done with
+    | None -> ()
+    | Some (step, detail) ->
+      failures :=
+        {
+          if_case = i;
+          if_step = step;
+          if_detail = detail;
+          if_replay = replay_command ~seed ~case_index:i ^ " --diff-ref";
+        }
+        :: !failures
+  done;
+  {
+    ir_seed = seed;
+    ir_sequences = sequences;
+    ir_steps = !steps_done;
+    ir_solves = !solves_done;
+    ir_checks = !checks_done;
+    ir_failures = List.rev !failures;
+  }
+
+let pp_incr_report ppf r =
+  Format.fprintf ppf
+    "incremental-diff: seed %d, %d sequences, %d steps, %d solves, %d checks, \
+     %d failures@."
+    r.ir_seed r.ir_sequences r.ir_steps r.ir_solves r.ir_checks
+    (List.length r.ir_failures);
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@.FAIL sequence %d step %d: %s@.replay: %s@."
+        d.if_case d.if_step d.if_detail d.if_replay)
+    r.ir_failures
+
 let pp_ref_diff_report ppf r =
   Format.fprintf ppf
     "ref-diff: seed %d, %d cases, %d arena compactions, %d inprocessing \

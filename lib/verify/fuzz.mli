@@ -125,3 +125,39 @@ val run_ref_diff :
   ref_diff_report
 
 val pp_ref_diff_report : Format.formatter -> ref_diff_report -> unit
+
+(** {2 Incremental API differential mode}
+
+    Randomized IPASIR-style call sequences against a
+    fresh-solver-per-step oracle: each sequence interleaves
+    [add_clause], [new_var], [solve], and [solve_with_assumptions] on
+    one long-lived solver; at every solve step a brand-new solver is
+    built from the accumulated formula and the verdict constructors
+    must match exactly. SAT models are validated against the
+    accumulated formula (and the assumptions, when present); UNSAT
+    cores must be assumption subsets that reproduce UNSAT on a fresh
+    solver; plain solves additionally cross-check {!Refsolver} and
+    assert that no stale core leaks from an earlier assumption run.
+    Sequences are deterministic in [(seed, index)]. Run on the CLI as
+    part of [fuzz --diff-ref]. *)
+
+type incr_failure = {
+  if_case : int;  (** Sequence index. *)
+  if_step : int;  (** API-call step within the sequence. *)
+  if_detail : string;
+  if_replay : string;
+}
+
+type incr_report = {
+  ir_seed : int;
+  ir_sequences : int;
+  ir_steps : int;  (** Total API calls issued across all sequences. *)
+  ir_solves : int;  (** Solve steps differentially checked. *)
+  ir_checks : int;
+  ir_failures : incr_failure list;
+}
+
+val run_incremental_diff :
+  ?on_case:(int -> unit) -> seed:int -> sequences:int -> unit -> incr_report
+
+val pp_incr_report : Format.formatter -> incr_report -> unit

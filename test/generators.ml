@@ -51,6 +51,19 @@ let brute_force_sat f =
   in
   go 1
 
+(* Deterministic clause split for incremental-API properties: partition
+   a formula's clauses into an initial prefix (loaded at create time)
+   and a remainder (replayed through [Solver.add_clause] between
+   solves). The coin flips are seeded so failures replay. *)
+let split_clauses ~seed f =
+  let rng = Util.Rng.create (seed lxor 0x1ec5) in
+  let first = ref [] and rest = ref [] in
+  Cnf.Formula.iter_clauses
+    (fun c ->
+      if Util.Rng.bool rng then first := c :: !first else rest := c :: !rest)
+    f;
+  (List.rev !first, List.rev !rest)
+
 (* QCheck input shapes shared by the solver cross-check properties: a
    seed paired with a clause count in the given range. *)
 let seed_and_clauses lo hi = QCheck.(pair small_int (int_range lo hi))

@@ -761,3 +761,154 @@ let suite =
         test_propagation_trigger_semantics;
       Alcotest.test_case "stats pp smoke" `Quick test_stats_pp_smoke;
     ]
+
+(* --- incremental API (IPASIR-style) --- *)
+
+let test_incremental_add_clause_flips_verdict () =
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:2 [ [ 1; 2 ] ] in
+  let s = Cdcl.Solver.create f in
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "sat before the new clauses");
+  checkb "state sat" true (Cdcl.Solver.state s = `Sat);
+  Cdcl.Solver.add_clause s [ Cnf.Lit.neg 1 ];
+  checkb "mutation returns to ready" true (Cdcl.Solver.state s = `Ready);
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Sat m ->
+    checkb "x1 false" false m.(1);
+    checkb "x2 forced" true m.(2)
+  | _ -> Alcotest.fail "still sat");
+  Cdcl.Solver.add_clause s [ Cnf.Lit.neg 2 ];
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "units force a conflict");
+  checkb "state unsat" true (Cdcl.Solver.state s = `Unsat)
+
+let test_incremental_new_var_growth () =
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:2 [ [ 1; 2 ] ] in
+  let s = Cdcl.Solver.create f in
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "sat initially");
+  (* A burst of fresh variables exercises the geometric array growth. *)
+  for i = 1 to 20 do
+    checki "new_var returns the next index" (2 + i) (Cdcl.Solver.new_var s)
+  done;
+  checki "num_vars grew" 22 (Cdcl.Solver.num_vars s);
+  (* Chain the fresh variables so they all propagate. *)
+  Cdcl.Solver.add_clause s [ Cnf.Lit.pos 3 ];
+  for v = 3 to 21 do
+    Cdcl.Solver.add_clause s [ Cnf.Lit.neg v; Cnf.Lit.pos (v + 1) ]
+  done;
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Sat m ->
+    checki "model covers the new range" 23 (Array.length m);
+    for v = 3 to 22 do
+      checkb "chained variable true" true m.(v)
+    done;
+    checkb "model valid for the original clauses" true
+      (Cdcl.Solver.check_model f m)
+  | _ -> Alcotest.fail "chain is satisfiable");
+  Cdcl.Solver.add_clause s [ Cnf.Lit.neg 22 ];
+  match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "chain plus refutation is unsat"
+
+let test_incremental_unsat_sticky () =
+  let s = Cdcl.Solver.create (Cnf.Formula.create ~num_vars:2 [||]) in
+  Cdcl.Solver.add_clause s [ Cnf.Lit.pos 1 ];
+  Cdcl.Solver.add_clause s [ Cnf.Lit.neg 1 ];
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "contradictory units");
+  (* No later growth or clause can undo unsatisfiability. *)
+  ignore (Cdcl.Solver.new_var s);
+  Cdcl.Solver.add_clause s [ Cnf.Lit.pos 3 ];
+  checkb "still unsat" true (Cdcl.Solver.state s = `Unsat);
+  match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "unsat is sticky"
+
+let test_incremental_out_of_range_raises () =
+  let s = Cdcl.Solver.create (Cnf.Formula.create ~num_vars:2 [||]) in
+  match Cdcl.Solver.add_clause s [ Cnf.Lit.pos 5 ] with
+  | () -> Alcotest.fail "variable 5 was never introduced"
+  | exception Runtime.Error.Runtime_error (Runtime.Error.Invalid_state _) -> ()
+
+let test_incremental_tautology_keeps_answer () =
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:2 [ [ 1; 2 ] ] in
+  let s = Cdcl.Solver.create f in
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "sat");
+  Cdcl.Solver.add_clause s [ Cnf.Lit.pos 1; Cnf.Lit.neg 1 ];
+  (* A tautology is a no-op: the cached answer survives. *)
+  checkb "tautology keeps the cached answer" true (Cdcl.Solver.state s = `Sat)
+
+(* Regression: a plain [solve] after an assumption UNSAT must not leak
+   the stale failed-assumption core (or the assumptions themselves). *)
+let test_plain_solve_clears_stale_core () =
+  let f = Cnf.Formula.of_dimacs_lists ~num_vars:2 [ [ 1; 2 ] ] in
+  let s = Cdcl.Solver.create f in
+  (match Cdcl.Solver.solve_with_assumptions s [ Cnf.Lit.neg 1; Cnf.Lit.neg 2 ] with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "unsat under assumptions");
+  checkb "core available after assumption unsat" true
+    (Cdcl.Solver.unsat_core s <> None);
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Sat m -> checkb "model valid" true (Cdcl.Solver.check_model f m)
+  | _ -> Alcotest.fail "formula itself is sat");
+  checkb "plain solve cleared the stale core" true
+    (Cdcl.Solver.unsat_core s = None);
+  (* Also when the answer is served from cache. *)
+  (match Cdcl.Solver.solve_with_assumptions s [ Cnf.Lit.neg 1; Cnf.Lit.neg 2 ] with
+  | Cdcl.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "unsat under assumptions again");
+  (match Cdcl.Solver.solve s with
+  | Cdcl.Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "cached sat answer");
+  checkb "cached path also clears the core" true
+    (Cdcl.Solver.unsat_core s = None)
+
+(* Incrementally replayed clauses reach the same verdict as loading
+   the whole formula up front, across interleaved solves. *)
+let prop_incremental_equals_monolithic =
+  QCheck.Test.make ~name:"incremental add_clause equals monolithic" ~count:60
+    (Generators.seed_and_clauses 10 40)
+    (fun (seed, m) ->
+      let f = Generators.mixed_lengths ~seed:(seed + 977) ~num_vars:8 ~num_clauses:m () in
+      let first, rest = Generators.split_clauses ~seed f in
+      let b = Cnf.Formula.Builder.create () in
+      Cnf.Formula.Builder.ensure_vars b 8;
+      List.iter (fun c -> Cnf.Formula.Builder.add_clause b (Array.to_list c)) first;
+      let s = Cdcl.Solver.create (Cnf.Formula.Builder.build b) in
+      ignore (Cdcl.Solver.solve s);
+      (* Replay the remainder between solves, solving along the way. *)
+      List.iteri
+        (fun i c ->
+          Cdcl.Solver.add_clause s (Array.to_list c);
+          if i mod 3 = 0 then ignore (Cdcl.Solver.solve s))
+        rest;
+      let expected = Generators.brute_force_sat f in
+      match Cdcl.Solver.solve s with
+      | Cdcl.Solver.Sat model -> expected && Cdcl.Solver.check_model f model
+      | Cdcl.Solver.Unsat -> not expected
+      | Cdcl.Solver.Unknown -> false)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "incremental add_clause" `Quick
+        test_incremental_add_clause_flips_verdict;
+      Alcotest.test_case "incremental new_var growth" `Quick
+        test_incremental_new_var_growth;
+      Alcotest.test_case "incremental unsat sticky" `Quick
+        test_incremental_unsat_sticky;
+      Alcotest.test_case "incremental out-of-range raises" `Quick
+        test_incremental_out_of_range_raises;
+      Alcotest.test_case "incremental tautology cached" `Quick
+        test_incremental_tautology_keeps_answer;
+      Alcotest.test_case "plain solve clears stale core" `Quick
+        test_plain_solve_clears_stale_core;
+      QCheck_alcotest.to_alcotest prop_incremental_equals_monolithic;
+    ]

@@ -622,3 +622,144 @@ let suite =
     Alcotest.test_case "stale temp-file sweep" `Quick test_sweep_stale_tmp;
   ]
   @ qcheck_tests
+
+(* --- pidlock and stale-socket sweeping (ns-serve startup) --- *)
+
+let test_pidlock_sweeps_stale_and_acquires () =
+  let path = Filename.temp_file "ns-test-pidlock" ".pid" in
+  (* A pid that is certainly dead: fork a child, let it exit, reap it. *)
+  let dead_pid =
+    match Unix.fork () with
+    | 0 -> Stdlib.exit 0
+    | pid ->
+      ignore (Unix.waitpid [] pid);
+      pid
+  in
+  checkb "reaped child is dead" false (Runtime.Pidlock.pid_alive dead_pid);
+  ignore (Runtime.Atomic_file.write path (string_of_int dead_pid));
+  (match Runtime.Pidlock.acquire path with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "stale pidfile not swept: %s" (Runtime.Error.to_string e));
+  (match Runtime.Atomic_file.read path with
+  | Ok s -> checki "pidfile now names us" (Unix.getpid ()) (int_of_string (String.trim s))
+  | Error _ -> Alcotest.fail "pidfile unreadable after acquire");
+  Runtime.Pidlock.release path;
+  checkb "release removed the pidfile" false (Sys.file_exists path)
+
+let test_pidlock_refuses_live_owner () =
+  let path = Filename.temp_file "ns-test-pidlock" ".pid" in
+  (* pid 1 is always alive (EPERM from kill still means alive). *)
+  ignore (Runtime.Atomic_file.write path "1");
+  (match Runtime.Pidlock.acquire path with
+  | Error (Runtime.Error.Invalid_state _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Runtime.Error.to_string e)
+  | Ok () -> Alcotest.fail "acquired over a live owner");
+  (* A garbage pidfile is stale, not a conflict. *)
+  ignore (Runtime.Atomic_file.write path "not-a-pid");
+  (match Runtime.Pidlock.acquire path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "garbage not swept: %s" (Runtime.Error.to_string e));
+  Runtime.Pidlock.release path
+
+let test_pidlock_socket_sweep () =
+  let dir = Filename.get_temp_dir_name () in
+  let sock = Filename.concat dir (Printf.sprintf "ns-test-%d.sock" (Unix.getpid ())) in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.close fd;
+  (* The socket file outlives its server: exactly the stale case. *)
+  checkb "stale socket swept" true (Runtime.Pidlock.sweep_socket sock);
+  checkb "socket gone" false (Sys.file_exists sock);
+  checkb "second sweep is a no-op" false (Runtime.Pidlock.sweep_socket sock);
+  (* A regular file at the path must be refused, not deleted. *)
+  let file = Filename.temp_file "ns-test-notsock" ".txt" in
+  checkb "regular file refused" false (Runtime.Pidlock.sweep_socket file);
+  checkb "regular file intact" true (Sys.file_exists file);
+  Sys.remove file
+
+(* --- length-prefixed framing --- *)
+
+let test_frame_roundtrip_chunked () =
+  let payloads = [ "{\"op\":\"ping\"}"; "x"; String.make 1000 'y' ] in
+  let wire =
+    String.concat ""
+      (List.map (fun p -> Printf.sprintf "%d\n%s" (String.length p) p) payloads)
+  in
+  (* Feed the stream one byte at a time: frames must reassemble. *)
+  let r = Runtime.Frame.create_reader () in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      Runtime.Frame.feed r (Bytes.make 1 ch) ~len:1;
+      match Runtime.Frame.next r with
+      | Some p -> got := p :: !got
+      | None -> ())
+    wire;
+  checkb "all frames recovered" true (List.rev !got = payloads);
+  checkb "clean stream not poisoned" false (Runtime.Frame.malformed r)
+
+let test_frame_malformed_poisons () =
+  let r = Runtime.Frame.create_reader () in
+  let junk = "garbage\n{}" in
+  Runtime.Frame.feed r (Bytes.of_string junk) ~len:(String.length junk);
+  checkb "no frame from junk" true (Runtime.Frame.next r = None);
+  checkb "reader poisoned" true (Runtime.Frame.malformed r);
+  let fine = "2\nok" in
+  Runtime.Frame.feed r (Bytes.of_string fine) ~len:(String.length fine);
+  checkb "poisoned reader stays closed" true (Runtime.Frame.next r = None)
+
+(* --- per-submit limits (ns-serve per-request deadlines) --- *)
+
+let test_pool_per_submit_limits () =
+  Runtime.Shutdown.reset ();
+  let outcomes = Hashtbl.create 4 in
+  let pool =
+    Runtime.Pool.create ~jobs:2 ~max_retries:0 ~limits:slim
+      ~should_stop:(fun () -> false)
+      ~on_complete:(fun c -> Hashtbl.replace outcomes c.Runtime.Pool.id c)
+      ()
+  in
+  (* "slow" would run forever under the pool-wide limits (no deadline);
+     its per-submit override reaps it fast. "quick" shares the pool. *)
+  ignore
+    (Runtime.Pool.submit pool
+       ~limits:{ slim with Runtime.Supervisor.deadline_seconds = Some 0.2 }
+       ~id:"slow"
+       (fun () ->
+         Unix.sleepf 30.0;
+         Ok "never"));
+  ignore (Runtime.Pool.submit pool ~id:"quick" (fun () -> Ok "done"));
+  let _ = Runtime.Pool.drain pool in
+  (match Hashtbl.find_opt outcomes "slow" with
+  | Some { Runtime.Pool.outcome = Runtime.Pool.Failed msg; _ } ->
+    checkb "slow task hit its own deadline" true
+      (String.length msg > 0
+      && String.lowercase_ascii msg |> fun m ->
+         (* timed out (deadline) or hung (watchdog) — both are the
+            per-submit envelope firing, never 30s of sleep *)
+         String.length m > 0)
+  | Some _ -> Alcotest.fail "slow task should fail under its deadline"
+  | None -> Alcotest.fail "slow task never completed");
+  match Hashtbl.find_opt outcomes "quick" with
+  | Some { Runtime.Pool.outcome = Runtime.Pool.Done payload; _ } ->
+    checks "quick unaffected" "done" payload
+  | _ -> Alcotest.fail "quick task should complete"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pidlock sweeps stale pidfile" `Quick
+        test_pidlock_sweeps_stale_and_acquires;
+      Alcotest.test_case "pidlock refuses live owner" `Quick
+        test_pidlock_refuses_live_owner;
+      Alcotest.test_case "pidlock sweeps stale socket" `Quick
+        test_pidlock_socket_sweep;
+      Alcotest.test_case "frame chunked roundtrip" `Quick
+        test_frame_roundtrip_chunked;
+      Alcotest.test_case "frame malformed poisons" `Quick
+        test_frame_malformed_poisons;
+      Alcotest.test_case "pool per-submit limits" `Quick
+        test_pool_per_submit_limits;
+    ]
