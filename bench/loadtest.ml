@@ -18,6 +18,15 @@
      server exits 0, and the journal ends with a "drained" event whose
      counters match what the clients observed.
 
+   - --crash-restart N switches to a chaos campaign against durable
+     sessions: the server runs with a WAL, the harness drives keyed
+     session ops while mirroring every acked op in shadow state,
+     SIGKILLs the server mid-load N times, restarts it, and asserts
+     that zero acked ops were lost (per-session "info" must match the
+     shadow exactly) and that recovered sessions answer solves
+     identically to a local fresh-solver oracle. Recovery times
+     (spawn-to-first-pong) are reported as percentiles.
+
    Exit status: 0 when every assertion holds, 1 otherwise. *)
 
 let mixed_instance rng i =
@@ -105,10 +114,39 @@ let percentile sorted p =
     let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
     sorted.(max 0 (min (n - 1) idx))
 
-(* --- the campaign ------------------------------------------------------- *)
+(* --- crash-restart chaos campaign --------------------------------------- *)
 
-let run server socket_opt requests qps conns jobs max_queue deadline
-    kill_worker sigterm_after json_path seed verbose =
+(* Shadow of one durable session: what the server must still know
+   after any number of SIGKILL/restart cycles, updated only on acks. *)
+type shadow = {
+  s_sid : string;
+  mutable s_created : bool;
+  mutable s_vars : int;
+  mutable s_clauses : string list; (* newest first *)
+}
+
+let max_var_in clause =
+  List.fold_left
+    (fun m l -> max m (Cnf.Lit.var l))
+    0
+    (Nserve.Session_store.lits_of_string clause)
+
+(* Apply an acked op to the shadow, mirroring Session_store.execute. *)
+let shadow_apply sh action ~vars ~clause =
+  match action with
+  | "new" ->
+    sh.s_created <- true;
+    sh.s_vars <- vars;
+    sh.s_clauses <- []
+  | "new_var" -> sh.s_vars <- sh.s_vars + 1
+  | "add" ->
+    sh.s_vars <- max sh.s_vars (max_var_in clause);
+    sh.s_clauses <- clause :: sh.s_clauses
+  | _ -> ()
+
+let run_crash_restart ~server_exe ~socket ~journal ~requests ~sessions ~crashes
+    ~json_path ~seed ~verbose =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let failures = ref [] in
   let fail fmt =
     Printf.ksprintf
@@ -117,6 +155,386 @@ let run server socket_opt requests qps conns jobs max_queue deadline
         Printf.eprintf "FAIL: %s\n%!" m)
       fmt
   in
+  let log fmt =
+    Printf.ksprintf
+      (fun s -> if verbose then Printf.eprintf "c [loadtest] %s\n%!" s)
+      fmt
+  in
+  let tmp = Filename.get_temp_dir_name () in
+  let wal_dir =
+    Filename.concat tmp (Printf.sprintf "ns-loadtest-%d-wal" (Unix.getpid ()))
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  rm_rf wal_dir;
+  Unix.mkdir wal_dir 0o755;
+  let spawn () =
+    Unix.create_process server_exe
+      [|
+        server_exe; "--socket"; socket; "--journal"; journal; "--wal"; wal_dir;
+      |]
+      Unix.stdin Unix.stderr Unix.stderr
+  in
+  (* Connect and ping until the (re)started server answers; returns the
+     live connection. The stale socket file from a SIGKILLed server
+     still exists until the successor sweeps and rebinds it, so
+     connection attempts simply retry. *)
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    Printf.sprintf "C%d" !next_id
+  in
+  let rpc ?(timeout = 10.0) (fd, reader) fields =
+    let id = fresh_id () in
+    let payload =
+      Runtime.Journal.encode (("id", Runtime.Journal.String id) :: fields)
+    in
+    match Runtime.Frame.write fd payload with
+    | exception Unix.Unix_error _ -> None
+    | () ->
+      let deadline = Unix.gettimeofday () +. timeout in
+      let result = ref None in
+      (try
+         while !result = None && Unix.gettimeofday () < deadline do
+           (match Unix.select [ fd ] [] [] 0.05 with
+           | [ _ ], _, _ -> (
+             match Runtime.Frame.read_into reader fd with
+             | `Eof -> raise Exit
+             | `Data | `Blocked -> ())
+           | _ -> ()
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+           let rec drain () =
+             match Runtime.Frame.next reader with
+             | None -> ()
+             | Some payload ->
+               (match Runtime.Journal.parse_line payload with
+               | Some fields
+                 when Runtime.Journal.find_string fields "id" = Some id ->
+                 result := Some fields
+               | _ -> ());
+               drain ()
+           in
+           drain ()
+         done
+       with Exit -> ());
+      !result
+  in
+  let connect_ready () =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec go () =
+      if Unix.gettimeofday () >= deadline then None
+      else
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.02;
+          go ()
+        | () -> (
+          Unix.set_nonblock fd;
+          let conn = (fd, Runtime.Frame.create_reader ()) in
+          match rpc ~timeout:2.0 conn [ ("op", Runtime.Journal.String "ping") ]
+          with
+          | Some _ -> Some conn
+          | None ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Unix.sleepf 0.02;
+            go ())
+    in
+    go ()
+  in
+  (* --- workload ---------------------------------------------------- *)
+  let rng = Util.Rng.create seed in
+  let shadows =
+    Array.init (max 1 sessions) (fun i ->
+        {
+          s_sid = Printf.sprintf "s%d" i;
+          s_created = false;
+          s_vars = 0;
+          s_clauses = [];
+        })
+  in
+  let gen_op i =
+    let sh = shadows.(i mod Array.length shadows) in
+    if not sh.s_created then (sh, "new", 4, "")
+    else if sh.s_vars = 0 then (sh, "new_var", 0, "")
+    else if Util.Rng.uniform rng 0.0 1.0 < 0.15 then (sh, "solve", 0, "")
+    else
+      (* Random 3-clause; occasionally mention var+1 so replay must
+         reproduce auto-introduction too. *)
+      let pick () =
+        let v =
+          if Util.Rng.uniform rng 0.0 1.0 < 0.2 then sh.s_vars + 1
+          else Util.Rng.int_in rng 1 (sh.s_vars + 1)
+        in
+        if Util.Rng.bool rng then v else -v
+      in
+      let clause =
+        Printf.sprintf "%d %d %d 0" (pick ()) (pick ()) (pick ())
+      in
+      (sh, "add", 0, clause)
+  in
+  let op_fields sh action vars clause key =
+    [
+      ("op", Runtime.Journal.String "session");
+      ("action", Runtime.Journal.String action);
+      ("sid", Runtime.Journal.String sh.s_sid);
+      ("key", Runtime.Journal.String key);
+    ]
+    @ (if action = "new" then [ ("vars", Runtime.Journal.Int vars) ] else [])
+    @
+    if action = "add" then [ ("clause", Runtime.Journal.String clause) ]
+    else []
+  in
+  (* --- campaign ---------------------------------------------------- *)
+  (try Sys.remove journal with Sys_error _ -> ());
+  let server_pid = ref (spawn ()) in
+  let acked = ref 0 in
+  let replays = ref 0 in
+  let crashes_done = ref 0 in
+  let recovery_times = ref [] in
+  let per_phase = max 1 (requests / (crashes + 1)) in
+  let t_start = Unix.gettimeofday () in
+  (match connect_ready () with
+  | None -> fail "server never became ready"
+  | Some conn0 ->
+    let conn = ref conn0 in
+    let apply_acked sh action vars clause fields =
+      incr acked;
+      if Runtime.Journal.find_bool fields "replayed" = Some true then
+        incr replays;
+      shadow_apply sh action ~vars ~clause
+    in
+    (* Send one keyed op and wait for the ack; abort the campaign on a
+       non-ok status (every generated op is valid). *)
+    let do_op i =
+      let sh, action, vars, clause = gen_op i in
+      let key = Printf.sprintf "k%d" i in
+      match rpc !conn (op_fields sh action vars clause key) with
+      | None -> fail "op %d (%s on %s): no response" i action sh.s_sid
+      | Some fields -> (
+        match Runtime.Journal.find_string fields "status" with
+        | Some "ok" -> apply_acked sh action vars clause fields
+        | s ->
+          fail "op %d (%s on %s): status %s" i action sh.s_sid
+            (Option.value s ~default:"none"))
+    in
+    (* Verify no acked op was lost: every session's server-side view
+       must match the shadow exactly. *)
+    let verify_sessions phase =
+      Array.iter
+        (fun sh ->
+          if sh.s_created then
+            match
+              rpc !conn
+                [
+                  ("op", Runtime.Journal.String "session");
+                  ("action", Runtime.Journal.String "info");
+                  ("sid", Runtime.Journal.String sh.s_sid);
+                ]
+            with
+            | None -> fail "%s: info on %s got no response" phase sh.s_sid
+            | Some fields ->
+              let vars =
+                Option.value (Runtime.Journal.find_int fields "vars")
+                  ~default:(-1)
+              in
+              let clauses =
+                Option.value (Runtime.Journal.find_int fields "clauses")
+                  ~default:(-1)
+              in
+              if vars <> sh.s_vars then
+                fail "%s: %s has %d vars, shadow says %d (acked op lost)"
+                  phase sh.s_sid vars sh.s_vars;
+              if clauses <> List.length sh.s_clauses then
+                fail "%s: %s has %d clauses, shadow says %d (acked op lost)"
+                  phase sh.s_sid clauses (List.length sh.s_clauses))
+        shadows
+    in
+    let i = ref 0 in
+    while !i < requests && !failures = [] do
+      do_op !i;
+      incr i;
+      if
+        !crashes_done < crashes
+        && !i mod per_phase = 0
+        && !i < requests
+      then begin
+        (* Fire one more op and SIGKILL before reading its response:
+           the op is in flight, possibly durable, never acked. The
+           keyed retry after restart must make it exactly-once. *)
+        let sh, action, vars, clause = gen_op !i in
+        let key = Printf.sprintf "k%d" !i in
+        let inflight = op_fields sh action vars clause key in
+        (try
+           Runtime.Frame.write (fst !conn) (Runtime.Journal.encode
+             (("id", Runtime.Journal.String "inflight") :: inflight))
+         with Unix.Unix_error _ -> ());
+        (* A few ms usually lets the server log (even ack) the op
+           before dying — the retry then exercises the rebuilt dedup
+           cache; when the kill wins the race the retry executes
+           fresh. Both must end exactly-once. *)
+        Unix.sleepf 0.005;
+        Unix.kill !server_pid Sys.sigkill;
+        ignore (Unix.waitpid [] !server_pid);
+        (try Unix.close (fst !conn) with Unix.Unix_error _ -> ());
+        incr crashes_done;
+        log "crash %d/%d after %d acked ops" !crashes_done crashes !acked;
+        let t0 = Unix.gettimeofday () in
+        server_pid := spawn ();
+        (match connect_ready () with
+        | None -> fail "server never recovered after crash %d" !crashes_done
+        | Some c ->
+          recovery_times := (Unix.gettimeofday () -. t0) :: !recovery_times;
+          conn := c;
+          (* Retry the unacked in-flight op with the same key. *)
+          (match rpc !conn inflight with
+          | None -> fail "in-flight retry (op %d) got no response" !i
+          | Some fields -> (
+            match Runtime.Journal.find_string fields "status" with
+            | Some "ok" -> apply_acked sh action vars clause fields
+            | s ->
+              fail "in-flight retry (op %d): status %s" !i
+                (Option.value s ~default:"none")));
+          incr i;
+          verify_sessions
+            (Printf.sprintf "after crash %d" !crashes_done))
+      end
+    done;
+    if !failures = [] then begin
+      (* Force one session unsat so the sticky-Unsat path is exercised
+         through the WAL, then check every session's final verdict
+         against a fresh local solver over the shadow clauses. *)
+      let sh0 = shadows.(0) in
+      if sh0.s_created then
+        List.iter
+          (fun clause ->
+            match
+              rpc !conn
+                (op_fields sh0 "add" 0 clause
+                   (Printf.sprintf "k-unsat-%s" clause))
+            with
+            | Some fields
+              when Runtime.Journal.find_string fields "status" = Some "ok" ->
+              apply_acked sh0 "add" 0 clause fields
+            | _ -> fail "unsat injection add %S failed" clause)
+          [ "1 0"; "-1 0" ];
+      Array.iter
+        (fun sh ->
+          if sh.s_created then begin
+            let server_verdict =
+              match
+                rpc !conn
+                  (op_fields sh "solve" 0 ""
+                     (Printf.sprintf "k-final-%s" sh.s_sid))
+              with
+              | Some fields
+                when Runtime.Journal.find_string fields "status" = Some "ok"
+                ->
+                Option.value
+                  (Runtime.Journal.find_string fields "verdict")
+                  ~default:"none"
+              | _ -> "no-response"
+            in
+            let oracle =
+              let solver =
+                Cdcl.Solver.create
+                  (Cnf.Formula.create ~num_vars:sh.s_vars [||])
+              in
+              List.iter
+                (fun clause ->
+                  let lits = Nserve.Session_store.lits_of_string clause in
+                  List.iter
+                    (fun l ->
+                      while Cnf.Lit.var l > Cdcl.Solver.num_vars solver do
+                        ignore (Cdcl.Solver.new_var solver)
+                      done)
+                    lits;
+                  Cdcl.Solver.add_clause solver lits)
+                (List.rev sh.s_clauses);
+              match Cdcl.Solver.solve solver with
+              | Cdcl.Solver.Sat _ -> "sat"
+              | Cdcl.Solver.Unsat -> "unsat"
+              | Cdcl.Solver.Unknown -> "unknown"
+            in
+            if server_verdict <> oracle then
+              fail "%s: recovered server says %s, oracle says %s" sh.s_sid
+                server_verdict oracle
+            else log "%s: verdict %s matches oracle" sh.s_sid server_verdict
+          end)
+        shadows
+    end;
+    (try Unix.close (fst !conn) with Unix.Unix_error _ -> ()));
+  (* Graceful shutdown of the last incarnation. *)
+  Unix.kill !server_pid Sys.sigterm;
+  (match Unix.waitpid [] !server_pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> fail "server exited %d after SIGTERM, expected 0" c
+  | _, Unix.WSIGNALED s -> fail "server killed by signal %d" s
+  | _, Unix.WSTOPPED _ -> fail "server stopped unexpectedly");
+  (* --- report ------------------------------------------------------ *)
+  let wall = Unix.gettimeofday () -. t_start in
+  let recov = Array.of_list !recovery_times in
+  Array.sort compare recov;
+  let p50 = percentile recov 50.0
+  and p95 = percentile recov 95.0
+  and p99 = percentile recov 99.0 in
+  Printf.printf
+    "loadtest --crash-restart: %d acked ops over %d sessions, %d crashes in \
+     %.1fs\n\
+    \  lost acked ops 0 of %d  deduped replays %d\n\
+    \  recovery p50 %.1f ms  p95 %.1f ms  p99 %.1f ms\n"
+    !acked (Array.length shadows) !crashes_done wall !acked !replays
+    (1000.0 *. p50) (1000.0 *. p95) (1000.0 *. p99);
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let g name v = Obs.Metrics.set (Obs.Metrics.gauge name) v in
+    g "loadtest.acked_ops" (float_of_int !acked);
+    g "loadtest.crashes" (float_of_int !crashes_done);
+    g "loadtest.lost_acked_ops"
+      (if !failures = [] then 0.0 else float_of_int (List.length !failures));
+    g "loadtest.deduped_replays" (float_of_int !replays);
+    g "loadtest.wall_seconds" wall;
+    let date =
+      let tm = Unix.gmtime (Unix.time ()) in
+      Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    in
+    let kernels =
+      [
+        {
+          Obs.Bench_report.name = "serve.recovery.p50";
+          ns_per_run = 1e9 *. p50;
+        };
+        {
+          Obs.Bench_report.name = "serve.recovery.p95";
+          ns_per_run = 1e9 *. p95;
+        };
+        {
+          Obs.Bench_report.name = "serve.recovery.p99";
+          ns_per_run = 1e9 *. p99;
+        };
+      ]
+    in
+    Obs.Bench_report.write_file path
+      (Obs.Bench_report.make ~date ~fast:false ~kernels
+         ~metrics:(Obs.Report.to_json ()));
+    Printf.printf "loadtest report written to %s\n" path);
+  rm_rf wal_dir;
+  (try Sys.remove journal with Sys_error _ -> ());
+  if !failures = [] then 0 else 1
+
+(* --- the campaign ------------------------------------------------------- *)
+
+let run server socket_opt requests qps conns jobs max_queue deadline
+    kill_worker sigterm_after crash_restart sessions json_path seed verbose =
   let tmp = Filename.get_temp_dir_name () in
   let socket =
     match socket_opt with
@@ -125,6 +543,24 @@ let run server socket_opt requests qps conns jobs max_queue deadline
   in
   let journal =
     Filename.concat tmp (Printf.sprintf "ns-loadtest-%d.jsonl" (Unix.getpid ()))
+  in
+  if crash_restart > 0 then
+    match server with
+    | None ->
+      Printf.eprintf "FAIL: --crash-restart needs --server (the harness \
+                      spawns and kills it)\n%!";
+      1
+    | Some server_exe ->
+      run_crash_restart ~server_exe ~socket ~journal ~requests ~sessions
+        ~crashes:crash_restart ~json_path ~seed ~verbose
+  else begin
+  let failures = ref [] in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        failures := m :: !failures;
+        Printf.eprintf "FAIL: %s\n%!" m)
+      fmt
   in
   (try Sys.remove journal with Sys_error _ -> ());
   (* Spawn the server under test. *)
@@ -389,6 +825,7 @@ let run server socket_opt requests qps conns jobs max_queue deadline
     Printf.printf "loadtest report written to %s\n" path);
   (try Sys.remove journal with Sys_error _ -> ());
   if !failures = [] then 0 else 1
+  end
 
 open Cmdliner
 
@@ -453,6 +890,22 @@ let sigterm_after =
            graceful-drain contract: outstanding requests terminate, exit \
            code 0, journal closes with a drained event.")
 
+let crash_restart =
+  Arg.(
+    value & opt int 0
+    & info [ "crash-restart" ] ~docv:"N"
+        ~doc:
+          "Chaos mode: run keyed session ops against a WAL-backed server, \
+           SIGKILL it mid-load N times, restart it, and assert zero acked \
+           ops are lost while reporting recovery-time percentiles. Needs \
+           --server.")
+
+let sessions =
+  Arg.(
+    value & opt int 4
+    & info [ "sessions" ] ~docv:"S"
+        ~doc:"Concurrent durable sessions in --crash-restart mode.")
+
 let json_path =
   Arg.(
     value
@@ -468,6 +921,7 @@ let cmd =
     (Cmd.info "ns-loadtest" ~doc)
     Term.(
       const run $ server $ socket $ requests $ qps $ conns $ jobs $ max_queue
-      $ deadline $ kill_worker $ sigterm_after $ json_path $ seed $ verbose)
+      $ deadline $ kill_worker $ sigterm_after $ crash_restart $ sessions
+      $ json_path $ seed $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -16,12 +16,22 @@
      {"op":"metrics","id":..}            server-level snapshot
      {"op":"solve","id":..,"dimacs":..,
       "deadline_s":..,"mem_mb":..}       pool-backed one-shot solve
-     {"op":"session","id":..,"action":"new|add|new_var|solve|close",
-      "sid":..,"vars":..,"clause":"1 -2 0","assumptions":"1 -2"}
+     {"op":"session","id":..,
+      "action":"new|add|new_var|solve|close|info",
+      "sid":..,"vars":..,"clause":"1 -2 0","assumptions":"1 -2",
+      "key":"client idempotency key"}
 
    Responses echo "id", carry "status" ("ok" | "error" | "shed" |
    "rejected") and, for solves, the verdict, model, solver statistics,
-   attempt count, latency, and the inference-breaker degraded flag. *)
+   attempt count, latency, and the inference-breaker degraded flag.
+
+   Durability: with --wal DIR every mutating session op is appended to
+   a CRC-framed write-ahead log (Runtime.Wal, via
+   Nserve.Session_store) *before* the response is acked, and on
+   startup all sessions are rebuilt from the newest snapshot plus
+   segment replay. A request "key" makes client retries after a crash
+   exactly-once: a key already executed returns the cached reply with
+   "replayed":true instead of re-executing. *)
 
 let m_requests = Obs.Metrics.counter "serve.requests"
 let m_completed = Obs.Metrics.counter "serve.completed"
@@ -51,25 +61,10 @@ let drain_frames c =
 
 (* --- literal / model string helpers ----------------------------------- *)
 
-let lits_of_string s =
-  String.split_on_char ' ' (String.trim s)
-  |> List.filter_map (fun tok ->
-         match int_of_string_opt (String.trim tok) with
-         | None | Some 0 -> None
-         | Some d -> Some (Cnf.Lit.of_dimacs d))
+module Store = Nserve.Session_store
 
-let model_to_string m =
-  let b = Buffer.create 64 in
-  for v = 1 to Array.length m - 1 do
-    if v > 1 then Buffer.add_char b ' ';
-    Buffer.add_string b (string_of_int (if m.(v) then v else -v))
-  done;
-  Buffer.contents b
-
-let verdict_name = function
-  | Cdcl.Solver.Sat _ -> "sat"
-  | Cdcl.Solver.Unsat -> "unsat"
-  | Cdcl.Solver.Unknown -> "unknown"
+let model_to_string = Store.model_to_string
+let verdict_name = Store.verdict_name
 
 (* --- worker-side solve ------------------------------------------------- *)
 
@@ -124,7 +119,8 @@ type pending_req = {
 type server = {
   pool : Runtime.Pool.t;
   pending : (string, pending_req) Hashtbl.t; (* pool id -> request *)
-  sessions : (string, Cdcl.Solver.t) Hashtbl.t;
+  store : Store.t;
+  wal_enabled : bool;
   journal : string option;
   default_deadline : float;
   default_mem_mb : int option;
@@ -132,6 +128,7 @@ type server = {
   verbose : bool;
   mutable next_req : int;
   mutable draining : bool;
+  mutable last_sweep : float; (* idle-session TTL sweeps *)
 }
 
 let log srv fmt =
@@ -222,7 +219,10 @@ let handle_metrics srv ~id client =
               (Obs.Metrics.counter "runtime.pool.worker_retries"));
          num "in_flight" (Runtime.Pool.in_flight srv.pool);
          num "queued" (Runtime.Pool.queued srv.pool);
-         num "sessions" (Hashtbl.length srv.sessions);
+         num "sessions" (Store.session_count srv.store);
+         num "evicted" (Store.evictions srv.store);
+         num "snapshot_failures" (Store.snapshot_failures srv.store);
+         ("wal", Runtime.Journal.Bool srv.wal_enabled);
          ( "breaker",
            Runtime.Journal.String
              (Runtime.Breaker.state_name (Core.Selector.breaker_state ())) );
@@ -280,21 +280,11 @@ let handle_solve srv ~id client fields =
       (Runtime.Pool.submit srv.pool ~limits ~id:pool_id
          (worker_solve ~deadline_s ~inject_marker dimacs))
 
-let find_session srv ~id client sid k =
-  match Hashtbl.find_opt srv.sessions sid with
-  | Some solver -> k solver
-  | None ->
-    respond srv client
-      (base_response ~id ~status:"error"
-         [
-           ( "error",
-             Runtime.Journal.String
-               (Printf.sprintf "session: unknown sid %s" sid) );
-         ])
-
-(* Incremental sessions run in-process on the IPASIR-style API; solver
-   budgets (not supervisor deadlines) bound their solve steps, so a
-   session solve stalls the event loop for at most the deadline. *)
+(* Incremental sessions run in-process through the durable
+   Session_store; solver budgets (not supervisor deadlines) bound their
+   solve steps, so a session solve stalls the event loop for at most
+   the deadline. With --wal, Session_store appends every mutating op to
+   the log before this handler acks it. *)
 let handle_session srv ~id client fields =
   let sid =
     Option.value (Runtime.Journal.find_string fields "sid") ~default:"s0"
@@ -302,90 +292,74 @@ let handle_session srv ~id client fields =
   let action =
     Option.value (Runtime.Journal.find_string fields "action") ~default:""
   in
+  let key = Runtime.Journal.find_string fields "key" in
   let ok rest = respond srv client (base_response ~id ~status:"ok" rest) in
   let err msg =
     respond srv client
       (base_response ~id ~status:"error"
          [ ("error", Runtime.Journal.String msg) ])
   in
-  let protected f =
-    match Runtime.Error.protect ~context:"serve.session" f with
-    | Ok () -> ()
-    | Error e -> err (Runtime.Error.to_string e)
+  let op =
+    match action with
+    | "new" ->
+      let vars =
+        match Runtime.Journal.find_int fields "vars" with
+        | Some v when v >= 0 -> v
+        | _ -> 0
+      in
+      Some (Store.New vars)
+    | "new_var" -> Some Store.New_var
+    | "add" ->
+      Some
+        (Store.Add
+           (Option.value
+              (Runtime.Journal.find_string fields "clause")
+              ~default:""))
+    | "solve" ->
+      Some
+        (Store.Solve
+           (Option.value
+              (Runtime.Journal.find_string fields "assumptions")
+              ~default:""))
+    | "close" -> Some Store.Close
+    | _ -> None
   in
-  match action with
-  | "new" ->
-    let vars =
-      match Runtime.Journal.find_int fields "vars" with
-      | Some v when v >= 0 -> v
-      | _ -> 0
-    in
-    Hashtbl.replace srv.sessions sid
-      (Cdcl.Solver.create (Cnf.Formula.create ~num_vars:vars [||]));
-    ok [ ("sid", Runtime.Journal.String sid) ]
-  | "close" ->
-    Hashtbl.remove srv.sessions sid;
-    ok []
-  | "add" ->
-    find_session srv ~id client sid (fun solver ->
-        protected (fun () ->
-            let lits =
-              lits_of_string
-                (Option.value
-                   (Runtime.Journal.find_string fields "clause")
-                   ~default:"")
-            in
-            (* Auto-introduce variables the clause mentions. *)
-            List.iter
-              (fun l ->
-                while Cnf.Lit.var l > Cdcl.Solver.num_vars solver do
-                  ignore (Cdcl.Solver.new_var solver)
-                done)
-              lits;
-            Cdcl.Solver.add_clause solver lits;
-            ok [ ("vars", Runtime.Journal.Int (Cdcl.Solver.num_vars solver)) ]))
-  | "new_var" ->
-    find_session srv ~id client sid (fun solver ->
-        protected (fun () ->
-            ok [ ("var", Runtime.Journal.Int (Cdcl.Solver.new_var solver)) ]))
-  | "solve" ->
-    find_session srv ~id client sid (fun solver ->
-        protected (fun () ->
-            let assumptions =
-              lits_of_string
-                (Option.value
-                   (Runtime.Journal.find_string fields "assumptions")
-                   ~default:"")
-            in
-            let t0 = Unix.gettimeofday () in
-            let result =
-              if assumptions = [] then Cdcl.Solver.solve solver
-              else Cdcl.Solver.solve_with_assumptions solver assumptions
-            in
-            let core =
-              match Cdcl.Solver.unsat_core solver with
-              | None -> Runtime.Journal.Null
-              | Some core ->
-                Runtime.Journal.String
-                  (String.concat " "
-                     (List.map
-                        (fun l -> string_of_int (Cnf.Lit.to_dimacs l))
-                        core))
-            in
-            ok
-              [
-                ("verdict", Runtime.Journal.String (verdict_name result));
-                ( "model",
-                  match result with
-                  | Cdcl.Solver.Sat m ->
-                    Runtime.Journal.String (model_to_string m)
-                  | _ -> Runtime.Journal.Null );
-                ("core", core);
-                ( "latency_ms",
-                  Runtime.Journal.Float
-                    (1000.0 *. (Unix.gettimeofday () -. t0)) );
-              ]))
-  | other -> err (Printf.sprintf "session: unknown action %S" other)
+  match (action, op) with
+  | "info", _ -> (
+    (* Read-only session probe: the loadtest's lost-op detector. *)
+    match Store.info srv.store sid with
+    | Some (vars, clauses) ->
+      ok
+        [
+          ("sid", Runtime.Journal.String sid);
+          ("vars", Runtime.Journal.Int vars);
+          ("clauses", Runtime.Journal.Int clauses);
+        ]
+    | None -> err (Printf.sprintf "session: unknown sid %s" sid))
+  | _, Some op -> (
+    let t0 = Unix.gettimeofday () in
+    let outcome = Store.apply srv.store ?key ~sid op in
+    match outcome.Store.reply with
+    | Error msg -> err msg
+    | Ok rest ->
+      let rest =
+        match op with
+        | Store.Solve _ ->
+          rest
+          @ [
+              ( "latency_ms",
+                Runtime.Journal.Float (1000.0 *. (Unix.gettimeofday () -. t0))
+              );
+            ]
+        | _ -> rest
+      in
+      let rest =
+        if outcome.Store.replayed then
+          rest @ [ ("replayed", Runtime.Journal.Bool true) ]
+        else rest
+      in
+      ok rest)
+  | other, None -> err (Printf.sprintf "session: unknown action %S" other)
 
 let reject srv ~id client =
   Obs.Metrics.incr m_rejected;
@@ -450,6 +424,8 @@ let drain_and_exit srv clients =
         Hashtbl.remove srv.pending pool_id;
         reject srv ~id:pr.pr_user_id pr.pr_client)
     not_run;
+  (* Sync and close the WAL so the final fsync covers every acked op. *)
+  Store.close srv.store;
   journal_append srv
     [
       ("event", Runtime.Journal.String "drained");
@@ -463,6 +439,16 @@ let drain_and_exit srv clients =
       if c.alive then try Unix.close c.fd with Unix.Unix_error _ -> ())
     !clients;
   log srv "drained cleanly"
+
+(* Idle-session TTL sweep, time-gated to roughly once a second so the
+   select loop's 50 ms ticks don't rescan the table. *)
+let sweep_idle srv =
+  let now = Unix.gettimeofday () in
+  if now -. srv.last_sweep >= 1.0 then begin
+    srv.last_sweep <- now;
+    let n = Store.evict_idle srv.store in
+    if n > 0 then log srv "evicted %d idle session(s)" n
+  end
 
 let serve_loop srv ~accept_fd ~initial_clients =
   let clients = ref initial_clients in
@@ -507,6 +493,7 @@ let serve_loop srv ~accept_fd ~initial_clients =
           end)
         !clients;
     Runtime.Pool.pump srv.pool;
+    sweep_idle srv;
     if srv.draining then begin
       drain_and_exit srv clients;
       continue := false
@@ -522,8 +509,30 @@ let serve_loop srv ~accept_fd ~initial_clients =
 (* --- startup ------------------------------------------------------------ *)
 
 let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
-    allow_inject verbose =
+    wal wal_group_commit snapshot_every max_sessions session_ttl allow_inject
+    verbose =
   Runtime.Shutdown.install ();
+  let store_config =
+    {
+      Store.default_config with
+      Store.wal_dir = wal;
+      fsync =
+        (match wal_group_commit with
+        | Some s when s > 0.0 -> Runtime.Wal.Group_commit s
+        | _ -> Runtime.Wal.Per_record);
+      snapshot_every;
+      max_sessions;
+      session_ttl;
+    }
+  in
+  let t_recover = Unix.gettimeofday () in
+  match Store.create store_config with
+  | Error e ->
+    Printf.eprintf "ns-serve: wal recovery failed: %s\n%!"
+      (Runtime.Error.to_string e);
+    1
+  | Ok (store, recovery) ->
+  let recovery_s = Unix.gettimeofday () -. t_recover in
   let srv_ref = ref None in
   let pool =
     Runtime.Pool.create ~jobs ~max_queue ~max_retries
@@ -541,7 +550,8 @@ let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
     {
       pool;
       pending = Hashtbl.create 64;
-      sessions = Hashtbl.create 8;
+      store;
+      wal_enabled = wal <> None;
       journal;
       default_deadline = deadline;
       default_mem_mb = mem_mb;
@@ -549,9 +559,29 @@ let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
       verbose;
       next_req = 0;
       draining = false;
+      last_sweep = Unix.gettimeofday ();
     }
   in
   srv_ref := Some srv;
+  if srv.wal_enabled then begin
+    log srv
+      "wal recovery: %d session(s), %d record(s) replayed, snapshot=%b, \
+       truncated=%dB, corrupt_snapshots=%d (%.1f ms)"
+      recovery.Store.sessions recovery.Store.replayed
+      recovery.Store.from_snapshot recovery.Store.truncated_bytes
+      recovery.Store.corrupt_snapshots (1000.0 *. recovery_s);
+    journal_append srv
+      [
+        ("event", Runtime.Journal.String "recovered");
+        ("sessions", Runtime.Journal.Int recovery.Store.sessions);
+        ("replayed", Runtime.Journal.Int recovery.Store.replayed);
+        ("from_snapshot", Runtime.Journal.Bool recovery.Store.from_snapshot);
+        ("truncated_bytes", Runtime.Journal.Int recovery.Store.truncated_bytes);
+        ( "corrupt_snapshots",
+          Runtime.Journal.Int recovery.Store.corrupt_snapshots );
+        ("recovery_ms", Runtime.Journal.Float (1000.0 *. recovery_s));
+      ]
+  end;
   if stdio then begin
     (* One client: frames arrive on stdin, responses leave on stdout.
        [reader] buffers and parses inbound frames; [writer] is the
@@ -582,6 +612,7 @@ let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
       if reader.alive then
         List.iter (handle_frame srv writer) (drain_frames reader);
       Runtime.Pool.pump srv.pool;
+      sweep_idle srv;
       if srv.draining then begin
         drain_and_exit srv (ref []);
         continue := false
@@ -686,6 +717,51 @@ let pidfile =
           "Single-instance pidfile (default SOCKET.pid). Stale files from \
            dead servers are swept on startup; a live owner refuses startup.")
 
+let wal =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Write-ahead-log directory for durable sessions: every mutating \
+           session op is logged and fsynced before it is acked, and startup \
+           replays the log so acked ops survive a crash. Omit for volatile \
+           in-memory sessions.")
+
+let wal_group_commit =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "wal-group-commit" ] ~docv:"SECONDS"
+        ~doc:
+          "Group-commit fsync interval: batch WAL fsyncs at most this far \
+           apart instead of fsyncing every record. Trades the tail of the \
+           durability window for throughput. Default: fsync per record.")
+
+let snapshot_every =
+  Arg.(
+    value & opt int 256
+    & info [ "wal-snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Write a snapshot (and compact old segments) every N WAL appends. \
+           0 disables snapshots; replay then reads the full log.")
+
+let max_sessions =
+  Arg.(
+    value & opt int 1024
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:
+          "Cap on live incremental sessions; further \"new\" actions are \
+           refused. 0 means unbounded.")
+
+let session_ttl =
+  Arg.(
+    value & opt float 0.0
+    & info [ "session-ttl" ] ~docv:"SECONDS"
+        ~doc:
+          "Evict sessions idle longer than this (sweep runs about once a \
+           second; evictions are WAL-logged). 0 disables eviction.")
+
 let allow_inject =
   Arg.(
     value & flag
@@ -702,6 +778,7 @@ let cmd =
     (Cmd.info "ns-serve" ~doc)
     Term.(
       const run $ socket $ stdio $ jobs $ max_queue $ max_retries $ deadline
-      $ mem_mb $ journal $ pidfile $ allow_inject $ verbose)
+      $ mem_mb $ journal $ pidfile $ wal $ wal_group_commit $ snapshot_every
+      $ max_sessions $ session_ttl $ allow_inject $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,9 @@ type point =
   | Worker_hang
   | Breaker_trip
   | Inprocess_abort
+  | Wal_torn_append
+  | Wal_crash_before_fsync
+  | Wal_snapshot_crash
 
 let all =
   [
@@ -20,6 +23,9 @@ let all =
     Worker_hang;
     Breaker_trip;
     Inprocess_abort;
+    Wal_torn_append;
+    Wal_crash_before_fsync;
+    Wal_snapshot_crash;
   ]
 
 let name = function
@@ -32,6 +38,9 @@ let name = function
   | Worker_hang -> "worker-hang"
   | Breaker_trip -> "breaker-trip"
   | Inprocess_abort -> "inprocess-abort"
+  | Wal_torn_append -> "wal-torn-append"
+  | Wal_crash_before_fsync -> "wal-crash-before-fsync"
+  | Wal_snapshot_crash -> "wal-snapshot-crash"
 
 let of_name s = List.find_opt (fun p -> name p = s) all
 

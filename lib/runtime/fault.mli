@@ -38,6 +38,22 @@ type point =
           simulating a crash during in-place clause surgery. The
           partially emitted DRUP prefix must stay checkable and a fresh
           solve must recover. *)
+  | Wal_torn_append
+      (** Wal.append writes only a prefix of the framed record and then
+          raises, simulating a crash (or full disk) mid-write. Recovery
+          must truncate the torn tail and keep the exact durable
+          prefix; the handle is poisoned against further appends. *)
+  | Wal_crash_before_fsync
+      (** Wal.append writes the complete record but raises before the
+          fsync, simulating a crash in the window where the record may
+          or may not survive. The caller must not ack the op; a client
+          retry with the same idempotency key must be exactly-once
+          whether or not the record made it to disk. *)
+  | Wal_snapshot_crash
+      (** Wal.snapshot writes a torn snapshot file straight to its
+          destination (no atomic rename) and raises, simulating a crash
+          mid-compaction. Recovery must reject the corrupt snapshot and
+          fall back to an older one plus segment replay. *)
 
 val all : point list
 val name : point -> string

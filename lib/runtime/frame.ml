@@ -1,11 +1,17 @@
 let max_frame = 64 * 1024 * 1024
 
+(* A signal landing mid-write (SIGCHLD from a reaped worker, SIGALRM,
+   a profiler tick) surfaces as EINTR; without the retry the exception
+   escapes between two partial writes and tears the frame for every
+   later message on the connection. *)
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
+    match Unix.write fd b !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
 let write fd payload =
@@ -20,6 +26,23 @@ let create_reader () = { buf = Buffer.create 256; bad = false }
 
 let feed r chunk ~len = if not r.bad then Buffer.add_subbytes r.buf chunk 0 len
 
+(* Strict decimal length prefix: ASCII digits only (an optional
+   trailing CR tolerates CRLF clients). [int_of_string_opt] would also
+   accept hostile prefixes like "0x10", "1_000", "+5", or "- 3" — all
+   of which desynchronise the framing between a lenient reader and any
+   spec-faithful peer. Nine digits comfortably covers the 64 MiB cap
+   without overflow. *)
+let parse_length s =
+  let s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+  in
+  let n = String.length s in
+  if n = 0 || n > 9 then None
+  else if String.for_all (fun c -> c >= '0' && c <= '9') s then
+    int_of_string_opt s
+  else None
+
 let next r =
   if r.bad then None
   else
@@ -27,7 +50,7 @@ let next r =
     match String.index_opt s '\n' with
     | None -> None
     | Some nl -> (
-      match int_of_string_opt (String.trim (String.sub s 0 nl)) with
+      match parse_length (String.sub s 0 nl) with
       | None | Some 0 ->
         r.bad <- true;
         None
@@ -54,5 +77,9 @@ let read_into r fd =
     feed r chunk ~len:n;
     `Data
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    `Blocked
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    (* Interrupted before any bytes moved: nothing read, not EOF — the
+       caller's select loop will come back. *)
     `Blocked
   | exception Unix.Unix_error _ -> `Eof

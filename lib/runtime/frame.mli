@@ -7,9 +7,10 @@
     instead of guessing. *)
 
 val write : Unix.file_descr -> string -> unit
-(** Write one complete frame (blocking; loops over short writes).
-    Raises [Unix.Unix_error] on a broken pipe — callers own the
-    connection lifecycle. *)
+(** Write one complete frame (blocking; loops over short writes and
+    retries EINTR so a signal mid-write cannot tear the frame). Raises
+    [Unix.Unix_error] on a broken pipe — callers own the connection
+    lifecycle. *)
 
 type reader
 (** Buffered inbound bytes for one connection. *)
@@ -21,13 +22,16 @@ val feed : reader -> bytes -> len:int -> unit
 
 val next : reader -> string option
 (** Pop the next complete frame payload, or [None] when more bytes are
-    needed. After a malformed length prefix (non-numeric, zero,
-    negative, or over the 64 MiB sanity cap) the reader is poisoned:
-    [next] returns [None] forever and {!malformed} turns true. *)
+    needed. The length prefix is parsed as strict decimal digits (an
+    optional trailing CR is tolerated): hostile spellings like "0x10"
+    or "1_000" are malformed rather than silently accepted. After a
+    malformed prefix (non-digit, empty, zero, over nine digits, or
+    over the 64 MiB sanity cap) the reader is poisoned: [next] returns
+    [None] forever and {!malformed} turns true. *)
 
 val malformed : reader -> bool
 
 val read_into : reader -> Unix.file_descr -> [ `Data | `Eof | `Blocked ]
 (** One [read] of up to 64 KiB fed into the reader. [`Blocked] covers
-    EAGAIN/EWOULDBLOCK on non-blocking descriptors; any other error
-    reports as [`Eof]. *)
+    EAGAIN/EWOULDBLOCK on non-blocking descriptors and EINTR (a signal
+    before any bytes moved); any other error reports as [`Eof]. *)

@@ -1,0 +1,440 @@
+(* Segmented, CRC-framed write-ahead log.
+
+   On disk a log directory holds:
+
+     wal-<lsn12>.seg    segments of framed records; the filename is the
+                        LSN of the segment's first record
+     snap-<lsn12>.snap  snapshots written atomically (temp + rename)
+
+   Each record is framed as
+
+     "NSWAL1 " <lsn:12hex> " " <len:8hex> " " <crc:8hex> "\n" payload "\n"
+
+   so recovery can validate every frame: magic, monotonically
+   consecutive LSNs, exact payload length, CRC-32 of the payload. The
+   first invalid frame is where the durable prefix ends — everything
+   from there on is a torn tail (crash mid-write) or trailing garbage,
+   and is truncated. *)
+
+let record_magic = "NSWAL1 "
+let snap_magic = "NSSNAP1 "
+let record_header_len = 7 + 12 + 1 + 8 + 1 + 8 + 1
+let snap_header_len = 8 + 12 + 1 + 8 + 1 + 8 + 1
+
+type fsync_policy = Per_record | Group_commit of float
+
+type recovery = {
+  snapshot : (int * string) option;
+  records : (int * string) list;
+  truncated_bytes : int;
+  dropped_segments : int;
+  corrupt_snapshots : int;
+}
+
+type t = {
+  dir : string;
+  fsync : fsync_policy;
+  segment_bytes : int;
+  mutable fd : Unix.file_descr;
+  mutable seg_size : int; (* bytes in the current segment *)
+  mutable seg_records : int; (* records in the current segment *)
+  mutable segs : (int * string) list; (* (start lsn, path), ascending *)
+  mutable next_lsn : int;
+  mutable snap_lsn : int;
+  mutable dirty : bool;
+  mutable last_sync : float;
+  mutable broken : bool; (* poisoned by a torn append *)
+  mutable closed : bool;
+}
+
+(* --- small helpers ------------------------------------------------------ *)
+
+let io ~dir ~op message = Error.Io { path = dir; op; message }
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let rec ensure_dir d =
+  if d <> Filename.dirname d && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let is_hex c = match c with '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+
+(* Fixed-width lowercase hex field, or None. *)
+let hex_field s off len =
+  if off + len > String.length s then None
+  else begin
+    let ok = ref true in
+    for i = off to off + len - 1 do
+      if not (is_hex s.[i]) then ok := false
+    done;
+    if !ok then int_of_string_opt ("0x" ^ String.sub s off len) else None
+  end
+
+let seg_name lsn = Printf.sprintf "wal-%012d.seg" lsn
+let snap_name lsn = Printf.sprintf "snap-%012d.snap" lsn
+
+(* "wal-000000000017.seg" -> Some 17 (and the snap equivalent). *)
+let parse_numbered ~prefix ~suffix name =
+  let pl = String.length prefix and sl = String.length suffix in
+  let n = String.length name in
+  if
+    n = pl + 12 + sl
+    && String.sub name 0 pl = prefix
+    && String.sub name (n - sl) sl = suffix
+  then
+    let digits = String.sub name pl 12 in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+      int_of_string_opt digits
+    else None
+  else None
+
+let frame_record ~lsn payload =
+  Printf.sprintf "%s%012x %08x %08x\n%s\n" record_magic lsn
+    (String.length payload) (Crc32.string payload) payload
+
+(* --- segment scanning --------------------------------------------------- *)
+
+(* Validate frames sequentially from [text]. Returns the records in
+   order, the byte offset of the end of the last valid frame, and the
+   next expected LSN. Stops (without raising) at the first invalid
+   frame: bad magic, non-consecutive LSN, short payload, missing
+   terminator, or CRC mismatch. *)
+let scan_segment ~expected_lsn text =
+  let n = String.length text in
+  let records = ref [] in
+  let expected = ref expected_lsn in
+  let off = ref 0 in
+  let good = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if !off + record_header_len > n then continue := false
+    else if String.sub text !off 7 <> record_magic then continue := false
+    else begin
+      match
+        ( hex_field text (!off + 7) 12,
+          text.[!off + 19],
+          hex_field text (!off + 20) 8,
+          text.[!off + 28],
+          hex_field text (!off + 29) 8,
+          text.[!off + 37] )
+      with
+      | Some lsn, ' ', Some len, ' ', Some crc, '\n'
+        when lsn = !expected && !off + record_header_len + len + 1 <= n -> (
+        let payload = String.sub text (!off + record_header_len) len in
+        if
+          text.[!off + record_header_len + len] = '\n'
+          && Crc32.string payload = crc
+        then begin
+          records := (lsn, payload) :: !records;
+          off := !off + record_header_len + len + 1;
+          good := !off;
+          incr expected
+        end
+        else continue := false)
+      | _ -> continue := false
+    end
+  done;
+  (List.rev !records, !good, !expected)
+
+let load_snapshot path =
+  match Atomic_file.read path with
+  | Error _ -> None
+  | Ok text ->
+    if
+      String.length text >= snap_header_len
+      && String.sub text 0 8 = snap_magic
+      && text.[snap_header_len - 1] = '\n'
+    then
+      match
+        (hex_field text 8 12, hex_field text 21 8, hex_field text 30 8)
+      with
+      | Some lsn, Some len, Some crc
+        when String.length text = snap_header_len + len ->
+        let payload = String.sub text snap_header_len len in
+        if Crc32.string payload = crc then Some (lsn, payload) else None
+      | _ -> None
+    else None
+
+(* --- open + recovery ---------------------------------------------------- *)
+
+let open_dir ?(fsync = Per_record) ?(segment_bytes = 4 * 1024 * 1024) dir =
+  match
+    ensure_dir dir;
+    ignore (Atomic_file.sweep_stale dir);
+    let entries = Sys.readdir dir in
+    let segs = ref [] and snaps = ref [] in
+    Array.iter
+      (fun name ->
+        match parse_numbered ~prefix:"wal-" ~suffix:".seg" name with
+        | Some lsn -> segs := (lsn, Filename.concat dir name) :: !segs
+        | None -> (
+          match parse_numbered ~prefix:"snap-" ~suffix:".snap" name with
+          | Some lsn -> snaps := (lsn, Filename.concat dir name) :: !snaps
+          | None -> ()))
+      entries;
+    let segs = List.sort compare !segs in
+    let snaps = List.sort (fun (a, _) (b, _) -> compare b a) !snaps in
+    (* Newest CRC-valid snapshot wins; corrupt ones are counted and
+       skipped (a crash mid-snapshot leaves exactly this debris). *)
+    let corrupt_snapshots = ref 0 in
+    let snapshot =
+      List.fold_left
+        (fun acc (_, path) ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match load_snapshot path with
+            | Some s -> Some s
+            | None ->
+              incr corrupt_snapshots;
+              None))
+        None snaps
+    in
+    let snap_lsn = match snapshot with Some (l, _) -> l | None -> 0 in
+    (* Scan segments in order; the first invalid frame ends the durable
+       prefix. The segment holding it is truncated there and every
+       later segment is dropped. *)
+    let records = ref [] in
+    let truncated_bytes = ref 0 in
+    let dropped_segments = ref 0 in
+    let live_segs = ref [] in
+    let expected = ref (-1) in
+    let torn = ref false in
+    List.iter
+      (fun (start, path) ->
+        if !torn then begin
+          incr dropped_segments;
+          try Sys.remove path with Sys_error _ -> ()
+        end
+        else begin
+          (* Across a segment boundary the LSNs must stay consecutive;
+             the first surviving segment anchors the sequence. *)
+          if !expected >= 0 && start <> !expected then torn := true;
+          if !torn then begin
+            incr dropped_segments;
+            try Sys.remove path with Sys_error _ -> ()
+          end
+          else
+            let text =
+              match Atomic_file.read path with Ok t -> t | Error _ -> ""
+            in
+            let recs, good, next = scan_segment ~expected_lsn:start text in
+            records := List.rev_append recs !records;
+            expected := next;
+            if good < String.length text then begin
+              torn := true;
+              truncated_bytes := !truncated_bytes + (String.length text - good);
+              if good = 0 && recs = [] then (
+                try Sys.remove path with Sys_error _ -> ())
+              else begin
+                Unix.truncate path good;
+                live_segs := (start, path) :: !live_segs
+              end
+            end
+            else if String.length text = 0 && recs = [] then (
+              (* An empty leftover segment (rotation then crash)
+                 carries no records; drop it. *)
+              try Sys.remove path with Sys_error _ -> ())
+            else live_segs := (start, path) :: !live_segs
+        end)
+      segs;
+    let records = List.rev !records in
+    let last_record_lsn =
+      match records with [] -> 0 | _ -> fst (List.nth records (List.length records - 1))
+    in
+    let next_lsn = 1 + max snap_lsn last_record_lsn in
+    let live_segs = List.rev !live_segs in
+    (* Open the tail segment for appending (creating a fresh one when
+       nothing survived recovery). *)
+    let seg_start, seg_path, seg_size, seg_records, segs =
+      match List.rev live_segs with
+      | (start, path) :: _ ->
+        let size = (Unix.stat path).Unix.st_size in
+        let count =
+          List.length (List.filter (fun (l, _) -> l >= start) records)
+        in
+        (start, path, size, count, live_segs)
+      | [] ->
+        let path = Filename.concat dir (seg_name next_lsn) in
+        (next_lsn, path, 0, 0, [ (next_lsn, path) ])
+    in
+    ignore seg_start;
+    let fd =
+      Unix.openfile seg_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    in
+    let t =
+      {
+        dir;
+        fsync;
+        segment_bytes = max 4096 segment_bytes;
+        fd;
+        seg_size;
+        seg_records;
+        segs;
+        next_lsn;
+        snap_lsn;
+        dirty = false;
+        last_sync = Unix.gettimeofday ();
+        broken = false;
+        closed = false;
+      }
+    in
+    let replay = List.filter (fun (l, _) -> l > snap_lsn) records in
+    ( t,
+      {
+        snapshot;
+        records = replay;
+        truncated_bytes = !truncated_bytes;
+        dropped_segments = !dropped_segments;
+        corrupt_snapshots = !corrupt_snapshots;
+      } )
+  with
+  | v -> Ok v
+  | exception e ->
+    Error (io ~dir ~op:"wal-open" (Printexc.to_string e))
+
+(* --- appending ---------------------------------------------------------- *)
+
+let do_fsync t =
+  Unix.fsync t.fd;
+  t.dirty <- false;
+  t.last_sync <- Unix.gettimeofday ()
+
+let sync t =
+  if t.closed then Error (io ~dir:t.dir ~op:"wal-sync" "log closed")
+  else
+    match if t.dirty then do_fsync t with
+    | () -> Ok ()
+    | exception e -> Error (io ~dir:t.dir ~op:"wal-sync" (Printexc.to_string e))
+
+let rotate_if_full t =
+  if t.seg_records > 0 && t.seg_size >= t.segment_bytes then begin
+    if t.dirty then do_fsync t;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    let path = Filename.concat t.dir (seg_name t.next_lsn) in
+    t.fd <-
+      Unix.openfile path
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_APPEND ]
+        0o644;
+    t.seg_size <- 0;
+    t.seg_records <- 0;
+    t.segs <- t.segs @ [ (t.next_lsn, path) ]
+  end
+
+let append t payload =
+  if t.closed then Error (io ~dir:t.dir ~op:"wal-append" "log closed")
+  else if t.broken then
+    Error (io ~dir:t.dir ~op:"wal-append" "log poisoned by a torn append")
+  else
+    match
+      rotate_if_full t;
+      let lsn = t.next_lsn in
+      let record = frame_record ~lsn payload in
+      if Fault.fires Fault.Wal_torn_append then begin
+        (* Crash mid-write: a prefix of the frame reaches the file and
+           the handle is unusable, exactly like a process death. *)
+        let torn = max 1 (String.length record / 2) in
+        (try write_all t.fd record 0 torn with _ -> ());
+        t.broken <- true;
+        Error (Error.Injected_fault { point = Fault.name Fault.Wal_torn_append })
+      end
+      else begin
+        write_all t.fd record 0 (String.length record);
+        t.dirty <- true;
+        t.seg_size <- t.seg_size + String.length record;
+        t.seg_records <- t.seg_records + 1;
+        t.next_lsn <- lsn + 1;
+        if Fault.fires Fault.Wal_crash_before_fsync then
+          (* The record is complete in the file but not fsynced: the
+             caller must treat the op as un-acked. *)
+          Error
+            (Error.Injected_fault
+               { point = Fault.name Fault.Wal_crash_before_fsync })
+        else begin
+          (match t.fsync with
+          | Per_record -> do_fsync t
+          | Group_commit interval ->
+            if Unix.gettimeofday () -. t.last_sync >= interval then do_fsync t);
+          Ok lsn
+        end
+      end
+    with
+    | r -> r
+    | exception e -> Error (io ~dir:t.dir ~op:"wal-append" (Printexc.to_string e))
+
+(* --- snapshots + compaction --------------------------------------------- *)
+
+(* Delete segments wholly covered by the snapshot: segment i's last
+   record is (start of segment i+1) - 1, so it can go once that is at
+   or below the snapshot LSN. The tail segment always stays. *)
+let compact t =
+  let rec go = function
+    | (_, p1) :: ((s2, _) :: _ as rest) when s2 - 1 <= t.snap_lsn ->
+      (try Sys.remove p1 with Sys_error _ -> ());
+      go rest
+    | segs -> segs
+  in
+  t.segs <- go t.segs;
+  (* Keep the newest two snapshots: the one just written plus one
+     fallback in case it is later found torn. *)
+  let snaps =
+    Sys.readdir t.dir |> Array.to_list
+    |> List.filter_map (fun n -> parse_numbered ~prefix:"snap-" ~suffix:".snap" n)
+    |> List.sort (fun a b -> compare b a)
+  in
+  List.iteri
+    (fun i lsn ->
+      if i >= 2 then
+        try Sys.remove (Filename.concat t.dir (snap_name lsn))
+        with Sys_error _ -> ())
+    snaps
+
+let snapshot t payload =
+  if t.closed then Error (io ~dir:t.dir ~op:"wal-snapshot" "log closed")
+  else begin
+    let lsn = t.next_lsn - 1 in
+    let content =
+      Printf.sprintf "%s%012x %08x %08x\n%s" snap_magic lsn
+        (String.length payload) (Crc32.string payload) payload
+    in
+    let path = Filename.concat t.dir (snap_name lsn) in
+    if Fault.fires Fault.Wal_snapshot_crash then begin
+      (* Crash mid-snapshot: a torn file lands at the destination
+         without the atomic rename. Recovery must reject it. *)
+      ignore
+        (Atomic_file.write_raw path
+           (String.sub content 0 (String.length content / 2)));
+      Error (Error.Injected_fault { point = Fault.name Fault.Wal_snapshot_crash })
+    end
+    else
+      (* The snapshot must never claim more than is durable in the
+         segments it is about to replace. *)
+      match sync t with
+      | Error e -> Error e
+      | Ok () -> (
+        match Atomic_file.write path content with
+        | Error e -> Error e
+        | Ok () ->
+          t.snap_lsn <- lsn;
+          (match compact t with () -> () | exception _ -> ());
+          Ok ())
+  end
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let last_lsn t = t.next_lsn - 1
+let snapshot_lsn t = t.snap_lsn
+let segment_count t = List.length t.segs
+
+let close t =
+  if not t.closed then begin
+    (try if t.dirty then do_fsync t with _ -> ());
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    t.closed <- true
+  end

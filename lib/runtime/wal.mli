@@ -1,0 +1,81 @@
+(** Segmented, CRC-framed append-only write-ahead log.
+
+    The log is a directory of segment files ([wal-<lsn>.seg], named by
+    the log sequence number of their first record) plus optional
+    snapshot files ([snap-<lsn>.snap]). Every record is framed with a
+    magic string, its LSN, its payload length, and a CRC-32 of the
+    payload, so recovery can tell a complete record from the torn tail
+    a crash (or power loss) leaves behind.
+
+    Durability contract: a record is durable once {!append} has
+    returned under the {!Per_record} policy, or once {!sync} has
+    returned under {!Group_commit}. "Acked implies durable" at a higher
+    layer means: do not acknowledge an operation to a client before the
+    corresponding append (and, for group commit, sync) has returned.
+
+    Recovery ({!open_dir}) loads the newest CRC-valid snapshot (corrupt
+    snapshots fall back to older ones), then scans segments in LSN
+    order validating every frame. The first invalid frame marks the end
+    of the durable prefix: the segment is truncated there and any later
+    segments are dropped. Records with LSNs at or below the snapshot
+    are skipped during replay; {!snapshot} deletes segments wholly
+    covered by the snapshot (compaction) using {!Atomic_file} so a
+    crash mid-snapshot never loses the previous one. *)
+
+type t
+
+type fsync_policy =
+  | Per_record  (** fsync before every append returns (default). *)
+  | Group_commit of float
+      (** fsync at most every [interval] seconds; appends inside the
+          window are buffered by the OS and may be lost on a crash
+          until {!sync} returns. The throughput/durability tradeoff is
+          the caller's to surface. *)
+
+type recovery = {
+  snapshot : (int * string) option;
+      (** Newest valid snapshot: (covered LSN, payload). *)
+  records : (int * string) list;
+      (** Durable records after the snapshot, in LSN order. *)
+  truncated_bytes : int;
+      (** Torn-tail bytes discarded from the last valid segment. *)
+  dropped_segments : int;
+      (** Whole segments discarded after a mid-log corruption. *)
+  corrupt_snapshots : int;
+      (** Snapshot files that failed CRC/format validation. *)
+}
+
+val open_dir :
+  ?fsync:fsync_policy ->
+  ?segment_bytes:int ->
+  string ->
+  (t * recovery, Error.t) result
+(** Open (creating if needed) the log directory, run recovery, and
+    position the log for appending after the durable prefix.
+    [segment_bytes] (default 4 MiB) bounds a segment before rotation. *)
+
+val append : t -> string -> (int, Error.t) result
+(** Append one record and return its LSN. Under {!Per_record} the
+    record is durable on return; under {!Group_commit} it is durable
+    only after the next {!sync} (explicit or policy-triggered). *)
+
+val sync : t -> (unit, Error.t) result
+(** Force an fsync of buffered appends. No-op when clean. *)
+
+val snapshot : t -> string -> (unit, Error.t) result
+(** Atomically persist [payload] as a snapshot covering every record
+    appended so far, then compact: delete segments wholly covered by
+    the snapshot and all but the two newest snapshot files. The log
+    stays open for appending. *)
+
+val last_lsn : t -> int
+(** LSN of the most recent record (0 when the log is empty). *)
+
+val snapshot_lsn : t -> int
+(** LSN covered by the newest valid snapshot (0 when none). *)
+
+val segment_count : t -> int
+(** Live segment files, including the one being appended to. *)
+
+val close : t -> unit
+(** Sync and close. Appending after [close] is an error. *)

@@ -547,6 +547,212 @@ let parallel_journal_equivalence ~seed ~dir () =
   Printf.sprintf "4-job journal byte-equivalent to sequential (%d lines)"
     (List.length seq_lines)
 
+(* --- WAL / durable-session scenarios --- *)
+
+module Wal = Runtime.Wal
+module Store = Nserve.Session_store
+
+let wal_store_config dir =
+  { Store.default_config with Store.wal_dir = Some dir }
+
+let store_ok t ?key ~sid op =
+  let o = Store.apply t ?key ~sid op in
+  match o.Store.reply with
+  | Ok fields -> (o.Store.replayed, fields)
+  | Error msg -> failwith (Printf.sprintf "op on %s refused: %s" sid msg)
+
+let subdir dir name =
+  let d = Filename.concat dir name in
+  if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+  d
+
+(* A torn append (half a frame reaches the disk before the "crash")
+   must not be acked, and recovery must truncate the tail back to the
+   exact durable prefix — no record lost, no garbage replayed. *)
+let wal_torn_append_truncates ~seed ~dir () =
+  let d = subdir dir "wal-torn" in
+  let durable = [ "alpha"; "beta"; "gamma" ] in
+  (match Wal.open_dir d with
+  | Error e -> failwith (Error.to_string e)
+  | Ok (wal, _) ->
+    List.iter
+      (fun p ->
+        match Wal.append wal p with
+        | Ok _ -> ()
+        | Error e -> failwith (Error.to_string e))
+      durable;
+    Fault.arm ~seed ~limit:1 [ Fault.Wal_torn_append ];
+    (match Wal.append wal "torn-victim" with
+    | Error (Error.Injected_fault { point }) ->
+      check (point = "wal-torn-append") ("wrong fault point: " ^ point)
+    | Ok _ -> failwith "torn append was acked"
+    | Error e -> failwith ("wrong error class: " ^ Error.to_string e));
+    Fault.disarm ();
+    (* The handle is poisoned (the process "died"); further appends
+       must refuse rather than write after the tear. *)
+    (match Wal.append wal "after-tear" with
+    | Error _ -> ()
+    | Ok _ -> failwith "append succeeded on a torn log");
+    Wal.close wal);
+  match Wal.open_dir d with
+  | Error e -> failwith ("recovery failed: " ^ Error.to_string e)
+  | Ok (wal2, recovery) ->
+    check (recovery.Wal.truncated_bytes > 0) "no torn tail was truncated";
+    check
+      (List.map snd recovery.Wal.records = durable)
+      "recovered records are not the exact durable prefix";
+    (* The log keeps working: the next append takes the next LSN. *)
+    (match Wal.append wal2 "delta" with
+    | Ok lsn -> check (lsn = 1 + List.length durable) "LSN sequence broken"
+    | Error e -> failwith (Error.to_string e));
+    Wal.close wal2;
+    Printf.sprintf
+      "torn tail truncated (%d bytes); exact %d-record durable prefix recovered"
+      recovery.Wal.truncated_bytes (List.length durable)
+
+(* A crash after the WAL write but before the fsync: the op is never
+   acked, yet may survive in the log. The client's keyed retry against
+   the recovered store must be answered exactly once — from the dedup
+   cache the replay rebuilt, not by a second execution. *)
+let wal_crash_before_fsync_exactly_once ~seed ~dir () =
+  let d = subdir dir "wal-fsync" in
+  let cfg = wal_store_config d in
+  (match Store.create cfg with
+  | Error e -> failwith (Error.to_string e)
+  | Ok (store, _) ->
+    ignore (store_ok store ~key:"k-new" ~sid:"s0" (Store.New 2));
+    ignore (store_ok store ~key:"k-add1" ~sid:"s0" (Store.Add "1 2 0"));
+    Fault.arm ~seed ~limit:1 [ Fault.Wal_crash_before_fsync ];
+    (match (Store.apply store ~key:"k-add2" ~sid:"s0" (Store.Add "-1 0")).Store.reply with
+    | Error _ -> () (* not durable -> not acked *)
+    | Ok _ -> failwith "unsynced append was acked");
+    Fault.disarm ();
+    (* State untouched: the refused op must not have executed. *)
+    (match Store.info store "s0" with
+    | Some (_, 1) -> ()
+    | Some (_, n) -> failwith (Printf.sprintf "refused add executed (%d clauses)" n)
+    | None -> failwith "session vanished");
+    (* Process dies here: abandon the store without closing. *))
+  ;
+  match Store.create (wal_store_config d) with
+  | Error e -> failwith ("recovery failed: " ^ Error.to_string e)
+  | Ok (store2, stats) ->
+    check (stats.Store.sessions = 1) "session not recovered";
+    (* The unacked record reached the OS before the "crash", so replay
+       may legitimately have applied it; either way the retry below
+       must leave exactly one copy. *)
+    let retried, _ = store_ok store2 ~key:"k-add2" ~sid:"s0" (Store.Add "-1 0") in
+    (match Store.info store2 "s0" with
+    | Some (_, 2) -> ()
+    | Some (_, n) ->
+      failwith (Printf.sprintf "retry not exactly-once: %d clauses" n)
+    | None -> failwith "session vanished after retry");
+    let _, fields = store_ok store2 ~key:"k-solve" ~sid:"s0" (Store.Solve "") in
+    (match Runtime.Journal.find_string fields "verdict" with
+    | Some "sat" -> ()
+    | v -> failwith ("recovered solve verdict wrong: "
+                     ^ Option.value v ~default:"none"));
+    Store.close store2;
+    Printf.sprintf
+      "unacked op refused, retry answered exactly once (%s); verdict sat"
+      (if retried then "deduped from replay" else "executed fresh")
+
+(* A crash mid-snapshot leaves a torn snapshot file. The op that
+   triggered the snapshot stays acked (segments alone carry
+   durability), and recovery must reject the torn snapshot and rebuild
+   from the full log. *)
+let wal_snapshot_crash_falls_back ~seed ~dir () =
+  let d = subdir dir "wal-snap" in
+  let cfg = { (wal_store_config d) with Store.snapshot_every = 2 } in
+  (match Store.create cfg with
+  | Error e -> failwith (Error.to_string e)
+  | Ok (store, _) ->
+    ignore (store_ok store ~sid:"s0" (Store.New 2));
+    Fault.arm ~seed ~limit:1 [ Fault.Wal_snapshot_crash ];
+    (* Second append crosses snapshot_every: the snapshot tears, the
+       add itself must still be acked. *)
+    ignore (store_ok store ~sid:"s0" (Store.Add "1 -2 0"));
+    check (Fault.fired_count Fault.Wal_snapshot_crash = 1)
+      "snapshot-crash fault never fired";
+    Fault.disarm ();
+    check (Store.snapshot_failures store = 1) "snapshot failure not counted");
+  match Store.create (wal_store_config d) with
+  | Error e -> failwith ("recovery failed: " ^ Error.to_string e)
+  | Ok (store2, stats) ->
+    check (stats.Store.corrupt_snapshots >= 1) "torn snapshot not detected";
+    check (not stats.Store.from_snapshot) "torn snapshot was trusted";
+    (match Store.info store2 "s0" with
+    | Some (2, 1) -> ()
+    | _ -> failwith "acked ops lost after snapshot crash");
+    Store.close store2;
+    "torn snapshot rejected; acked ops rebuilt from segments alone"
+
+(* The equivalence contract behind all of the above: a store recovered
+   from its WAL must answer exactly like an uninterrupted oracle that
+   executed the same ops, across a seeded random op sequence. *)
+let wal_recovery_matches_oracle ~seed ~dir () =
+  let d = subdir dir "wal-oracle" in
+  let rng = Util.Rng.create seed in
+  let sids = [| "a"; "b"; "c" |] in
+  let random_ops n =
+    List.init n (fun i ->
+        let sid = sids.(i mod Array.length sids) in
+        if i < Array.length sids then (sid, Store.New 3)
+        else if Util.Rng.uniform rng 0.0 1.0 < 0.2 then
+          let v = Util.Rng.int_in rng 1 3 in
+          (sid, Store.Solve (string_of_int (if Util.Rng.bool rng then v else -v)))
+        else
+          let pick () =
+            let v = Util.Rng.int_in rng 1 5 in
+            if Util.Rng.bool rng then v else -v
+          in
+          (sid, Store.Add (Printf.sprintf "%d %d %d 0" (pick ()) (pick ()) (pick ()))))
+  in
+  let ops = random_ops 40 in
+  let oracle =
+    match Store.create Store.default_config with
+    | Ok (t, _) -> t
+    | Error e -> failwith (Error.to_string e)
+  in
+  (match Store.create (wal_store_config d) with
+  | Error e -> failwith (Error.to_string e)
+  | Ok (durable, _) ->
+    List.iter
+      (fun (sid, op) ->
+        ignore (store_ok oracle ~sid op);
+        ignore (store_ok durable ~sid op))
+      ops
+    (* SIGKILL: the durable store is abandoned, never closed. *));
+  match Store.create (wal_store_config d) with
+  | Error e -> failwith ("recovery failed: " ^ Error.to_string e)
+  | Ok (recovered, stats) ->
+    check (stats.Store.replayed > 0) "nothing was replayed";
+    check
+      (stats.Store.sessions = Store.session_count oracle)
+      "recovered session count diverged";
+    Array.iter
+      (fun sid ->
+        if Store.info oracle sid <> Store.info recovered sid then
+          failwith (Printf.sprintf "session %s diverged after recovery" sid))
+      sids;
+    (* Same probes, same answers — including models and unsat cores. *)
+    Array.iter
+      (fun sid ->
+        List.iter
+          (fun assumptions ->
+            let probe t = (Store.apply t ~sid (Store.Solve assumptions)).Store.reply in
+            if probe oracle <> probe recovered then
+              failwith
+                (Printf.sprintf "solve %S on %s diverged after recovery"
+                   assumptions sid))
+          (* "99" probes the clean out-of-range error path too. *)
+          [ ""; "1"; "-1 2"; "99" ])
+      sids;
+    Store.close recovered;
+    Printf.sprintf
+      "%d replayed ops; all %d sessions answer identically to the oracle"
+      stats.Store.replayed stats.Store.sessions
+
 (* --- driver --- *)
 
 let all_scenarios =
@@ -566,6 +772,10 @@ let all_scenarios =
     ("breaker-trip-recover", breaker_trip_recovers);
     ("inprocess-abort-recover", inprocess_abort_recovers);
     ("parallel-journal-equivalence", parallel_journal_equivalence);
+    ("wal-torn-append-truncate", wal_torn_append_truncates);
+    ("wal-crash-before-fsync", wal_crash_before_fsync_exactly_once);
+    ("wal-snapshot-crash-fallback", wal_snapshot_crash_falls_back);
+    ("wal-recovery-oracle", wal_recovery_matches_oracle);
   ]
 
 let run_all ?dir ~seed () =

@@ -6,7 +6,12 @@
     poisoned gradient is skipped with a learning-rate backoff, a
     failing inference degrades to the default policy, a crashing
     instance is retried, and a killed campaign resumes from its JSONL
-    journal. Everything is deterministic in [seed], so a failure
+    journal. The WAL scenarios cover the durable-session contract: a
+    torn append truncates back to the exact durable prefix, a crash
+    before fsync keeps keyed retries exactly-once, a crash
+    mid-snapshot falls back to segment replay, and a recovered store
+    answers a random op sequence identically to an uninterrupted
+    oracle. Everything is deterministic in [seed], so a failure
     replays exactly. *)
 
 type outcome = {

@@ -16,6 +16,7 @@ let () =
       ("gen", Test_gen.suite);
       ("baselines", Test_baselines.suite);
       ("experiments", Test_experiments.suite);
+      ("serve", Test_serve.suite);
       ("verify", Test_verify.suite);
       ("refdiff", Test_refdiff.suite);
       ("inprocess", Test_inprocess.suite);

@@ -747,6 +747,179 @@ let test_pool_per_submit_limits () =
     checks "quick unaffected" "done" payload
   | _ -> Alcotest.fail "quick task should complete"
 
+(* --- write-ahead log --- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nswal" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let wal_append_ok wal p =
+  match Runtime.Wal.append wal p with
+  | Ok lsn -> lsn
+  | Error e -> Alcotest.failf "append: %s" (Runtime.Error.to_string e)
+
+let wal_open_ok ?segment_bytes dir =
+  match Runtime.Wal.open_dir ?segment_bytes dir with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "open_dir: %s" (Runtime.Error.to_string e)
+
+let test_wal_append_replay () =
+  with_temp_dir (fun dir ->
+      let payloads = [ "one"; ""; "two\nwith newline"; "three" ] in
+      let wal, r0 = wal_open_ok dir in
+      checki "fresh log has no records" 0 (List.length r0.Runtime.Wal.records);
+      List.iteri
+        (fun i p -> checki "LSNs are consecutive" (i + 1) (wal_append_ok wal p))
+        payloads;
+      Runtime.Wal.close wal;
+      let wal2, r = wal_open_ok dir in
+      checkb "payloads replay in order" true
+        (List.map snd r.Runtime.Wal.records = payloads);
+      checkb "LSNs replay in order" true
+        (List.map fst r.Runtime.Wal.records = [ 1; 2; 3; 4 ]);
+      checki "no bytes truncated" 0 r.Runtime.Wal.truncated_bytes;
+      checki "append resumes the sequence" 5 (wal_append_ok wal2 "five");
+      Runtime.Wal.close wal2)
+
+(* Truncate the (only) segment at EVERY byte offset: recovery must
+   return exactly the records whose complete frames survived, report
+   the leftover bytes as truncated, and keep accepting appends. *)
+let test_wal_torn_tail_every_offset () =
+  with_temp_dir (fun dir ->
+      let payloads = [ "alpha"; "b"; "gamma-gamma"; "" ] in
+      let seg = Filename.concat dir "wal-000000000001.seg" in
+      (* Byte offset of the end of each record, offsets.(i) = end of
+         record i; offsets.(0) = 0. *)
+      let wal, _ = wal_open_ok dir in
+      let offsets =
+        Array.of_list
+          (0
+          :: List.map
+               (fun p ->
+                 ignore (wal_append_ok wal p);
+                 (Unix.stat seg).Unix.st_size)
+               payloads)
+      in
+      Runtime.Wal.close wal;
+      let full = In_channel.with_open_bin seg In_channel.input_all in
+      checki "offsets cover the file" (String.length full)
+        offsets.(Array.length offsets - 1);
+      for cut = 0 to String.length full do
+        (* Rewrite the segment as a cut-byte prefix, as a torn tail
+           would leave it. *)
+        Array.iter
+          (fun n ->
+            try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        Out_channel.with_open_bin seg (fun oc ->
+            Out_channel.output_string oc (String.sub full 0 cut));
+        let survivors = ref 0 in
+        Array.iteri (fun i o -> if i > 0 && o <= cut then incr survivors) offsets;
+        let wal2, r = wal_open_ok dir in
+        if
+          List.map snd r.Runtime.Wal.records
+          <> List.filteri (fun i _ -> i < !survivors) payloads
+        then
+          Alcotest.failf
+            "cut at byte %d: expected %d-record prefix, got %d records" cut
+            !survivors
+            (List.length r.Runtime.Wal.records);
+        checki
+          (Printf.sprintf "cut at byte %d: leftover bytes reported" cut)
+          (cut - offsets.(!survivors))
+          r.Runtime.Wal.truncated_bytes;
+        (* The log stays writable after recovery. *)
+        checki
+          (Printf.sprintf "cut at byte %d: next LSN" cut)
+          (!survivors + 1)
+          (wal_append_ok wal2 "resumed");
+        Runtime.Wal.close wal2
+      done)
+
+let test_wal_segment_rotation () =
+  with_temp_dir (fun dir ->
+      let payloads = List.init 12 (fun i -> Printf.sprintf "record-%02d" i) in
+      (* segment_bytes is clamped to 4096: payloads are padded so a few
+         rotations actually happen. *)
+      let pad = String.make 2048 'x' in
+      let wal, _ = wal_open_ok ~segment_bytes:4096 dir in
+      List.iter (fun p -> ignore (wal_append_ok wal (p ^ pad))) payloads;
+      checkb "log rotated into several segments" true
+        (Runtime.Wal.segment_count wal > 1);
+      Runtime.Wal.close wal;
+      let wal2, r = wal_open_ok ~segment_bytes:4096 dir in
+      checkb "rotation preserves every record in order" true
+        (List.map snd r.Runtime.Wal.records
+        = List.map (fun p -> p ^ pad) payloads);
+      Runtime.Wal.close wal2)
+
+let test_wal_snapshot_compaction () =
+  with_temp_dir (fun dir ->
+      let pad = String.make 2048 'y' in
+      let wal, _ = wal_open_ok ~segment_bytes:4096 dir in
+      for i = 1 to 8 do
+        ignore (wal_append_ok wal (Printf.sprintf "pre-%d%s" i pad))
+      done;
+      let before = Runtime.Wal.segment_count wal in
+      (match Runtime.Wal.snapshot wal "the-state" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "snapshot: %s" (Runtime.Error.to_string e));
+      checkb "snapshot compacted covered segments" true
+        (Runtime.Wal.segment_count wal < before);
+      ignore (wal_append_ok wal "post-1");
+      ignore (wal_append_ok wal "post-2");
+      Runtime.Wal.close wal;
+      let wal2, r = wal_open_ok ~segment_bytes:4096 dir in
+      (match r.Runtime.Wal.snapshot with
+      | Some (lsn, "the-state") -> checki "snapshot covers the prefix" 8 lsn
+      | Some (_, s) -> Alcotest.failf "wrong snapshot payload %S" s
+      | None -> Alcotest.fail "snapshot not recovered");
+      checkb "replay starts after the snapshot" true
+        (List.map snd r.Runtime.Wal.records = [ "post-1"; "post-2" ]);
+      Runtime.Wal.close wal2)
+
+(* qcheck: any payload list (arbitrary bytes, any sizes) survives an
+   append/close/reopen cycle byte-for-byte, in order. *)
+let prop_wal_roundtrip =
+  QCheck.Test.make ~name:"wal append/replay roundtrip" ~count:60
+    QCheck.(small_list string)
+    (fun payloads ->
+      with_temp_dir (fun dir ->
+          let wal, _ = wal_open_ok dir in
+          List.iter (fun p -> ignore (wal_append_ok wal p)) payloads;
+          Runtime.Wal.close wal;
+          let wal2, r = wal_open_ok dir in
+          Runtime.Wal.close wal2;
+          List.map snd r.Runtime.Wal.records = payloads
+          && r.Runtime.Wal.truncated_bytes = 0))
+
+(* --- strict decimal length prefixes --- *)
+
+let test_frame_strict_decimal () =
+  let accepts prefix =
+    let r = Runtime.Frame.create_reader () in
+    let s = prefix ^ "\nhello" in
+    Runtime.Frame.feed r (Bytes.of_string s) ~len:(String.length s);
+    match Runtime.Frame.next r with
+    | Some "hello" -> true
+    | Some _ | None -> false
+  in
+  checkb "plain decimal accepted" true (accepts "5");
+  checkb "trailing CR tolerated" true (accepts "5\r");
+  (* Hostile spellings int_of_string would happily take. *)
+  List.iter
+    (fun prefix ->
+      checkb (Printf.sprintf "%S rejected" prefix) false (accepts prefix))
+    [ "0x10"; "1_000"; "+5"; "-5"; " 5"; "5 "; "0b101"; "0o17"; ""; "1e2" ]
+
 let suite =
   suite
   @ [
@@ -760,6 +933,15 @@ let suite =
         test_frame_roundtrip_chunked;
       Alcotest.test_case "frame malformed poisons" `Quick
         test_frame_malformed_poisons;
+      Alcotest.test_case "frame strict decimal prefix" `Quick
+        test_frame_strict_decimal;
       Alcotest.test_case "pool per-submit limits" `Quick
         test_pool_per_submit_limits;
+      Alcotest.test_case "wal append/replay" `Quick test_wal_append_replay;
+      Alcotest.test_case "wal torn tail at every offset" `Quick
+        test_wal_torn_tail_every_offset;
+      Alcotest.test_case "wal segment rotation" `Quick test_wal_segment_rotation;
+      Alcotest.test_case "wal snapshot compaction" `Quick
+        test_wal_snapshot_compaction;
+      QCheck_alcotest.to_alcotest prop_wal_roundtrip;
     ]

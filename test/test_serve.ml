@@ -1,0 +1,174 @@
+(* Tests for the durable session store behind ns-serve: WAL-backed
+   recovery, idempotency-key dedup, the session-table cap, and TTL
+   eviction. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+module Store = Nserve.Session_store
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nsserve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let create_ok cfg =
+  match Store.create cfg with
+  | Ok (t, stats) -> (t, stats)
+  | Error e -> Alcotest.failf "create: %s" (Runtime.Error.to_string e)
+
+let apply_ok t ?key ~sid op =
+  match (Store.apply t ?key ~sid op).Store.reply with
+  | Ok fields -> fields
+  | Error msg -> Alcotest.failf "apply on %s: %s" sid msg
+
+let test_volatile_session_lifecycle () =
+  let t, stats = create_ok Store.default_config in
+  checki "fresh store is empty" 0 stats.Store.sessions;
+  ignore (apply_ok t ~sid:"s" (Store.New 2));
+  ignore (apply_ok t ~sid:"s" (Store.Add "1 2 0"));
+  ignore (apply_ok t ~sid:"s" (Store.Add "-1 0"));
+  (match Store.info t "s" with
+  | Some (2, 2) -> ()
+  | Some (v, c) -> Alcotest.failf "info says %d vars, %d clauses" v c
+  | None -> Alcotest.fail "session missing");
+  let fields = apply_ok t ~sid:"s" (Store.Solve "") in
+  checkb "solve answers sat" true
+    (Runtime.Journal.find_string fields "verdict" = Some "sat");
+  (* Auto-introduction through Add, clean error for unknown solve vars. *)
+  ignore (apply_ok t ~sid:"s" (Store.Add "5 0"));
+  (match Store.info t "s" with
+  | Some (5, 3) -> ()
+  | _ -> Alcotest.fail "clause did not auto-introduce vars");
+  (match (Store.apply t ~sid:"s" (Store.Solve "9")).Store.reply with
+  | Error msg ->
+    checkb "out-of-range assumption is a clean client error" true
+      (String.length msg > 0 && msg.[0] = 's' (* "solve: ..." not "io ..." *))
+  | Ok _ -> Alcotest.fail "unknown assumption variable accepted");
+  ignore (apply_ok t ~sid:"s" Store.Close);
+  checkb "closed session gone" true (Store.info t "s" = None);
+  (* Tolerant double close; strict unknown-sid mutation. *)
+  ignore (apply_ok t ~sid:"s" Store.Close);
+  match (Store.apply t ~sid:"s" (Store.Add "1 0")).Store.reply with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "add on a closed session accepted"
+
+let test_recovery_and_dedup () =
+  with_temp_dir (fun dir ->
+      let cfg = { Store.default_config with Store.wal_dir = Some dir } in
+      let t, _ = create_ok cfg in
+      ignore (apply_ok t ~key:"a" ~sid:"s" (Store.New 2));
+      ignore (apply_ok t ~key:"b" ~sid:"s" (Store.Add "1 -2 0"));
+      let first = apply_ok t ~key:"c" ~sid:"s" (Store.Solve "") in
+      (* Same key, same reply, no re-execution — live. *)
+      let retry = Store.apply t ~key:"c" ~sid:"s" (Store.Solve "") in
+      checkb "live retry deduped" true retry.Store.replayed;
+      checkb "live retry reply identical" true (retry.Store.reply = Ok first);
+      (* SIGKILL: abandon without close, then recover. *)
+      let t2, stats = create_ok cfg in
+      checki "session recovered" 1 stats.Store.sessions;
+      checki "ops replayed" 3 stats.Store.replayed;
+      (match Store.info t2 "s" with
+      | Some (2, 1) -> ()
+      | _ -> Alcotest.fail "recovered session state wrong");
+      (* Same key against the recovered store: the replay rebuilt the
+         dedup cache, so the reply is the cached one. *)
+      let retry2 = Store.apply t2 ~key:"c" ~sid:"s" (Store.Solve "") in
+      checkb "post-crash retry deduped" true retry2.Store.replayed;
+      checkb "post-crash retry reply identical" true
+        (retry2.Store.reply = Ok first);
+      Store.close t2)
+
+let test_snapshot_recovery () =
+  with_temp_dir (fun dir ->
+      let cfg =
+        {
+          Store.default_config with
+          Store.wal_dir = Some dir;
+          snapshot_every = 4;
+        }
+      in
+      let t, _ = create_ok cfg in
+      ignore (apply_ok t ~sid:"s" (Store.New 2));
+      ignore (apply_ok t ~sid:"s" (Store.Add "1 2 0"));
+      ignore (apply_ok t ~sid:"s" (Store.Add "-1 2 0"));
+      ignore (apply_ok t ~sid:"s" (Store.Add "-2 1 0"));
+      (* 4 appends -> snapshot written; these two replay from the log. *)
+      ignore (apply_ok t ~sid:"t" (Store.New 1));
+      ignore (apply_ok t ~sid:"t" (Store.Add "1 0"));
+      let t2, stats = create_ok cfg in
+      checkb "recovery used the snapshot" true stats.Store.from_snapshot;
+      checki "only post-snapshot ops replayed" 2 stats.Store.replayed;
+      checki "both sessions recovered" 2 stats.Store.sessions;
+      (match (Store.info t2 "s", Store.info t2 "t") with
+      | Some (2, 3), Some (1, 1) -> ()
+      | _ -> Alcotest.fail "snapshot+replay state wrong");
+      (* The snapshotted solver still solves: consistency proof. *)
+      let fields = apply_ok t2 ~sid:"s" (Store.Solve "1") in
+      checkb "recovered-from-snapshot session solves" true
+        (Runtime.Journal.find_string fields "verdict" = Some "sat");
+      Store.close t2)
+
+let test_max_sessions_cap () =
+  let cfg = { Store.default_config with Store.max_sessions = 2 } in
+  let t, _ = create_ok cfg in
+  ignore (apply_ok t ~sid:"a" (Store.New 1));
+  ignore (apply_ok t ~sid:"b" (Store.New 1));
+  (match (Store.apply t ~sid:"c" (Store.New 1)).Store.reply with
+  | Error msg ->
+    checkb "cap error names the cap" true
+      (String.length msg > 0 && Store.session_count t = 2)
+  | Ok _ -> Alcotest.fail "session table cap not enforced");
+  (* Replacing an existing sid is not a new session: allowed at cap. *)
+  ignore (apply_ok t ~sid:"a" (Store.New 3));
+  checki "replacement kept the count" 2 (Store.session_count t);
+  (* Closing frees a slot. *)
+  ignore (apply_ok t ~sid:"b" Store.Close);
+  ignore (apply_ok t ~sid:"c" (Store.New 1));
+  checki "slot reuse after close" 2 (Store.session_count t)
+
+let test_ttl_eviction_survives_recovery () =
+  with_temp_dir (fun dir ->
+      let cfg =
+        {
+          Store.default_config with
+          Store.wal_dir = Some dir;
+          session_ttl = 0.05;
+        }
+      in
+      let t, _ = create_ok cfg in
+      ignore (apply_ok t ~sid:"old" (Store.New 1));
+      checki "nothing idle yet" 0 (Store.evict_idle t);
+      Unix.sleepf 0.08;
+      ignore (apply_ok t ~sid:"fresh" (Store.New 1));
+      checki "one idle session evicted" 1 (Store.evict_idle t);
+      checki "eviction counter" 1 (Store.evictions t);
+      checkb "evicted session gone" true (Store.info t "old" = None);
+      checkb "fresh session kept" true (Store.info t "fresh" <> None);
+      (* Evictions are WAL-logged: a recovered server must not
+         resurrect the evicted session. *)
+      let t2, stats = create_ok cfg in
+      checki "only the live session recovered" 1 stats.Store.sessions;
+      checkb "evicted stays evicted after recovery" true
+        (Store.info t2 "old" = None);
+      Store.close t2)
+
+let suite =
+  [
+    Alcotest.test_case "volatile session lifecycle" `Quick
+      test_volatile_session_lifecycle;
+    Alcotest.test_case "crash recovery + exactly-once dedup" `Quick
+      test_recovery_and_dedup;
+    Alcotest.test_case "snapshot + replay recovery" `Quick
+      test_snapshot_recovery;
+    Alcotest.test_case "max-sessions cap" `Quick test_max_sessions_cap;
+    Alcotest.test_case "ttl eviction survives recovery" `Quick
+      test_ttl_eviction_survives_recovery;
+  ]
