@@ -450,6 +450,16 @@ let sweep_idle srv =
     if n > 0 then log srv "evicted %d idle session(s)" n
   end
 
+(* Group-commit WAL fsyncs are driven from here on every loop tick:
+   appends only sync opportunistically when more traffic arrives, so
+   without this a pause in traffic would strand the last burst of
+   acked ops outside the --wal-group-commit durability window
+   indefinitely. Store.flush itself checks the interval. *)
+let flush_wal srv =
+  match Store.flush srv.store with
+  | Ok () -> ()
+  | Error e -> log srv "wal flush failed: %s" (Runtime.Error.to_string e)
+
 let serve_loop srv ~accept_fd ~initial_clients =
   let clients = ref initial_clients in
   let continue = ref true in
@@ -494,6 +504,7 @@ let serve_loop srv ~accept_fd ~initial_clients =
         !clients;
     Runtime.Pool.pump srv.pool;
     sweep_idle srv;
+    flush_wal srv;
     if srv.draining then begin
       drain_and_exit srv clients;
       continue := false
@@ -566,10 +577,11 @@ let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
   if srv.wal_enabled then begin
     log srv
       "wal recovery: %d session(s), %d record(s) replayed, snapshot=%b, \
-       truncated=%dB, corrupt_snapshots=%d (%.1f ms)"
+       truncated=%dB, corrupt_snapshots=%d, restore_errors=%d (%.1f ms)"
       recovery.Store.sessions recovery.Store.replayed
       recovery.Store.from_snapshot recovery.Store.truncated_bytes
-      recovery.Store.corrupt_snapshots (1000.0 *. recovery_s);
+      recovery.Store.corrupt_snapshots recovery.Store.restore_errors
+      (1000.0 *. recovery_s);
     journal_append srv
       [
         ("event", Runtime.Journal.String "recovered");
@@ -579,6 +591,7 @@ let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
         ("truncated_bytes", Runtime.Journal.Int recovery.Store.truncated_bytes);
         ( "corrupt_snapshots",
           Runtime.Journal.Int recovery.Store.corrupt_snapshots );
+        ("restore_errors", Runtime.Journal.Int recovery.Store.restore_errors);
         ("recovery_ms", Runtime.Journal.Float (1000.0 *. recovery_s));
       ]
   end;
@@ -613,6 +626,7 @@ let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
         List.iter (handle_frame srv writer) (drain_frames reader);
       Runtime.Pool.pump srv.pool;
       sweep_idle srv;
+      flush_wal srv;
       if srv.draining then begin
         drain_and_exit srv (ref []);
         continue := false

@@ -250,6 +250,26 @@ let open_dir ?(fsync = Per_record) ?(segment_bytes = 4 * 1024 * 1024) dir =
     in
     let next_lsn = 1 + max snap_lsn last_record_lsn in
     let live_segs = List.rev !live_segs in
+    (* A surviving-segment chain that starts above snap_lsn + 1 means
+       records between the snapshot and the chain were deleted — e.g.
+       the newer snapshot that justified compacting them is itself the
+       corrupt one we just skipped. Replaying across that hole would
+       silently lose acked state: refuse loudly instead. (With no valid
+       snapshot at all, snap_lsn is 0 and the same test catches
+       segments that no longer reach back to LSN 1.) *)
+    (match live_segs with
+    | (first_start, _) :: _ when first_start > snap_lsn + 1 ->
+      Error.raise_
+        (Error.Corrupt
+           {
+             path = dir;
+             detail =
+               Printf.sprintf
+                 "wal: records %d..%d missing between snapshot and first \
+                  surviving segment"
+                 (snap_lsn + 1) (first_start - 1);
+           })
+    | _ -> ());
     (* Open the tail segment for appending (creating a fresh one when
        nothing survived recovery). *)
     let seg_start, seg_path, seg_size, seg_records, segs =
@@ -296,6 +316,7 @@ let open_dir ?(fsync = Per_record) ?(segment_bytes = 4 * 1024 * 1024) dir =
       } )
   with
   | v -> Ok v
+  | exception Error.Runtime_error err -> Error err
   | exception e ->
     Error (io ~dir ~op:"wal-open" (Printexc.to_string e))
 
@@ -312,6 +333,21 @@ let sync t =
     match if t.dirty then do_fsync t with
     | () -> Ok ()
     | exception e -> Error (io ~dir:t.dir ~op:"wal-sync" (Printexc.to_string e))
+
+let dirty t = t.dirty
+
+(* [append] only fsyncs opportunistically when a later append arrives;
+   callers drive this from their event loop so a traffic pause cannot
+   leave acked-but-unsynced records behind past the configured
+   interval. *)
+let maybe_sync t =
+  match t.fsync with
+  | Group_commit interval
+    when t.dirty && (not t.closed)
+         && Unix.gettimeofday () -. t.last_sync >= interval ->
+    sync t
+  | Per_record when t.dirty && not t.closed -> sync t
+  | _ -> Ok ()
 
 let rotate_if_full t =
   if t.seg_records > 0 && t.seg_size >= t.segment_bytes then begin
@@ -370,19 +406,15 @@ let append t payload =
 
 (* --- snapshots + compaction --------------------------------------------- *)
 
-(* Delete segments wholly covered by the snapshot: segment i's last
-   record is (start of segment i+1) - 1, so it can go once that is at
-   or below the snapshot LSN. The tail segment always stays. *)
+(* Compaction must leave the log recoverable from the OLDEST retained
+   snapshot: the newest one can still be lost to bit rot, and falling
+   back to the older one is only sound if every record after its LSN
+   survives in segments. So: keep the two newest snapshots, then
+   delete only segments wholly covered by the older of the two.
+   Segment i's last record is (start of segment i+1) - 1, so it can go
+   once that is at or below the retention LSN; the tail segment always
+   stays. *)
 let compact t =
-  let rec go = function
-    | (_, p1) :: ((s2, _) :: _ as rest) when s2 - 1 <= t.snap_lsn ->
-      (try Sys.remove p1 with Sys_error _ -> ());
-      go rest
-    | segs -> segs
-  in
-  t.segs <- go t.segs;
-  (* Keep the newest two snapshots: the one just written plus one
-     fallback in case it is later found torn. *)
   let snaps =
     Sys.readdir t.dir |> Array.to_list
     |> List.filter_map (fun n -> parse_numbered ~prefix:"snap-" ~suffix:".snap" n)
@@ -393,7 +425,19 @@ let compact t =
       if i >= 2 then
         try Sys.remove (Filename.concat t.dir (snap_name lsn))
         with Sys_error _ -> ())
-    snaps
+    snaps;
+  let retain_lsn =
+    match snaps with
+    | _newest :: older :: _ -> min older t.snap_lsn
+    | _ -> t.snap_lsn
+  in
+  let rec go = function
+    | (_, p1) :: ((s2, _) :: _ as rest) when s2 - 1 <= retain_lsn ->
+      (try Sys.remove p1 with Sys_error _ -> ());
+      go rest
+    | segs -> segs
+  in
+  t.segs <- go t.segs
 
 let snapshot t payload =
   if t.closed then Error (io ~dir:t.dir ~op:"wal-snapshot" "log closed")

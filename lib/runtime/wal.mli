@@ -52,7 +52,11 @@ val open_dir :
   (t * recovery, Error.t) result
 (** Open (creating if needed) the log directory, run recovery, and
     position the log for appending after the durable prefix.
-    [segment_bytes] (default 4 MiB) bounds a segment before rotation. *)
+    [segment_bytes] (default 4 MiB) bounds a segment before rotation.
+    Fails with [Error.Corrupt] when the surviving segments do not
+    reach back to the chosen snapshot's LSN + 1 — an LSN hole means
+    acked records were lost, and replaying across it would silently
+    diverge. *)
 
 val append : t -> string -> (int, Error.t) result
 (** Append one record and return its LSN. Under {!Per_record} the
@@ -62,10 +66,22 @@ val append : t -> string -> (int, Error.t) result
 val sync : t -> (unit, Error.t) result
 (** Force an fsync of buffered appends. No-op when clean. *)
 
+val maybe_sync : t -> (unit, Error.t) result
+(** Fsync buffered appends iff the {!Group_commit} interval has
+    elapsed since the last sync (immediately when dirty under
+    {!Per_record}). {!append} only syncs opportunistically when a
+    later append arrives, so callers must drive this from their event
+    loop to bound the durability window across traffic pauses. *)
+
+val dirty : t -> bool
+(** Whether appends are buffered but not yet fsynced. *)
+
 val snapshot : t -> string -> (unit, Error.t) result
 (** Atomically persist [payload] as a snapshot covering every record
-    appended so far, then compact: delete segments wholly covered by
-    the snapshot and all but the two newest snapshot files. The log
+    appended so far, then compact. All but the two newest snapshot
+    files are deleted; segments are deleted only when wholly covered
+    by the {e older} retained snapshot, so a fallback from a newest
+    snapshot later found corrupt never meets an LSN hole. The log
     stays open for appending. *)
 
 val last_lsn : t -> int

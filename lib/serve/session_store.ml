@@ -22,8 +22,15 @@ module Error = Runtime.Error
 
 (* --- wire helpers (shared with bin/serve.ml) --------------------------- *)
 
+(* Clause / assumption strings may arrive with embedded newlines or
+   tabs (legal through the wire protocol's JSON escapes); normalising
+   them to single spaces gives every consumer — the solver parser, WAL
+   records, snapshot fields — one canonical form. *)
+let normalize_ws s =
+  String.map (function ' ' | '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
 let lits_of_string s =
-  String.split_on_char ' ' (String.trim s)
+  String.split_on_char ' ' (String.trim (normalize_ws s))
   |> List.filter_map (fun tok ->
          match int_of_string_opt (String.trim tok) with
          | None | Some 0 -> None
@@ -79,6 +86,7 @@ type recovery_stats = {
   from_snapshot : bool;
   truncated_bytes : int;
   corrupt_snapshots : int;
+  restore_errors : int;
 }
 
 type session = {
@@ -163,6 +171,22 @@ let fresh_session vars =
     last_used = Unix.gettimeofday ();
   }
 
+(* Auto-introduce the variables the clause mentions, then add it.
+   Shared by live Adds and snapshot restore so both accept exactly the
+   same inputs — restore must never be stricter than the path that
+   acked the clause. *)
+let add_clause_to_session s clause =
+  let lits = lits_of_string clause in
+  List.iter
+    (fun l ->
+      while Cnf.Lit.var l > Cdcl.Solver.num_vars s.solver do
+        ignore (Cdcl.Solver.new_var s.solver)
+      done)
+    lits;
+  Cdcl.Solver.add_clause s.solver lits;
+  s.clauses <- clause :: s.clauses;
+  s.clause_count <- s.clause_count + 1
+
 let execute t ~sid op : (Journal.record, string) result =
   let with_session f =
     match Hashtbl.find_opt t.sessions sid with
@@ -190,17 +214,7 @@ let execute t ~sid op : (Journal.record, string) result =
   | Add clause ->
     with_session (fun s ->
         protected (fun () ->
-            let lits = lits_of_string clause in
-            (* Auto-introduce variables the clause mentions. *)
-            List.iter
-              (fun l ->
-                while Cnf.Lit.var l > Cdcl.Solver.num_vars s.solver do
-                  ignore (Cdcl.Solver.new_var s.solver)
-                done)
-              lits;
-            Cdcl.Solver.add_clause s.solver lits;
-            s.clauses <- clause :: s.clauses;
-            s.clause_count <- s.clause_count + 1;
+            add_clause_to_session s clause;
             [ ("vars", Journal.Int (Cdcl.Solver.num_vars s.solver)) ]))
   | Solve assumptions ->
     with_session (fun s ->
@@ -252,14 +266,22 @@ let snapshot_payload t =
   in
   Hashtbl.iter
     (fun sid s ->
+      (* One Journal field per clause ("c0".."cN-1" plus the count):
+         joining the clause strings with a separator would be ambiguous
+         for any clause that itself contains the separator, and a
+         restore that mis-splits silently diverges from the acked
+         state. *)
+      let clauses = List.rev s.clauses in
       line
-        [
-          ("k", Journal.String "sess");
-          ("sid", Journal.String sid);
-          ("vars", Journal.Int (Cdcl.Solver.num_vars s.solver));
-          ( "clauses",
-            Journal.String (String.concat "\n" (List.rev s.clauses)) );
-        ])
+        ([
+           ("k", Journal.String "sess");
+           ("sid", Journal.String sid);
+           ("vars", Journal.Int (Cdcl.Solver.num_vars s.solver));
+           ("n", Journal.Int (List.length clauses));
+         ]
+        @ List.mapi
+            (fun i c -> (Printf.sprintf "c%d" i, Journal.String c))
+            clauses))
     t.sessions;
   Queue.iter
     (fun key ->
@@ -298,32 +320,45 @@ let maybe_snapshot t =
       t.snapshot_failures <- t.snapshot_failures + 1;
       t.appends_since_snapshot <- 0
 
+(* Rebuild sessions and the dedup cache from a snapshot payload.
+   Returns the number of entries that could not be restored: a CRC
+   guards the payload, but a malformed entry must degrade to one lost
+   session — never an exception out of [create] that would crash-loop
+   the server on every restart. *)
 let restore_from_snapshot t payload =
+  let failures = ref 0 in
   String.split_on_char '\n' payload
   |> List.iter (fun line ->
-         (* Session clause lists embed \n inside JSON strings, where it
-            is escaped — raw newlines only separate records. *)
+         (* Clause strings are JSON-escaped fields, so raw newlines
+            only ever separate records. *)
          match Journal.parse_line line with
-         | None -> ()
+         | None -> if String.trim line <> "" then incr failures
          | Some fields -> (
            match Journal.find_string fields "k" with
-           | Some "sess" ->
+           | Some "sess" -> (
              let sid =
                Option.value (Journal.find_string fields "sid") ~default:"?"
              in
              let vars =
                Option.value (Journal.find_int fields "vars") ~default:0
              in
-             let s = fresh_session vars in
-             Option.value (Journal.find_string fields "clauses") ~default:""
-             |> String.split_on_char '\n'
-             |> List.iter (fun clause ->
-                    if String.trim clause <> "" then begin
-                      Cdcl.Solver.add_clause s.solver (lits_of_string clause);
-                      s.clauses <- clause :: s.clauses;
-                      s.clause_count <- s.clause_count + 1
-                    end);
-             Hashtbl.replace t.sessions sid s
+             let n = Option.value (Journal.find_int fields "n") ~default:0 in
+             match
+               Error.protect ~context:"session-restore" (fun () ->
+                   let s = fresh_session vars in
+                   for i = 0 to n - 1 do
+                     match
+                       Journal.find_string fields (Printf.sprintf "c%d" i)
+                     with
+                     | Some clause -> add_clause_to_session s clause
+                     | None -> ()
+                   done;
+                   s)
+             with
+             | Ok s -> Hashtbl.replace t.sessions sid s
+             | Error _ ->
+               incr failures;
+               Hashtbl.remove t.sessions sid)
            | Some "dedup" -> (
              match
                ( Journal.find_string fields "key",
@@ -332,9 +367,10 @@ let restore_from_snapshot t payload =
              | Some key, Some resp -> (
                match Journal.parse_line resp with
                | Some record -> cache_reply t key record
-               | None -> ())
-             | _ -> ())
-           | _ -> ()))
+               | None -> incr failures)
+             | _ -> incr failures)
+           | _ -> incr failures));
+  !failures
 
 (* --- apply -------------------------------------------------------------- *)
 
@@ -350,6 +386,15 @@ let log_op t ?key ~sid op =
     | Error e -> Error e)
 
 let apply t ?key ~sid op =
+  (* Canonicalise embedded whitespace before anything is logged or
+     cached, so WAL records, snapshots, and the live solver all see
+     the same clause text (replay re-normalises identically). *)
+  let op =
+    match op with
+    | Add clause -> Add (normalize_ws clause)
+    | Solve assumptions -> Solve (normalize_ws assumptions)
+    | (New _ | New_var | Close | Evict) as op -> op
+  in
   match key with
   | Some k when Hashtbl.mem t.dedup k ->
     { reply = Ok (Hashtbl.find t.dedup k); replayed = true }
@@ -442,6 +487,7 @@ let create cfg =
           from_snapshot = false;
           truncated_bytes = 0;
           corrupt_snapshots = 0;
+          restore_errors = 0;
         } )
   | Some dir -> (
     match
@@ -450,9 +496,11 @@ let create cfg =
     | Error e -> Error e
     | Ok (wal, recovery) ->
       let t = make (Some wal) in
-      (match recovery.Wal.snapshot with
-      | Some (_, payload) -> restore_from_snapshot t payload
-      | None -> ());
+      let restore_errors =
+        match recovery.Wal.snapshot with
+        | Some (_, payload) -> restore_from_snapshot t payload
+        | None -> 0
+      in
       let replayed = replay_records t recovery.Wal.records in
       Ok
         ( t,
@@ -462,6 +510,7 @@ let create cfg =
             from_snapshot = recovery.Wal.snapshot <> None;
             truncated_bytes = recovery.Wal.truncated_bytes;
             corrupt_snapshots = recovery.Wal.corrupt_snapshots;
+            restore_errors;
           } ))
 
 (* --- queries + maintenance ---------------------------------------------- *)
@@ -490,5 +539,8 @@ let evict_idle t =
 
 let evictions t = t.evictions
 let snapshot_failures t = t.snapshot_failures
+
+let flush t =
+  match t.wal with None -> Ok () | Some wal -> Wal.maybe_sync wal
 
 let close t = match t.wal with None -> () | Some wal -> Wal.close wal

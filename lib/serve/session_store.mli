@@ -9,6 +9,16 @@
     deterministic solver, so a recovered session answers exactly like
     one that was never interrupted.
 
+    One caveat scopes that equivalence: snapshots persist each
+    session's clauses but not solver-internal search state (saved
+    phases, activities, learned clauses). Replay from the log's
+    genesis reproduces replies bit-for-bit; replay {e on top of a
+    snapshot} regenerates post-snapshot replies on a
+    fresh-with-clauses solver, so a keyed retry of such an op is
+    answered with the same {e verdict} but possibly a different
+    (equally valid) SAT model or unsat core. Replies cached before
+    the snapshot are carried through it verbatim.
+
     Client retries are made exactly-once by an idempotency-key dedup
     cache: a request whose [key] was already executed returns the
     cached reply without touching the solver. The cache is rebuilt
@@ -49,6 +59,9 @@ type recovery_stats = {
   from_snapshot : bool;
   truncated_bytes : int;  (** Torn-tail bytes discarded on open. *)
   corrupt_snapshots : int;
+  restore_errors : int;
+      (** Snapshot entries that failed to restore (each degrades to
+          one lost session rather than a failed [create]). *)
 }
 
 type t
@@ -90,6 +103,13 @@ val snapshot_failures : t -> int
 val snapshot_now : t -> (unit, Runtime.Error.t) result
 (** Force a snapshot + compaction immediately. *)
 
+val flush : t -> (unit, Runtime.Error.t) result
+(** Fsync WAL appends that the group-commit policy has buffered past
+    its interval. Appends only sync opportunistically when more
+    traffic arrives, so the serving loop must call this on its tick to
+    bound the durability window across traffic pauses. No-op for
+    volatile stores and under per-record fsync. *)
+
 val close : t -> unit
 (** Sync and close the WAL. The in-memory table remains usable but no
     longer durable; meant for process shutdown. *)
@@ -97,7 +117,8 @@ val close : t -> unit
 (** {1 Wire-format helpers} (shared with bin/serve.ml) *)
 
 val lits_of_string : string -> Cnf.Lit.t list
-(** Space-separated DIMACS literals; zeros and junk tokens dropped. *)
+(** Whitespace-separated DIMACS literals (newlines and tabs count as
+    separators); zeros and junk tokens dropped. *)
 
 val model_to_string : bool array -> string
 val verdict_name : Cdcl.Solver.result -> string

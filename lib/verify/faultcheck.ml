@@ -687,28 +687,30 @@ let wal_snapshot_crash_falls_back ~seed ~dir () =
     Store.close store2;
     "torn snapshot rejected; acked ops rebuilt from segments alone"
 
+let oracle_sids = [| "a"; "b"; "c" |]
+
+let random_session_ops rng n =
+  List.init n (fun i ->
+      let sid = oracle_sids.(i mod Array.length oracle_sids) in
+      if i < Array.length oracle_sids then (sid, Store.New 3)
+      else if Util.Rng.uniform rng 0.0 1.0 < 0.2 then
+        let v = Util.Rng.int_in rng 1 3 in
+        (sid, Store.Solve (string_of_int (if Util.Rng.bool rng then v else -v)))
+      else
+        let pick () =
+          let v = Util.Rng.int_in rng 1 5 in
+          if Util.Rng.bool rng then v else -v
+        in
+        (sid, Store.Add (Printf.sprintf "%d %d %d 0" (pick ()) (pick ()) (pick ()))))
+
 (* The equivalence contract behind all of the above: a store recovered
    from its WAL must answer exactly like an uninterrupted oracle that
    executed the same ops, across a seeded random op sequence. *)
 let wal_recovery_matches_oracle ~seed ~dir () =
   let d = subdir dir "wal-oracle" in
   let rng = Util.Rng.create seed in
-  let sids = [| "a"; "b"; "c" |] in
-  let random_ops n =
-    List.init n (fun i ->
-        let sid = sids.(i mod Array.length sids) in
-        if i < Array.length sids then (sid, Store.New 3)
-        else if Util.Rng.uniform rng 0.0 1.0 < 0.2 then
-          let v = Util.Rng.int_in rng 1 3 in
-          (sid, Store.Solve (string_of_int (if Util.Rng.bool rng then v else -v)))
-        else
-          let pick () =
-            let v = Util.Rng.int_in rng 1 5 in
-            if Util.Rng.bool rng then v else -v
-          in
-          (sid, Store.Add (Printf.sprintf "%d %d %d 0" (pick ()) (pick ()) (pick ()))))
-  in
-  let ops = random_ops 40 in
+  let sids = oracle_sids in
+  let ops = random_session_ops rng 40 in
   let oracle =
     match Store.create Store.default_config with
     | Ok (t, _) -> t
@@ -753,6 +755,71 @@ let wal_recovery_matches_oracle ~seed ~dir () =
       "%d replayed ops; all %d sessions answer identically to the oracle"
       stats.Store.replayed stats.Store.sessions
 
+(* The oracle above never crosses a snapshot (40 ops, snapshot_every
+   256). Snapshots persist clauses but not solver-internal search
+   state, so replies regenerated by replay on top of a snapshot may
+   carry a different — equally valid — SAT model. The durable contract
+   across snapshot recovery is therefore *verdict* stability, which
+   this scenario checks with snapshot_every small enough that recovery
+   restores a snapshot and replays beyond it. *)
+let wal_snapshot_recovery_verdicts ~seed ~dir () =
+  let d = subdir dir "wal-snap-oracle" in
+  let cfg =
+    { Store.default_config with Store.wal_dir = Some d; snapshot_every = 7 }
+  in
+  let rng = Util.Rng.create (seed + 1) in
+  let ops = random_session_ops rng 40 in
+  let oracle =
+    match Store.create Store.default_config with
+    | Ok (t, _) -> t
+    | Error e -> failwith (Error.to_string e)
+  in
+  (match Store.create cfg with
+  | Error e -> failwith (Error.to_string e)
+  | Ok (durable, _) ->
+    List.iter
+      (fun (sid, op) ->
+        ignore (store_ok oracle ~sid op);
+        ignore (store_ok durable ~sid op))
+      ops
+    (* SIGKILL: the durable store is abandoned, never closed. *));
+  match Store.create cfg with
+  | Error e -> failwith ("recovery failed: " ^ Error.to_string e)
+  | Ok (recovered, stats) ->
+    check stats.Store.from_snapshot "recovery never restored a snapshot";
+    check (stats.Store.replayed > 0) "recovery never replayed past the snapshot";
+    check (stats.Store.restore_errors = 0) "snapshot entries failed to restore";
+    Array.iter
+      (fun sid ->
+        if Store.info oracle sid <> Store.info recovered sid then
+          failwith (Printf.sprintf "session %s diverged after recovery" sid))
+      oracle_sids;
+    let verdict t sid assumptions =
+      match (Store.apply t ~sid (Store.Solve assumptions)).Store.reply with
+      | Ok fields ->
+        Option.value
+          (Runtime.Journal.find_string fields "verdict")
+          ~default:"?"
+      | Error _ -> "error"
+    in
+    Array.iter
+      (fun sid ->
+        List.iter
+          (fun assumptions ->
+            let o = verdict oracle sid assumptions in
+            let r = verdict recovered sid assumptions in
+            if o <> r then
+              failwith
+                (Printf.sprintf
+                   "verdict for %S on %s diverged after recovery: %s vs %s"
+                   assumptions sid o r))
+          [ ""; "1"; "-1 2"; "99" ])
+      oracle_sids;
+    Store.close recovered;
+    Printf.sprintf
+      "snapshot + %d replayed ops; verdicts match the oracle on all %d sessions"
+      stats.Store.replayed stats.Store.sessions
+
 (* --- driver --- *)
 
 let all_scenarios =
@@ -776,6 +843,7 @@ let all_scenarios =
     ("wal-crash-before-fsync", wal_crash_before_fsync_exactly_once);
     ("wal-snapshot-crash-fallback", wal_snapshot_crash_falls_back);
     ("wal-recovery-oracle", wal_recovery_matches_oracle);
+    ("wal-snapshot-recovery-oracle", wal_snapshot_recovery_verdicts);
   ]
 
 let run_all ?dir ~seed () =

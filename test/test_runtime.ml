@@ -886,6 +886,86 @@ let test_wal_snapshot_compaction () =
         (List.map snd r.Runtime.Wal.records = [ "post-1"; "post-2" ]);
       Runtime.Wal.close wal2)
 
+(* Bit rot in the newest snapshot must fall back to the older one with
+   no LSN hole: compaction retains every segment after the OLDER of
+   the two kept snapshots, so the fallback still has a contiguous
+   record chain to replay. *)
+let two_snapshot_log dir =
+  let pad = String.make 2048 'z' in
+  let wal, _ = wal_open_ok ~segment_bytes:4096 dir in
+  for i = 1 to 4 do
+    ignore (wal_append_ok wal (Printf.sprintf "a%d%s" i pad))
+  done;
+  (match Runtime.Wal.snapshot wal "snap-old" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "snapshot: %s" (Runtime.Error.to_string e));
+  for i = 5 to 8 do
+    ignore (wal_append_ok wal (Printf.sprintf "b%d%s" i pad))
+  done;
+  (match Runtime.Wal.snapshot wal "snap-new" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "snapshot: %s" (Runtime.Error.to_string e));
+  Runtime.Wal.close wal;
+  (* Rot the newest snapshot: flip its last payload byte in place. *)
+  let newest = Filename.concat dir "snap-000000000008.snap" in
+  let text = In_channel.with_open_bin newest In_channel.input_all in
+  let b = Bytes.of_string text in
+  Bytes.set b (Bytes.length b - 1) '!';
+  Out_channel.with_open_bin newest (fun oc -> Out_channel.output_bytes oc b)
+
+let test_wal_snapshot_fallback_no_gap () =
+  with_temp_dir (fun dir ->
+      two_snapshot_log dir;
+      let wal2, r = wal_open_ok ~segment_bytes:4096 dir in
+      checki "rotted snapshot counted" 1 r.Runtime.Wal.corrupt_snapshots;
+      (match r.Runtime.Wal.snapshot with
+      | Some (4, "snap-old") -> ()
+      | Some (lsn, s) -> Alcotest.failf "fell back to (%d, %S)" lsn s
+      | None -> Alcotest.fail "older snapshot not used");
+      checkb "every record after the fallback snapshot survives" true
+        (List.map fst r.Runtime.Wal.records = [ 5; 6; 7; 8 ]);
+      checki "append resumes the sequence" 9 (wal_append_ok wal2 "nine");
+      Runtime.Wal.close wal2)
+
+(* If the records between the fallback snapshot and the surviving
+   segments really are gone (here: a segment deleted by hand), recovery
+   must refuse loudly instead of replaying across the hole. *)
+let test_wal_gap_fails_loudly () =
+  with_temp_dir (fun dir ->
+      two_snapshot_log dir;
+      Sys.remove (Filename.concat dir "wal-000000000005.seg");
+      match Runtime.Wal.open_dir ~segment_bytes:4096 dir with
+      | Error (Runtime.Error.Corrupt _) -> ()
+      | Error e ->
+        Alcotest.failf "wrong error class: %s" (Runtime.Error.to_string e)
+      | Ok _ -> Alcotest.fail "LSN hole between snapshot and segments accepted")
+
+(* Group commit: append leaves the record buffered; [maybe_sync] holds
+   off inside the interval and syncs once it elapses, so an event loop
+   driving it bounds the durability window without traffic. *)
+let test_wal_group_commit_maybe_sync () =
+  with_temp_dir (fun dir ->
+      match
+        Runtime.Wal.open_dir ~fsync:(Runtime.Wal.Group_commit 0.2) dir
+      with
+      | Error e -> Alcotest.failf "open_dir: %s" (Runtime.Error.to_string e)
+      | Ok (wal, _) ->
+        ignore (wal_append_ok wal "buffered");
+        checkb "append inside the interval stays buffered" true
+          (Runtime.Wal.dirty wal);
+        (match Runtime.Wal.maybe_sync wal with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "maybe_sync: %s" (Runtime.Error.to_string e));
+        checkb "maybe_sync holds off inside the interval" true
+          (Runtime.Wal.dirty wal);
+        Unix.sleepf 0.25;
+        (match Runtime.Wal.maybe_sync wal with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "maybe_sync: %s" (Runtime.Error.to_string e));
+        checkb "maybe_sync fsyncs once the interval elapses" false
+          (Runtime.Wal.dirty wal);
+        Runtime.Wal.close wal)
+
 (* qcheck: any payload list (arbitrary bytes, any sizes) survives an
    append/close/reopen cycle byte-for-byte, in order. *)
 let prop_wal_roundtrip =
@@ -943,5 +1023,11 @@ let suite =
       Alcotest.test_case "wal segment rotation" `Quick test_wal_segment_rotation;
       Alcotest.test_case "wal snapshot compaction" `Quick
         test_wal_snapshot_compaction;
+      Alcotest.test_case "wal snapshot fallback without gap" `Quick
+        test_wal_snapshot_fallback_no_gap;
+      Alcotest.test_case "wal LSN gap fails loudly" `Quick
+        test_wal_gap_fails_loudly;
+      Alcotest.test_case "wal group-commit maybe_sync" `Quick
+        test_wal_group_commit_maybe_sync;
       QCheck_alcotest.to_alcotest prop_wal_roundtrip;
     ]

@@ -116,6 +116,39 @@ let test_snapshot_recovery () =
         (Runtime.Journal.find_string fields "verdict" = Some "sat");
       Store.close t2)
 
+(* A clause with an embedded newline (legal through the wire's JSON
+   \n escape) must survive the snapshot round-trip: whitespace is
+   normalised on entry and the snapshot stores one field per clause,
+   so restore can never mis-split a clause into bogus fragments or
+   crash [create] on an out-of-range variable. *)
+let test_snapshot_newline_clause () =
+  with_temp_dir (fun dir ->
+      let cfg =
+        {
+          Store.default_config with
+          Store.wal_dir = Some dir;
+          snapshot_every = 3;
+        }
+      in
+      let t, _ = create_ok cfg in
+      ignore (apply_ok t ~sid:"s" (Store.New 1));
+      ignore (apply_ok t ~sid:"s" (Store.Add "1 -2 0"));
+      (* Third append triggers the snapshot; this clause carries the
+         hostile newline and auto-introduces nothing new. *)
+      ignore (apply_ok t ~sid:"s" (Store.Add "2\n1 0"));
+      (* SIGKILL: abandon without close, then recover. *)
+      let t2, stats = create_ok cfg in
+      checkb "recovery used the snapshot" true stats.Store.from_snapshot;
+      checki "no restore errors" 0 stats.Store.restore_errors;
+      (match Store.info t2 "s" with
+      | Some (2, 2) -> ()
+      | Some (v, c) -> Alcotest.failf "restored %d vars, %d clauses" v c
+      | None -> Alcotest.fail "session lost in snapshot restore");
+      let fields = apply_ok t2 ~sid:"s" (Store.Solve "") in
+      checkb "restored session solves" true
+        (Runtime.Journal.find_string fields "verdict" = Some "sat");
+      Store.close t2)
+
 let test_max_sessions_cap () =
   let cfg = { Store.default_config with Store.max_sessions = 2 } in
   let t, _ = create_ok cfg in
@@ -168,6 +201,8 @@ let suite =
       test_recovery_and_dedup;
     Alcotest.test_case "snapshot + replay recovery" `Quick
       test_snapshot_recovery;
+    Alcotest.test_case "newline clause survives snapshot" `Quick
+      test_snapshot_newline_clause;
     Alcotest.test_case "max-sessions cap" `Quick test_max_sessions_cap;
     Alcotest.test_case "ttl eviction survives recovery" `Quick
       test_ttl_eviction_survives_recovery;
