@@ -22,7 +22,10 @@
 let fast = Sys.getenv_opt "NS_BENCH_FAST" = Some "1"
 
 let sections =
-  [ "fig3"; "table1"; "fig4"; "table2"; "table3"; "fig7"; "ablation"; "kernels" ]
+  [
+    "fig3"; "table1"; "fig4"; "table2"; "table3"; "fig7"; "ablation"; "kernels";
+    "portfolio";
+  ]
 
 let usage () =
   Printf.eprintf
@@ -316,6 +319,56 @@ let run_kernels () =
   in
   List.iter handle (kernel_tests ())
 
+(* Portfolio wall-clock: K=4 diversified workers with clause sharing
+   vs each single configuration run to completion sequentially. The
+   instance and labels are fixed across fast/full mode so the entries
+   pair with bench/baseline.json in CI; fast mode only drops the
+   repetitions. *)
+let run_portfolio () =
+  section_header "Portfolio — K=4 shared vs best single config";
+  let holes = 7 in
+  let f = Gen.Pigeonhole.unsat holes in
+  let label = Printf.sprintf "PHP(%d,%d)" (holes + 1) holes in
+  let reps = if fast then 1 else 3 in
+  let time_avg g =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      g ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let specs = Portfolio.diversify ~k:4 ~seed:5 in
+  let best_name = ref "" and best = ref infinity in
+  Array.iter
+    (fun (s : Portfolio.spec) ->
+      let dt =
+        time_avg (fun () ->
+            match Cdcl.Solver.solve (Cdcl.Solver.create ~config:s.config f) with
+            | Cdcl.Solver.Unsat -> ()
+            | _ -> failwith "portfolio bench: single config lost UNSAT")
+      in
+      Format.printf "  single %-32s %8.3f s@." s.Portfolio.name dt;
+      if dt < !best then begin
+        best := dt;
+        best_name := s.Portfolio.name
+      end)
+    specs;
+  let shared =
+    time_avg (fun () ->
+        match (Portfolio.solve ~k:4 ~seed:5 f).Portfolio.verdict with
+        | Portfolio.Unsat _ -> ()
+        | _ -> failwith "portfolio bench: portfolio lost UNSAT")
+  in
+  Format.printf
+    "  best single (%s) %.3f s; portfolio K=4 %.3f s; speedup %.2fx@."
+    !best_name !best shared (!best /. shared);
+  kernel_estimates :=
+    { Obs.Bench_report.name = "portfolio: K=4 shared solve " ^ label;
+      ns_per_run = shared *. 1e9 }
+    :: { Obs.Bench_report.name = "portfolio: best single config " ^ label;
+         ns_per_run = !best *. 1e9 }
+    :: !kernel_estimates
+
 let write_json path =
   let date =
     let tm = Unix.gmtime (Unix.time ()) in
@@ -346,5 +399,6 @@ let () =
   if wanted "fig7" then run_fig7 ();
   if wanted "ablation" then run_ablation ();
   if wanted "kernels" then run_kernels ();
+  if wanted "portfolio" then run_portfolio ();
   (match json_out with Some path -> write_json path | None -> ());
   Format.printf "@.done.@."

@@ -1,0 +1,140 @@
+type clause = { lits : Cnf.Lit.t array; glue : int; frequency : int }
+type batch = { sender : int; epoch : int; clauses : clause list }
+
+type error =
+  | Truncated
+  | Bad_magic
+  | Bad_crc of { expected : string; actual : string }
+  | Malformed of string
+
+let error_to_string = function
+  | Truncated -> "truncated blob"
+  | Bad_magic -> "bad magic"
+  | Bad_crc { expected; actual } ->
+    Printf.sprintf "crc mismatch (expected %s, got %s)" expected actual
+  | Malformed detail -> Printf.sprintf "malformed blob: %s" detail
+
+let magic = "NSSHR1"
+
+(* Hard ceilings so a corrupt count field cannot drive a huge
+   allocation before the CRC is even consulted. *)
+let max_clauses = 1_000_000
+let max_clause_lits = 1_000_000
+
+let encode b =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int b.sender);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int b.epoch);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int (List.length b.clauses));
+  List.iter
+    (fun c ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int c.glue);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int c.frequency);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (Array.length c.lits));
+      Array.iter
+        (fun l ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int (Cnf.Lit.to_dimacs l)))
+        c.lits)
+    b.clauses;
+  let body = Buffer.contents buf in
+  body ^ "#" ^ Runtime.Crc32.to_hex (Runtime.Crc32.string body) ^ ";"
+
+exception Bad of error
+
+(* Strict signed-decimal scanner over the body; anything else (empty
+   field, stray characters, overflow) is malformed. *)
+type scanner = { s : string; limit : int; mutable pos : int }
+
+let next_int sc =
+  if sc.pos >= sc.limit then raise (Bad (Malformed "missing field"));
+  if sc.s.[sc.pos] <> ' ' then raise (Bad (Malformed "missing separator"));
+  sc.pos <- sc.pos + 1;
+  let neg = sc.pos < sc.limit && sc.s.[sc.pos] = '-' in
+  if neg then sc.pos <- sc.pos + 1;
+  let start = sc.pos in
+  let v = ref 0 in
+  while
+    sc.pos < sc.limit
+    &&
+    let ch = sc.s.[sc.pos] in
+    ch >= '0' && ch <= '9'
+  do
+    let d = Char.code sc.s.[sc.pos] - Char.code '0' in
+    if !v > (max_int - d) / 10 then raise (Bad (Malformed "integer overflow"));
+    v := (!v * 10) + d;
+    sc.pos <- sc.pos + 1
+  done;
+  if sc.pos = start then raise (Bad (Malformed "empty integer"));
+  if neg then - !v else !v
+
+let decode_one s ~pos =
+  match String.index_from_opt s pos ';' with
+  | None -> Error Truncated
+  | Some stop -> (
+    let blob = String.sub s pos (stop - pos) in
+    match String.rindex_opt blob '#' with
+    | None -> Error (Malformed "missing checksum")
+    | Some hash ->
+      let body = String.sub blob 0 hash in
+      let expected = String.sub blob (hash + 1) (String.length blob - hash - 1) in
+      let actual = Runtime.Crc32.to_hex (Runtime.Crc32.string body) in
+      if not (String.equal expected actual) then Error (Bad_crc { expected; actual })
+      else if
+        String.length body < String.length magic
+        || not (String.equal (String.sub body 0 (String.length magic)) magic)
+      then Error Bad_magic
+      else begin
+        let sc = { s = body; limit = String.length body; pos = String.length magic } in
+        try
+          let sender = next_int sc in
+          let epoch = next_int sc in
+          let count = next_int sc in
+          if sender < 0 || epoch < 0 then raise (Bad (Malformed "negative header"));
+          if count < 0 || count > max_clauses then
+            raise (Bad (Malformed "clause count out of range"));
+          let clauses = ref [] in
+          for _ = 1 to count do
+            let glue = next_int sc in
+            let frequency = next_int sc in
+            let n = next_int sc in
+            if glue < 0 || frequency < 0 then
+              raise (Bad (Malformed "negative clause field"));
+            if n < 1 || n > max_clause_lits then
+              raise (Bad (Malformed "literal count out of range"));
+            let lits =
+              Array.init n (fun _ ->
+                  let d = next_int sc in
+                  if d = 0 then raise (Bad (Malformed "zero literal"));
+                  Cnf.Lit.of_dimacs d)
+            in
+            clauses := { lits; glue; frequency } :: !clauses
+          done;
+          if sc.pos <> sc.limit then raise (Bad (Malformed "trailing bytes"));
+          Ok ({ sender; epoch; clauses = List.rev !clauses }, stop + 1)
+        with Bad e -> Error e
+      end)
+
+let decode s =
+  match decode_one s ~pos:0 with
+  | Error e -> Error e
+  | Ok (b, stop) ->
+    if stop <> String.length s then Error (Malformed "trailing bytes after blob")
+    else Ok b
+
+let decode_all s =
+  let rec go pos acc =
+    if pos >= String.length s then Ok (List.rev acc)
+    else
+      match decode_one s ~pos with
+      | Error e -> Error e
+      | Ok (b, pos') -> go pos' (b :: acc)
+  in
+  go 0 []

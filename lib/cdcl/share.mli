@@ -1,0 +1,49 @@
+(** Serialized clause batches for portfolio learned-clause exchange.
+
+    A batch carries one sharing epoch's exports from one worker:
+    literals (DIMACS ints on the wire), the clause's glue at export
+    time, and its propagation-frequency score (Section 3) so the
+    importer can seed its deletion policy. The encoding is a flat
+    ASCII integer stream guarded by a CRC32 of the body, and each blob
+    is self-delimiting so several batches concatenate on one pipe
+    frame and decode back in order.
+
+    The codec is pure string-to-string: transport framing (length
+    prefixes, pipes, retries) belongs to {!Runtime.Frame}, and this
+    module owns only payload integrity. Corruption is reported as a
+    typed {!error}, never an exception — a torn or bit-flipped blob
+    must be droppable by the importer without touching its arena. *)
+
+type clause = {
+  lits : Cnf.Lit.t array;  (** Non-empty; variables are sender-local. *)
+  glue : int;  (** Glue (LBD) at export time; [0] for root units. *)
+  frequency : int;  (** Propagation-frequency score at export time. *)
+}
+
+type batch = {
+  sender : int;  (** Worker index in the portfolio. *)
+  epoch : int;  (** Sharing epoch the exports belong to. *)
+  clauses : clause list;  (** In export order. *)
+}
+
+type error =
+  | Truncated  (** The blob ends before its delimiter. *)
+  | Bad_magic  (** The body does not start with the format tag. *)
+  | Bad_crc of { expected : string; actual : string }
+      (** Body bytes do not match the carried checksum. *)
+  | Malformed of string  (** Syntactically broken or out-of-bounds field. *)
+
+val error_to_string : error -> string
+
+val encode : batch -> string
+(** Self-delimiting blob; safe to concatenate with other blobs. *)
+
+val decode : string -> (batch, error) result
+(** Decode a single blob occupying the whole string. *)
+
+val decode_one : string -> pos:int -> (batch * int, error) result
+(** Decode the blob starting at [pos]; returns the position just past
+    its delimiter. *)
+
+val decode_all : string -> (batch list, error) result
+(** Decode a concatenation of blobs (possibly none). *)

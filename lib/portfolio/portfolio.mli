@@ -1,0 +1,73 @@
+(** Portfolio solving with learned-clause sharing.
+
+    Runs K diversified solver configurations on the same formula, each
+    in a {!Runtime.Supervisor} worker process, first decisive verdict
+    wins and the losers are cancelled. Workers exchange learned
+    clauses through the parent over pipes, in lockstep {e sharing
+    epochs}: at its k-th restart boundary every worker ships its epoch
+    exports ({!Cdcl.Share} blobs framed by {!Runtime.Frame}) and
+    blocks until the parent has collected the epoch from every live
+    participant and relayed each worker the others' clauses in sorted
+    sender order. The lockstep barrier makes a fixed-seed run
+    reproducible: worker trajectories are independent of OS
+    scheduling, and the winner is decided at a barrier (lowest worker
+    index among decisive verdicts), never by a wall-clock race. See
+    DESIGN.md §12 for the determinism contract.
+
+    Imports are RUP-validated by the solver before attachment, so the
+    winning UNSAT proof stays DRUP-checkable despite foreign clauses.
+
+    Fault hooks: {!Runtime.Fault.Share_torn_frame} (a worker tears its
+    clause batch and drops to solo solving; the parent counts the torn
+    frame and departs it from barriers) and
+    {!Runtime.Fault.Portfolio_worker_kill} (the parent SIGKILLs one
+    worker mid-exchange; the barrier continues without it). *)
+
+type spec = { name : string; config : Cdcl.Config.t }
+
+val diversify : k:int -> seed:int -> spec array
+(** The diversification table: policies (default EVSIDS / the paper's
+    frequency policy), inprocessing on/off, and per-worker Luby
+    restart units perturbed deterministically by [seed]. *)
+
+type verdict =
+  | Sat of bool array  (** Model indexed by variable (index 0 unused). *)
+  | Unsat of string option  (** DRUP proof text when [proof] was set. *)
+  | Unknown
+
+type outcome = {
+  verdict : verdict;
+  winner : int;  (** Winning worker index, or [-1] without a verdict. *)
+  winner_name : string;
+  epochs : int;  (** Sharing epochs completed by the parent. *)
+  exported : int;  (** Clauses shipped by workers, summed. *)
+  imported : int;  (** Clauses RUP-validated and attached, summed. *)
+  rejected : int;  (** Foreign clauses dropped by importers, summed. *)
+  torn_frames : int;  (** Corrupt clause batches dropped by the parent. *)
+  workers_killed : int;  (** Workers lost to kills/crashes mid-exchange. *)
+  cancel_seconds : float;  (** First decisive verdict -> all reaped. *)
+  journal : string list;
+      (** Deterministic run journal (one flat-JSON line per entry): a
+          fixed seed reproduces it byte for byte. *)
+}
+
+val solve :
+  ?k:int ->
+  ?seed:int ->
+  ?share:bool ->
+  ?interval:int ->
+  ?glue_limit:int ->
+  ?per_epoch:int ->
+  ?proof:bool ->
+  ?mem_limit_mb:int ->
+  ?max_conflicts:int ->
+  ?journal_path:string ->
+  Cnf.Formula.t ->
+  outcome
+(** [solve formula] with [k] workers (default 4), sharing on by
+    default, exchanging every [interval] restarts (default 1).
+    [proof] makes every worker record a DRUP trace so the winning
+    UNSAT proof can be checked. [max_conflicts] bounds each worker
+    (verdict [Unknown] when every worker exhausts it). [journal_path]
+    additionally writes the deterministic journal to a file.
+    Populates [portfolio.*] metrics in {!Obs.Metrics}. *)

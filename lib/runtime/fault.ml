@@ -11,6 +11,8 @@ type point =
   | Wal_torn_append
   | Wal_crash_before_fsync
   | Wal_snapshot_crash
+  | Share_torn_frame
+  | Portfolio_worker_kill
 
 let all =
   [
@@ -26,6 +28,8 @@ let all =
     Wal_torn_append;
     Wal_crash_before_fsync;
     Wal_snapshot_crash;
+    Share_torn_frame;
+    Portfolio_worker_kill;
   ]
 
 let name = function
@@ -41,6 +45,8 @@ let name = function
   | Wal_torn_append -> "wal-torn-append"
   | Wal_crash_before_fsync -> "wal-crash-before-fsync"
   | Wal_snapshot_crash -> "wal-snapshot-crash"
+  | Share_torn_frame -> "share-torn-frame"
+  | Portfolio_worker_kill -> "portfolio-worker-kill"
 
 let of_name s = List.find_opt (fun p -> name p = s) all
 

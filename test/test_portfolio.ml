@@ -1,0 +1,212 @@
+(* Portfolio clause-sharing tests: the Share wire codec (roundtrip and
+   corruption properties), mid-search import survival across arena GC,
+   and end-to-end Portfolio determinism. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- Share codec --- *)
+
+let lit_of_dimacs n = Cnf.Lit.make (abs n) (n > 0)
+
+let mk_clause lits glue frequency =
+  { Cdcl.Share.lits = Array.of_list (List.map lit_of_dimacs lits); glue; frequency }
+
+let mk_batch sender epoch clauses = { Cdcl.Share.sender; epoch; clauses }
+
+let batch_equal (a : Cdcl.Share.batch) (b : Cdcl.Share.batch) =
+  a.sender = b.sender && a.epoch = b.epoch
+  && List.length a.clauses = List.length b.clauses
+  && List.for_all2
+       (fun (x : Cdcl.Share.clause) (y : Cdcl.Share.clause) ->
+         x.glue = y.glue && x.frequency = y.frequency && x.lits = y.lits)
+       a.clauses b.clauses
+
+let test_share_roundtrip_basic () =
+  let b =
+    mk_batch 2 7
+      [ mk_clause [ 1; -2; 3 ] 2 14; mk_clause [ -4 ] 0 0; mk_clause [ 5; 6 ] 1 3 ]
+  in
+  match Cdcl.Share.decode (Cdcl.Share.encode b) with
+  | Ok b' -> checkb "roundtrip" true (batch_equal b b')
+  | Error e -> Alcotest.fail (Cdcl.Share.error_to_string e)
+
+let test_share_empty_batch () =
+  let b = mk_batch 0 0 [] in
+  match Cdcl.Share.decode (Cdcl.Share.encode b) with
+  | Ok b' -> checkb "empty batch roundtrips" true (batch_equal b b')
+  | Error e -> Alcotest.fail (Cdcl.Share.error_to_string e)
+
+let test_share_decode_all () =
+  let bs =
+    [
+      mk_batch 0 3 [ mk_clause [ 1; 2 ] 2 5 ];
+      mk_batch 1 3 [];
+      mk_batch 3 3 [ mk_clause [ -1; -2; 7 ] 3 1; mk_clause [ 9 ] 0 2 ];
+    ]
+  in
+  let blob = String.concat "" (List.map Cdcl.Share.encode bs) in
+  (match Cdcl.Share.decode_all blob with
+  | Ok bs' ->
+    checki "count" (List.length bs) (List.length bs');
+    checkb "all equal" true (List.for_all2 batch_equal bs bs')
+  | Error e -> Alcotest.fail (Cdcl.Share.error_to_string e));
+  match Cdcl.Share.decode_all "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty concatenation decodes to no batches"
+
+let test_share_garbage_typed () =
+  (* Garbage must come back as a typed error, never an exception. *)
+  List.iter
+    (fun s ->
+      match Cdcl.Share.decode s with
+      | Ok _ -> Alcotest.failf "garbage %S decoded" s
+      | Error _ -> ())
+    [ ""; ";"; "#deadbeef;"; "NSSHR1 garbage"; "\x00\x01\x02;"; "NSSHR1#00000000;" ]
+
+(* Random batches for the properties: senders/epochs small, clauses
+   with literals over 50 vars, glue and frequency in realistic ranges. *)
+let gen_batch =
+  QCheck.Gen.(
+    let gen_clause =
+      map3
+        (fun lits glue freq -> mk_clause lits glue freq)
+        (list_size (int_range 1 8)
+           (map (fun n -> if n >= 0 then n + 1 else n - 1)
+              (int_range (-49) 49)))
+        (int_range 0 12) (int_range 0 999)
+    in
+    map3 (fun s e cs -> mk_batch s e cs) (int_range 0 15) (int_range 0 99)
+      (list_size (int_range 0 10) gen_clause))
+
+let arb_batch = QCheck.make gen_batch
+
+let prop_share_roundtrip =
+  QCheck.Test.make ~name:"share encode/decode roundtrip" ~count:200 arb_batch
+    (fun b ->
+      match Cdcl.Share.decode (Cdcl.Share.encode b) with
+      | Ok b' -> batch_equal b b'
+      | Error _ -> false)
+
+let prop_share_truncation =
+  (* Any strict prefix of a blob is rejected as [Truncated]. *)
+  QCheck.Test.make ~name:"share prefix rejected as Truncated" ~count:200
+    QCheck.(pair arb_batch small_nat)
+    (fun (b, cut) ->
+      let s = Cdcl.Share.encode b in
+      let prefix = String.sub s 0 (cut mod String.length s) in
+      Cdcl.Share.decode prefix = Error Cdcl.Share.Truncated)
+
+let prop_share_corruption =
+  (* Flipping any digit of the body is caught by the checksum. *)
+  QCheck.Test.make ~name:"share bit-flip rejected as Bad_crc" ~count:200
+    QCheck.(pair arb_batch small_nat)
+    (fun (b, pos) ->
+      let s = Cdcl.Share.encode b in
+      let body_len = String.rindex s '#' in
+      let digits = ref [] in
+      String.iteri
+        (fun i c -> if i < body_len && c >= '0' && c <= '9' then digits := i :: !digits)
+        s;
+      match !digits with
+      | [] -> QCheck.assume_fail ()
+      | ds ->
+        let i = List.nth ds (pos mod List.length ds) in
+        let by = Bytes.of_string s in
+        Bytes.set by i (if Bytes.get by i = '9' then '0' else '9');
+        (match Cdcl.Share.decode (Bytes.to_string by) with
+        | Error (Cdcl.Share.Bad_crc _) -> true
+        | Ok _ | Error _ -> false))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_share_roundtrip; prop_share_truncation; prop_share_corruption ]
+
+(* --- mid-search import across arena GC --- *)
+
+let test_import_survives_gc () =
+  let f = Gen.Pigeonhole.unsat 5 in
+  (* Solver A harvests its exports; it never imports anything. *)
+  let collected = ref [] in
+  let a =
+    Cdcl.Solver.create
+      ~config:{ Cdcl.Config.default with restart_mode = Cdcl.Config.Luby 20 }
+      f
+  in
+  Cdcl.Solver.set_share a (fun ~epoch:_ exports ->
+      collected := !collected @ exports;
+      []);
+  checkb "A unsat" true (Cdcl.Solver.solve a = Cdcl.Solver.Unsat);
+  checkb "A exported" true (!collected <> []);
+  (* Solver B imports A's clauses mid-search under an aggressive reduce
+     schedule, so arena compactions run while the imports are attached:
+     a stale watch or cref would corrupt search or break the proof. *)
+  let b =
+    Cdcl.Solver.create
+      ~config:
+        {
+          Cdcl.Config.default with
+          restart_mode = Cdcl.Config.Luby 20;
+          reduce_first = 10;
+          reduce_inc = 5;
+        }
+      f
+  in
+  let log = Cdcl.Drup.create () in
+  Cdcl.Drup.attach log b;
+  Cdcl.Solver.set_share b (fun ~epoch exports ->
+      ignore exports;
+      if epoch = 0 then !collected else []);
+  checkb "B unsat" true (Cdcl.Solver.solve b = Cdcl.Solver.Unsat);
+  let stats = Cdcl.Solver.stats b in
+  checkb "B imported" true (stats.Cdcl.Solver_stats.shared_imported > 0);
+  checkb "B compacted the arena" true (Cdcl.Solver.arena_gc_count b > 0);
+  checkb "B shared epochs" true (Cdcl.Solver.share_epochs b > 0);
+  Cdcl.Drup.conclude_unsat log;
+  checkb "B proof checks with imports" true
+    (Cdcl.Drup_check.check_solver_proof f log = Cdcl.Drup_check.Valid)
+
+(* --- end-to-end portfolio --- *)
+
+let test_portfolio_unsat_deterministic () =
+  let f = Gen.Pigeonhole.unsat 4 in
+  let run () = Portfolio.solve ~k:2 ~seed:7 ~proof:true f in
+  let o1 = run () in
+  (match o1.Portfolio.verdict with
+  | Portfolio.Unsat (Some proof) ->
+    checkb "winning proof checks" true
+      (Cdcl.Drup_check.check f proof = Cdcl.Drup_check.Valid)
+  | Portfolio.Unsat None -> Alcotest.fail "proof requested but missing"
+  | Portfolio.Sat _ | Portfolio.Unknown -> Alcotest.fail "PHP(5,4) is UNSAT");
+  checkb "winner named" true (o1.Portfolio.winner >= 0);
+  let o2 = run () in
+  Alcotest.(check (list string))
+    "same seed, same journal" o1.Portfolio.journal o2.Portfolio.journal;
+  checki "same winner" o1.Portfolio.winner o2.Portfolio.winner
+
+let test_portfolio_sat () =
+  let f = Generators.ksat ~seed:42 ~num_vars:30 ~num_clauses:100 () in
+  match (Portfolio.solve ~k:2 ~seed:1 f).Portfolio.verdict with
+  | Portfolio.Sat model -> checkb "model valid" true (Cdcl.Solver.check_model f model)
+  | Portfolio.Unsat _ | Portfolio.Unknown ->
+    Alcotest.fail "ksat(30,100) at ratio 3.3 is SAT"
+
+let test_diversify_names_unique () =
+  let specs = Portfolio.diversify ~k:6 ~seed:3 in
+  checki "k specs" 6 (Array.length specs);
+  let names = Array.to_list (Array.map (fun s -> s.Portfolio.name) specs) in
+  checki "unique names" 6 (List.length (List.sort_uniq compare names))
+
+let suite =
+  [
+    Alcotest.test_case "share roundtrip basic" `Quick test_share_roundtrip_basic;
+    Alcotest.test_case "share empty batch" `Quick test_share_empty_batch;
+    Alcotest.test_case "share decode_all" `Quick test_share_decode_all;
+    Alcotest.test_case "share garbage typed" `Quick test_share_garbage_typed;
+    Alcotest.test_case "import survives gc" `Quick test_import_survives_gc;
+    Alcotest.test_case "portfolio unsat deterministic" `Quick
+      test_portfolio_unsat_deterministic;
+    Alcotest.test_case "portfolio sat" `Quick test_portfolio_sat;
+    Alcotest.test_case "diversify names unique" `Quick test_diversify_names_unique;
+  ]
+  @ qcheck_tests
