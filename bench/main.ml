@@ -288,7 +288,70 @@ let kernel_tests () =
     Test.make ~name:"model: NeuroSelect inference, 300-var CNF"
       (Staged.stage (fun () -> ignore (Core.Model.predict model attn_graph)))
   in
-  [ bcp; bcp_arena; reduce; reduce_arena; inprocess; inprocess_pass; inference ]
+  (* GEMM kernels: the blocked/register-tiled kernel vs the naive
+     reference it is held bit-identical to, and the int8 path. One
+     shared 256x256 operand pair, preallocated output for the blocked
+     kernel so the measurement is the kernel, not the allocator. *)
+  let gemm_a, gemm_b =
+    let rng = Util.Rng.create 11 in
+    ( Tensor.Mat.random_uniform rng 256 256 1.0,
+      Tensor.Mat.random_uniform rng 256 256 1.0 )
+  in
+  let gemm_out = Tensor.Mat.zeros 256 256 in
+  let gemm_naive =
+    Test.make ~name:"tensor: gemm_naive 256x256"
+      (Staged.stage (fun () ->
+           ignore (Tensor.Mat.matmul_naive gemm_a gemm_b)))
+  in
+  let gemm_blocked =
+    Test.make ~name:"tensor: gemm_blocked 256x256"
+      (Staged.stage (fun () ->
+           Tensor.Mat.matmul_into ~out:gemm_out gemm_a gemm_b))
+  in
+  let gemm_bq = Tensor.Mat.Q8.quantize gemm_b in
+  let gemm_q8 =
+    Test.make ~name:"tensor: gemm_q8 256x256"
+      (Staged.stage (fun () ->
+           Tensor.Mat.Q8.matmul_into ~out:gemm_out gemm_a gemm_bq))
+  in
+  (* Selector inference: the production fast engine vs the training
+     tape it replaced (the before/after of bench/reports/inference.md),
+     and a packed batch of 32 campaign-size instances. *)
+  let selector_infer =
+    Test.make ~name:"model: selector_infer fast engine, 300-var CNF"
+      (Staged.stage (fun () -> ignore (Core.Model.predict model attn_graph)))
+  in
+  let selector_infer_tape =
+    Test.make ~name:"model: selector_infer_tape training tape, 300-var CNF"
+      (Staged.stage (fun () ->
+           ignore (Core.Model.predict_tape model attn_graph)))
+  in
+  let batch_graphs =
+    List.init 32 (fun i ->
+        let rng = Util.Rng.create (100 + i) in
+        Satgraph.Bigraph.of_formula
+          (Gen.Ksat.generate rng ~num_vars:120 ~num_clauses:500 ~k:3))
+  in
+  let selector_infer_batched =
+    Test.make ~name:"model: selector_infer_batched 32x 120-var CNF"
+      (Staged.stage (fun () ->
+           ignore (Core.Model.forward_batch model batch_graphs)))
+  in
+  [
+    bcp;
+    bcp_arena;
+    reduce;
+    reduce_arena;
+    inprocess;
+    inprocess_pass;
+    inference;
+    gemm_naive;
+    gemm_blocked;
+    gemm_q8;
+    selector_infer;
+    selector_infer_tape;
+    selector_infer_batched;
+  ]
 
 (* Estimates from the last kernels run, for the --json report. *)
 let kernel_estimates = ref []

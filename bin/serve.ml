@@ -71,7 +71,7 @@ let verdict_name = Store.verdict_name
 (* Runs inside the forked supervisor worker: parse, solve under the
    request's wall budget, and return a flat-JSON payload the parent
    merges into the response. *)
-let worker_solve ~deadline_s ~inject_marker dimacs () =
+let worker_solve ~deadline_s ~inject_marker ~policy dimacs () =
   (match inject_marker with
   | Some marker when not (Sys.file_exists marker) ->
     (* Injected crash for drill scenarios: die on the first attempt,
@@ -87,6 +87,13 @@ let worker_solve ~deadline_s ~inject_marker dimacs () =
       let config =
         Cdcl.Config.with_budget ~max_wall_seconds:deadline_s
           Cdcl.Config.default
+      in
+      (* The parent's policy selection rides in as the serialized
+         policy name; an unparseable name falls back to the default. *)
+      let config =
+        match Option.bind policy Cdcl.Policy.of_string with
+        | Some p -> Cdcl.Config.with_policy p config
+        | None -> config
       in
       let result, stats = Cdcl.Solver.solve_formula ~config f in
       Runtime.Journal.encode
@@ -114,11 +121,16 @@ type pending_req = {
   pr_user_id : string;
   pr_submitted : float;
   pr_marker : string option;
+  pr_extra : Runtime.Journal.record;
+      (* Parent-side selection fields (policy, cache, probability)
+         merged into the solve response. *)
 }
 
 type server = {
   pool : Runtime.Pool.t;
   pending : (string, pending_req) Hashtbl.t; (* pool id -> request *)
+  selector : Core.Model.t option;
+      (* --adaptive: model for parent-side cached policy selection. *)
   store : Store.t;
   wal_enabled : bool;
   journal : string option;
@@ -190,7 +202,8 @@ let on_pool_complete srv (c : Runtime.Pool.completion) =
           | None ->
             [ ("verdict", Runtime.Journal.String "unknown") ]
         in
-        base_response ~id:pr.pr_user_id ~status:"ok" (body @ tail)
+        base_response ~id:pr.pr_user_id ~status:"ok"
+          (body @ pr.pr_extra @ tail)
       | Runtime.Pool.Failed msg ->
         Obs.Metrics.incr m_failed;
         base_response ~id:pr.pr_user_id ~status:"error"
@@ -206,10 +219,15 @@ let on_pool_complete srv (c : Runtime.Pool.completion) =
 
 let handle_metrics srv ~id client =
   let num name v = (name, Runtime.Journal.Int v) in
+  let cs = Core.Selector.cache_stats () in
   respond srv client
     (base_response ~id ~status:"ok"
        [
          num "requests" (Obs.Metrics.counter_value m_requests);
+         num "cache_hits" cs.Core.Selector.hits;
+         num "cache_misses" cs.Core.Selector.misses;
+         num "cache_evictions" cs.Core.Selector.evictions;
+         num "cache_size" cs.Core.Selector.size;
          num "completed" (Obs.Metrics.counter_value m_completed);
          num "failed" (Obs.Metrics.counter_value m_failed);
          num "rejected" (Obs.Metrics.counter_value m_rejected);
@@ -256,6 +274,42 @@ let handle_solve srv ~id client fields =
                 srv.next_req))
       | _ -> None
     in
+    (* --adaptive: select the deletion policy in the parent, through
+       the fingerprint-keyed decision cache, and ship the chosen
+       policy's name to the worker. A repeated instance costs a cache
+       lookup instead of a model forward. *)
+    let policy, extra =
+      match srv.selector with
+      | None -> (None, [])
+      | Some model -> (
+        match Cnf.Dimacs.parse_string dimacs with
+        | exception _ -> (None, [])
+        | formula ->
+          let t0 = Unix.gettimeofday () in
+          let s = Core.Selector.select_policy ~use_cache:true model formula in
+          let selection_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+          let extra =
+            [
+              ( "policy",
+                Runtime.Journal.String
+                  (Cdcl.Policy.name s.Core.Selector.policy) );
+              ( "cache",
+                Runtime.Journal.String
+                  (if s.Core.Selector.cached then "hit" else "miss") );
+              ("selection_ms", Runtime.Journal.Float selection_ms);
+            ]
+          in
+          let extra =
+            if Float.is_finite s.Core.Selector.probability then
+              extra
+              @ [
+                  ( "probability",
+                    Runtime.Journal.Float s.Core.Selector.probability );
+                ]
+            else extra
+          in
+          (Some (Cdcl.Policy.name s.Core.Selector.policy), extra))
+    in
     let pool_id = Printf.sprintf "r%d" srv.next_req in
     srv.next_req <- srv.next_req + 1;
     Hashtbl.replace srv.pending pool_id
@@ -264,6 +318,7 @@ let handle_solve srv ~id client fields =
         pr_user_id = id;
         pr_submitted = Unix.gettimeofday ();
         pr_marker = inject_marker;
+        pr_extra = extra;
       };
     let limits =
       {
@@ -278,7 +333,7 @@ let handle_solve srv ~id client fields =
     (* Shed submissions complete synchronously through on_pool_complete. *)
     ignore
       (Runtime.Pool.submit srv.pool ~limits ~id:pool_id
-         (worker_solve ~deadline_s ~inject_marker dimacs))
+         (worker_solve ~deadline_s ~inject_marker ~policy dimacs))
 
 (* Incremental sessions run in-process through the durable
    Session_store; solver budgets (not supervisor deadlines) bound their
@@ -521,8 +576,27 @@ let serve_loop srv ~accept_fd ~initial_clients =
 
 let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
     wal wal_group_commit snapshot_every max_sessions session_ttl allow_inject
-    verbose =
+    adaptive checkpoint verbose =
   Runtime.Shutdown.install ();
+  let selector =
+    if not adaptive then None
+    else begin
+      let model = Core.Model.create Core.Model.paper_config in
+      (match checkpoint with
+      | Some path -> (
+        match Core.Model.load_result path model with
+        | Ok Nn.Checkpoint.Primary -> ()
+        | Ok Nn.Checkpoint.Backup ->
+          Printf.eprintf "ns-serve: %s corrupt, using %s\n%!" path
+            (Nn.Checkpoint.backup_path path)
+        | Error e ->
+          Printf.eprintf
+            "ns-serve: cannot load %s (%s); serving untrained weights\n%!" path
+            (Runtime.Error.to_string e))
+      | None -> ());
+      Some model
+    end
+  in
   let store_config =
     {
       Store.default_config with
@@ -561,6 +635,7 @@ let run socket stdio jobs max_queue max_retries deadline mem_mb journal pidfile
     {
       pool;
       pending = Hashtbl.create 64;
+      selector;
       store;
       wal_enabled = wal <> None;
       journal;
@@ -784,6 +859,28 @@ let allow_inject =
           "Honour the request field inject:\"crash_once\" (worker dies on \
            its first attempt) — for load-test drills only.")
 
+let adaptive =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Select the clause-deletion policy per solve request with the \
+           NeuroSelect model (parent-side, through the fingerprint-keyed \
+           decision cache — repeated instances skip inference). Solve \
+           responses gain policy, cache (\"hit\"/\"miss\"), selection_ms \
+           and probability fields; metrics responses report cache \
+           counters.")
+
+let checkpoint =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Trained model checkpoint for --adaptive (untrained weights \
+           otherwise). Loading a checkpoint invalidates any cached \
+           decisions.")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ])
 
 let cmd =
@@ -793,6 +890,7 @@ let cmd =
     Term.(
       const run $ socket $ stdio $ jobs $ max_queue $ max_retries $ deadline
       $ mem_mb $ journal $ pidfile $ wal $ wal_group_commit $ snapshot_every
-      $ max_sessions $ session_ttl $ allow_inject $ verbose)
+      $ max_sessions $ session_ttl $ allow_inject $ adaptive $ checkpoint
+      $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,86 @@
+(* Canonical instance fingerprint.
+
+   Key for the selector's embedding/decision cache: two formulas that
+   are the same clause *set* — regardless of clause order, literal
+   order within clauses, or repeated clauses/literals — must hash
+   identically, while anything that changes the clause set (flipped
+   polarities, injected tautologies, renamed variables, a different
+   variable count) must not.
+
+   Normal form: each clause's DIMACS literals sorted and deduplicated,
+   the clause array sorted under the polymorphic total order and
+   deduplicated, prefixed by the variable count. The normal form is
+   hashed with 64-bit FNV-1a, one word per literal with a 0 separator
+   between clauses (0 is never a DIMACS literal). *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let dedup_sorted a =
+  let n = Array.length a in
+  if n <= 1 then a
+  else begin
+    let uniq = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then incr uniq
+    done;
+    if !uniq = n then a
+    else begin
+      let out = Array.make !uniq a.(0) in
+      let w = ref 0 in
+      for i = 1 to n - 1 do
+        if a.(i) <> a.(i - 1) then begin
+          incr w;
+          out.(!w) <- a.(i)
+        end
+      done;
+      out
+    end
+  end
+
+let canonical_clauses f =
+  let n = Formula.num_clauses f in
+  let cls =
+    Array.init n (fun i ->
+        let c = Array.map Lit.to_dimacs (Formula.clause f i) in
+        Array.sort compare c;
+        dedup_sorted c)
+  in
+  Array.sort compare cls;
+  (* Drop repeated clauses: the cache treats the formula as a clause
+     set, so [Duplicate_clauses] traffic hits. *)
+  let m = Array.length cls in
+  if m <= 1 then cls
+  else begin
+    let keep = ref 1 in
+    for i = 1 to m - 1 do
+      if cls.(i) <> cls.(i - 1) then incr keep
+    done;
+    if !keep = m then cls
+    else begin
+      let out = Array.make !keep cls.(0) in
+      let w = ref 0 in
+      for i = 1 to m - 1 do
+        if cls.(i) <> cls.(i - 1) then begin
+          incr w;
+          out.(!w) <- cls.(i)
+        end
+      done;
+      out
+    end
+  end
+
+let compute f =
+  let cls = canonical_clauses f in
+  let h = ref fnv_offset in
+  let mix v = h := Int64.mul (Int64.logxor !h (Int64.of_int v)) fnv_prime in
+  mix (Formula.num_vars f);
+  Array.iter
+    (fun c ->
+      mix 0;
+      Array.iter mix c)
+    cls;
+  !h
+
+let to_hex h = Printf.sprintf "%016Lx" h
+let compute_hex f = to_hex (compute f)

@@ -1,0 +1,16 @@
+(** Canonical, order-invariant instance fingerprint.
+
+    The selector's cache key: a 64-bit FNV-1a hash of the normalized
+    clause set — literals sorted and deduplicated within each clause,
+    clauses sorted and deduplicated, variable count mixed in. Invariant
+    under clause reordering, literal reordering and clause/literal
+    duplication; changed by polarity flips, injected tautologies,
+    variable renaming and any other change to the clause set. *)
+
+val compute : Formula.t -> int64
+
+val compute_hex : Formula.t -> string
+(** 16-char lowercase hex form of {!compute} (a ready-made string
+    key). *)
+
+val to_hex : int64 -> string

@@ -34,3 +34,4 @@ let forward tape t z =
   Ad.div_rows tape numerator d
 
 let params t = List.concat_map Linear.params [ t.f_q; t.f_k; t.f_v ]
+let projections t = (t.f_q, t.f_k, t.f_v)

@@ -18,3 +18,6 @@ val forward : Nn.Ad.tape -> t -> Nn.Ad.v -> Nn.Ad.v
 (** Input and output are [N x dim]. *)
 
 val params : t -> Nn.Param.t list
+
+val projections : t -> Nn.Layer.Linear.t * Nn.Layer.Linear.t * Nn.Layer.Linear.t
+(** [(f_Q, f_K, f_V)], for the tape-free inference engine. *)

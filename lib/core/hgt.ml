@@ -36,3 +36,5 @@ let params t =
   @ (match t.attention with None -> [] | Some a -> Attention.params a)
 
 let uses_attention t = Option.is_some t.attention
+let mpnns t = t.mpnns
+let attention t = t.attention

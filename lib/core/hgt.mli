@@ -30,3 +30,6 @@ val forward :
 
 val params : t -> Nn.Param.t list
 val uses_attention : t -> bool
+
+val mpnns : t -> Mpnn.t list
+val attention : t -> Attention.t option

@@ -76,3 +76,11 @@ let params t =
     ]
 
 let out_dim t = t.out_dim
+
+(* Constituent layers, for the tape-free inference engine. *)
+let msg_var_to_clause t = t.msg_var_to_clause
+let msg_clause_to_var t = t.msg_clause_to_var
+let self_var t = t.self_var
+let self_clause t = t.self_clause
+let out_var t = t.out_var
+let out_clause t = t.out_clause

@@ -28,3 +28,13 @@ val forward :
 
 val params : t -> Nn.Param.t list
 val out_dim : t -> int
+
+(** {2 Layer accessors} — the tape-free {!Infer} engine mirrors the
+    forward pass on raw matrices and needs the constituent layers. *)
+
+val msg_var_to_clause : t -> Nn.Layer.Linear.t
+val msg_clause_to_var : t -> Nn.Layer.Linear.t
+val self_var : t -> Nn.Layer.Linear.t
+val self_clause : t -> Nn.Layer.Linear.t
+val out_var : t -> Nn.Layer.Linear.t
+val out_clause : t -> Nn.Layer.Linear.t

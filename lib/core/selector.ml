@@ -3,6 +3,11 @@ let m_fallbacks = Obs.Metrics.counter "selector.fallbacks"
 let m_breaker_rejections = Obs.Metrics.counter "selector.breaker_open_rejections"
 let m_chose_frequency = Obs.Metrics.counter "selector.chose_frequency"
 let h_inference = Obs.Metrics.histogram "selector.inference_seconds"
+let m_cache_hits = Obs.Metrics.counter "selector.cache_hits"
+let m_cache_misses = Obs.Metrics.counter "selector.cache_misses"
+let m_cache_evictions = Obs.Metrics.counter "selector.cache_evictions"
+let m_q8_agreements = Obs.Metrics.counter "selector.q8_agreements"
+let m_q8_disagreements = Obs.Metrics.counter "selector.q8_disagreements"
 
 type degradation =
   | Model_failure of string
@@ -22,7 +27,157 @@ type selection = {
   probability : float;
   inference_seconds : float;
   degraded : degradation option;
+  cached : bool;
 }
+
+(* --- bounded LRU decision cache, keyed by canonical fingerprint --- *)
+
+(* One process-wide cache (the serve select loop and the evaluate
+   campaign driver are single-threaded). Entries store the model
+   probability, so any [alpha] can be applied on a hit. The cache is
+   stamped with the (model uid, checkpoint generation) it was filled
+   from: a different model — or the same model after a checkpoint
+   reload, which bumps the generation — empties it before use, so a
+   hot-swap can never serve stale decisions. Quantized and float
+   probabilities differ, so the engine kind is part of the key. *)
+module Cache = struct
+  type node = {
+    key : string;
+    prob : float;
+    mutable prev : node option;
+    mutable next : node option;
+  }
+
+  type t = {
+    mutable capacity : int;
+    tbl : (string, node) Hashtbl.t;
+    mutable head : node option;  (* most recently used *)
+    mutable tail : node option;
+    mutable stamp : (int * int) option;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create capacity =
+    {
+      capacity;
+      tbl = Hashtbl.create 64;
+      head = None;
+      tail = None;
+      stamp = None;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.head;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
+
+  let clear_entries t =
+    Hashtbl.reset t.tbl;
+    t.head <- None;
+    t.tail <- None
+
+  let size t = Hashtbl.length t.tbl
+
+  (* Make the cache valid for [model]: drop everything filled from a
+     different model or an older checkpoint generation. *)
+  let ensure_stamp t model =
+    let stamp = (Model.uid model, Model.generation model) in
+    if t.stamp <> Some stamp then begin
+      let dropped = size t in
+      if dropped > 0 then begin
+        t.evictions <- t.evictions + dropped;
+        Obs.Metrics.add m_cache_evictions dropped
+      end;
+      clear_entries t;
+      t.stamp <- Some stamp
+    end
+
+  let find t key =
+    match Hashtbl.find_opt t.tbl key with
+    | None ->
+        t.misses <- t.misses + 1;
+        Obs.Metrics.incr m_cache_misses;
+        None
+    | Some n ->
+        unlink t n;
+        push_front t n;
+        t.hits <- t.hits + 1;
+        Obs.Metrics.incr m_cache_hits;
+        Some n.prob
+
+  let add t key prob =
+    if t.capacity > 0 then begin
+      (match Hashtbl.find_opt t.tbl key with
+      | Some old ->
+          unlink t old;
+          Hashtbl.remove t.tbl key
+      | None -> ());
+      let n = { key; prob; prev = None; next = None } in
+      Hashtbl.replace t.tbl key n;
+      push_front t n;
+      while size t > t.capacity do
+        match t.tail with
+        | None -> assert false
+        | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.tbl lru.key;
+            t.evictions <- t.evictions + 1;
+            Obs.Metrics.incr m_cache_evictions
+      done
+    end
+end
+
+let default_cache_capacity = 512
+let cache = Cache.create default_cache_capacity
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let cache_stats () =
+  {
+    hits = cache.Cache.hits;
+    misses = cache.Cache.misses;
+    evictions = cache.Cache.evictions;
+    size = Cache.size cache;
+    capacity = cache.Cache.capacity;
+  }
+
+let set_cache_capacity n =
+  if n <= 0 then invalid_arg "Selector.set_cache_capacity";
+  cache.Cache.capacity <- n;
+  while Cache.size cache > n do
+    match cache.Cache.tail with
+    | None -> assert false
+    | Some lru ->
+        Cache.unlink cache lru;
+        Hashtbl.remove cache.Cache.tbl lru.Cache.key;
+        cache.Cache.evictions <- cache.Cache.evictions + 1;
+        Obs.Metrics.incr m_cache_evictions
+  done
+
+let clear_cache () =
+  Cache.clear_entries cache;
+  cache.Cache.stamp <- None
+
+let cache_key ~quantized formula =
+  let fp = Cnf.Fingerprint.compute_hex formula in
+  if quantized then fp ^ ":q8" else fp
 
 (* --- fleet-wide circuit breaker around the model path --- *)
 
@@ -57,78 +212,262 @@ let breaker_trip_count () = Runtime.Breaker.trip_count !breaker
 
 let reset_breaker () = Runtime.Breaker.reset !breaker
 
-let select_policy ?(alpha = Cdcl.Policy.default_alpha) model formula =
-  Obs.Metrics.incr m_selections;
-  if Runtime.Fault.fires Runtime.Fault.Breaker_trip then
-    Runtime.Breaker.force_open !breaker;
-  if not (Runtime.Breaker.allow !breaker) then begin
-    Obs.Metrics.incr m_fallbacks;
-    Obs.Metrics.incr m_breaker_rejections;
-    (* Fail fast, fleet-wide: while the breaker is open no selection
-       pays for (or further stresses) the failing model path — every
-       instance runs the paper's baseline policy until the cooldown
-       admits half-open trial calls again. *)
-    {
-      policy = Cdcl.Policy.Default;
-      probability = Float.nan;
-      inference_seconds = 0.0;
-      degraded = Some Breaker_open;
-    }
+let policy_of_probability ~alpha probability =
+  if probability > 0.5 then begin
+    Obs.Metrics.incr m_chose_frequency;
+    Cdcl.Policy.Frequency { alpha }
   end
-  else begin
-    let t0 = Runtime.Clock.now () in
-    let outcome =
-      (* Any failure of the learned component — a model that did not
-         load, an overflow in the forward pass, an injected fault —
-         degrades to the default deletion policy rather than aborting
-         the sweep; the paper's baseline Kissat behaviour is always
-         available. *)
-      match
-        Obs.Trace.with_span "selector.inference" (fun () ->
-            if Runtime.Fault.fires Runtime.Fault.Inference_failure then
-              Runtime.Error.raise_
-                (Runtime.Error.Injected_fault { point = "inference" });
-            Model.predict_formula model formula)
-      with
-      | p when Float.is_finite p -> Ok p
-      | p -> Error (Non_finite_probability p)
-      | exception e -> Error (Model_failure (Printexc.to_string e))
-    in
-    let inference_seconds = Runtime.Clock.elapsed_since t0 in
-    Obs.Metrics.observe h_inference inference_seconds;
-    let slow =
-      match !breaker_config.slow_call_seconds with
-      | Some s -> inference_seconds > s
-      | None -> false
-    in
-    (match outcome with
-    | Ok _ when not slow -> Runtime.Breaker.record_success !breaker
-    | Ok _ | Error _ -> Runtime.Breaker.record_failure !breaker);
-    match outcome with
-    | Ok probability ->
-      let policy =
-        if probability > 0.5 then begin
-          Obs.Metrics.incr m_chose_frequency;
-          Cdcl.Policy.Frequency { alpha }
-        end
-        else Cdcl.Policy.Default
-      in
-      { policy; probability; inference_seconds; degraded = None }
-    | Error d ->
-      Obs.Metrics.incr m_fallbacks;
+  else Cdcl.Policy.Default
+
+let breaker_open_selection () =
+  Obs.Metrics.incr m_fallbacks;
+  Obs.Metrics.incr m_breaker_rejections;
+  (* Fail fast, fleet-wide: while the breaker is open no selection
+     pays for (or further stresses) the failing model path — every
+     instance runs the paper's baseline policy until the cooldown
+     admits half-open trial calls again. *)
+  {
+    policy = Cdcl.Policy.Default;
+    probability = Float.nan;
+    inference_seconds = 0.0;
+    degraded = Some Breaker_open;
+    cached = false;
+  }
+
+let degraded_selection ~inference_seconds d =
+  Obs.Metrics.incr m_fallbacks;
+  {
+    policy = Cdcl.Policy.Default;
+    probability =
+      (match d with
+      | Non_finite_probability p -> p
+      | Model_failure _ | Breaker_open -> Float.nan);
+    inference_seconds;
+    degraded = Some d;
+    cached = false;
+  }
+
+type cache_probe = No_cache | Hit of float * float | Miss of string
+
+let select_policy ?(alpha = Cdcl.Policy.default_alpha) ?(use_cache = false)
+    ?(quantized = false) model formula =
+  Obs.Metrics.incr m_selections;
+  let probe =
+    if not use_cache then No_cache
+    else begin
+      Cache.ensure_stamp cache model;
+      let t0 = Runtime.Clock.now () in
+      let key = cache_key ~quantized formula in
+      match Cache.find cache key with
+      | Some probability -> Hit (probability, Runtime.Clock.elapsed_since t0)
+      | None -> Miss key
+    end
+  in
+  match probe with
+  | Hit (probability, seconds) ->
+      (* Decision served from the fingerprint cache: no model call, so
+         the breaker is neither consulted nor charged. *)
       {
-        policy = Cdcl.Policy.Default;
-        probability =
-          (match d with
-          | Non_finite_probability p -> p
-          | Model_failure _ | Breaker_open -> Float.nan);
-        inference_seconds;
-        degraded = Some d;
+        policy = policy_of_probability ~alpha probability;
+        probability;
+        inference_seconds = seconds;
+        degraded = None;
+        cached = true;
       }
+  | No_cache | Miss _ -> (
+      if Runtime.Fault.fires Runtime.Fault.Breaker_trip then
+        Runtime.Breaker.force_open !breaker;
+      if not (Runtime.Breaker.allow !breaker) then breaker_open_selection ()
+      else begin
+        let t0 = Runtime.Clock.now () in
+        let outcome =
+          (* Any failure of the learned component — a model that did
+             not load, an overflow in the forward pass, an injected
+             fault — degrades to the default deletion policy rather
+             than aborting the sweep; the paper's baseline Kissat
+             behaviour is always available. *)
+          match
+            Obs.Trace.with_span "selector.inference" (fun () ->
+                if Runtime.Fault.fires Runtime.Fault.Inference_failure then
+                  Runtime.Error.raise_
+                    (Runtime.Error.Injected_fault { point = "inference" });
+                let graph = Satgraph.Bigraph.of_formula formula in
+                if quantized then Model.predict_q8 model graph
+                else Model.predict model graph)
+          with
+          | p when Float.is_finite p -> Ok p
+          | p -> Error (Non_finite_probability p)
+          | exception e -> Error (Model_failure (Printexc.to_string e))
+        in
+        let inference_seconds = Runtime.Clock.elapsed_since t0 in
+        Obs.Metrics.observe h_inference inference_seconds;
+        let slow =
+          match !breaker_config.slow_call_seconds with
+          | Some s -> inference_seconds > s
+          | None -> false
+        in
+        (match outcome with
+        | Ok _ when not slow -> Runtime.Breaker.record_success !breaker
+        | Ok _ | Error _ -> Runtime.Breaker.record_failure !breaker);
+        match outcome with
+        | Ok probability ->
+            (match probe with
+            | Miss key -> Cache.add cache key probability
+            | No_cache | Hit _ -> ());
+            {
+              policy = policy_of_probability ~alpha probability;
+              probability;
+              inference_seconds;
+              degraded = None;
+              cached = false;
+            }
+        | Error d -> degraded_selection ~inference_seconds d
+      end)
+
+(* Batched selection: cache hits are resolved first, then all misses
+   share ONE packed forward ([Model.forward_batch]) and one breaker
+   transaction — a campaign touches the breaker once per batch, not
+   once per instance. Results come back in input order. *)
+let select_policy_batch ?(alpha = Cdcl.Policy.default_alpha)
+    ?(use_cache = false) ?(quantized = false) model formulas =
+  let n = List.length formulas in
+  if n = 0 then []
+  else begin
+    Obs.Metrics.add m_selections n;
+    if use_cache then Cache.ensure_stamp cache model;
+    let formulas = Array.of_list formulas in
+    let probes =
+      Array.map
+        (fun f ->
+          if not use_cache then No_cache
+          else
+            let key = cache_key ~quantized f in
+            match Cache.find cache key with
+            | Some p -> Hit (p, 0.0)
+            | None -> Miss key)
+        formulas
+    in
+    let miss_idx = ref [] in
+    Array.iteri
+      (fun i p ->
+        match p with
+        | Miss _ | No_cache -> miss_idx := i :: !miss_idx
+        | Hit _ -> ())
+      probes;
+    let miss_idx = Array.of_list (List.rev !miss_idx) in
+    let results = Array.make n None in
+    (if Array.length miss_idx > 0 then begin
+       if Runtime.Fault.fires Runtime.Fault.Breaker_trip then
+         Runtime.Breaker.force_open !breaker;
+       if not (Runtime.Breaker.allow !breaker) then
+         Array.iter
+           (fun i -> results.(i) <- Some (breaker_open_selection ()))
+           miss_idx
+       else begin
+         let nm = Array.length miss_idx in
+         let t0 = Runtime.Clock.now () in
+         let outcome =
+           match
+             Obs.Trace.with_span "selector.inference_batch" (fun () ->
+                 if Runtime.Fault.fires Runtime.Fault.Inference_failure then
+                   Runtime.Error.raise_
+                     (Runtime.Error.Injected_fault { point = "inference" });
+                 let graphs =
+                   Array.to_list
+                     (Array.map
+                        (fun i -> Satgraph.Bigraph.of_formula formulas.(i))
+                        miss_idx)
+                 in
+                 if quantized then Model.forward_batch_q8 model graphs
+                 else Model.forward_batch model graphs)
+           with
+           | probs -> Ok probs
+           | exception e -> Error (Model_failure (Printexc.to_string e))
+         in
+         let elapsed = Runtime.Clock.elapsed_since t0 in
+         let per_instance = elapsed /. float_of_int nm in
+         for _ = 1 to nm do
+           Obs.Metrics.observe h_inference per_instance
+         done;
+         let slow =
+           match !breaker_config.slow_call_seconds with
+           | Some s -> per_instance > s
+           | None -> false
+         in
+         (match outcome with
+         | Ok _ when not slow -> Runtime.Breaker.record_success !breaker
+         | Ok _ | Error _ -> Runtime.Breaker.record_failure !breaker);
+         match outcome with
+         | Ok probs ->
+             Array.iteri
+               (fun k i ->
+                 let probability = probs.(k) in
+                 if Float.is_finite probability then begin
+                   (match probes.(i) with
+                   | Miss key -> Cache.add cache key probability
+                   | No_cache | Hit _ -> ());
+                   results.(i) <-
+                     Some
+                       {
+                         policy = policy_of_probability ~alpha probability;
+                         probability;
+                         inference_seconds = per_instance;
+                         degraded = None;
+                         cached = false;
+                       }
+                 end
+                 else
+                   results.(i) <-
+                     Some
+                       (degraded_selection ~inference_seconds:per_instance
+                          (Non_finite_probability probability)))
+               miss_idx
+         | Error d ->
+             Array.iter
+               (fun i ->
+                 results.(i) <-
+                   Some (degraded_selection ~inference_seconds:per_instance d))
+               miss_idx
+       end
+     end);
+    List.init n (fun i ->
+        match probes.(i) with
+        | Hit (probability, seconds) ->
+            {
+              policy = policy_of_probability ~alpha probability;
+              probability;
+              inference_seconds = seconds;
+              degraded = None;
+              cached = true;
+            }
+        | No_cache | Miss _ -> (
+            match results.(i) with Some s -> s | None -> assert false))
   end
 
-let solve_adaptive ?(config = Cdcl.Config.default) ?alpha model formula =
-  let selection = select_policy ?alpha model formula in
+(* Float-vs-int8 decision agreement over an instance set; feeds the
+   quantization accuracy contract (DESIGN §13) and the
+   selector.q8_{agreements,disagreements} counters. *)
+let q8_agreement model formulas =
+  match formulas with
+  | [] -> 1.0
+  | _ ->
+      let graphs = List.map Satgraph.Bigraph.of_formula formulas in
+      let pf = Model.forward_batch model graphs in
+      let pq = Model.forward_batch_q8 model graphs in
+      let agree = ref 0 in
+      Array.iteri
+        (fun i p ->
+          if p > 0.5 = (pq.(i) > 0.5) then begin
+            incr agree;
+            Obs.Metrics.incr m_q8_agreements
+          end
+          else Obs.Metrics.incr m_q8_disagreements)
+        pf;
+      float_of_int !agree /. float_of_int (Array.length pf)
+
+let solve_adaptive ?(config = Cdcl.Config.default) ?alpha ?use_cache ?quantized
+    model formula =
+  let selection = select_policy ?alpha ?use_cache ?quantized model formula in
   let config = Cdcl.Config.with_policy selection.policy config in
   let result, stats = Cdcl.Solver.solve_formula ~config formula in
   (selection, result, stats)

@@ -37,10 +37,69 @@ type selection = {
   degraded : degradation option;
       (** [Some _] when the model was unusable and the default policy
           was substituted. *)
+  cached : bool;
+      (** Served from the fingerprint-keyed decision cache; no
+          inference ran and the breaker was not consulted. *)
 }
 
-val select_policy : ?alpha:float -> Model.t -> Cnf.Formula.t -> selection
-(** Never raises on model failure; see [degraded]. *)
+val select_policy :
+  ?alpha:float ->
+  ?use_cache:bool ->
+  ?quantized:bool ->
+  Model.t ->
+  Cnf.Formula.t ->
+  selection
+(** Never raises on model failure; see [degraded].
+
+    [use_cache] (default [false]) consults the process-wide LRU
+    decision cache keyed by {!Cnf.Fingerprint.compute_hex}: a hit
+    replays the stored probability without touching the model or the
+    breaker. The cache is stamped with the model's
+    ({!Model.uid}, {!Model.generation}) pair, so loading a checkpoint
+    into the model invalidates every cached decision.
+
+    [quantized] (default [false]) runs the int8 engine
+    ({!Model.predict_q8}) instead of the float32 one; cached entries
+    are keyed separately per numeric mode. *)
+
+val select_policy_batch :
+  ?alpha:float ->
+  ?use_cache:bool ->
+  ?quantized:bool ->
+  Model.t ->
+  Cnf.Formula.t list ->
+  selection list
+(** Batched selection: cache misses share one packed
+    {!Model.forward_batch} (one breaker transaction, one trace span);
+    [inference_seconds] of each miss is the batch wall-clock divided by
+    the number of misses. Results are in input order. *)
+
+(** {2 Decision cache} *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val cache_stats : unit -> cache_stats
+(** Counters are process-lifetime totals (mirrored in
+    [Obs.Metrics] as [selector.cache_*]); [size] is current. *)
+
+val set_cache_capacity : int -> unit
+(** Shrinking evicts from the LRU tail. @raise Invalid_argument if
+    non-positive. *)
+
+val clear_cache : unit -> unit
+(** Drop all entries (counted as evictions). *)
+
+val q8_agreement : Model.t -> Cnf.Formula.t list -> float
+(** Fraction of formulas on which the int8 and float32 engines make
+    the same policy decision (both sides of 0.5). Bumps the
+    [selector.q8_agreements]/[selector.q8_disagreements] counters;
+    [1.0] on the empty list. *)
 
 (** {2 Circuit breaker} *)
 
@@ -67,6 +126,8 @@ val reset_breaker : unit -> unit
 val solve_adaptive :
   ?config:Cdcl.Config.t ->
   ?alpha:float ->
+  ?use_cache:bool ->
+  ?quantized:bool ->
   Model.t ->
   Cnf.Formula.t ->
   selection * Cdcl.Solver.result * Cdcl.Solver_stats.t

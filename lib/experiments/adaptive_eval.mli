@@ -55,6 +55,7 @@ type t = {
 
 val run :
   ?alpha:float ->
+  ?batch_inference:bool ->
   ?progress:(string -> unit) ->
   ?journal:string ->
   ?deadline_seconds:float ->
@@ -67,7 +68,12 @@ val run :
   Simtime.t ->
   Gen.Dataset.instance list ->
   t
-(** [journal] enables JSONL partial-result persistence and resume.
+(** [batch_inference] precomputes every selection up front in packed
+    batches ({!Core.Selector.select_policy_batch}) with the fingerprint
+    cache enabled, instead of one forward per instance inside the
+    measurement loop.
+
+    [journal] enables JSONL partial-result persistence and resume.
     [deadline_seconds] adds a per-solve wall-clock budget alongside
     the propagation budget. [retries] (default 1) bounds per-instance
     retry on crash.

@@ -15,6 +15,18 @@ module Linear : sig
   val params : t -> Param.t list
   val in_dim : t -> int
   val out_dim : t -> int
+
+  val weight_value : t -> Tensor.Mat.t
+  (** Current weight value (live reference, not a copy). *)
+
+  val bias_value : t -> Tensor.Mat.t option
+
+  val infer : t -> Tensor.Mat.t -> Tensor.Mat.t
+  (** Tape-free forward on plain matrices; no autodiff allocation. *)
+
+  val infer_into : t -> out:Tensor.Mat.t -> Tensor.Mat.t -> unit
+  (** In-place variant writing into a preallocated [n x out_dim]
+      buffer (the hot inference path). *)
 end
 
 (** Multi-layer perceptron with ReLU between hidden layers and a linear
@@ -28,4 +40,10 @@ module Mlp : sig
 
   val forward : Ad.tape -> t -> Ad.v -> Ad.v
   val params : t -> Param.t list
+
+  val linears : t -> Linear.t list
+  (** Constituent layers in application order. *)
+
+  val infer : t -> Tensor.Mat.t -> Tensor.Mat.t
+  (** Tape-free forward (ReLU between hidden layers, linear last). *)
 end

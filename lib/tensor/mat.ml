@@ -166,22 +166,170 @@ let adam_update_in_place value ~lr ~eps ~bc1 ~bc2 ~m ~v =
 
 let fill m x = Array.fill m.data 0 (Array.length m.data) x
 
-let matmul a b =
+let matmul_check a b =
   if a.cols <> b.rows then
     invalid_arg
-      (Printf.sprintf "Mat.matmul: %dx%d * %dx%d" a.rows a.cols b.rows b.cols);
+      (Printf.sprintf "Mat.matmul: %dx%d * %dx%d" a.rows a.cols b.rows b.cols)
+
+(* Reference GEMM: i-k-j triple loop, every out.(i,j) accumulating
+   a.(i,k)*b.(k,j) in ascending k, one term at a time. No zero-skip —
+   skipping [aik = 0.0] would break IEEE semantics (0 * nan = nan,
+   0 * inf = nan, and -0.0 contributions), so the reference propagates
+   every term and the blocked kernel is held bit-identical to it. *)
+let matmul_naive a b =
+  matmul_check a b;
   let out = zeros a.rows b.cols in
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = a.data.((i * a.cols) + k) in
-      if aik <> 0.0 then begin
-        let arow = i * b.cols and brow = k * b.cols in
-        for j = 0 to b.cols - 1 do
-          out.data.(arow + j) <- out.data.(arow + j) +. (aik *. b.data.(brow + j))
-        done
-      end
+      let arow = i * b.cols and brow = k * b.cols in
+      for j = 0 to b.cols - 1 do
+        out.data.(arow + j) <- out.data.(arow + j) +. (aik *. b.data.(brow + j))
+      done
     done
   done;
+  out
+
+(* Cache-blocked, register-tiled GEMM.
+
+   Bit-identical to [matmul_naive]: for any fixed (i, j) the terms
+   a.(i,k)*b.(k,j) are folded into out.(i,j) in strictly ascending k,
+   one addition at a time — the k panels, the 4x4 micro-kernel and both
+   remainder paths all preserve that order, so no reassociation occurs
+   and signed zeros and infinities come out with the same bits, with
+   NaN at exactly the same positions. (NaN *payload* bits are outside
+   the contract: when two NaNs meet in [+.] the hardware keeps the
+   first operand's payload and the code generator may swap operands of
+   commutative float ops.)
+
+   The tiling wins by arithmetic intensity, not reordering: the
+   micro-kernel keeps 16 a-coefficients in (unboxed) float locals and
+   performs 16 multiply-adds per j step against 4 out loads/stores and
+   4 b loads, versus the reference's one multiply-add per out
+   load/store + b load. The k-panel bound keeps the active b stripe
+   L2-resident at large shapes. No [ref] accumulators: without flambda
+   a float ref boxes on every store, while chained [let] floats stay in
+   registers. *)
+let kc_panel = 64
+
+let matmul_into ~out a b =
+  matmul_check a b;
+  if out.rows <> a.rows || out.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul_into: out %dx%d for %dx%d * %dx%d" out.rows
+         out.cols a.rows a.cols b.rows b.cols);
+  if out.data == a.data || out.data == b.data then
+    invalid_arg "Mat.matmul_into: out aliases an input";
+  let m = a.rows and kk = a.cols and n = b.cols in
+  let ad = a.data and bd = b.data and od = out.data in
+  Array.fill od 0 (m * n) 0.0;
+  let kp = ref 0 in
+  while !kp < kk do
+    let kend = min kk (!kp + kc_panel) in
+    let i = ref 0 in
+    while !i + 3 < m do
+      let i0 = !i in
+      let r0 = i0 * kk and r1 = (i0 + 1) * kk in
+      let r2 = (i0 + 2) * kk and r3 = (i0 + 3) * kk in
+      let o0 = i0 * n and o1 = (i0 + 1) * n in
+      let o2 = (i0 + 2) * n and o3 = (i0 + 3) * n in
+      let k = ref !kp in
+      while !k + 3 < kend do
+        let k0 = !k in
+        let a00 = ad.(r0 + k0) and a01 = ad.(r0 + k0 + 1) in
+        let a02 = ad.(r0 + k0 + 2) and a03 = ad.(r0 + k0 + 3) in
+        let a10 = ad.(r1 + k0) and a11 = ad.(r1 + k0 + 1) in
+        let a12 = ad.(r1 + k0 + 2) and a13 = ad.(r1 + k0 + 3) in
+        let a20 = ad.(r2 + k0) and a21 = ad.(r2 + k0 + 1) in
+        let a22 = ad.(r2 + k0 + 2) and a23 = ad.(r2 + k0 + 3) in
+        let a30 = ad.(r3 + k0) and a31 = ad.(r3 + k0 + 1) in
+        let a32 = ad.(r3 + k0 + 2) and a33 = ad.(r3 + k0 + 3) in
+        let b0 = k0 * n and b1 = (k0 + 1) * n in
+        let b2 = (k0 + 2) * n and b3 = (k0 + 3) * n in
+        for j = 0 to n - 1 do
+          let bv0 = bd.(b0 + j) and bv1 = bd.(b1 + j) in
+          let bv2 = bd.(b2 + j) and bv3 = bd.(b3 + j) in
+          let s0 = od.(o0 + j) in
+          let s0 = s0 +. (a00 *. bv0) in
+          let s0 = s0 +. (a01 *. bv1) in
+          let s0 = s0 +. (a02 *. bv2) in
+          let s0 = s0 +. (a03 *. bv3) in
+          od.(o0 + j) <- s0;
+          let s1 = od.(o1 + j) in
+          let s1 = s1 +. (a10 *. bv0) in
+          let s1 = s1 +. (a11 *. bv1) in
+          let s1 = s1 +. (a12 *. bv2) in
+          let s1 = s1 +. (a13 *. bv3) in
+          od.(o1 + j) <- s1;
+          let s2 = od.(o2 + j) in
+          let s2 = s2 +. (a20 *. bv0) in
+          let s2 = s2 +. (a21 *. bv1) in
+          let s2 = s2 +. (a22 *. bv2) in
+          let s2 = s2 +. (a23 *. bv3) in
+          od.(o2 + j) <- s2;
+          let s3 = od.(o3 + j) in
+          let s3 = s3 +. (a30 *. bv0) in
+          let s3 = s3 +. (a31 *. bv1) in
+          let s3 = s3 +. (a32 *. bv2) in
+          let s3 = s3 +. (a33 *. bv3) in
+          od.(o3 + j) <- s3
+        done;
+        k := k0 + 4
+      done;
+      while !k < kend do
+        let k0 = !k in
+        let a0 = ad.(r0 + k0) and a1 = ad.(r1 + k0) in
+        let a2 = ad.(r2 + k0) and a3 = ad.(r3 + k0) in
+        let brow = k0 * n in
+        for j = 0 to n - 1 do
+          let bv = bd.(brow + j) in
+          od.(o0 + j) <- od.(o0 + j) +. (a0 *. bv);
+          od.(o1 + j) <- od.(o1 + j) +. (a1 *. bv);
+          od.(o2 + j) <- od.(o2 + j) +. (a2 *. bv);
+          od.(o3 + j) <- od.(o3 + j) +. (a3 *. bv)
+        done;
+        incr k
+      done;
+      i := i0 + 4
+    done;
+    while !i < m do
+      let i0 = !i in
+      let r0 = i0 * kk and o0 = i0 * n in
+      let k = ref !kp in
+      while !k + 3 < kend do
+        let k0 = !k in
+        let a0 = ad.(r0 + k0) and a1 = ad.(r0 + k0 + 1) in
+        let a2 = ad.(r0 + k0 + 2) and a3 = ad.(r0 + k0 + 3) in
+        let b0 = k0 * n and b1 = (k0 + 1) * n in
+        let b2 = (k0 + 2) * n and b3 = (k0 + 3) * n in
+        for j = 0 to n - 1 do
+          let s = od.(o0 + j) in
+          let s = s +. (a0 *. bd.(b0 + j)) in
+          let s = s +. (a1 *. bd.(b1 + j)) in
+          let s = s +. (a2 *. bd.(b2 + j)) in
+          let s = s +. (a3 *. bd.(b3 + j)) in
+          od.(o0 + j) <- s
+        done;
+        k := k0 + 4
+      done;
+      while !k < kend do
+        let k0 = !k in
+        let a0 = ad.(r0 + k0) in
+        let brow = k0 * n in
+        for j = 0 to n - 1 do
+          od.(o0 + j) <- od.(o0 + j) +. (a0 *. bd.(brow + j))
+        done;
+        incr k
+      done;
+      incr i
+    done;
+    kp := kend
+  done
+
+let matmul a b =
+  matmul_check a b;
+  let out = zeros a.rows b.cols in
+  matmul_into ~out a b;
   out
 
 let matmul_transpose_a a b =
@@ -257,6 +405,255 @@ let row_sums m =
     out.data.(i) <- !acc
   done;
   out
+
+let add_row_in_place acc r =
+  if r.rows <> 1 || r.cols <> acc.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.add_row_in_place: %dx%d += %dx%d" acc.rows acc.cols
+         r.rows r.cols);
+  let ad = acc.data and rd = r.data in
+  let n = acc.cols in
+  for i = 0 to acc.rows - 1 do
+    let base = i * n in
+    for j = 0 to n - 1 do
+      ad.(base + j) <- ad.(base + j) +. rd.(j)
+    done
+  done
+
+(* Matches the autodiff relu exactly: [if x > 0.0 then x else 0.0], so
+   -0.0 and NaN map to +0.0 on both paths. *)
+let relu_in_place m =
+  let d = m.data in
+  for k = 0 to Array.length d - 1 do
+    let x = d.(k) in
+    if not (x > 0.0) then d.(k) <- 0.0
+  done
+
+let gather_rows_into ~out src idx =
+  let n = src.cols in
+  if out.cols <> n || out.rows <> Array.length idx then
+    invalid_arg "Mat.gather_rows_into: shape mismatch";
+  let od = out.data and sd = src.data in
+  for e = 0 to Array.length idx - 1 do
+    let i = idx.(e) in
+    if i < 0 || i >= src.rows then invalid_arg "Mat.gather_rows_into: index";
+    Array.blit sd (i * n) od (e * n) n
+  done
+
+let scatter_sum_into ~out src idx =
+  let n = src.cols in
+  if out.cols <> n || Array.length idx <> src.rows then
+    invalid_arg "Mat.scatter_sum_into: shape mismatch";
+  let od = out.data and sd = src.data in
+  Array.fill od 0 (Array.length od) 0.0;
+  for e = 0 to Array.length idx - 1 do
+    let i = idx.(e) in
+    if i < 0 || i >= out.rows then invalid_arg "Mat.scatter_sum_into: index";
+    let obase = i * n and sbase = e * n in
+    for j = 0 to n - 1 do
+      od.(obase + j) <- od.(obase + j) +. sd.(sbase + j)
+    done
+  done
+
+(* Fused gather -> per-edge scale -> scatter-sum: one pass over the
+   edge stream instead of three, no intermediate [edges x cols] buffer.
+   Accumulates in ascending edge order with the identical
+   [w *. src] product, so it is bit-identical to the unfused
+   gather/scale/scatter pipeline (and to the autodiff ops). *)
+let scatter_weighted_rows_into ~out src ~send ~recv ~weights =
+  let n = src.cols in
+  let ne = Array.length send in
+  if Array.length recv <> ne || Array.length weights <> ne then
+    invalid_arg "Mat.scatter_weighted_rows_into: length mismatch";
+  if out.cols <> n then invalid_arg "Mat.scatter_weighted_rows_into: cols";
+  let od = out.data and sd = src.data in
+  Array.fill od 0 (Array.length od) 0.0;
+  for e = 0 to ne - 1 do
+    let si = send.(e) and ri = recv.(e) in
+    if si < 0 || si >= src.rows || ri < 0 || ri >= out.rows then
+      invalid_arg "Mat.scatter_weighted_rows_into: index";
+    let w = weights.(e) in
+    let sbase = si * n and obase = ri * n in
+    for j = 0 to n - 1 do
+      od.(obase + j) <- od.(obase + j) +. (w *. sd.(sbase + j))
+    done
+  done
+
+let scale_rows_in_place m s =
+  if Array.length s <> m.rows then
+    invalid_arg "Mat.scale_rows_in_place: length mismatch";
+  let d = m.data in
+  let n = m.cols in
+  for i = 0 to m.rows - 1 do
+    let f = s.(i) in
+    let base = i * n in
+    for j = 0 to n - 1 do
+      d.(base + j) <- f *. d.(base + j)
+    done
+  done
+
+module Batch = struct
+  type mat = t
+  type nonrec t = { data : t; offsets : int array }
+
+  let pack mats =
+    match mats with
+    | [] -> invalid_arg "Mat.Batch.pack: empty batch"
+    | first :: _ ->
+        let cols = first.cols in
+        let count = List.length mats in
+        let total =
+          List.fold_left
+            (fun acc (m : mat) ->
+              if m.cols <> cols then invalid_arg "Mat.Batch.pack: ragged cols";
+              acc + m.rows)
+            0 mats
+        in
+        let data = zeros total cols in
+        let offsets = Array.make (count + 1) 0 in
+        let r = ref 0 and idx = ref 0 in
+        List.iter
+          (fun (m : mat) ->
+            Array.blit m.data 0 data.data (!r * cols) (m.rows * cols);
+            offsets.(!idx) <- !r;
+            incr idx;
+            r := !r + m.rows)
+          mats;
+        offsets.(!idx) <- !r;
+        { data; offsets }
+
+  let count b = Array.length b.offsets - 1
+  let data b = b.data
+  let offset b i = b.offsets.(i)
+  let rows_of b i = b.offsets.(i + 1) - b.offsets.(i)
+  let matmul b w = { b with data = matmul b.data w }
+
+  let unpack b =
+    List.init (count b) (fun i ->
+        let r0 = b.offsets.(i) in
+        let nr = rows_of b i in
+        let cols = b.data.cols in
+        of_array ~rows:nr ~cols (Array.sub b.data.data (r0 * cols) (nr * cols)))
+end
+
+module Q8 = struct
+  type mat = t
+
+  type nonrec t = {
+    rows : int;
+    cols : int;
+    data : Bytes.t;  (** Row-major int8, two's complement. *)
+    scale : float;
+    zero_point : int;
+  }
+
+  let rows q = q.rows
+  let cols q = q.cols
+  let scale q = q.scale
+  let zero_point q = q.zero_point
+
+  (* Sign-extend the low 8 bits of a non-negative byte value. *)
+  let sx v = (v lsl 55) asr 55
+  let iround x = int_of_float (Float.round x)
+  let clamp_i8 v = if v < -128 then -128 else if v > 127 then 127 else v
+
+  (* Asymmetric per-matrix affine quantization: q = round(x/scale) + zp
+     clamped to [-128, 127], x ≈ scale * (q - zp). The [min, max] range
+     maps onto the full int8 span, so the round-trip error is bounded by
+     [scale] (half a step from rounding plus at most half a step from
+     the rounded zero-point). A constant matrix is stored exactly via a
+     symmetric scale. *)
+  let quantize (m : mat) =
+    let n = Array.length m.data in
+    let mn = ref infinity and mx = ref neg_infinity in
+    let finite = ref true in
+    for k = 0 to n - 1 do
+      let x = m.data.(k) in
+      (* NaN compares false both ways, so the min/max scan alone would
+         let it through; track finiteness explicitly. *)
+      if not (Float.is_finite x) then finite := false;
+      if x < !mn then mn := x;
+      if x > !mx then mx := x
+    done;
+    if not !finite then invalid_arg "Mat.Q8.quantize: non-finite entries";
+    let mn = if n = 0 then 0.0 else !mn and mx = if n = 0 then 0.0 else !mx in
+    let scale, zp =
+      if mx -. mn <= 0.0 then
+        if mx = 0.0 then (1.0, 0) else (Float.abs mx /. 127.0, 0)
+      else
+        let scale = (mx -. mn) /. 255.0 in
+        (scale, -128 - iround (mn /. scale))
+    in
+    let data = Bytes.create n in
+    for k = 0 to n - 1 do
+      let q = clamp_i8 (iround (m.data.(k) /. scale) + zp) in
+      Bytes.unsafe_set data k (Char.unsafe_chr (q land 0xff))
+    done;
+    { rows = m.rows; cols = m.cols; data; scale; zero_point = zp }
+
+  let dequantize q =
+    init q.rows q.cols (fun i j ->
+        let v = sx (Char.code (Bytes.get q.data ((i * q.cols) + j))) in
+        q.scale *. float_of_int (v - q.zero_point))
+
+  (* [a (float) x b (int8)]: the activation matrix is quantized on the
+     fly with a symmetric per-matrix scale (max |a| / 127, zero point
+     0), the product accumulates in native ints (covers int32 with
+     headroom: |term| <= 127*128, so ~2^47 terms fit in 63 bits), and
+     the weight zero point is folded out afterwards with the row sums:
+     out = sa*sb * (sum_k aq_ik*bq_kj - zp_b * sum_k aq_ik). *)
+  let matmul_into ~out:(out : mat) (a : mat) bq =
+    if a.cols <> bq.rows then invalid_arg "Mat.Q8.matmul: inner dims";
+    if out.rows <> a.rows || out.cols <> bq.cols then
+      invalid_arg "Mat.Q8.matmul: out shape";
+    let m = a.rows and kk = a.cols and n = bq.cols in
+    let ad = a.data and od = out.data and bd = bq.data in
+    let amax = ref 0.0 in
+    for k = 0 to Array.length ad - 1 do
+      let x = Float.abs ad.(k) in
+      if x > !amax then amax := x
+    done;
+    if not (Float.is_finite !amax) then
+      invalid_arg "Mat.Q8.matmul: non-finite activations";
+    if !amax = 0.0 || kk = 0 then Array.fill od 0 (m * n) 0.0
+    else begin
+      let sa = !amax /. 127.0 in
+      let sab = sa *. bq.scale in
+      let zb = bq.zero_point in
+      let aq = Array.make kk 0 in
+      let acc = Array.make n 0 in
+      for i = 0 to m - 1 do
+        let arow = i * kk in
+        let rowsum = ref 0 in
+        for k = 0 to kk - 1 do
+          let q = clamp_i8 (iround (ad.(arow + k) /. sa)) in
+          aq.(k) <- q;
+          rowsum := !rowsum + q
+        done;
+        Array.fill acc 0 n 0;
+        for k = 0 to kk - 1 do
+          let v = aq.(k) in
+          if v <> 0 then begin
+            let brow = k * n in
+            for j = 0 to n - 1 do
+              acc.(j) <-
+                acc.(j) + (v * sx (Char.code (Bytes.unsafe_get bd (brow + j))))
+            done
+          end
+        done;
+        let corr = zb * !rowsum in
+        let obase = i * n in
+        for j = 0 to n - 1 do
+          od.(obase + j) <- sab *. float_of_int (acc.(j) - corr)
+        done
+      done
+    end
+
+  let matmul (a : mat) bq =
+    let out = zeros a.rows bq.cols in
+    matmul_into ~out a bq;
+    out
+end
 
 let approx_equal ?(eps = 1e-9) a b =
   a.rows = b.rows && a.cols = b.cols

@@ -76,7 +76,97 @@ val adam_update_in_place :
 val fill : t -> float -> unit
 
 val matmul : t -> t -> t
-(** [matmul a b] for [a : m x k], [b : k x n]. *)
+(** [matmul a b] for [a : m x k], [b : k x n]. Runs the blocked kernel
+    ({!matmul_into}); bit-identical to {!matmul_naive}. *)
+
+val matmul_naive : t -> t -> t
+(** Reference i-k-j GEMM, no zero-skip (IEEE-faithful: [0 * nan],
+    signed zeros and infinities propagate). The qcheck oracle the
+    blocked kernel is held bit-identical to. *)
+
+val matmul_into : out:t -> t -> t -> unit
+(** [matmul_into ~out a b] writes [a * b] into the preallocated [out]
+    ([m x n]; previous contents discarded). Cache-blocked and
+    register-tiled, but every [out.(i,j)] still accumulates its terms
+    in ascending [k] one addition at a time, so results are
+    bit-identical to {!matmul_naive} — signed zeros and infinities
+    included, NaN at the same positions (NaN payload bits are
+    unspecified). [out] must not alias [a] or [b]
+    (@raise Invalid_argument). *)
+
+val add_row_in_place : t -> t -> unit
+(** [add_row_in_place acc r] broadcasts the [1 x cols] row [r] onto
+    every row of [acc] — the in-place bias add of the inference path. *)
+
+val relu_in_place : t -> unit
+
+val gather_rows_into : out:t -> t -> int array -> unit
+(** [gather_rows_into ~out src idx]: [out.(e, :) <- src.(idx.(e), :)].
+    [out] must be [length idx x cols src]. *)
+
+val scatter_sum_into : out:t -> t -> int array -> unit
+(** [scatter_sum_into ~out src idx] zeroes [out] then accumulates
+    [src.(e, :)] into [out.(idx.(e), :)] in ascending [e] — same
+    summation order as the autodiff scatter. *)
+
+val scale_rows_in_place : t -> float array -> unit
+(** Row [i] scaled by [s.(i)]. *)
+
+val scatter_weighted_rows_into :
+  out:t -> t -> send:int array -> recv:int array -> weights:float array -> unit
+(** [out.(recv.(e), :) += weights.(e) * src.(send.(e), :)] over
+    ascending [e], after zeroing [out] — the fused
+    gather/scale/scatter-sum of the message-passing aggregation,
+    bit-identical to the three separate passes. *)
+
+(** Packed batch of same-width matrices: N row-major operands stacked
+    into one tall matrix so a campaign's N small GEMMs against a shared
+    weight collapse into one blocked GEMM. Row segments stay contiguous,
+    so per-instance ops address [data] with [offset]/[rows_of]. *)
+module Batch : sig
+  type mat := t
+  type t
+
+  val pack : mat list -> t
+  (** @raise Invalid_argument on an empty list or mismatched widths. *)
+
+  val count : t -> int
+  val data : t -> mat
+  val offset : t -> int -> int
+  (** Starting row of instance [i] in {!data}. *)
+
+  val rows_of : t -> int -> int
+  val matmul : t -> mat -> t
+  (** One big GEMM against a shared right-hand side. *)
+
+  val unpack : t -> mat list
+end
+
+(** Int8 affine quantization: per-matrix scale and zero point, for the
+    trained selector's weights. [q8 = round(x/scale) + zero_point]
+    clamped to [-128, 127]; dequantization error is bounded by [scale].
+    {!matmul} quantizes the float activations symmetrically on the fly
+    and accumulates in integers. *)
+module Q8 : sig
+  type mat := t
+  type t
+
+  val quantize : mat -> t
+  (** @raise Invalid_argument on non-finite entries. *)
+
+  val dequantize : t -> mat
+  val rows : t -> int
+  val cols : t -> int
+  val scale : t -> float
+  val zero_point : t -> int
+
+  val matmul : mat -> t -> mat
+  (** [matmul a qb] for float activations [a : m x k] and quantized
+      weights [qb : k x n]; integer accumulation, zero point folded out
+      via row sums. *)
+
+  val matmul_into : out:mat -> mat -> t -> unit
+end
 
 val matmul_transpose_a : t -> t -> t
 (** [matmul_transpose_a a b = matmul (transpose a) b] without the copy. *)

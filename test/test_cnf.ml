@@ -324,6 +324,61 @@ let prop_dimacs_mutated_typed =
       Bytes.set b (pos mod Bytes.length b) c;
       parses_or_typed_error (Bytes.to_string b))
 
+(* --- canonical fingerprint ---------------------------------------------- *)
+
+(* The selector-cache key must be invariant under everything that
+   preserves the clause *set* (reordering, duplication) and must change
+   under anything that alters it (polarity flips, injected tautologies,
+   renamed variables, a different variable count). The metamorphic
+   transforms are the library's own definitions of those mutations. *)
+let prop_fingerprint_invariant_under_reordering =
+  QCheck.Test.make ~name:"fingerprint invariant under shuffle/duplicate"
+    ~count:60 QCheck.small_int (fun seed ->
+      let rng = Util.Rng.create (seed + 31) in
+      let f = Generators.ksat ~seed:(seed + 31) ~num_vars:12 ~num_clauses:40 () in
+      let fp = Cnf.Fingerprint.compute f in
+      List.for_all
+        (fun t -> Cnf.Fingerprint.compute (Verify.Metamorphic.apply rng t f) = fp)
+        [ Verify.Metamorphic.Shuffle_clauses; Verify.Metamorphic.Duplicate_clauses ])
+
+let prop_fingerprint_changed_by_semantics =
+  QCheck.Test.make ~name:"fingerprint changed by polarity flip / tautologies"
+    ~count:60 QCheck.small_int (fun seed ->
+      let rng = Util.Rng.create (seed + 57) in
+      let f = Generators.ksat ~seed:(seed + 57) ~num_vars:12 ~num_clauses:40 () in
+      let fp = Cnf.Fingerprint.compute f in
+      (* Flip_polarity may draw the empty variable subset and
+         Permute_vars the identity; retry a few draws and require some
+         draw to change the hash. *)
+      let changes t =
+        let rec go attempts =
+          attempts > 0
+          && (Cnf.Fingerprint.compute (Verify.Metamorphic.apply rng t f) <> fp
+             || go (attempts - 1))
+        in
+        go 8
+      in
+      List.for_all changes
+        [
+          Verify.Metamorphic.Flip_polarity;
+          Verify.Metamorphic.Inject_tautologies;
+          Verify.Metamorphic.Permute_vars;
+        ])
+
+let test_fingerprint_basics () =
+  let f = Cnf.Dimacs.parse_string "p cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let g = Cnf.Dimacs.parse_string "p cnf 3 3\n3 2 0\n-2 1 0\n1 -2 0\n" in
+  Alcotest.(check string)
+    "reordered + duplicated clause set" (Cnf.Fingerprint.compute_hex f)
+    (Cnf.Fingerprint.compute_hex g);
+  let h = Cnf.Dimacs.parse_string "p cnf 4 2\n1 -2 0\n2 3 0\n" in
+  Alcotest.(check bool)
+    "num_vars mixed in" false
+    (Cnf.Fingerprint.compute f = Cnf.Fingerprint.compute h);
+  Alcotest.(check int)
+    "hex is 16 chars" 16
+    (String.length (Cnf.Fingerprint.compute_hex f))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -332,6 +387,8 @@ let qcheck_tests =
       prop_dimacs_truncation_typed;
       prop_dimacs_garbage_typed;
       prop_dimacs_mutated_typed;
+      prop_fingerprint_invariant_under_reordering;
+      prop_fingerprint_changed_by_semantics;
     ]
 
 let suite =
@@ -340,6 +397,7 @@ let suite =
     Alcotest.test_case "lit accessors" `Quick test_lit_accessors;
     Alcotest.test_case "lit index" `Quick test_lit_index;
     Alcotest.test_case "lit invalid" `Quick test_lit_invalid;
+    Alcotest.test_case "fingerprint basics" `Quick test_fingerprint_basics;
     Alcotest.test_case "formula counts" `Quick test_formula_counts;
     Alcotest.test_case "formula eval" `Quick test_formula_eval;
     Alcotest.test_case "formula out of range" `Quick test_formula_out_of_range;

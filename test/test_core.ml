@@ -452,3 +452,217 @@ let suite =
       Alcotest.test_case "normalize readout flag" `Quick test_normalize_readout_flag;
       Alcotest.test_case "hgt stacking shapes" `Quick test_hgt_stacking_shapes;
     ]
+
+(* --- fast inference engine ---------------------------------------------- *)
+
+let graphs_for_engine_tests n =
+  List.init n (fun i ->
+      let rng = Util.Rng.create (500 + i) in
+      Bigraph.of_formula
+        (Gen.Ksat.generate rng ~num_vars:(20 + (3 * i)) ~num_clauses:(80 + (5 * i))
+           ~k:3))
+
+(* The engine replaced the training tape as the production [predict]
+   path; it must reproduce the tape's output to the last bit. *)
+let test_engine_matches_tape () =
+  let model = Core.Model.create Core.Model.paper_config in
+  List.iter
+    (fun g ->
+      let fast = Core.Model.predict model g in
+      let tape = Core.Model.predict_tape model g in
+      checkb "engine = tape (bits)" true
+        (Int64.bits_of_float fast = Int64.bits_of_float tape))
+    (small_graph :: graphs_for_engine_tests 4)
+
+let test_forward_batch_matches_singles () =
+  let model = Core.Model.create Core.Model.paper_config in
+  let graphs = graphs_for_engine_tests 6 in
+  let batched = Core.Model.forward_batch model graphs in
+  List.iteri
+    (fun i g ->
+      checkb "batched = single (bits)" true
+        (Int64.bits_of_float batched.(i)
+        = Int64.bits_of_float (Core.Model.predict model g)))
+    graphs;
+  checki "empty batch" 0 (Array.length (Core.Model.forward_batch model []))
+
+(* Steady-state inference must be allocation-light: after warmup the
+   engine runs out of pooled buffers, so a forward allocates orders of
+   magnitude fewer minor words than the tape path (which rebuilds the
+   autodiff graph every call). *)
+let test_engine_allocation_light () =
+  let model = Core.Model.create Core.Model.paper_config in
+  let g = small_graph in
+  ignore (Core.Model.predict model g);
+  ignore (Core.Model.predict model g);
+  let words_of f =
+    let before = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. before
+  in
+  let fast = words_of (fun () -> ignore (Core.Model.predict model g)) in
+  let tape = words_of (fun () -> ignore (Core.Model.predict_tape model g)) in
+  checkb
+    (Printf.sprintf "fast %.0f words << tape %.0f words" fast tape)
+    true
+    (fast < tape /. 20.0)
+
+let test_q8_predict_close_and_agreement () =
+  let model = Core.Model.create Core.Model.paper_config in
+  let graphs = graphs_for_engine_tests 5 in
+  List.iter
+    (fun g ->
+      let p = Core.Model.predict model g in
+      let pq = Core.Model.predict_q8 model g in
+      checkb "q8 within 0.05 of float" true (Float.abs (p -. pq) < 0.05))
+    graphs;
+  let formulas =
+    List.init 8 (fun i ->
+        let rng = Util.Rng.create (900 + i) in
+        Gen.Ksat.generate rng ~num_vars:15 ~num_clauses:60 ~k:3)
+  in
+  let frac = Core.Selector.q8_agreement model formulas in
+  checkb "agreement fraction in [0,1]" true (frac >= 0.0 && frac <= 1.0);
+  checkf "empty agreement" 1.0 (Core.Selector.q8_agreement model [])
+
+(* --- selector decision cache -------------------------------------------- *)
+
+let test_selector_cache_hit_and_stats () =
+  Core.Selector.clear_cache ();
+  Core.Selector.reset_breaker ();
+  let model = Core.Model.create Core.Model.small_config in
+  let before = Core.Selector.cache_stats () in
+  let s1 = Core.Selector.select_policy ~use_cache:true model small_formula in
+  checkb "first is a miss" true (not s1.Core.Selector.cached);
+  let s2 = Core.Selector.select_policy ~use_cache:true model small_formula in
+  checkb "second is a hit" true s2.Core.Selector.cached;
+  checkf "same probability" s1.Core.Selector.probability
+    s2.Core.Selector.probability;
+  (* A hit reports the fingerprint+lookup time, not a model forward. *)
+  checkb "hit is much cheaper than the miss" true
+    (s2.Core.Selector.inference_seconds < 1e-3
+    && s2.Core.Selector.inference_seconds <= s1.Core.Selector.inference_seconds);
+  let after = Core.Selector.cache_stats () in
+  checki "one hit" (before.Core.Selector.hits + 1) after.Core.Selector.hits;
+  checki "one miss" (before.Core.Selector.misses + 1) after.Core.Selector.misses;
+  (* A shuffled clause set is the same instance: must hit. *)
+  let rng = Util.Rng.create 5 in
+  let shuffled =
+    Verify.Metamorphic.apply rng Verify.Metamorphic.Shuffle_clauses
+      small_formula
+  in
+  let s3 = Core.Selector.select_policy ~use_cache:true model shuffled in
+  checkb "shuffled clauses hit" true s3.Core.Selector.cached;
+  (* A polarity flip is a different instance: must not hit. *)
+  let rec flipped_differs attempts =
+    attempts > 0
+    &&
+    let flipped =
+      Verify.Metamorphic.apply rng Verify.Metamorphic.Flip_polarity
+        small_formula
+    in
+    (Cnf.Fingerprint.compute flipped <> Cnf.Fingerprint.compute small_formula)
+    || flipped_differs (attempts - 1)
+  in
+  checkb "some polarity flip changes the key" true (flipped_differs 8);
+  (* Off by default: existing fault-injection semantics untouched. *)
+  let s4 = Core.Selector.select_policy model small_formula in
+  checkb "default path uncached" true (not s4.Core.Selector.cached)
+
+let test_selector_cache_invalidated_by_load () =
+  Core.Selector.clear_cache ();
+  Core.Selector.reset_breaker ();
+  let model = Core.Model.create Core.Model.small_config in
+  let gen0 = Core.Model.generation model in
+  ignore (Core.Selector.select_policy ~use_cache:true model small_formula);
+  let path = Filename.temp_file "ns-cache-inval" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Core.Model.save path model;
+      Core.Model.load path model;
+      checkb "load bumps generation" true (Core.Model.generation model > gen0);
+      let evictions_before = (Core.Selector.cache_stats ()).Core.Selector.evictions in
+      let s = Core.Selector.select_policy ~use_cache:true model small_formula in
+      checkb "post-load is a miss" true (not s.Core.Selector.cached);
+      checkb "stale entries evicted" true
+        ((Core.Selector.cache_stats ()).Core.Selector.evictions
+        > evictions_before))
+
+let test_selector_cache_capacity_eviction () =
+  Core.Selector.clear_cache ();
+  Core.Selector.reset_breaker ();
+  let model = Core.Model.create Core.Model.small_config in
+  Core.Selector.set_cache_capacity 2;
+  Fun.protect
+    ~finally:(fun () -> Core.Selector.set_cache_capacity 512)
+    (fun () ->
+      let formulas =
+        List.init 3 (fun i ->
+            Generators.ksat ~seed:(700 + i) ~num_vars:10 ~num_clauses:30 ())
+      in
+      List.iter
+        (fun f ->
+          ignore (Core.Selector.select_policy ~use_cache:true model f))
+        formulas;
+      let cs = Core.Selector.cache_stats () in
+      checki "size capped" 2 cs.Core.Selector.size;
+      checki "capacity reported" 2 cs.Core.Selector.capacity;
+      (* LRU: the first formula was evicted, the last two are live. *)
+      let s =
+        Core.Selector.select_policy ~use_cache:true model (List.nth formulas 0)
+      in
+      checkb "oldest evicted" true (not s.Core.Selector.cached);
+      Alcotest.check_raises "capacity must be positive"
+        (Invalid_argument "Selector.set_cache_capacity") (fun () ->
+          Core.Selector.set_cache_capacity 0))
+
+let test_selector_batch_matches_singles () =
+  Core.Selector.clear_cache ();
+  Core.Selector.reset_breaker ();
+  let model = Core.Model.create Core.Model.small_config in
+  let formulas =
+    List.init 5 (fun i ->
+        Generators.ksat ~seed:(800 + i) ~num_vars:12 ~num_clauses:40 ())
+  in
+  let singles =
+    List.map (fun f -> Core.Selector.select_policy model f) formulas
+  in
+  let batch = Core.Selector.select_policy_batch model formulas in
+  List.iter2
+    (fun (a : Core.Selector.selection) (b : Core.Selector.selection) ->
+      checkb "same probability (bits)" true
+        (Int64.bits_of_float a.Core.Selector.probability
+        = Int64.bits_of_float b.Core.Selector.probability);
+      checkb "same policy" true
+        (a.Core.Selector.policy = b.Core.Selector.policy))
+    singles batch;
+  (* With the cache on, a second batch of the same formulas is all hits. *)
+  let warm = Core.Selector.select_policy_batch ~use_cache:true model formulas in
+  checkb "first cached batch has misses" true
+    (List.exists (fun s -> not s.Core.Selector.cached) warm);
+  let hot = Core.Selector.select_policy_batch ~use_cache:true model formulas in
+  checkb "second cached batch all hits" true
+    (List.for_all (fun s -> s.Core.Selector.cached) hot);
+  checki "empty batch" 0
+    (List.length (Core.Selector.select_policy_batch model []))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "engine matches tape" `Quick test_engine_matches_tape;
+      Alcotest.test_case "forward_batch matches singles" `Quick
+        test_forward_batch_matches_singles;
+      Alcotest.test_case "engine allocation-light" `Quick
+        test_engine_allocation_light;
+      Alcotest.test_case "q8 predict close + agreement" `Quick
+        test_q8_predict_close_and_agreement;
+      Alcotest.test_case "selector cache hit/miss/stats" `Quick
+        test_selector_cache_hit_and_stats;
+      Alcotest.test_case "selector cache invalidated by load" `Quick
+        test_selector_cache_invalidated_by_load;
+      Alcotest.test_case "selector cache capacity/LRU" `Quick
+        test_selector_cache_capacity_eviction;
+      Alcotest.test_case "selector batch matches singles" `Quick
+        test_selector_batch_matches_singles;
+    ]

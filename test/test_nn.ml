@@ -168,6 +168,45 @@ let test_mlp_structure () =
   Alcotest.check_raises "one dim" (Invalid_argument "Mlp.create: need at least two dims")
     (fun () -> ignore (Nn.Layer.Mlp.create rng ~dims:[ 4 ] ~name:"bad"))
 
+(* The tape-free inference paths must reproduce the training forward
+   bit for bit: same matmul summation order, same ReLU semantics. *)
+let test_infer_matches_forward () =
+  let rng = Util.Rng.create 17 in
+  let layer = Nn.Layer.Linear.create rng ~in_dim:6 ~out_dim:4 ~name:"lin" in
+  let x = Mat.random_uniform rng 5 6 1.0 in
+  let tape = Ad.tape () in
+  let taped = Ad.value (Nn.Layer.Linear.forward tape layer (Ad.const tape x)) in
+  let fast = Nn.Layer.Linear.infer layer x in
+  let into = Mat.zeros 5 4 in
+  Nn.Layer.Linear.infer_into layer ~out:into x;
+  let same a b =
+    let ok = ref true in
+    for i = 0 to Mat.rows a - 1 do
+      for j = 0 to Mat.cols a - 1 do
+        if
+          Int64.bits_of_float (Mat.get a i j)
+          <> Int64.bits_of_float (Mat.get b i j)
+        then ok := false
+      done
+    done;
+    !ok
+  in
+  checkb "linear infer = forward" true (same taped fast);
+  checkb "linear infer_into = forward" true (same taped into);
+  let mlp = Nn.Layer.Mlp.create rng ~dims:[ 6; 8; 3 ] ~name:"mlp" in
+  let tape = Ad.tape () in
+  let taped_mlp =
+    Ad.value
+      (let h =
+         Ad.relu tape
+           (Nn.Layer.Linear.forward tape
+              (List.nth (Nn.Layer.Mlp.linears mlp) 0)
+              (Ad.const tape x))
+       in
+       Nn.Layer.Linear.forward tape (List.nth (Nn.Layer.Mlp.linears mlp) 1) h)
+  in
+  checkb "mlp infer = forward" true (same taped_mlp (Nn.Layer.Mlp.infer mlp x))
+
 (* --- optimisers --- *)
 
 let quadratic_loss p tape =
@@ -408,6 +447,8 @@ let suite =
     Alcotest.test_case "grad accumulates" `Quick test_grad_accumulates_across_uses;
     Alcotest.test_case "linear shapes" `Quick test_linear_shapes_and_bias;
     Alcotest.test_case "mlp structure" `Quick test_mlp_structure;
+    Alcotest.test_case "infer matches forward" `Quick
+      test_infer_matches_forward;
     Alcotest.test_case "adam minimises" `Quick test_adam_minimises_quadratic;
     Alcotest.test_case "sgd minimises" `Quick test_sgd_minimises_quadratic;
     Alcotest.test_case "step zeroes grads" `Quick test_step_zeroes_grads;

@@ -94,6 +94,150 @@ let test_row_vector () =
   checki "1 row" 1 (Mat.rows v);
   checki "2 cols" 2 (Mat.cols v)
 
+(* --- blocked GEMM vs naive oracle -------------------------------------- *)
+
+(* Bit-identity, not approx-equality: the blocked kernel accumulates
+   each output element over ascending k exactly like the naive loop,
+   so signed zeros and infinities must come out with the same bits and
+   NaNs must appear at exactly the same positions. NaN *payloads* are
+   compared as equal: when two NaNs meet in [+.] the hardware keeps
+   the first operand's payload, and the code generator may legally
+   swap operands of commutative float ops, so payload bits are not a
+   property of the summation order. *)
+let bit_identical a b =
+  Mat.rows a = Mat.rows b
+  && Mat.cols a = Mat.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Mat.rows a - 1 do
+    for j = 0 to Mat.cols a - 1 do
+      let x = Mat.get a i j and y = Mat.get b i j in
+      if Float.is_nan x || Float.is_nan y then begin
+        if not (Float.is_nan x && Float.is_nan y) then ok := false
+      end
+      else if Int64.bits_of_float x <> Int64.bits_of_float y then ok := false
+    done
+  done;
+  !ok
+
+(* Entries drawn from a palette including the IEEE special values that
+   the old zero-skip optimisation mishandled. *)
+let special_palette =
+  [| 0.0; -0.0; 1.5; -2.25; 1e-300; -1e300; Float.nan; Float.infinity |]
+
+let random_special rng r c =
+  Mat.init r c (fun _ _ ->
+      special_palette.(Util.Rng.int rng (Array.length special_palette)))
+
+let prop_blocked_matches_naive =
+  QCheck.Test.make ~name:"blocked GEMM bit-identical to naive" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Util.Rng.create (seed + 1) in
+      let m = 1 + Util.Rng.int rng 24 in
+      let k = 1 + Util.Rng.int rng 24 in
+      let n = 1 + Util.Rng.int rng 24 in
+      let a = Mat.random_uniform rng m k 2.0 in
+      let b = Mat.random_uniform rng k n 2.0 in
+      bit_identical (Mat.matmul a b) (Mat.matmul_naive a b))
+
+let prop_blocked_matches_naive_specials =
+  QCheck.Test.make
+    ~name:"blocked GEMM bit-identical to naive on NaN/-0/inf" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Util.Rng.create (seed + 1) in
+      let m = 1 + Util.Rng.int rng 9 in
+      let k = 1 + Util.Rng.int rng 9 in
+      let n = 1 + Util.Rng.int rng 9 in
+      let a = random_special rng m k in
+      let b = random_special rng k n in
+      bit_identical (Mat.matmul a b) (Mat.matmul_naive a b))
+
+let test_blocked_vectors () =
+  (* 1 x n and n x 1 exercise the row- and k-remainder paths alone. *)
+  let rng = Util.Rng.create 42 in
+  let a = Mat.random_uniform rng 1 70 1.0 in
+  let b = Mat.random_uniform rng 70 1 1.0 in
+  checkb "1xn * nx1" true (bit_identical (Mat.matmul a b) (Mat.matmul_naive a b));
+  let c = Mat.random_uniform rng 70 5 1.0 in
+  checkb "1xn * nxm" true (bit_identical (Mat.matmul a c) (Mat.matmul_naive a c));
+  let d = Mat.random_uniform rng 1 7 1.0 in
+  checkb "nx1 * 1xm" true (bit_identical (Mat.matmul b d) (Mat.matmul_naive b d))
+
+let test_matmul_into_shape_and_alias () =
+  let a = Mat.random_uniform (Util.Rng.create 1) 3 4 1.0 in
+  let b = Mat.random_uniform (Util.Rng.create 2) 4 5 1.0 in
+  let bad = Mat.zeros 3 4 in
+  Alcotest.check_raises "bad out shape"
+    (Invalid_argument "Mat.matmul_into: out 3x4 for 3x4 * 4x5") (fun () ->
+      Mat.matmul_into ~out:bad a b);
+  let sq = Mat.random_uniform (Util.Rng.create 3) 4 4 1.0 in
+  Alcotest.check_raises "aliased out"
+    (Invalid_argument "Mat.matmul_into: out aliases an input") (fun () ->
+      Mat.matmul_into ~out:sq sq sq)
+
+let test_batch_pack_unpack_matmul () =
+  let rng = Util.Rng.create 9 in
+  let mats = List.init 5 (fun i -> Mat.random_uniform rng (1 + i) 6 1.0) in
+  let batch = Mat.Batch.pack mats in
+  checki "count" 5 (Mat.Batch.count batch);
+  checki "total rows" 15 (Mat.rows (Mat.Batch.data batch));
+  List.iteri
+    (fun i m ->
+      checki "offset" (i * (i + 1) / 2) (Mat.Batch.offset batch i);
+      checki "rows_of" (Mat.rows m) (Mat.Batch.rows_of batch i))
+    mats;
+  let round = Mat.Batch.unpack batch in
+  List.iter2 (fun m m' -> checkb "unpack" true (bit_identical m m')) mats round;
+  let w = Mat.random_uniform rng 6 3 1.0 in
+  let out = Mat.Batch.unpack (Mat.Batch.matmul batch w) in
+  List.iter2
+    (fun m o -> checkb "batched = per-instance" true (bit_identical (Mat.matmul m w) o))
+    mats out
+
+(* --- int8 quantization --------------------------------------------------- *)
+
+let prop_q8_round_trip =
+  QCheck.Test.make ~name:"q8 round-trip error <= scale" ~count:80
+    QCheck.small_int (fun seed ->
+      let rng = Util.Rng.create (seed + 1) in
+      let r = 1 + Util.Rng.int rng 12 in
+      let c = 1 + Util.Rng.int rng 12 in
+      let m = Mat.random_uniform rng r c 3.0 in
+      let q = Mat.Q8.quantize m in
+      let d = Mat.Q8.dequantize q in
+      let bound = Mat.Q8.scale q +. 1e-12 in
+      let ok = ref true in
+      for i = 0 to r - 1 do
+        for j = 0 to c - 1 do
+          if Float.abs (Mat.get m i j -. Mat.get d i j) > bound then ok := false
+        done
+      done;
+      !ok)
+
+let test_q8_matmul_close () =
+  let rng = Util.Rng.create 21 in
+  let a = Mat.random_uniform rng 7 16 1.0 in
+  let b = Mat.random_uniform rng 16 5 1.0 in
+  let exact = Mat.matmul a b in
+  let approx = Mat.Q8.matmul a (Mat.Q8.quantize b) in
+  (* Error per element is bounded by sum_k |a_k| * scale_b plus the
+     activation quantization; 16 terms of |a|<=1 with scale ~ 2/255
+     keeps it well under 0.5. *)
+  let ok = ref true in
+  for i = 0 to 6 do
+    for j = 0 to 4 do
+      if Float.abs (Mat.get exact i j -. Mat.get approx i j) > 0.5 then
+        ok := false
+    done
+  done;
+  checkb "q8 matmul close to float" true !ok
+
+let test_q8_non_finite_rejected () =
+  let m = Mat.of_arrays [| [| 1.0; Float.nan |] |] in
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Mat.Q8.quantize: non-finite entries") (fun () ->
+      ignore (Mat.Q8.quantize m))
+
 let prop_matmul_assoc_with_vector =
   QCheck.Test.make ~name:"(AB)x = A(Bx)" ~count:50 QCheck.small_int (fun seed ->
       let rng = Util.Rng.create seed in
@@ -116,10 +260,24 @@ let prop_frobenius_scale =
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_matmul_assoc_with_vector; prop_frobenius_scale ]
+    [
+      prop_matmul_assoc_with_vector;
+      prop_frobenius_scale;
+      prop_blocked_matches_naive;
+      prop_blocked_matches_naive_specials;
+      prop_q8_round_trip;
+    ]
 
 let suite =
   [
+    Alcotest.test_case "blocked GEMM vector shapes" `Quick test_blocked_vectors;
+    Alcotest.test_case "matmul_into shape/alias" `Quick
+      test_matmul_into_shape_and_alias;
+    Alcotest.test_case "batch pack/unpack/matmul" `Quick
+      test_batch_pack_unpack_matmul;
+    Alcotest.test_case "q8 matmul close" `Quick test_q8_matmul_close;
+    Alcotest.test_case "q8 rejects non-finite" `Quick
+      test_q8_non_finite_rejected;
     Alcotest.test_case "shapes" `Quick test_shapes;
     Alcotest.test_case "get/set bounds" `Quick test_get_set_bounds;
     Alcotest.test_case "ragged input" `Quick test_of_arrays_ragged;
